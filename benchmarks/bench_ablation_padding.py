@@ -1,0 +1,49 @@
+"""Ablation: the AoSoA padding sweet spot (paper Sec. V-A).
+
+"On AVX-512 architectures order 8 is a sweetspot with no padding
+required, whereas order 9 suffers from a particularly large padding
+overhead."  The executed-FLOP inflation and its performance effect are
+quantified here, together with the AVX2 comparison where order 8 also
+pads (8 -> 8 works for both, but 9 -> 12 on AVX2 vs 9 -> 16 on AVX-512).
+"""
+
+from repro.core.spec import KernelSpec
+from repro.harness.experiments import application_performance, stp_plan
+
+
+def test_order8_sweet_spot_order9_penalty(benchmark, warm_caches):
+    def run():
+        return {
+            order: (
+                stp_plan("splitck", order),
+                stp_plan("aosoa", order),
+                application_performance("aosoa", order),
+            )
+            for order in (8, 9, 10)
+        }
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    inflation = {
+        order: aosoa.flop_counts().total / split.flop_counts().total
+        for order, (split, aosoa, _) in data.items()
+    }
+    # order 8: AoSoA executes FEWER flops (x needs no padding, the AoS
+    # variants pad 21 quantities to 24)
+    assert inflation[8] < 1.0
+    # order 9: 9 -> 16 lanes, a large inflation
+    assert inflation[9] > 1.25
+    print("\nAoSoA/SplitCK executed-FLOP ratio:",
+          {o: round(v, 3) for o, v in inflation.items()})
+
+    # the padding work rides along in otherwise-idle lanes: useful
+    # throughput per order still grows (Fig. 10's monotone aosoa curve)
+    perf = {o: p.percent_available for o, (_, _, p) in data.items()}
+    print("AoSoA % available:", {o: round(v, 1) for o, v in perf.items()})
+
+
+def test_avx2_padding_differs(warm_caches):
+    spec512 = KernelSpec(order=9, nvar=9, nparam=12, arch="skx")
+    spec256 = KernelSpec(order=9, nvar=9, nparam=12, arch="hsw")
+    assert spec512.npad == 16 and spec256.npad == 12
+    assert spec512.aosoa_padding_overhead > spec256.aosoa_padding_overhead

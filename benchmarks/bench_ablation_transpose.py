@@ -1,0 +1,85 @@
+"""Ablation: on-the-fly SoA transposes vs the AoSoA layout (Sec. V-A).
+
+The paper evaluated transposing tensors around every user-function call
+before settling on the AoSoA layout: "It proved effective for complex
+non-linear scenarios ... However, the linear PDE systems ... have too
+simple (and inexpensive) user functions for such a solution to be
+effective."  Both halves of that judgment are reproduced here:
+
+* with the paper's (cheap) curvilinear elastic fluxes, the transpose
+  variant vectorizes almost everything yet *loses* to plain SplitCK;
+* with a 10x more expensive user function (standing in for a complex
+  non-linear flux), the transposes pay off.
+"""
+
+import pytest
+
+from repro.core.spec import KernelSpec
+from repro.core.variants import make_kernel
+from repro.harness.experiments import application_performance
+from repro.machine.profiler import Profiler
+from repro.pde import CurvilinearElasticPDE
+
+ORDER = 9
+
+
+class ExpensiveFluxPDE(CurvilinearElasticPDE):
+    """Cost-model stand-in for a complex (non-linear-grade) user function."""
+
+    name = "curvilinear_elastic_expensive"
+
+    def flux_flops_per_node(self, d: int) -> int:
+        return 10 * super().flux_flops_per_node(d)
+
+
+def profile(variant, pde):
+    spec = KernelSpec(order=ORDER, nvar=9, nparam=12, arch="skx")
+    plan = make_kernel(variant, spec, pde).build_plan()
+    return Profiler().profile(plan)
+
+
+def test_transposes_lose_for_cheap_linear_fluxes(benchmark):
+    perf = benchmark.pedantic(
+        lambda: {
+            v: application_performance(v, ORDER)
+            for v in ("splitck", "transpose_uf", "aosoa")
+        },
+        rounds=1,
+        iterations=1,
+    )
+    # near-full vectorization achieved...
+    assert perf["transpose_uf"].flops.scalar_fraction < 0.10
+    # ...but slower than not transposing at all (the paper's verdict)
+    assert perf["transpose_uf"].percent_available < perf["splitck"].percent_available
+    # and the AoSoA layout dominates both
+    assert perf["aosoa"].percent_available > perf["splitck"].percent_available
+
+    print("\nSec. V-A ablation (order 9, cheap linear fluxes):")
+    for v, p in perf.items():
+        print(f"  {v:>12}: {p.percent_available:5.1f}% avail, "
+              f"{p.flops.scalar_fraction * 100:4.1f}% scalar FLOPs")
+
+
+def test_transposes_win_for_expensive_user_functions(benchmark):
+    pde = ExpensiveFluxPDE()
+
+    def run():
+        return {v: profile(v, pde) for v in ("splitck", "transpose_uf")}
+
+    perf = benchmark.pedantic(run, rounds=1, iterations=1)
+    ratio = perf["transpose_uf"].gflops / perf["splitck"].gflops
+    assert ratio > 1.0, "expensive user functions should flip the verdict"
+
+    print(f"\nwith 10x user-function cost: transpose_uf/splitck = {ratio:.2f}x "
+          "(the paper's non-linear-scenario observation)")
+
+
+def test_transpose_variant_numerics_unchanged():
+    import numpy as np
+
+    pde = CurvilinearElasticPDE()
+    spec = KernelSpec(order=5, nvar=9, nparam=12, arch="skx")
+    q = pde.example_state((5,) * 3, np.random.default_rng(0))
+    a = make_kernel("transpose_uf", spec, pde).predictor(q, dt=1e-3, h=0.5)
+    b = make_kernel("splitck", spec, pde).predictor(q, dt=1e-3, h=0.5)
+    np.testing.assert_allclose(a.qavg, b.qavg, atol=1e-13)

@@ -1,0 +1,35 @@
+"""Regenerates Fig. 6: LoG vs the dimension-split (SplitCK) kernel.
+
+Paper claims reproduced here:
+
+* SplitCK's memory stalls start lower than LoG's and decrease
+  steadily with the order, while LoG's plateau/increase;
+* SplitCK's performance keeps growing with the order, overtaking LoG
+  from moderate orders on.
+"""
+
+from repro.harness.figures import figure6
+from repro.harness.report import render_fig6
+
+
+def test_fig6_series(benchmark, warm_caches):
+    series = benchmark.pedantic(figure6, rounds=1, iterations=1)
+    log = {r["order"]: r for r in series["log"]}
+    split = {r["order"]: r for r in series["splitck"]}
+
+    orders = sorted(log)
+    split_stalls = [split[o]["memory_stall_pct"] for o in orders]
+    assert split_stalls == sorted(split_stalls, reverse=True), "steady decrease"
+    assert all(
+        split[o]["memory_stall_pct"] < log[o]["memory_stall_pct"] for o in orders
+    )
+    split_perf = [split[o]["percent_available"] for o in orders]
+    assert split_perf == sorted(split_perf), "performance keeps growing"
+    assert all(
+        split[o]["percent_available"] > log[o]["percent_available"]
+        for o in orders
+        if o >= 6
+    )
+
+    print()
+    print(render_fig6())

@@ -1,0 +1,29 @@
+"""Regenerates Fig. 9: FLOP packing-width distribution of all variants.
+
+Paper claims reproduced here:
+
+* generic: most FLOPs scalar, only a fraction auto-vectorized;
+* LoG / SplitCK: > 80% packed, ~10% scalar left (the user functions);
+* AoSoA: scalar share down to the 2-4% band.
+"""
+
+from repro.harness.figures import figure9
+from repro.harness.report import render_fig9
+
+
+def test_fig9_mix(benchmark, warm_caches):
+    rows = benchmark.pedantic(figure9, rounds=1, iterations=1)
+    table = {(r["variant"], r["order"]): r for r in rows}
+
+    for order in (6, 9, 11):
+        assert table[("generic", order)]["scalar"] > 75.0
+        assert table[("log", order)]["bits512"] > 70.0
+        assert table[("splitck", order)]["bits512"] > 70.0
+        assert table[("aosoa", order)]["scalar"] < 6.0
+    # high order: LoG/SplitCK scalar share near the paper's ~10%
+    assert 5.0 < table[("log", 11)]["scalar"] < 20.0
+    # AoSoA at high order lands in the paper's 2-4% window
+    assert table[("aosoa", 11)]["scalar"] < 4.0
+
+    print()
+    print(render_fig9())

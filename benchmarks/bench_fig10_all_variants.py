@@ -1,0 +1,37 @@
+"""Regenerates Fig. 10: % available performance and % memory stalls for
+all four STP kernel variants, orders 4..11.
+
+Paper claims reproduced here:
+
+* final ordering aosoa > splitck > log > generic;
+* AoSoA reaches ~22.5% of the available performance at order 11
+  (model: ~20%), a ~6x speedup over generic;
+* both SplitCK-based variants keep improving with the order while
+  LoG saturates and generic plateaus.
+"""
+
+from repro.harness.figures import figure10
+from repro.harness.report import render_fig10, render_headlines
+
+
+def test_fig10_series(benchmark, warm_caches):
+    series = benchmark.pedantic(figure10, rounds=1, iterations=1)
+    at = lambda v, o: next(r for r in series[v] if r["order"] == o)
+
+    assert (
+        at("aosoa", 11)["percent_available"]
+        > at("splitck", 11)["percent_available"]
+        > at("log", 11)["percent_available"]
+        > at("generic", 11)["percent_available"]
+    )
+    assert 17.0 < at("aosoa", 11)["percent_available"] < 28.0
+    speedup = at("aosoa", 11)["gflops"] / at("generic", 11)["gflops"]
+    assert 4.5 < speedup < 7.5
+    # SplitCK monotone growth
+    perf = [r["percent_available"] for r in series["splitck"]]
+    assert perf == sorted(perf)
+
+    print()
+    print(render_fig10())
+    print()
+    print(render_headlines())

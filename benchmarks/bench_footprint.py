@@ -1,0 +1,36 @@
+"""Regenerates the Sec. IV-A memory-footprint analysis.
+
+Paper claims reproduced here:
+
+* generic/LoG temporaries scale as O(N^{d+1} m d) and overflow the
+  1 MiB L2 "as soon as N = 6";
+* the SplitCK reformulation reduces the footprint to O(N^d m), which
+  stays inside L2 through the whole order sweep.
+"""
+
+import pytest
+
+from repro.harness.figures import L2_BYTES, footprint_table
+from repro.harness.report import render_footprint
+
+
+def test_footprint_table(benchmark, warm_caches):
+    rows = benchmark.pedantic(footprint_table, rounds=1, iterations=1)
+    table = {(r["variant"], r["order"]): r for r in rows}
+
+    # the crossover order of the paper
+    assert table[("log", 5)]["fits_l2"]
+    assert not table[("log", 6)]["fits_l2"]
+    assert not table[("generic", 6)]["fits_l2"]
+    for order in (4, 6, 8, 9, 10, 11):
+        assert table[("splitck", order)]["fits_l2"]
+        assert table[("aosoa", order)]["fits_l2"]
+
+    # scaling law: LoG/SplitCK ratio grows ~linearly with N
+    ratio6 = table[("log", 6)]["temp_bytes"] / table[("splitck", 6)]["temp_bytes"]
+    ratio11 = table[("log", 11)]["temp_bytes"] / table[("splitck", 11)]["temp_bytes"]
+    assert ratio11 / ratio6 == pytest.approx(11 / 6, rel=0.15)
+
+    print()
+    print(render_footprint())
+    print(f"\nL2 budget: {L2_BYTES / 2**20:.0f} MiB per core")

@@ -1,0 +1,52 @@
+"""Performance of the reproduction's own machinery.
+
+Not a paper figure: keeps the simulator honest by tracking the cost of
+plan recording, cache simulation and trace generation -- the pieces
+every figure sweep is built from.
+"""
+
+import pytest
+
+from repro.harness.experiments import paper_spec, stp_plan
+from repro.machine.cache import CacheHierarchy
+from repro.machine.memtrace import plan_trace
+from repro.machine.segcache import SegmentCacheModel
+from repro.core.variants import make_kernel
+from repro.pde import CurvilinearElasticPDE
+
+
+def test_plan_recording(benchmark):
+    spec = paper_spec(6)
+    kernel = make_kernel("splitck", spec, CurvilinearElasticPDE())
+    plan = benchmark(kernel.build_plan)
+    assert plan.ops
+
+
+def test_segment_cache_model(benchmark, warm_caches):
+    plan = stp_plan("splitck", 8)
+
+    def run():
+        model = SegmentCacheModel(plan.spec.architecture)
+        return model.run_plan(plan, repetitions=3)
+
+    misses = benchmark(run)
+    assert misses.get("L1") > 0
+
+
+def test_trace_generation(benchmark, warm_caches):
+    plan = stp_plan("splitck", 5)
+    trace = benchmark(plan_trace, plan)
+    assert len(trace) > 0
+
+
+def test_line_level_simulator(benchmark, warm_caches):
+    plan = stp_plan("splitck", 4)
+    trace = plan_trace(plan)
+
+    def run():
+        hier = CacheHierarchy(plan.spec.architecture)
+        hier.access_stream(trace)
+        return hier
+
+    hier = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert hier.miss_summary()["L1"] > 0

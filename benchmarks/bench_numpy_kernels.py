@@ -1,0 +1,48 @@
+"""Real wall-clock timing of the four NumPy STP kernel variants.
+
+This is the substitute for the paper's testbed timings (DESIGN.md): the
+kernels genuinely execute their numerics here, so pytest-benchmark
+measures how the algorithmic differences -- footprint reduction, buffer
+reuse, layout transposes -- play out in this substrate.  NumPy has no
+SIMD/layout control, so the *vectorization* effects of the paper do not
+show up here (that is what the machine model is for); the *memory*
+effects do.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.spec import KernelSpec
+from repro.core.variants import make_kernel
+from repro.pde import CurvilinearElasticPDE
+
+PDE = CurvilinearElasticPDE()
+ORDER = 6
+
+
+def element_state(order):
+    return PDE.example_state((order,) * 3, np.random.default_rng(0))
+
+
+@pytest.mark.parametrize("variant", ["generic", "log", "splitck", "aosoa"])
+def test_stp_kernel_wallclock(benchmark, variant):
+    spec = KernelSpec(order=ORDER, nvar=9, nparam=12, arch="skx")
+    kernel = make_kernel(variant, spec, PDE)
+    q = element_state(ORDER)
+    result = benchmark(kernel.predictor, q, 1e-3, 0.5)
+    assert result.qavg.shape == (ORDER,) * 3 + (21,)
+
+
+@pytest.mark.parametrize("order", [4, 8])
+def test_splitck_scaling_with_order(benchmark, order):
+    spec = KernelSpec(order=order, nvar=9, nparam=12, arch="skx")
+    kernel = make_kernel("splitck", spec, PDE)
+    q = element_state(order)
+    benchmark(kernel.predictor, q, 1e-3, 0.5)
+
+
+def test_engine_step_wallclock(benchmark):
+    from repro.scenarios import gaussian_pulse_setup
+
+    solver = gaussian_pulse_setup(elements=2, order=4, variant="splitck")
+    benchmark.pedantic(solver.step, args=(1e-4,), rounds=3, iterations=1)

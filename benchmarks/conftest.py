@@ -1,0 +1,21 @@
+"""Shared fixtures for the benchmark harness.
+
+Every figure benchmark warms the plan/miss caches once so
+pytest-benchmark's repeated rounds measure the (deterministic) model
+evaluation, not the one-time kernel recording.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def warm_caches():
+    """Pre-record all plans the figure sweeps need."""
+    from repro.harness.experiments import PAPER_ORDERS, application_performance
+
+    for variant in ("generic", "log", "splitck", "aosoa"):
+        for order in PAPER_ORDERS:
+            application_performance(variant, order)
+    for order in PAPER_ORDERS:
+        application_performance("log", order, "hsw")
+    return True

@@ -1,0 +1,36 @@
+"""Convergence study: N nodes per dimension give N-th order convergence.
+
+Runs an exact acoustic plane wave at several orders and mesh widths and
+prints the observed convergence rates (paper Sec. II-A's accuracy
+claim) -- the numerical-correctness counterpart to the performance
+figures.
+
+    python examples/convergence_study.py
+"""
+
+import numpy as np
+
+from repro.scenarios.planarwave import acoustic_plane_wave_setup, solution_error
+
+
+def main() -> None:
+    t_end = 0.15
+    print("acoustic plane wave, periodic box, upwind fluxes")
+    print(f"{'order':>6} {'elements':>9} {'max error':>12} {'rate':>6}")
+    for order in (2, 3, 4, 5):
+        prev = None
+        for elements in (2, 4):
+            solver, wave = acoustic_plane_wave_setup(
+                elements=elements, order=order, variant="splitck"
+            )
+            solver.run(t_end)
+            err = solution_error(solver, wave)
+            rate = "" if prev is None else f"{np.log2(prev / err):6.2f}"
+            print(f"{order:6d} {elements:9d} {err:12.3e} {rate:>6}")
+            prev = err
+    print("\nexpected: rate approaching the order as resolution enters the")
+    print("asymptotic regime (low orders on coarse meshes are marginal).")
+
+
+if __name__ == "__main__":
+    main()

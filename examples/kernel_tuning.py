@@ -1,0 +1,65 @@
+"""Kernel tuning: the paper's optimization workflow, end to end.
+
+Given an application (the m = 21 curvilinear elastic system) and an
+order, generate all four STP kernel variants, inspect their plans --
+instruction mix, GEMM shapes, memory footprint -- and predict their
+performance on the simulated Skylake, exactly the decision process the
+paper's Secs. III-V walk through.  Also prints a slice of the
+generated C-like kernel source.
+
+    python examples/kernel_tuning.py [--order 8] [--arch skx]
+"""
+
+import argparse
+
+from repro.codegen import KernelGenerator
+from repro.harness.experiments import application_performance, paper_spec
+from repro.pde import CurvilinearElasticPDE
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--order", type=int, default=8)
+    parser.add_argument("--arch", default="skx", choices=["noarch", "hsw", "skx", "knl"])
+    args = parser.parse_args()
+
+    spec = paper_spec(args.order, args.arch)
+    pde = CurvilinearElasticPDE()
+    generator = KernelGenerator(spec, pde)
+
+    print(f"workload: {pde.name}, m = {pde.nquantities} quantities, "
+          f"order {args.order}, arch {args.arch} "
+          f"(SIMD width {spec.architecture.vector_doubles} doubles)")
+    print(f"padding: m {pde.nquantities} -> {spec.mpad}, "
+          f"x-line {args.order} -> {spec.npad} "
+          f"(AoSoA overhead {spec.aosoa_padding_overhead * 100:.0f}%)\n")
+
+    header = (f"{'variant':<9} {'temp KiB':>9} {'fits L2':>8} {'GEMMs':>6} "
+              f"{'scalar%':>8} {'512bit%':>8} {'%avail':>7} {'stall%':>7}")
+    print(header)
+    print("-" * len(header))
+    for variant in ("generic", "log", "splitck", "aosoa"):
+        plan = generator.plan(variant)
+        mix = plan.flop_counts().fractions()
+        perf = application_performance(variant, args.order, args.arch)
+        fits = "yes" if plan.temp_footprint_bytes <= 2**20 else "NO"
+        print(f"{variant:<9} {plan.temp_footprint_bytes / 1024:9.0f} {fits:>8} "
+              f"{len(plan.gemm_shapes()):6d} {mix[64] * 100:8.1f} "
+              f"{mix[512] * 100:8.1f} {perf.percent_available:7.1f} "
+              f"{perf.memory_stall_pct:7.1f}")
+
+    print("\ndistinct GEMM microkernels of the AoSoA variant "
+          "(LIBXSMM dispatch shapes):")
+    kernel = generator.kernel("aosoa")
+    kernel.build_plan()
+    for gemm in kernel.registry.generated_kernels:
+        print(f"  {gemm!r}")
+
+    print("\ngenerated kernel source (AoSoA variant, head):")
+    source = generator.render("aosoa")
+    print("\n".join(source.splitlines()[:24]))
+    print("  ...")
+
+
+if __name__ == "__main__":
+    main()

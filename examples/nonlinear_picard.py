@@ -1,0 +1,68 @@
+"""Extension demo: the nonlinear (Picard) space-time predictor.
+
+The paper's kernels implement the *linear* Cauchy-Kowalewsky path;
+ExaHyPE's non-linear path iterates a space-time fixed point instead
+(Sec. I: "choosing between a scheme for a linear or a non-linear PDE
+system").  This example runs the reproduction's Picard predictor on a
+genuinely nonlinear system (3-D Burgers) and cross-checks it against
+the linear kernels on an acoustic problem.
+
+    python examples/nonlinear_picard.py
+"""
+
+import numpy as np
+
+from repro.basis.operators import cached_operators
+from repro.core.picard import PicardSTP
+from repro.core.spec import KernelSpec
+from repro.core.variants import make_kernel
+from repro.pde import AcousticPDE, BurgersPDE
+
+
+def main() -> None:
+    # 1. cross-check on a linear system: Picard == Cauchy-Kowalewsky
+    pde = AcousticPDE()
+    spec = KernelSpec(order=5, nvar=4, nparam=2, arch="skx")
+    q = pde.example_state((5, 5, 5), np.random.default_rng(0))
+    picard = PicardSTP(spec, pde)
+    r_picard = picard.predictor(q, dt=2e-4, h=0.5)
+    r_ck = make_kernel("splitck", spec, pde).predictor(q, dt=2e-4, h=0.5)
+    diff = np.abs(r_picard.qavg - r_ck.qavg).max()
+    print(f"linear cross-check: |Picard - CK| = {diff:.2e} "
+          f"({picard.last_iterations} iterations, "
+          f"residual {picard.last_residual:.1e})")
+
+    # 2. a real nonlinear system: Burgers
+    burgers = BurgersPDE(direction=(1.0, 0.5, 0.0))
+    spec_b = KernelSpec(order=6, nvar=1, arch="skx")
+    ops = cached_operators(6)
+    coords = np.zeros((6, 6, 6, 3))
+    coords[..., 0] = ops.nodes[None, None, :]
+    coords[..., 1] = ops.nodes[None, :, None]
+    coords[..., 2] = ops.nodes[:, None, None]
+
+    def initial(points):
+        return 0.3 + 0.1 * np.sin(2 * np.pi * points[..., 0])
+
+    q0 = initial(coords)[..., None]
+    kernel = PicardSTP(spec_b, burgers, max_iterations=20, tolerance=1e-14)
+    result = kernel.predictor(q0, dt=4e-3, h=1.0)
+    print(f"\nBurgers predictor: {kernel.last_iterations} Picard iterations, "
+          f"residual {kernel.last_residual:.1e}")
+
+    exact = np.zeros_like(q0[..., 0])
+    for tau, w in zip(ops.nodes, ops.weights):
+        exact += w * burgers.exact_smooth_solution(initial, coords, tau * 4e-3)
+    exact *= 4e-3
+    interior = (slice(1, -1),) * 3
+    err = np.abs(result.qavg[..., 0][interior] - exact[interior]).max()
+    print(f"vs characteristics solution (interior nodes): max error {err:.2e}")
+    print("\nthe linear kernels correctly refuse nonlinear systems:")
+    try:
+        make_kernel("aosoa", spec_b, burgers)
+    except TypeError as exc:
+        print(f"  TypeError: {exc}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""Quickstart: solve a 3-D acoustic wave with the ADER-DG engine.
+
+A Gaussian pressure pulse in a periodic unit box, discretized at order
+4 with the cache-aware SplitCK predictor kernel -- the ``hello world``
+of the engine.  Runs in a few seconds.
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.scenarios import gaussian_pulse_setup
+
+
+def main() -> None:
+    solver = gaussian_pulse_setup(elements=3, order=4, variant="splitck")
+    print(f"mesh: {solver.grid.shape} elements, order {solver.spec.order}, "
+          f"{solver.grid.n_elements * solver.spec.nodes_per_element} nodes")
+    print(f"kernel variant: {solver.kernel.variant}  (arch {solver.spec.arch})")
+
+    mass0 = solver.integrate()
+    t_end = 0.25
+    while solver.t < t_end - 1e-12:
+        dt = solver.step()
+        if solver.step_count % 5 == 0 or solver.t >= t_end - 1e-12:
+            print(f"  step {solver.step_count:3d}  t = {solver.t:.4f}  "
+                  f"dt = {dt:.2e}  max|q| = {solver.max_abs():.4f}")
+
+    drift = np.abs(solver.integrate() - mass0)[:4].max()
+    print(f"\ndone: {solver.step_count} steps to t = {solver.t:.3f}")
+    print(f"conservation drift of the cell averages: {drift:.2e}")
+    print("the pulse has expanded into a spherical acoustic wave.")
+
+
+if __name__ == "__main__":
+    main()

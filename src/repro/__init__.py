@@ -1,0 +1,71 @@
+"""repro: reproduction of "Vectorization and Minimization of Memory
+Footprint for Linear High-Order Discontinuous Galerkin Schemes"
+(Gallard, Rannabauer, Reinarz, Bader; 2020, arXiv:2003.12787).
+
+Public API overview
+-------------------
+
+Kernels (the paper's contribution):
+
+>>> from repro import KernelSpec, make_kernel, CurvilinearElasticPDE
+>>> pde = CurvilinearElasticPDE()                       # m = 21 workload
+>>> spec = KernelSpec(order=8, nvar=9, nparam=12, arch="skx")
+>>> kernel = make_kernel("aosoa", spec, pde)
+>>> result = kernel.predictor(pde.example_state((8, 8, 8)), dt=1e-3, h=0.5)
+
+Machine model (the VTune substitute):
+
+>>> from repro import Profiler
+>>> perf = Profiler().profile(kernel.build_plan())
+>>> perf.percent_available, perf.memory_stall_pct      # doctest: +SKIP
+
+Engine:
+
+>>> from repro import ADERDGSolver, UniformGrid
+
+Experiments: ``python -m repro.harness all`` regenerates every figure.
+"""
+
+from repro.codegen.generator import KernelGenerator
+from repro.core.spec import VARIANTS, KernelSpec
+from repro.core.variants import (
+    ElementSource,
+    STPKernel,
+    STPResult,
+    make_kernel,
+)
+from repro.engine.solver import ADERDGSolver
+from repro.machine.profiler import Profiler
+from repro.mesh.grid import UniformGrid
+from repro.pde import (
+    AcousticPDE,
+    AdvectionPDE,
+    CurvilinearElasticPDE,
+    ElasticNCPPDE,
+    ElasticPDE,
+    LinearPDE,
+    NCPWrapperPDE,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "KernelSpec",
+    "VARIANTS",
+    "make_kernel",
+    "STPKernel",
+    "STPResult",
+    "ElementSource",
+    "KernelGenerator",
+    "Profiler",
+    "ADERDGSolver",
+    "UniformGrid",
+    "LinearPDE",
+    "AdvectionPDE",
+    "AcousticPDE",
+    "ElasticPDE",
+    "ElasticNCPPDE",
+    "NCPWrapperPDE",
+    "CurvilinearElasticPDE",
+]

@@ -1,0 +1,29 @@
+"""Nodal basis infrastructure for the ADER-DG scheme.
+
+This package provides the one-dimensional building blocks that the
+tensor-product DG discretization is assembled from:
+
+* :mod:`repro.basis.quadrature` -- Gauss-Legendre and Gauss-Lobatto
+  quadrature rules on the unit interval ``[0, 1]`` (ExaHyPE projects
+  every element onto the reference unit cube).
+* :mod:`repro.basis.lagrange` -- Lagrange interpolation on the
+  quadrature nodes, evaluated with the numerically stable barycentric
+  formulation.
+* :mod:`repro.basis.operators` -- the discrete DG operators of the
+  paper's Sec. II-A: diagonal mass matrix ``M``, derivative operator
+  ``D``, boundary interpolation vectors and the point-source projection
+  operator ``P``.
+"""
+
+from repro.basis.lagrange import LagrangeBasis
+from repro.basis.operators import DGOperators
+from repro.basis.quadrature import QuadratureRule, gauss_legendre, gauss_lobatto, get_rule
+
+__all__ = [
+    "QuadratureRule",
+    "gauss_legendre",
+    "gauss_lobatto",
+    "get_rule",
+    "LagrangeBasis",
+    "DGOperators",
+]

@@ -1,0 +1,117 @@
+"""Discrete DG operators for one element (paper Sec. II-A).
+
+For each element ExaHyPE precomputes, per dimension:
+
+* the diagonal **mass matrix** ``M`` (quadrature weights -- diagonal
+  because the basis is collocated on the quadrature nodes, which saves
+  inverting the mass matrix),
+* the **derivative operator** ``D`` with ``D[i, j] = phi_j'(x_i)``,
+* the boundary **interpolation vectors** ``phi(0)``, ``phi(1)`` used to
+  project the predictor onto element faces, and
+* the **point-source projection** ``P`` that projects a Dirac source at
+  ``x0`` onto the nodal basis.
+
+The Kernel Generator (``repro.codegen``) hard-codes these matrices into
+the generated kernel plans, mirroring the paper's "frequently used
+matrices ... can be precomputed by the Kernel Generator" (Sec. III-C).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.basis.lagrange import LagrangeBasis
+from repro.basis.quadrature import QuadratureRule, get_rule
+
+__all__ = ["DGOperators"]
+
+
+class DGOperators:
+    """All 1-D operators for a nodal DG element of a given order.
+
+    Parameters
+    ----------
+    order:
+        Number of nodes per dimension, ``N``; the scheme converges at
+        order ``N`` (polynomial degree ``N - 1``).  The paper benchmarks
+        ``N = 4 .. 11``.
+    quadrature:
+        ``"gauss_legendre"`` (default, nodes interior) or
+        ``"gauss_lobatto"`` (nodes include the element faces).
+    """
+
+    def __init__(self, order: int, quadrature: str = "gauss_legendre"):
+        if order < 1:
+            raise ValueError("order must be >= 1")
+        self.order = order
+        self.rule: QuadratureRule = get_rule(quadrature, order)
+        self.basis = LagrangeBasis(self.rule)
+        self.nodes = self.rule.nodes
+        self.weights = self.rule.weights
+        # Discrete derivative operator D[i, j] = phi_j'(x_i).
+        self.derivative = self.basis.derivative_matrix()
+        # Its transpose, precomputed for the AoSoA variant's transposed
+        # GEMMs (paper Sec. V-B, first case).
+        self.derivative_T = np.ascontiguousarray(self.derivative.T)
+        left, right = self.basis.boundary_values()
+        self.face_left = left
+        self.face_right = right
+        self.inv_weights = 1.0 / self.weights
+
+    # -- mass matrix ---------------------------------------------------
+
+    @property
+    def mass_diagonal(self) -> np.ndarray:
+        """Diagonal of the 1-D mass matrix (the quadrature weights)."""
+        return self.weights
+
+    def mass_matrix(self) -> np.ndarray:
+        """Full (diagonal) 1-D mass matrix as a dense array."""
+        return np.diag(self.weights)
+
+    # -- stiffness / lifting -------------------------------------------
+
+    def stiffness_matrix(self) -> np.ndarray:
+        """``K[i, j] = w_i * phi_j'(x_i)`` (mass-weighted derivative)."""
+        return self.weights[:, None] * self.derivative
+
+    def lifting_left(self) -> np.ndarray:
+        """``M^{-1} phi(0)``: lifts a left-face flux jump into the element."""
+        return self.face_left / self.weights
+
+    def lifting_right(self) -> np.ndarray:
+        """``M^{-1} phi(1)``: lifts a right-face flux jump into the element."""
+        return self.face_right / self.weights
+
+    # -- point-source projection ---------------------------------------
+
+    def source_projection_1d(self, xi: float) -> np.ndarray:
+        """1-D factor of the projection operator ``P`` for a Dirac at ``xi``.
+
+        The 3-D projection is the tensor product of the per-dimension
+        factors: ``P_k = prod_d phi_{k_d}(xi_d) / w_{k_d}``.
+        """
+        if not 0.0 <= xi <= 1.0:
+            raise ValueError("source position must lie in the reference element [0, 1]")
+        return self.basis.evaluate(xi)[0] / self.weights
+
+    def source_projection(self, point: np.ndarray) -> np.ndarray:
+        """Nodal projection of a Dirac at reference coordinates ``point``.
+
+        Returns an array of shape ``(N,) * d`` (``z, y, x`` index order,
+        matching the kernels' tensor layout).
+        """
+        point = np.asarray(point, dtype=float)
+        factors = [self.source_projection_1d(float(c)) for c in point]
+        out = factors[-1]
+        for f in reversed(factors[:-1]):
+            out = np.multiply.outer(f, out)
+        return out
+
+
+@lru_cache(maxsize=64)
+def cached_operators(order: int, quadrature: str = "gauss_legendre") -> DGOperators:
+    """Memoized :class:`DGOperators` factory (operators are immutable in use)."""
+    return DGOperators(order, quadrature)

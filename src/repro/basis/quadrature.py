@@ -1,0 +1,141 @@
+"""Quadrature rules on the reference interval ``[0, 1]``.
+
+ExaHyPE uses a nodal DG basis collocated on either Gauss-Legendre or
+Gauss-Lobatto points (paper Sec. II-A).  ``N`` nodes per dimension give
+``N``-th order convergence; Gauss-Legendre integrates polynomials up to
+degree ``2N - 1`` exactly, Gauss-Lobatto up to ``2N - 3``.
+
+The nodes are computed with a Newton iteration on the (derivatives of
+the) Legendre polynomials rather than taken from NumPy so that the
+implementation is self-contained; the test-suite cross-checks against
+``numpy.polynomial.legendre.leggauss``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["QuadratureRule", "gauss_legendre", "gauss_lobatto", "get_rule"]
+
+_NEWTON_TOL = 1e-15
+_NEWTON_MAXIT = 100
+
+
+@dataclass(frozen=True)
+class QuadratureRule:
+    """A one-dimensional quadrature rule on ``[0, 1]``.
+
+    Attributes
+    ----------
+    name:
+        Identifier, e.g. ``"gauss_legendre"``.
+    nodes:
+        Quadrature nodes in ``(0, 1)`` (Legendre) or ``[0, 1]``
+        (Lobatto), ascending.
+    weights:
+        Positive quadrature weights summing to one (the measure of the
+        unit interval).
+    """
+
+    name: str
+    nodes: np.ndarray = field(repr=False)
+    weights: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if self.nodes.ndim != 1 or self.weights.shape != self.nodes.shape:
+            raise ValueError("nodes and weights must be 1-D arrays of equal length")
+        if self.npoints == 0:
+            raise ValueError("quadrature rule needs at least one point")
+
+    @property
+    def npoints(self) -> int:
+        return int(self.nodes.size)
+
+    @property
+    def degree(self) -> int:
+        """Highest polynomial degree integrated exactly."""
+        n = self.npoints
+        return 2 * n - 1 if self.name == "gauss_legendre" else 2 * n - 3
+
+    def integrate(self, values: np.ndarray, axis: int = -1) -> np.ndarray:
+        """Integrate nodal ``values`` sampled at :attr:`nodes` along ``axis``."""
+        values = np.asarray(values)
+        if values.shape[axis] != self.npoints:
+            raise ValueError(
+                f"axis {axis} has length {values.shape[axis]}, expected {self.npoints}"
+            )
+        return np.tensordot(values, self.weights, axes=([axis], [0]))
+
+
+def _legendre_and_derivative(n: int, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Evaluate Legendre ``P_n`` and ``P_n'`` on ``[-1, 1]`` via the recurrence."""
+    p_prev = np.ones_like(x)
+    if n == 0:
+        return p_prev, np.zeros_like(x)
+    p = x.copy()
+    for k in range(2, n + 1):
+        p_prev, p = p, ((2 * k - 1) * x * p - (k - 1) * p_prev) / k
+    # derivative from the standard identity (guard endpoints separately)
+    dp = n * (x * p - p_prev) / (x * x - 1.0 + np.finfo(float).tiny)
+    return p, dp
+
+
+def gauss_legendre(n: int) -> QuadratureRule:
+    """``n``-point Gauss-Legendre rule mapped to ``[0, 1]``."""
+    if n < 1:
+        raise ValueError("need n >= 1 quadrature points")
+    # Chebyshev-based initial guess, then Newton on P_n.
+    k = np.arange(1, n + 1)
+    x = np.cos(np.pi * (4 * k - 1) / (4 * n + 2))
+    for _ in range(_NEWTON_MAXIT):
+        p, dp = _legendre_and_derivative(n, x)
+        dx = p / dp
+        x -= dx
+        if np.max(np.abs(dx)) < _NEWTON_TOL:
+            break
+    _, dp = _legendre_and_derivative(n, x)
+    w = 2.0 / ((1.0 - x * x) * dp * dp)
+    order = np.argsort(x)
+    x, w = x[order], w[order]
+    # Map [-1, 1] -> [0, 1]: xi = (x + 1) / 2, weights scale by 1/2.
+    return QuadratureRule("gauss_legendre", (x + 1.0) / 2.0, w / 2.0)
+
+
+def gauss_lobatto(n: int) -> QuadratureRule:
+    """``n``-point Gauss-Lobatto rule mapped to ``[0, 1]`` (endpoints included)."""
+    if n < 2:
+        raise ValueError("Gauss-Lobatto needs n >= 2 points")
+    m = n - 1
+    # Interior nodes are the roots of P'_{n-1}; start from Chebyshev-Lobatto.
+    x = np.cos(np.pi * np.arange(n) / m)[::-1].copy()
+    for _ in range(_NEWTON_MAXIT):
+        p, dp = _legendre_and_derivative(m, x)
+        # Newton on q(x) = (1 - x^2) P'_m(x); q' = -2x P'_m + (1-x^2) P''_m
+        # Use the ODE (1-x^2) P''_m = 2x P'_m - m(m+1) P_m to avoid P''.
+        q = (1.0 - x * x) * dp
+        dq = -m * (m + 1) * p
+        with np.errstate(divide="ignore", invalid="ignore"):
+            dx = np.where(dq != 0.0, q / dq, 0.0)
+        dx[0] = dx[-1] = 0.0  # endpoints are exact
+        x -= dx
+        if np.max(np.abs(dx)) < _NEWTON_TOL:
+            break
+    p, _ = _legendre_and_derivative(m, x)
+    w = 2.0 / (m * (m + 1) * p * p)
+    return QuadratureRule("gauss_lobatto", (x + 1.0) / 2.0, w / 2.0)
+
+
+_FACTORIES = {"gauss_legendre": gauss_legendre, "gauss_lobatto": gauss_lobatto}
+
+
+def get_rule(name: str, n: int) -> QuadratureRule:
+    """Look up a quadrature rule factory by name and build an ``n``-point rule."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown quadrature {name!r}; available: {sorted(_FACTORIES)}"
+        ) from None
+    return factory(n)

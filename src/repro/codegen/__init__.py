@@ -1,0 +1,37 @@
+"""Kernel Generator analog (paper Sec. II-D).
+
+ExaHyPE's Kernel Generator renders C++ kernels from Jinja2 templates,
+specialized by order, PDE size and architecture.  Here the same role is
+played by **kernel plans**: running a kernel variant once with a
+:class:`~repro.codegen.plan.PlanRecorder` attached yields the explicit
+sequence of GEMM / pointwise / transpose operations the kernel
+executes, with concrete shapes, strides, padding and buffer sizes.
+Because the plan is recorded from the *same code path* that computes
+the numbers, the machine model can never drift from the numerics.
+
+* :mod:`repro.codegen.plan` -- buffers, operation records, kernel plans
+  and the recorder.
+* :mod:`repro.codegen.controller` -- the "template variables"
+  (padding, alignment, array sizes) derived from a specification,
+  mirroring the Kernel Generator's MVC controller.
+* :mod:`repro.codegen.generator` -- the user-facing facade: build the
+  plan for a (spec, variant, PDE) triple.
+* :mod:`repro.codegen.render` -- renders a plan as C-like source for
+  inspection, the analog of the generated kernel files.
+"""
+
+from repro.codegen.plan import Buffer, BufferAccess, GemmOp, KernelPlan, PlanRecorder, PointwiseOp, TransposeOp
+from repro.codegen.controller import template_variables
+from repro.codegen.generator import KernelGenerator
+
+__all__ = [
+    "Buffer",
+    "BufferAccess",
+    "GemmOp",
+    "PointwiseOp",
+    "TransposeOp",
+    "KernelPlan",
+    "PlanRecorder",
+    "KernelGenerator",
+    "template_variables",
+]

@@ -1,0 +1,47 @@
+"""Kernel Generator controller: computes the template variables.
+
+ExaHyPE's Kernel Generator follows an MVC split (paper Sec. II-D): a
+Controller derives all size/padding/alignment constants from the
+specification, and Jinja2 templates (the Views) consume them.  This
+module reproduces the Controller: :func:`template_variables` returns
+the dictionary a template would render with, using ExaHyPE's naming
+(``nVar``, ``nVarPad``, ``nDof``, ...), including the ``VECTLENGTH`` /
+``VECTSTRIDE`` / ``ALIGNMENT`` constants of the vectorized user
+function API (Fig. 8).
+"""
+
+from __future__ import annotations
+
+from repro.core.spec import KernelSpec
+
+__all__ = ["template_variables"]
+
+
+def template_variables(spec: KernelSpec) -> dict:
+    """Derive the code-generation constants for a kernel specification."""
+    arch = spec.architecture
+    n = spec.order
+    m = spec.nquantities
+    return {
+        # problem sizes
+        "nDim": spec.dim,
+        "nDof": n,
+        "nDof3D": n if spec.dim == 3 else 1,
+        "nDofPad": arch.pad_doubles(n),
+        "nVar": spec.nvar,
+        "nPar": spec.nparam,
+        "nData": m,  # variables + parameters stored per node
+        "nDataPad": arch.pad_doubles(m),
+        # architecture
+        "architecture": arch.name,
+        "alignmentSize": arch.alignment_bytes,
+        "simdWidth": arch.vector_doubles,
+        # vectorized user-function API constants (paper Fig. 8)
+        "VECTLENGTH": n,
+        "VECTSTRIDE": arch.pad_doubles(n),
+        "ALIGNMENT": arch.alignment_bytes,
+        # useful precomputed strides
+        "aosNodeStride": arch.pad_doubles(m),
+        "aosoaLineStride": arch.pad_doubles(n),
+        "quadratureType": spec.quadrature,
+    }

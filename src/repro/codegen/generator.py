@@ -1,0 +1,53 @@
+"""Facade tying specification, PDE and kernel variants together.
+
+``KernelGenerator`` is the analog of invoking ExaHyPE's Toolkit /
+Kernel Generator on a specification file: it instantiates the requested
+STP kernel variant, records its execution plan and can render a C-like
+source listing of the generated kernel.
+"""
+
+from __future__ import annotations
+
+from repro.codegen.plan import KernelPlan
+from repro.codegen.render import render_plan
+from repro.core.spec import VARIANTS, KernelSpec
+from repro.pde.base import LinearPDE
+
+__all__ = ["KernelGenerator"]
+
+
+class KernelGenerator:
+    """Generate STP kernels tailored to an application and architecture."""
+
+    def __init__(self, spec: KernelSpec, pde: LinearPDE):
+        if pde.nquantities != spec.nquantities:
+            raise ValueError(
+                f"spec expects m={spec.nquantities} quantities but "
+                f"{pde.name} has m={pde.nquantities}"
+            )
+        self.spec = spec
+        self.pde = pde
+
+    def kernel(self, variant: str):
+        """Instantiate the requested STP kernel variant.
+
+        Accepts the four paper variants plus the opt-in extensions in
+        :data:`repro.core.variants.KERNEL_CLASSES` (e.g. the Sec. V-A
+        ``transpose_uf`` alternative).
+        """
+        # Imported lazily: the variants package depends on this package.
+        from repro.core.variants import make_kernel
+
+        return make_kernel(variant, self.spec, self.pde)
+
+    def plan(self, variant: str) -> KernelPlan:
+        """Record the operation plan of one kernel invocation."""
+        return self.kernel(variant).build_plan()
+
+    def render(self, variant: str) -> str:
+        """Render a C-like source listing of the generated kernel."""
+        return render_plan(self.plan(variant), self.spec)
+
+    def plans(self) -> dict[str, KernelPlan]:
+        """Plans for all four variants (harness convenience)."""
+        return {v: self.plan(v) for v in VARIANTS}

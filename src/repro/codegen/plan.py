@@ -1,0 +1,274 @@
+"""Kernel plans: the recorded operation stream of one kernel execution.
+
+A plan is the machine model's view of a kernel: an ordered list of
+operations, each knowing
+
+* its FLOPs attributed to instruction packing widths (Fig. 9's metric),
+* the byte volumes it moves per buffer (feeding the cache models), and
+* which named buffers it touches in which order.
+
+Plans are *recorded* while the numeric kernels run (see
+:class:`PlanRecorder`), so shapes, padding and operation order are by
+construction those of the executed code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gemm.smallgemm import SmallGemm
+from repro.machine.isa import FlopCounts, TrafficCounts
+
+__all__ = [
+    "Buffer",
+    "BufferAccess",
+    "GemmOp",
+    "PointwiseOp",
+    "TransposeOp",
+    "KernelPlan",
+    "PlanRecorder",
+    "NULL_RECORDER",
+]
+
+_SCOPES = ("input", "output", "temp", "const")
+
+
+@dataclass(frozen=True)
+class Buffer:
+    """A named array the kernel works on."""
+
+    name: str
+    nbytes: int
+    scope: str  # input | output | temp | const
+
+    def __post_init__(self) -> None:
+        if self.scope not in _SCOPES:
+            raise ValueError(f"scope must be one of {_SCOPES}")
+        if self.nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+
+
+@dataclass(frozen=True)
+class BufferAccess:
+    """Bytes one operation reads from / writes to one buffer."""
+
+    buffer: str
+    read_bytes: float = 0.0
+    write_bytes: float = 0.0
+
+
+@dataclass(frozen=True)
+class GemmOp:
+    """A Loop-over-GEMM batch: ``batch`` calls of one microkernel."""
+
+    gemm: SmallGemm
+    batch: int
+    a: str
+    b: str
+    c: str
+    phase: str = ""
+
+    @property
+    def name(self) -> str:
+        return f"gemm[{self.gemm.m}x{self.gemm.n}x{self.gemm.k}]x{self.batch}"
+
+    def flops(self) -> FlopCounts:
+        return self.gemm.flop_counts().scaled(self.batch)
+
+    def traffic(self) -> TrafficCounts:
+        t = self.gemm.traffic()
+        return TrafficCounts(t.read_bytes * self.batch, t.write_bytes * self.batch)
+
+    def accesses(self) -> tuple[BufferAccess, ...]:
+        g = self.gemm
+        a_bytes = 8.0 * g.m * g.k * self.batch
+        b_bytes = 8.0 * g.k * g.n_vectors * g.vector_doubles * self.batch
+        c_bytes = 8.0 * g.m * g.n_vectors * g.vector_doubles * self.batch
+        return (
+            BufferAccess(self.a, read_bytes=a_bytes),
+            BufferAccess(self.b, read_bytes=b_bytes),
+            BufferAccess(
+                self.c,
+                read_bytes=c_bytes if g.accumulate else 0.0,
+                write_bytes=c_bytes,
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class PointwiseOp:
+    """An elementwise sweep: user functions, axpy updates, source terms.
+
+    ``eff_class`` hints the performance model about the code quality of
+    the sweep: ``"default"`` for generated/inlined loops, ``"heavy"``
+    for the generic kernels' virtual-call-riddled triple loops with
+    runtime strides (no IPO inlining, paper Sec. III-C).
+    """
+
+    name: str
+    flop_counts: FlopCounts
+    buffer_accesses: tuple[BufferAccess, ...]
+    phase: str = ""
+    eff_class: str = "default"
+
+    def flops(self) -> FlopCounts:
+        return self.flop_counts
+
+    def traffic(self) -> TrafficCounts:
+        return TrafficCounts(
+            sum(a.read_bytes for a in self.buffer_accesses),
+            sum(a.write_bytes for a in self.buffer_accesses),
+        )
+
+    def accesses(self) -> tuple[BufferAccess, ...]:
+        return self.buffer_accesses
+
+
+@dataclass(frozen=True)
+class TransposeOp:
+    """A data layout change (AoS <-> AoSoA): pure data movement."""
+
+    name: str
+    src: str
+    dst: str
+    nbytes: float
+    phase: str = ""
+
+    def flops(self) -> FlopCounts:
+        return FlopCounts()
+
+    def traffic(self) -> TrafficCounts:
+        return TrafficCounts(read_bytes=self.nbytes, write_bytes=self.nbytes)
+
+    def accesses(self) -> tuple[BufferAccess, ...]:
+        return (
+            BufferAccess(self.src, read_bytes=self.nbytes),
+            BufferAccess(self.dst, write_bytes=self.nbytes),
+        )
+
+
+@dataclass
+class KernelPlan:
+    """The recorded operation stream of one kernel invocation."""
+
+    variant: str
+    spec: object  # KernelSpec; kept loose to avoid an import cycle
+    buffers: dict[str, Buffer] = field(default_factory=dict)
+    ops: list = field(default_factory=list)
+
+    # -- aggregates ------------------------------------------------------
+
+    def flop_counts(self) -> FlopCounts:
+        total = FlopCounts()
+        for op in self.ops:
+            total = total + op.flops()
+        return total
+
+    def traffic(self) -> TrafficCounts:
+        total = TrafficCounts()
+        for op in self.ops:
+            total = total + op.traffic()
+        return total
+
+    def bytes_in_scope(self, scope: str) -> int:
+        return sum(b.nbytes for b in self.buffers.values() if b.scope == scope)
+
+    @property
+    def temp_footprint_bytes(self) -> int:
+        """Bytes of kernel-local temporaries -- the Sec. IV-A footprint."""
+        return self.bytes_in_scope("temp")
+
+    @property
+    def total_footprint_bytes(self) -> int:
+        return sum(b.nbytes for b in self.buffers.values())
+
+    def gemm_shapes(self) -> list[tuple]:
+        """Sequence of (m, n, k, batch) for every GEMM op, in order."""
+        return [
+            (op.gemm.m, op.gemm.n, op.gemm.k, op.batch)
+            for op in self.ops
+            if isinstance(op, GemmOp)
+        ]
+
+    def phases(self) -> list[str]:
+        seen: list[str] = []
+        for op in self.ops:
+            if op.phase and (not seen or seen[-1] != op.phase):
+                seen.append(op.phase)
+        return seen
+
+    def ops_of(self, kind) -> list:
+        return [op for op in self.ops if isinstance(op, kind)]
+
+
+class PlanRecorder:
+    """Collects buffers and operations while a kernel executes."""
+
+    def __init__(self, variant: str, spec) -> None:
+        self.plan = KernelPlan(variant=variant, spec=spec)
+        self._phase = ""
+
+    # -- structure -------------------------------------------------------
+
+    def phase(self, name: str) -> None:
+        self._phase = name
+
+    def buffer(self, name: str, nbytes: int, scope: str) -> None:
+        existing = self.plan.buffers.get(name)
+        buf = Buffer(name, int(nbytes), scope)
+        if existing is not None and existing != buf:
+            raise ValueError(f"buffer {name!r} re-registered with different metadata")
+        self.plan.buffers[name] = buf
+
+    def _check_buffers(self, *names: str) -> None:
+        for n in names:
+            if n not in self.plan.buffers:
+                raise ValueError(f"operation references unregistered buffer {n!r}")
+
+    # -- operations --------------------------------------------------------
+
+    def gemm(self, gemm: SmallGemm, batch: int, a: str, b: str, c: str) -> None:
+        self._check_buffers(a, b, c)
+        self.plan.ops.append(GemmOp(gemm, batch, a, b, c, phase=self._phase))
+
+    def pointwise(
+        self,
+        name: str,
+        flops: FlopCounts,
+        accesses: tuple[BufferAccess, ...],
+        eff_class: str = "default",
+    ) -> None:
+        self._check_buffers(*(a.buffer for a in accesses))
+        self.plan.ops.append(
+            PointwiseOp(name, flops, tuple(accesses), phase=self._phase,
+                        eff_class=eff_class)
+        )
+
+    def transpose(self, name: str, src: str, dst: str, nbytes: float) -> None:
+        self._check_buffers(src, dst)
+        self.plan.ops.append(TransposeOp(name, src, dst, nbytes, phase=self._phase))
+
+    def finish(self) -> KernelPlan:
+        return self.plan
+
+
+class _NullRecorder:
+    """Do-nothing recorder used by pure numeric kernel runs."""
+
+    def phase(self, name: str) -> None:
+        pass
+
+    def buffer(self, name: str, nbytes: int, scope: str) -> None:
+        pass
+
+    def gemm(self, gemm, batch, a, b, c) -> None:
+        pass
+
+    def pointwise(self, name, flops, accesses, eff_class="default") -> None:
+        pass
+
+    def transpose(self, name, src, dst, nbytes) -> None:
+        pass
+
+
+NULL_RECORDER = _NullRecorder()

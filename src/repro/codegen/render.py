@@ -1,0 +1,79 @@
+"""Render a kernel plan as C-like source (the generated-kernel view).
+
+The Kernel Generator's Jinja2 templates emit C++ with hard-coded
+constants, aligned buffer declarations and LIBXSMM calls (paper
+Secs. II-D, III).  This renderer produces the equivalent listing from a
+recorded plan -- useful for inspecting what a variant does at a given
+order, and exercised by the test-suite as a stable textual artifact.
+"""
+
+from __future__ import annotations
+
+from repro.codegen.controller import template_variables
+from repro.codegen.plan import GemmOp, KernelPlan, PointwiseOp, TransposeOp
+from repro.core.spec import KernelSpec
+
+__all__ = ["render_plan"]
+
+
+def _buffer_decl(buf) -> str:
+    doubles = buf.nbytes // 8
+    qualifier = {
+        "const": "static const",
+        "input": "/* in  */ const",
+        "output": "/* out */",
+        "temp": "",
+    }[buf.scope]
+    return f"  {qualifier} double {buf.name}[{doubles}] __attribute__((aligned(ALIGNMENT)));"
+
+
+def _gemm_line(op: GemmOp) -> str:
+    g = op.gemm
+    fn = f"gemm_{g.m}_{g.n}_{g.k}" + ("_acc" if g.accumulate else "")
+    call = f"{fn}({op.a}, {op.b}, {op.c}); /* ld=({g.lda},{g.ldb},{g.ldc}) */"
+    if op.batch > 1:
+        return f"  for (int s = 0; s < {op.batch}; s++) {call}"
+    return f"  {call}"
+
+
+def _pointwise_line(op: PointwiseOp) -> str:
+    width = max(
+        (w for w, f in op.flop_counts.by_width().items() if f > 0), default=64
+    )
+    pragma = "#pragma omp simd aligned(...)\n  " if width > 64 else ""
+    bufs = ", ".join(a.buffer for a in op.buffer_accesses)
+    return f"  {pragma}{op.name}({bufs}); /* {op.flop_counts.total:.0f} flops @ {width}-bit */"
+
+
+def _transpose_line(op: TransposeOp) -> str:
+    return f"  transpose_{op.name.replace('->', '_to_')}({op.src}, {op.dst}); /* {op.nbytes:.0f} B */"
+
+
+def render_plan(plan: KernelPlan, spec: KernelSpec) -> str:
+    """Render ``plan`` as a C-like kernel listing."""
+    tvars = template_variables(spec)
+    lines = [
+        f"// Generated STP kernel: variant={plan.variant}, "
+        f"order={spec.order}, nData={tvars['nData']} (pad {tvars['nDataPad']}), "
+        f"arch={spec.arch}",
+        f"// temp footprint: {plan.temp_footprint_bytes} bytes",
+        f"void stp_{plan.variant}_{spec.order}(/* ... */) {{",
+    ]
+    for buf in plan.buffers.values():
+        lines.append(_buffer_decl(buf))
+    lines.append("")
+    phase = None
+    for op in plan.ops:
+        if op.phase != phase:
+            phase = op.phase
+            lines.append(f"  /* --- {phase or 'main'} --- */")
+        if isinstance(op, GemmOp):
+            lines.append(_gemm_line(op))
+        elif isinstance(op, TransposeOp):
+            lines.append(_transpose_line(op))
+        elif isinstance(op, PointwiseOp):
+            lines.append(_pointwise_line(op))
+        else:  # pragma: no cover - defensive
+            lines.append(f"  /* unknown op {op!r} */")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,20 @@
+"""The paper's primary contribution: the linear ADER-DG STP kernels.
+
+* :mod:`repro.core.spec` -- the kernel specification (order, number of
+  quantities, dimension, target architecture), the analog of ExaHyPE's
+  specification file entries that the Toolkit feeds the Kernel
+  Generator.
+* :mod:`repro.core.layouts` -- AoS / SoA / AoSoA tensor layouts with
+  SIMD zero-padding (Secs. III-A and V).
+* :mod:`repro.core.variants` -- the four Space-Time-Predictor kernel
+  variants: ``generic``, ``log``, ``splitck``, ``aosoa``.
+* :mod:`repro.core.reference` -- dense-operator Cauchy-Kowalewsky
+  oracle used to validate every variant.
+* :mod:`repro.core.corrector` / :mod:`repro.core.face` -- the corrector
+  step and face projections completing the ADER-DG update (eq. 5).
+"""
+
+from repro.core.layouts import Layout, TensorLayout
+from repro.core.spec import KernelSpec
+
+__all__ = ["KernelSpec", "Layout", "TensorLayout"]

@@ -1,0 +1,185 @@
+"""Tensor data layouts: AoS, SoA and the hybrid AoSoA (paper Secs. III-A, V).
+
+ExaHyPE stores the per-element degrees of freedom as a 4-D tensor over
+``(z, y, x, quantity)``.  The layout decides which index runs fastest
+in memory:
+
+* **AoS** ``A[k, j, i, s]`` -- quantity fastest.  Matches the GEMM
+  kernels (the quantity dimension takes part in every contraction) and
+  ExaHyPE's default point-wise user-function API.
+* **SoA** ``A[s, k, j, i]`` -- space fastest.  What vectorized user
+  functions want.
+* **AoSoA** ``A[k, j, s, i]`` -- the paper's hybrid: the quantity
+  dimension sits *between* the spatial dimensions, so GEMMs still see a
+  pseudo-AoS layout while any ``(k, j)`` line is a ready-made SoA
+  subarray for a vectorized user function (Sec. V-C).
+
+In every layout the fastest-running dimension is zero-padded to the
+SIMD vector length so that each slice stays aligned (Sec. III-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+__all__ = ["Layout", "TensorLayout"]
+
+
+class Layout(str, Enum):
+    AOS = "aos"
+    SOA = "soa"
+    AOSOA = "aosoa"
+
+
+def _pad_to(n: int, width: int) -> int:
+    return ((n + width - 1) // width) * width
+
+
+@dataclass(frozen=True)
+class TensorLayout:
+    """Describes the padded in-memory layout of one space-quantity tensor.
+
+    Parameters
+    ----------
+    kind:
+        One of :class:`Layout`.
+    space_shape:
+        Spatial extents, slowest first -- e.g. ``(N, N, N)`` for
+        ``(z, y, x)``.
+    nquantities:
+        ``m``, the number of quantities per node.
+    vector_doubles:
+        SIMD width in doubles used for padding (8 for AVX-512, 4 for
+        AVX2, 1 for scalar code).
+    """
+
+    kind: Layout
+    space_shape: tuple[int, ...]
+    nquantities: int
+    vector_doubles: int = 1
+
+    def __post_init__(self) -> None:
+        if len(self.space_shape) < 1:
+            raise ValueError("need at least one spatial dimension")
+        if any(n < 1 for n in self.space_shape):
+            raise ValueError("spatial extents must be positive")
+        if self.nquantities < 1:
+            raise ValueError("nquantities must be positive")
+        if self.vector_doubles < 1:
+            raise ValueError("vector_doubles must be positive")
+
+    # -- shapes ----------------------------------------------------------
+
+    @property
+    def logical_shape(self) -> tuple[int, ...]:
+        """Canonical unpadded shape ``(*space, m)`` (z, y, x, q order)."""
+        return (*self.space_shape, self.nquantities)
+
+    @property
+    def mpad(self) -> int:
+        return _pad_to(self.nquantities, self.vector_doubles)
+
+    @property
+    def xpad(self) -> int:
+        return _pad_to(self.space_shape[-1], self.vector_doubles)
+
+    @property
+    def padded_shape(self) -> tuple[int, ...]:
+        """In-memory array shape (C order, fastest dimension last)."""
+        if self.kind is Layout.AOS:
+            return (*self.space_shape, self.mpad)
+        if self.kind is Layout.SOA:
+            return (self.nquantities, *self.space_shape[:-1], self.xpad)
+        # AoSoA: quantity dimension between y and x.
+        return (*self.space_shape[:-1], self.nquantities, self.xpad)
+
+    @property
+    def nbytes(self) -> int:
+        """Padded size in bytes (float64)."""
+        return 8 * int(np.prod(self.padded_shape))
+
+    @property
+    def logical_doubles(self) -> int:
+        return int(np.prod(self.logical_shape))
+
+    @property
+    def padding_overhead(self) -> float:
+        """Fraction of storage wasted on zero-padding."""
+        return self.nbytes / (8 * self.logical_doubles) - 1.0
+
+    # -- array construction / conversion ----------------------------------
+
+    def empty(self, dtype=np.float64) -> np.ndarray:
+        """Allocate a zero-initialized padded tensor."""
+        return np.zeros(self.padded_shape, dtype=dtype)
+
+    def pack(self, canonical: np.ndarray) -> np.ndarray:
+        """Pack a canonical ``(*space, m)`` array into this layout.
+
+        Padding lanes are zero-filled, matching the Kernel Generator's
+        zero-padding contract (padded lanes must hold zeros so the extra
+        FLOPs they absorb are harmless).
+        """
+        canonical = np.asarray(canonical, dtype=np.float64)
+        if canonical.shape != self.logical_shape:
+            raise ValueError(
+                f"expected canonical shape {self.logical_shape}, got {canonical.shape}"
+            )
+        out = self.empty()
+        if self.kind is Layout.AOS:
+            out[..., : self.nquantities] = canonical
+        elif self.kind is Layout.SOA:
+            moved = np.moveaxis(canonical, -1, 0)  # (m, z, y, x)
+            out[..., : self.space_shape[-1]] = moved
+        else:  # AOSOA: (z, y, x, m) -> (z, y, m, x)
+            swapped = np.swapaxes(canonical, -1, -2)
+            out[..., : self.space_shape[-1]] = swapped
+        return out
+
+    def unpack(self, padded: np.ndarray) -> np.ndarray:
+        """Extract the canonical ``(*space, m)`` array from this layout."""
+        padded = np.asarray(padded)
+        if padded.shape != self.padded_shape:
+            raise ValueError(
+                f"expected padded shape {self.padded_shape}, got {padded.shape}"
+            )
+        if self.kind is Layout.AOS:
+            return padded[..., : self.nquantities].copy()
+        if self.kind is Layout.SOA:
+            trimmed = padded[..., : self.space_shape[-1]]
+            return np.moveaxis(trimmed, 0, -1).copy()
+        trimmed = padded[..., : self.space_shape[-1]]
+        return np.swapaxes(trimmed, -1, -2).copy()
+
+    # -- SoA line extraction (the AoSoA selling point, Sec. V-C) ----------
+
+    def soa_line(self, padded: np.ndarray, index: tuple[int, ...]) -> np.ndarray:
+        """Return the ``(m, xpad)`` SoA subarray at spatial line ``index``.
+
+        ``index`` addresses the slow spatial dimensions (e.g. ``(k, j)``
+        in 3-D).  Only valid for the AoSoA layout, where this is a
+        zero-copy view -- exactly the property that lets the user
+        functions vectorize without transposes.
+        """
+        if self.kind is not Layout.AOSOA:
+            raise ValueError("soa_line is only defined for the AoSoA layout")
+        if len(index) != len(self.space_shape) - 1:
+            raise ValueError(
+                f"index must address {len(self.space_shape) - 1} slow dimensions"
+            )
+        view = padded[index]
+        assert view.shape == (self.nquantities, self.xpad)
+        return view
+
+    @staticmethod
+    def for_spec(kind: Layout, spec) -> "TensorLayout":
+        """Build the layout for a :class:`~repro.core.spec.KernelSpec`."""
+        return TensorLayout(
+            kind=kind,
+            space_shape=(spec.order,) * spec.dim,
+            nquantities=spec.nquantities,
+            vector_doubles=spec.architecture.vector_doubles,
+        )

@@ -1,0 +1,122 @@
+"""Dense-operator Cauchy-Kowalewsky oracle.
+
+Independent cross-check for the STP kernel variants: the discrete
+volume operator ``V`` of Sec. II-A is assembled as an explicit dense
+``(N^3 m) x (N^3 m)`` matrix -- per-dimension, from the PDE's flux and
+NCP matrices at every node -- and the predictor is evaluated as the
+matrix Taylor series of eq. (4).  No tensor machinery, no layouts, no
+GEMM batching is shared with the kernels, so agreement is meaningful.
+
+Only practical at small orders (the matrix has ``(N^3 m)^2`` entries);
+the test-suite uses ``N = 3 .. 5``.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+import numpy as np
+
+from repro.basis.operators import cached_operators
+from repro.core.spec import KernelSpec
+from repro.core.variants.base import AXIS_OF_DIM, ElementSource, STPResult, taylor_coefficients
+from repro.pde.base import LinearPDE
+
+__all__ = ["ReferenceCK"]
+
+
+class ReferenceCK:
+    """Dense-matrix reference implementation of the linear STP."""
+
+    def __init__(self, spec: KernelSpec, pde: LinearPDE):
+        if pde.nquantities != spec.nquantities:
+            raise ValueError("PDE and spec disagree on the number of quantities")
+        self.spec = spec
+        self.pde = pde
+        self.ops = cached_operators(spec.order, spec.quadrature)
+
+    def volume_operators(self, q: np.ndarray, h: float) -> np.ndarray:
+        """Per-dimension dense operators ``V_d``, shape ``(3, NDOF, NDOF)``.
+
+        ``(V_d)[(k, s), (l, r)] = -(1/h) D[k_d, l_d] delta(k_o = l_o)
+        A_d(node l)[s, r]`` plus the NCP part
+        ``-(1/h) B_d(node k)[s, r] D[k_d, l_d] delta(k_o = l_o)``.
+        """
+        n, m = self.spec.order, self.spec.nquantities
+        ndof = n**3 * m
+        deriv = self.ops.derivative / h
+        out = np.zeros((3, ndof, ndof))
+
+        def flat(node: tuple[int, int, int], s: int) -> int:
+            z, y, x = node
+            return ((z * n + y) * n + x) * m + s
+
+        for d in range(3):
+            axis = AXIS_OF_DIM[d]
+            for node in product(range(n), repeat=3):
+                # NCP matrix B_d is evaluated at the *output* node: it
+                # multiplies the gradient collocated there.
+                b_here = (
+                    self.pde.ncp_matrix(q[node][self.pde.nvar :], d)
+                    if self.pde.has_ncp
+                    else None
+                )
+                for l_idx in range(n):
+                    target = list(node)
+                    target[axis] = l_idx
+                    # Flux matrix A_d is evaluated at the *source* node:
+                    # the flux is formed there before differentiation.
+                    a_there = self.pde.flux_matrix(
+                        q[tuple(target)][self.pde.nvar :], d
+                    )
+                    dval = deriv[node[axis], l_idx]
+                    for s in range(m):
+                        row = flat(node, s)
+                        for r in range(m):
+                            col = flat(tuple(target), r)
+                            out[d, row, col] -= dval * a_there[s, r]
+                            if b_here is not None:
+                                out[d, row, col] -= dval * b_here[s, r]
+        return out
+
+    def predictor(
+        self,
+        q: np.ndarray,
+        dt: float,
+        h: float,
+        source: ElementSource | None = None,
+    ) -> STPResult:
+        """Evaluate eq. (4) with dense matrix-vector products."""
+        n, m = self.spec.order, self.spec.nquantities
+        v_d = self.volume_operators(q, h)
+        v_total = v_d.sum(axis=0)
+        coef = taylor_coefficients(n, dt)
+
+        p = q.reshape(-1).copy()
+        qavg = np.zeros_like(p)
+        vavg = np.zeros((3, p.size))
+        savg = np.zeros_like(p) if source is not None else None
+        for o in range(n):
+            qavg += coef[o] * p
+            for d in range(3):
+                vavg[d] += coef[o] * (v_d[d] @ p)
+            p_next = v_total @ p
+            if source is not None:
+                s_term = source.term(o).reshape(-1)
+                p_next += s_term
+                savg += coef[o] * s_term
+            p = p_next
+
+        shape = (n, n, n, m)
+        qavg = qavg.reshape(shape)
+        result = STPResult(
+            qavg=qavg,
+            vavg=vavg.reshape((3,) + shape),
+            savg=None if savg is None else savg.reshape(shape),
+        )
+        left, right = self.ops.face_left, self.ops.face_right
+        for d in range(3):
+            axis = AXIS_OF_DIM[d]
+            result.qface[(d, 0)] = np.tensordot(left, qavg, axes=([0], [axis]))
+            result.qface[(d, 1)] = np.tensordot(right, qavg, axes=([0], [axis]))
+        return result

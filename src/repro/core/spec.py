@@ -1,0 +1,118 @@
+"""Kernel specification.
+
+A :class:`KernelSpec` bundles everything the Kernel Generator needs to
+tailor a kernel toward application and architecture (paper Sec. II-D):
+the polynomial order, the number of PDE quantities, the spatial
+dimension and the SIMD target.  It is shared by the numeric kernels,
+the plan generator and the machine model, so all three agree on shapes
+and padding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.machine.arch import Architecture, get_architecture
+
+__all__ = ["KernelSpec"]
+
+#: Names of the four STP kernel variants, in the paper's order.
+VARIANTS: tuple[str, ...] = ("generic", "log", "splitck", "aosoa")
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Specification of one generated STP kernel.
+
+    Parameters
+    ----------
+    order:
+        ``N``, the number of quadrature nodes per dimension; the ADER-DG
+        scheme then converges at order ``N`` (paper Sec. II-A).  The
+        benchmarks sweep ``N = 4 .. 11``.
+    nvar:
+        Number of evolved PDE quantities (9 for the elastic wave
+        equations in first-order form).
+    nparam:
+        Number of static material/geometry parameters stored alongside
+        the evolved quantities at every node (12 for the paper's
+        curvilinear elastic setup: 3 material + 9 transformation
+        entries), giving ``m = nvar + nparam = 21``.
+    dim:
+        Spatial dimension ``d`` (2 or 3).
+    arch:
+        Kernel-Generator architecture name (``noarch``, ``hsw``,
+        ``skx``, ...).
+    quadrature:
+        Nodal basis family, ``gauss_legendre`` or ``gauss_lobatto``.
+    """
+
+    order: int
+    nvar: int
+    nparam: int = 0
+    dim: int = 3
+    arch: str = "skx"
+    quadrature: str = "gauss_legendre"
+
+    def __post_init__(self) -> None:
+        if self.order < 2:
+            raise ValueError("order must be >= 2")
+        if self.nvar < 1:
+            raise ValueError("nvar must be >= 1")
+        if self.nparam < 0:
+            raise ValueError("nparam must be >= 0")
+        if self.dim not in (2, 3):
+            raise ValueError("dim must be 2 or 3")
+        get_architecture(self.arch)  # validate eagerly
+
+    # -- sizes -----------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Nodes per dimension (alias of :attr:`order`)."""
+        return self.order
+
+    @property
+    def nquantities(self) -> int:
+        """``m``: evolved quantities plus static parameters per node."""
+        return self.nvar + self.nparam
+
+    @property
+    def nodes_per_element(self) -> int:
+        return self.order**self.dim
+
+    @property
+    def architecture(self) -> Architecture:
+        return get_architecture(self.arch)
+
+    @property
+    def mpad(self) -> int:
+        """Quantity count padded to the SIMD width (AoS leading dim)."""
+        return self.architecture.pad_doubles(self.nquantities)
+
+    @property
+    def npad(self) -> int:
+        """Nodes-per-dim padded to the SIMD width (AoSoA leading dim)."""
+        return self.architecture.pad_doubles(self.order)
+
+    @property
+    def aos_padding_overhead(self) -> float:
+        """Fraction of extra lanes introduced by AoS quantity padding."""
+        return self.mpad / self.nquantities - 1.0
+
+    @property
+    def aosoa_padding_overhead(self) -> float:
+        """Fraction of extra lanes introduced by AoSoA x-padding.
+
+        The paper notes (Sec. V-A) that on AVX-512 order 8 is a sweet
+        spot (no padding) while order 9 pays a particularly large
+        overhead (9 -> 16 lanes).
+        """
+        return self.npad / self.order - 1.0
+
+    def with_arch(self, arch: str) -> "KernelSpec":
+        """Same kernel retargeted to another architecture."""
+        return replace(self, arch=arch)
+
+    def with_order(self, order: int) -> "KernelSpec":
+        return replace(self, order=order)

@@ -1,0 +1,55 @@
+"""The four Space-Time-Predictor kernel variants of the paper.
+
+========= ======================================================== =========
+variant   description                                              paper
+========= ======================================================== =========
+generic   scalar reference implementation, full space-time storage Fig. 1
+log       vectorized Loop-over-GEMM on padded AoS tensors          Sec. III
+splitck   dimension-split CK with minimized memory footprint       Sec. IV
+aosoa     SplitCK on the hybrid AoSoA layout, vectorized user fns  Sec. V
+========= ======================================================== =========
+
+All variants compute identical outputs (up to floating point rounding)
+-- the test-suite enforces this against a dense-operator oracle.
+"""
+
+from repro.core.variants.base import ElementSource, STPKernel, STPResult
+from repro.core.variants.generic import GenericSTP
+from repro.core.variants.log_kernel import LoGSTP
+from repro.core.variants.splitck import SplitCKSTP
+from repro.core.variants.aosoa import AoSoASTP
+from repro.core.variants.transposed import TransposedUFSTP
+
+__all__ = [
+    "STPKernel",
+    "STPResult",
+    "ElementSource",
+    "GenericSTP",
+    "LoGSTP",
+    "SplitCKSTP",
+    "AoSoASTP",
+    "TransposedUFSTP",
+    "make_kernel",
+    "KERNEL_CLASSES",
+]
+
+KERNEL_CLASSES = {
+    "generic": GenericSTP,
+    "log": LoGSTP,
+    "splitck": SplitCKSTP,
+    "aosoa": AoSoASTP,
+    # The Sec. V-A design alternative the paper evaluated and rejected
+    # for linear systems; kept for the ablation experiments.
+    "transpose_uf": TransposedUFSTP,
+}
+
+
+def make_kernel(variant: str, spec, pde) -> STPKernel:
+    """Instantiate an STP kernel variant by name."""
+    try:
+        cls = KERNEL_CLASSES[variant]
+    except KeyError:
+        raise ValueError(
+            f"unknown variant {variant!r}; available: {sorted(KERNEL_CLASSES)}"
+        ) from None
+    return cls(spec, pde)

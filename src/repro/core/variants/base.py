@@ -1,0 +1,218 @@
+"""Common machinery of the STP kernel variants.
+
+Every variant consumes the element state at ``t_n`` and produces the
+corrector inputs of eq. (5):
+
+* ``qavg`` -- the time-integrated predictor
+  :math:`\\bar q = \\sum_{o} \\frac{\\Delta t^{o+1}}{(o+1)!} V^o q(t_n)`,
+* ``vavg[d]`` -- the per-dimension time-integrated volume contributions
+  (the pseudocode's ``favg``), whose sum equals :math:`V \\bar q`,
+* ``savg`` -- the time-integrated point-source contribution, and
+* ``qface`` -- ``qavg`` projected onto the six element faces.
+
+The kernels operate on the *canonical* interface layout: input and
+output arrays are unpadded ``(N, N, N, m)`` tensors in ``(z, y, x,
+quantity)`` order.  Whatever padded internal layout a variant uses is
+its own business -- exactly the engine/kernel API boundary of the
+paper.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.basis.operators import cached_operators
+from repro.codegen.plan import NULL_RECORDER, KernelPlan, PlanRecorder
+from repro.core.spec import KernelSpec
+from repro.gemm.registry import GemmRegistry
+from repro.pde.base import LinearPDE
+
+__all__ = ["STPKernel", "STPResult", "ElementSource", "AXIS_OF_DIM"]
+
+#: canonical array axis of each PDE direction (arrays are (z, y, x, m))
+AXIS_OF_DIM = {0: 2, 1: 1, 2: 0}
+
+
+@dataclass(frozen=True)
+class ElementSource:
+    """Element-local view of a point source for the Cauchy-Kowalewsky loop.
+
+    Attributes
+    ----------
+    projection:
+        Nodal projection ``P`` of the Dirac, shape ``(N, N, N)``
+        (``z, y, x``) -- see
+        :meth:`repro.basis.operators.DGOperators.source_projection`.
+    amplitude:
+        Source amplitude per quantity, shape ``(m,)`` (zero in the
+        parameter slots).
+    derivatives:
+        Time derivatives ``s^(o)(t_n)`` of the source signal for
+        ``o = 0 .. N-1``.
+    """
+
+    projection: np.ndarray
+    amplitude: np.ndarray
+    derivatives: np.ndarray
+
+    def term(self, o: int) -> np.ndarray:
+        """Contribution to ``p^(o+1)``: ``P (x) a * s^(o)(t_n)``."""
+        return (
+            self.projection[..., None]
+            * self.amplitude
+            * float(self.derivatives[o])
+        )
+
+
+@dataclass
+class STPResult:
+    """Outputs of one Space-Time-Predictor invocation (canonical layout)."""
+
+    qavg: np.ndarray  # (N, N, N, m)
+    vavg: np.ndarray  # (3, N, N, N, m), per PDE direction
+    savg: np.ndarray | None = None  # (N, N, N, m) or None
+    qface: dict = field(default_factory=dict)  # (d, side) -> (N, N, m)
+
+    @property
+    def vavg_total(self) -> np.ndarray:
+        """Summed volume contribution ``V qavg`` used by the corrector."""
+        return self.vavg.sum(axis=0)
+
+
+def taylor_coefficients(norder: int, dt: float) -> np.ndarray:
+    """``dt^{o+1} / (o+1)!`` for ``o = 0 .. norder-1`` (eq. 4's weights)."""
+    coef = np.empty(norder)
+    value = dt
+    for o in range(norder):
+        value_next = value  # dt^{o+1}/(o+1)! at loop entry
+        coef[o] = value_next
+        value = value * dt / (o + 2)
+    return coef
+
+
+class STPKernel(ABC):
+    """Base class of the four STP kernel variants."""
+
+    #: variant name, set by subclasses
+    variant: str = "base"
+
+    def __init__(self, spec: KernelSpec, pde: LinearPDE):
+        if spec.dim != 3:
+            raise ValueError("the STP kernels are implemented for d = 3")
+        if pde.nquantities != spec.nquantities:
+            raise ValueError(
+                f"PDE has m={pde.nquantities} quantities, spec expects "
+                f"m={spec.nquantities}"
+            )
+        if not getattr(pde, "is_linear", True):
+            raise TypeError(
+                f"{pde.name} is nonlinear; the Cauchy-Kowalewsky kernels "
+                "require a linear system -- use the Picard predictor "
+                "(repro.core.picard.PicardSTP)"
+            )
+        self.spec = spec
+        self.pde = pde
+        self.ops = cached_operators(spec.order, spec.quadrature)
+        self.registry = GemmRegistry(self.vector_doubles)
+
+    # -- per-variant knobs -------------------------------------------------
+
+    @property
+    def vector_doubles(self) -> int:
+        """SIMD width the variant's generated code uses (1 = scalar)."""
+        return self.spec.architecture.vector_doubles
+
+    @property
+    def n(self) -> int:
+        return self.spec.order
+
+    @property
+    def m(self) -> int:
+        return self.spec.nquantities
+
+    # -- the kernel ----------------------------------------------------------
+
+    @abstractmethod
+    def predictor(
+        self,
+        q: np.ndarray,
+        dt: float,
+        h: float,
+        source: ElementSource | None = None,
+        recorder=NULL_RECORDER,
+    ) -> STPResult:
+        """Run the Space-Time Predictor on one element.
+
+        Parameters
+        ----------
+        q:
+            Element state at ``t_n``, canonical ``(N, N, N, m)``.
+        dt:
+            Time step.
+        h:
+            Physical element edge length (cubic elements).
+        source:
+            Optional point source active in this element.
+        recorder:
+            Plan recorder hook; ``NULL_RECORDER`` for pure numerics.
+        """
+
+    # -- face projection (shared; "a single matrix multiplication") ----------
+
+    def project_faces(self, qavg: np.ndarray, recorder=NULL_RECORDER) -> dict:
+        """Project ``qavg`` onto the six faces with the boundary vectors."""
+        left, right = self.ops.face_left, self.ops.face_right
+        faces = {}
+        for d in range(3):
+            axis = AXIS_OF_DIM[d]
+            faces[(d, 0)] = np.tensordot(left, qavg, axes=([0], [axis]))
+            faces[(d, 1)] = np.tensordot(right, qavg, axes=([0], [axis]))
+        from repro.core.variants.common import record_face_projection
+
+        record_face_projection(recorder, self.spec, self.face_width_bits)
+        return faces
+
+    @property
+    def face_width_bits(self) -> int:
+        """Instruction width of the face-projection matmuls."""
+        return 64 * self.vector_doubles
+
+    # -- plan generation -------------------------------------------------------
+
+    def build_plan(self, with_source: bool = True, dt: float = 1e-3, h: float = 1.0) -> KernelPlan:
+        """Record the kernel's operation plan by executing it once.
+
+        Because the plan is recorded from the numeric code path, its
+        GEMM shapes, buffer sizes and operation order are exactly those
+        of the executed kernel.
+        """
+        n = self.n
+        q = self.pde.example_state((n, n, n))
+        source = None
+        if with_source:
+            amp = np.zeros(self.m)
+            amp[: self.pde.nvar] = 1.0
+            source = ElementSource(
+                projection=self.ops.source_projection(np.full(3, 0.5)),
+                amplitude=amp,
+                derivatives=np.ones(n),
+            )
+        recorder = PlanRecorder(self.variant, self.spec)
+        self.predictor(q, dt=dt, h=h, source=source, recorder=recorder)
+        return recorder.finish()
+
+    # -- misc ---------------------------------------------------------------------
+
+    def _check_input(self, q: np.ndarray) -> None:
+        n, m = self.n, self.m
+        if q.shape != (n, n, n, m):
+            raise ValueError(f"expected element state {(n, n, n, m)}, got {q.shape}")
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(order={self.n}, m={self.m}, "
+            f"arch={self.spec.arch!r}, pde={self.pde.name!r})"
+        )

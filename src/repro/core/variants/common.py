@@ -1,0 +1,200 @@
+"""Shared numeric helpers and plan-recording primitives for the variants."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codegen.plan import BufferAccess
+from repro.core.spec import KernelSpec
+from repro.core.variants.base import AXIS_OF_DIM
+from repro.machine.isa import FlopCounts
+from repro.pde.base import LinearPDE
+
+__all__ = [
+    "derive_canonical",
+    "record_user_function",
+    "record_axpy",
+    "record_copy",
+    "record_derive_sweep",
+    "record_face_projection",
+    "record_source",
+]
+
+
+def derive_canonical(arr: np.ndarray, matrix: np.ndarray, d: int) -> np.ndarray:
+    """Apply ``matrix`` along PDE direction ``d`` of a canonical tensor.
+
+    ``out[.., l, ..] = sum_j matrix[l, j] arr[.., j, ..]`` along the
+    spatial axis of direction ``d`` -- the einsum reference the generic
+    kernel uses (its triple-loop C analog carries no GEMM structure).
+    """
+    axis = AXIS_OF_DIM[d]
+    return np.moveaxis(np.tensordot(matrix, arr, axes=([1], [axis])), 0, axis)
+
+
+# ---------------------------------------------------------------------------
+# plan-recording helpers
+#
+# These encode the "compilation model" of each sweep: which packing width
+# the compiler achieves for it.  Constants are documented at the call
+# sites in the variant implementations.
+# ---------------------------------------------------------------------------
+
+
+def _vectorized_flops(flops_per_lane_group: float, logical: int, vec: int) -> float:
+    """FLOPs executed when a loop of ``logical`` lanes runs in ``vec`` chunks."""
+    groups = (logical + vec - 1) // vec
+    return flops_per_lane_group * groups * vec / logical
+
+
+def record_user_function(
+    recorder,
+    name: str,
+    spec: KernelSpec,
+    pde: LinearPDE,
+    kind: str,
+    d: int,
+    *,
+    vectorized: bool,
+    src: str,
+    dst: str,
+    extra_read: str | None = None,
+    heavy: bool = False,
+) -> None:
+    """Record one flux/NCP sweep over all element nodes.
+
+    * ``vectorized=False``: the default point-wise API -- one scalar
+      call per quadrature node (paper Sec. III-A: user functions stay
+      scalar under the AoS layout).
+    * ``vectorized=True``: the AoSoA API of Sec. V-C -- the function
+      processes whole x-lines with SIMD instructions; the padded tail
+      of each line executes real (masked) vector operations, so FLOPs
+      are inflated by ``npad / n`` like every other padded loop.
+    """
+    n, m = spec.order, spec.nquantities
+    nodes = n**3
+    per_node = (
+        pde.flux_flops_per_node(d) if kind == "flux" else pde.ncp_flops_per_node(d)
+    )
+    logical_flops = nodes * per_node
+    if vectorized:
+        vec = spec.architecture.vector_doubles
+        flops = FlopCounts.at_width(
+            _vectorized_flops(logical_flops, n, vec) if vec > 1 else logical_flops,
+            64 * vec,
+        )
+    else:
+        flops = FlopCounts.at_width(float(logical_flops), 64)
+    nbytes = 8.0 * nodes * m
+    accesses = [BufferAccess(src, read_bytes=nbytes), BufferAccess(dst, write_bytes=nbytes)]
+    if extra_read is not None:
+        accesses.insert(1, BufferAccess(extra_read, read_bytes=nbytes))
+    recorder.pointwise(name, flops, tuple(accesses),
+                       eff_class="heavy" if heavy else "default")
+
+
+def record_axpy(
+    recorder,
+    name: str,
+    doubles: int,
+    width_bits: int,
+    reads: tuple[str, ...],
+    write: str,
+    flops_per_double: float = 2.0,
+) -> None:
+    """Record an elementwise multiply-accumulate sweep over ``doubles`` lanes.
+
+    ``doubles`` should be the *stored* (padded) length: padded lanes
+    execute real FLOPs, exactly like in the GEMMs.  ``flops_per_double``
+    is 2 for a multiply-add, 1 for a plain addition.
+    """
+    flops = FlopCounts.at_width(flops_per_double * doubles, width_bits)
+    accesses = tuple(BufferAccess(r, read_bytes=8.0 * doubles) for r in reads) + (
+        BufferAccess(write, read_bytes=8.0 * doubles, write_bytes=8.0 * doubles),
+    )
+    recorder.pointwise(name, flops, accesses)
+
+
+def record_copy(recorder, name: str, doubles: int, src: str, dst: str) -> None:
+    """Record a pure copy sweep (no FLOPs)."""
+    recorder.pointwise(
+        name,
+        FlopCounts(),
+        (
+            BufferAccess(src, read_bytes=8.0 * doubles),
+            BufferAccess(dst, write_bytes=8.0 * doubles),
+        ),
+    )
+
+
+def record_clear(recorder, name: str, doubles: int, dst: str) -> None:
+    """Record a memset sweep (write-only, no FLOPs)."""
+    recorder.pointwise(
+        name, FlopCounts(), (BufferAccess(dst, write_bytes=8.0 * doubles),)
+    )
+
+
+def record_derive_sweep(
+    recorder,
+    name: str,
+    spec: KernelSpec,
+    *,
+    src: str,
+    dst: str,
+    accumulate: bool = False,
+) -> None:
+    """Record the generic kernel's scalar ``derive`` loop along one dimension.
+
+    Each of the ``N^3 * m`` outputs contracts ``N`` entries -- ``2 N``
+    scalar FLOPs per output.  The generic triple-loop with runtime
+    strides and a virtual-call-riddled body does not auto-vectorize
+    (paper Sec. VI-A: "only a fraction of the code can be
+    auto-vectorized"), so the attribution is fully scalar.
+    """
+    n, m = spec.order, spec.nquantities
+    flops = FlopCounts.at_width(2.0 * n * n**3 * m, 64)
+    nbytes = 8.0 * n**3 * m
+    recorder.pointwise(
+        name,
+        flops,
+        (
+            BufferAccess(src, read_bytes=nbytes),
+            BufferAccess(
+                dst,
+                read_bytes=nbytes if accumulate else 0.0,
+                write_bytes=nbytes,
+            ),
+        ),
+        eff_class="heavy",
+    )
+
+
+def record_face_projection(recorder, spec: KernelSpec, width_bits: int) -> None:
+    """Record the six face-projection matmuls (2 N^4 m FLOPs per face)."""
+    n, m = spec.order, spec.nquantities
+    flops = FlopCounts.at_width(6 * 2.0 * n * n**2 * m, width_bits)
+    nbytes_in = 8.0 * n**3 * m
+    nbytes_out = 6 * 8.0 * n**2 * m
+    recorder.buffer("qface", int(nbytes_out), "output")
+    recorder.pointwise(
+        "face_projection",
+        flops,
+        (
+            BufferAccess("qavg", read_bytes=6 * nbytes_in),
+            BufferAccess("qface", write_bytes=nbytes_out),
+        ),
+    )
+
+
+def record_source(recorder, spec: KernelSpec, dst: str, width_bits: int = 64) -> None:
+    """Record one point-source injection sweep (``3 N^3 m`` scalar-ish FLOPs)."""
+    n, m = spec.order, spec.nquantities
+    flops = FlopCounts.at_width(3.0 * n**3 * m, width_bits)
+    recorder.pointwise(
+        "point_source",
+        flops,
+        (
+            BufferAccess("source_P", read_bytes=8.0 * n**3),
+            BufferAccess(dst, read_bytes=8.0 * n**3 * m, write_bytes=8.0 * n**3 * m),
+        ),
+    )

@@ -1,0 +1,161 @@
+"""The generic STP kernel (paper Fig. 1, Sec. II-B).
+
+This is the scalar reference implementation: it follows the
+mathematical formulation of eq. (4) directly, storing the *entire*
+space-time predictor ``p[o]`` and its fluctuations ``dF[o, d]`` (plus
+the ``flux`` and ``gradQ`` work tensors) before accumulating the time
+averages -- the ``O(N^{d+1} m d)`` memory footprint that Sec. IV-A
+identifies as the L2-cache bottleneck.
+
+Compilation model recorded in the plan (cf. Fig. 9, "Generic" panel):
+the flux/NCP user functions are virtual point-wise calls and the
+``derive`` triple-loops have runtime strides, so neither vectorizes;
+only the simple contiguous accumulation loops (predictor assembly and
+time averaging) are auto-vectorized by the compiler, at 256-bit
+(icc's default preference below aggressive zmm usage).
+
+Note on the point source: Fig. 1's pseudocode adds ``pointSource(t_n)``
+to ``p[0]``; we inject the ``o``-th source derivative into ``p[o+1]``
+instead, which is the dimensionally consistent Cauchy-Kowalewsky
+treatment (the ODE ``q_t = V q + P a s(t)`` Taylor-expanded in time).
+All variants share this convention, so their outputs stay comparable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codegen.plan import NULL_RECORDER
+from repro.core.variants.base import ElementSource, STPKernel, STPResult, taylor_coefficients
+from repro.core.variants.common import (
+    derive_canonical,
+    record_axpy,
+    record_copy,
+    record_derive_sweep,
+    record_source,
+    record_user_function,
+)
+
+__all__ = ["GenericSTP"]
+
+
+class GenericSTP(STPKernel):
+    """Scalar reference Space-Time Predictor with full space-time storage."""
+
+    variant = "generic"
+
+    @property
+    def vector_doubles(self) -> int:
+        return 1  # generic kernels are compiled without architecture tailoring
+
+    def predictor(
+        self,
+        q: np.ndarray,
+        dt: float,
+        h: float,
+        source: ElementSource | None = None,
+        recorder=NULL_RECORDER,
+    ) -> STPResult:
+        self._check_input(q)
+        n, m = self.n, self.m
+        nodes = n**3
+        neg_deriv = -self.ops.derivative / h  # hard-coded constant (Sec. III-C)
+        deriv = self.ops.derivative / h
+
+        # Full space-time storage, exactly as in Fig. 1.
+        p = np.zeros((n + 1, n, n, n, m))
+        flux = np.zeros((n, 3, n, n, n, m))
+        d_f = np.zeros((n, 3, n, n, n, m))
+        grad_q = np.zeros((n, 3, n, n, n, m))
+        qavg = np.zeros((n, n, n, m))
+        favg = np.zeros((3, n, n, n, m))
+        savg = np.zeros((n, n, n, m)) if source is not None else None
+
+        recorder.phase("predictor")
+        recorder.buffer("q", q.nbytes, "input")
+        # The space-time arrays are registered slot-wise so the cache
+        # model sees the kernel stream through O(N^{d+1} m d) distinct
+        # storage -- the footprint Sec. IV-A is about.
+        slot = nodes * m * 8
+        for o in range(n + 1):
+            recorder.buffer(f"p[{o}]", slot, "temp")
+        for o in range(n):
+            for d in range(3):
+                recorder.buffer(f"flux[{o}][{d}]", slot, "temp")
+                recorder.buffer(f"dF[{o}][{d}]", slot, "temp")
+                if self.pde.has_ncp:
+                    recorder.buffer(f"gradQ[{o}][{d}]", slot, "temp")
+        recorder.buffer("qavg", qavg.nbytes, "output")
+        recorder.buffer("favg", favg.nbytes, "output")
+        if source is not None:
+            recorder.buffer("source_P", source.projection.nbytes, "const")
+            recorder.buffer("savg", savg.nbytes, "output")
+
+        p[0] = q
+        record_copy(recorder, "init_p0", nodes * m, "q", "p[0]")
+
+        # Static parameters: ExaHyPE stores them alongside the evolved
+        # quantities but they are not time-differentiated.  We restore
+        # them into every p^(o) so the (linear-in-variables) flux user
+        # functions always see valid material data.
+        nvar = self.pde.nvar
+        params = q[..., nvar:]
+
+        has_ncp = self.pde.has_ncp
+        for o in range(n):
+            for d in range(3):
+                flux[o, d] = self.pde.flux(p[o], d)
+                record_user_function(
+                    recorder, f"flux_{'xyz'[d]}", self.spec, self.pde, "flux", d,
+                    vectorized=False, src=f"p[{o}]", dst=f"flux[{o}][{d}]",
+                    heavy=True,
+                )
+            for d in range(3):
+                d_f[o, d] = derive_canonical(flux[o, d], neg_deriv, d)
+                record_derive_sweep(recorder, f"derive_flux_{'xyz'[d]}", self.spec,
+                                    src=f"flux[{o}][{d}]", dst=f"dF[{o}][{d}]")
+            if has_ncp:
+                for d in range(3):
+                    grad_q[o, d] = derive_canonical(p[o], deriv, d)
+                    record_derive_sweep(recorder, f"derive_grad_{'xyz'[d]}", self.spec,
+                                        src=f"p[{o}]", dst=f"gradQ[{o}][{d}]")
+                for d in range(3):
+                    d_f[o, d] -= self.pde.ncp(grad_q[o, d], p[o], d)
+                    record_user_function(
+                        recorder, f"ncp_{'xyz'[d]}", self.spec, self.pde, "ncp", d,
+                        vectorized=False, src=f"gradQ[{o}][{d}]",
+                        dst=f"dF[{o}][{d}]", extra_read=f"p[{o}]", heavy=True,
+                    )
+            # Assemble the next time derivative p^(o+1) = sum_d dF[o, d] (+ source).
+            for d in range(3):
+                p[o + 1] += d_f[o, d]
+                record_axpy(recorder, "assemble_p", nodes * m, 256,
+                            reads=(f"dF[{o}][{d}]",), write=f"p[{o + 1}]",
+                            flops_per_double=1.0)
+            if source is not None:
+                p[o + 1] += source.term(o)
+                record_source(recorder, self.spec, dst=f"p[{o + 1}]")
+            p[o + 1, ..., nvar:] = params
+
+        recorder.phase("time_average")
+        coef = taylor_coefficients(n, dt)
+        for o in range(n):
+            qavg += coef[o] * p[o]
+            record_axpy(recorder, "qavg_update", nodes * m, 256,
+                        reads=(f"p[{o}]",), write="qavg")
+        for d in range(3):
+            for o in range(n):
+                favg[d] += coef[o] * d_f[o, d]
+                record_axpy(recorder, "favg_update", nodes * m, 256,
+                            reads=(f"dF[{o}][{d}]",), write="favg")
+        if source is not None:
+            for o in range(n):
+                savg += coef[o] * source.term(o)
+            record_source(recorder, self.spec, dst="savg")
+
+        # Exact time integral of the constant parameters.
+        qavg[..., nvar:] = dt * params
+
+        recorder.phase("face_projection")
+        qface = self.project_faces(qavg, recorder)
+        return STPResult(qavg=qavg, vavg=favg, savg=savg, qface=qface)

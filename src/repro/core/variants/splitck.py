@@ -1,0 +1,174 @@
+"""The dimension-split Cauchy-Kowalewsky STP kernel (paper Sec. IV, Fig. 5).
+
+The cache-aware reformulation: instead of storing the whole space-time
+predictor and its fluxes, the kernel
+
+* considers each spatial dimension separately and **reuses the same
+  work tensors for all three dimensions**,
+* performs the time integration **on the fly** (each Taylor term is
+  folded into ``qavg`` as soon as it exists), and
+* **recomputes** the time-averaged volume contributions from ``qavg``
+  after the time loop, exploiting linearity -- the "almost one extra
+  iteration" the paper accepts in exchange for the footprint drop.
+
+Memory footprint: ``O(N^d m)`` instead of ``O(N^{d+1} m d)``, which
+keeps the working set inside the 1 MiB L2 cache and removes the memory
+stalls that throttled the LoG kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codegen.plan import NULL_RECORDER
+from repro.core.layouts import Layout, TensorLayout
+from repro.core.variants.base import AXIS_OF_DIM, ElementSource, STPKernel, STPResult, taylor_coefficients
+from repro.core.variants.common import (
+    record_axpy,
+    record_clear,
+    record_copy,
+    record_source,
+    record_user_function,
+)
+from repro.tensor.contraction import contract_axis
+
+__all__ = ["SplitCKSTP"]
+
+
+class SplitCKSTP(STPKernel):
+    """Cache-aware dimension-split Space-Time Predictor (AoS layout)."""
+
+    variant = "splitck"
+
+    def predictor(
+        self,
+        q: np.ndarray,
+        dt: float,
+        h: float,
+        source: ElementSource | None = None,
+        recorder=NULL_RECORDER,
+    ) -> STPResult:
+        self._check_input(q)
+        n, m = self.n, self.m
+        layout = TensorLayout.for_spec(Layout.AOS, self.spec)
+        mpad = layout.mpad
+        width = 64 * self.vector_doubles
+        space = (n, n, n, mpad)
+        neg_deriv = -self.ops.derivative / h
+        deriv = self.ops.derivative / h
+        nodes_pad = n**3 * mpad
+
+        # Single-time-level working set (Fig. 5): this is the whole
+        # footprint reduction.
+        p = np.zeros(space)
+        pnext = np.zeros(space)
+        flux = np.zeros(space)
+        grad_q = np.zeros(space) if self.pde.has_ncp else np.zeros((0,))
+        qavg = np.zeros(space)
+        favg = np.zeros((3,) + space)
+        savg = np.zeros(space) if source is not None else None
+
+        recorder.phase("predictor")
+        recorder.buffer("q", q.nbytes, "input")
+        recorder.buffer("D", self.ops.derivative.nbytes, "const")
+        recorder.buffer("p", p.nbytes, "temp")
+        recorder.buffer("pnext", pnext.nbytes, "temp")
+        recorder.buffer("flux", flux.nbytes, "temp")
+        if self.pde.has_ncp:
+            recorder.buffer("gradQ", grad_q.nbytes, "temp")
+        recorder.buffer("qavg", qavg.nbytes, "output")
+        recorder.buffer("favg", favg.nbytes, "output")
+        if source is not None:
+            recorder.buffer("source_P", source.projection.nbytes, "const")
+            recorder.buffer("savg", savg.nbytes, "output")
+
+        p[:] = layout.pack(q)
+        record_copy(recorder, "init_p", nodes_pad, "q", "p")
+
+        # Static parameters are restored into every p^(o) (they are not
+        # time-differentiated; the flux user functions need them).
+        nvar = self.pde.nvar
+        params = q[..., nvar:]
+
+        coef = taylor_coefficients(n, dt)
+        for o in range(n):
+            # Time integration on the fly: fold p^(o) into qavg immediately.
+            qavg += coef[o] * p
+            record_axpy(recorder, "qavg_update", nodes_pad, width,
+                        reads=("p",), write="qavg")
+            pnext[:] = 0.0
+            record_clear(recorder, "clear_pnext", nodes_pad, "pnext")
+            for d in range(3):
+                # The same flux/gradQ tensors serve all three dimensions.
+                flux[..., :m] = self.pde.flux(p[..., :m], d)
+                flux[..., m:] = 0.0
+                record_user_function(
+                    recorder, f"flux_{'xyz'[d]}", self.spec, self.pde, "flux", d,
+                    vectorized=False, src="p", dst="flux",
+                )
+                contract_axis(
+                    neg_deriv, flux, pnext, AXIS_OF_DIM[d], self.registry,
+                    accumulate=True, recorder=recorder,
+                    matrix_name="D", src_name="flux", dst_name="pnext",
+                )
+                if self.pde.has_ncp:
+                    contract_axis(
+                        deriv, p, grad_q, AXIS_OF_DIM[d], self.registry,
+                        recorder=recorder, matrix_name="D", src_name="p",
+                        dst_name="gradQ",
+                    )
+                    pnext[..., :m] -= self.pde.ncp(grad_q[..., :m], p[..., :m], d)
+                    record_user_function(
+                        recorder, f"ncp_{'xyz'[d]}", self.spec, self.pde, "ncp", d,
+                        vectorized=False, src="gradQ", dst="pnext", extra_read="p",
+                    )
+            if source is not None:
+                term = source.term(o)
+                pnext[..., :m] += term
+                savg[..., :m] += coef[o] * term
+                record_source(recorder, self.spec, dst="pnext")
+            pnext[..., nvar:m] = params
+            p, pnext = pnext, p  # swap(p, ptemp) in Fig. 5
+
+        # Recompute the time-averaged volume contributions from qavg
+        # (linearity of the scheme: favg_d = V_d qavg).  The flux input
+        # carries the real material parameters; qavg's own parameter
+        # slots are set to their exact time integral afterwards.
+        recorder.phase("favg_recompute")
+        qavg[..., nvar:m] = params
+        for d in range(3):
+            flux[..., :m] = self.pde.flux(qavg[..., :m], d)
+            flux[..., m:] = 0.0
+            record_user_function(
+                recorder, f"flux_avg_{'xyz'[d]}", self.spec, self.pde, "flux", d,
+                vectorized=False, src="qavg", dst="flux",
+            )
+            contract_axis(
+                neg_deriv, flux, favg[d], AXIS_OF_DIM[d], self.registry,
+                recorder=recorder, matrix_name="D", src_name="flux",
+                dst_name="favg",
+            )
+            if self.pde.has_ncp:
+                contract_axis(
+                    deriv, qavg, grad_q, AXIS_OF_DIM[d], self.registry,
+                    recorder=recorder, matrix_name="D", src_name="qavg",
+                    dst_name="gradQ",
+                )
+                favg[d, ..., :m] -= self.pde.ncp(grad_q[..., :m], qavg[..., :m], d)
+                record_user_function(
+                    recorder, f"ncp_avg_{'xyz'[d]}", self.spec, self.pde, "ncp", d,
+                    vectorized=False, src="gradQ", dst="favg", extra_read="qavg",
+                )
+
+        # Exact time integral of the constant parameters.
+        qavg[..., nvar:m] = dt * params
+
+        recorder.phase("face_projection")
+        qavg_c = layout.unpack(qavg)
+        qface = self.project_faces(qavg_c, recorder)
+        return STPResult(
+            qavg=qavg_c,
+            vavg=np.stack([layout.unpack(favg[d]) for d in range(3)]),
+            savg=None if savg is None else layout.unpack(savg),
+            qface=qface,
+        )

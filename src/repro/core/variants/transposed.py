@@ -1,0 +1,108 @@
+"""The on-the-fly-transpose variant the paper evaluated and rejected.
+
+Sec. V-A: "One way to get around this issue is to transpose the tensors
+on-the-fly to switch the data layout from AoS to SoA and back before
+and after calling the user functions.  This was tested in both linear
+and non-linear STP kernels ...  It proved effective for complex
+non-linear scenarios ...  However, the linear PDE systems in the
+targeted seismic applications have too simple (and inexpensive) user
+functions for such a solution to be effective, despite achieving the
+targeted high ratio of vectorized floating point operations."
+
+This variant reproduces that design point: the SplitCK algorithm on
+AoS tensors, but every user-function sweep is bracketed by a full
+AoS -> SoA transpose and back, and the user function itself runs
+vectorized.  The ablation benchmark
+(``benchmarks/bench_ablation_transpose.py``) shows exactly the paper's
+conclusion emerging from the machine model: near-full vectorization,
+yet slower than both plain SplitCK and AoSoA for the cheap linear
+fluxes -- while a hypothetical expensive user function flips the
+verdict.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codegen.plan import NULL_RECORDER
+from repro.core.layouts import Layout, TensorLayout
+from repro.core.variants.base import ElementSource, STPResult
+from repro.core.variants.common import record_user_function
+from repro.core.variants.splitck import SplitCKSTP
+
+__all__ = ["TransposedUFSTP"]
+
+
+class TransposedUFSTP(SplitCKSTP):
+    """SplitCK with on-the-fly SoA transposes around the user functions."""
+
+    variant = "transpose_uf"
+
+    def predictor(
+        self,
+        q: np.ndarray,
+        dt: float,
+        h: float,
+        source: ElementSource | None = None,
+        recorder=NULL_RECORDER,
+    ) -> STPResult:
+        # Wrap the recorder so that every scalar user-function record
+        # emitted by the SplitCK base is replaced by the transpose /
+        # vectorized-call / transpose-back triple this variant executes.
+        soa = TensorLayout.for_spec(Layout.SOA, self.spec)
+        wrapped = _TransposingRecorder(recorder, self.spec, self.pde, soa.nbytes)
+        return super().predictor(q, dt, h, source=source, recorder=wrapped)
+
+
+class _TransposingRecorder:
+    """Recorder adapter: rewrites user-function ops into the SoA scheme.
+
+    The numeric results are unchanged (the transposes are layout
+    changes); only the recorded cost model differs, which is what the
+    machine simulation consumes.
+    """
+
+    _USER_PREFIXES = ("flux_", "ncp_")
+
+    def __init__(self, inner, spec, pde, soa_bytes: int):
+        self.inner = inner
+        self.spec = spec
+        self.pde = pde
+        self.soa_bytes = int(soa_bytes)
+        self._registered = False
+
+    # -- pass-through structure -----------------------------------------
+
+    def phase(self, name: str) -> None:
+        self.inner.phase(name)
+
+    def buffer(self, name: str, nbytes: int, scope: str) -> None:
+        self.inner.buffer(name, nbytes, scope)
+
+    def gemm(self, gemm, batch, a, b, c) -> None:
+        self.inner.gemm(gemm, batch, a, b, c)
+
+    def transpose(self, name, src, dst, nbytes) -> None:
+        self.inner.transpose(name, src, dst, nbytes)
+
+    # -- the rewrite --------------------------------------------------------
+
+    def pointwise(self, name, flops, accesses, eff_class="default") -> None:
+        if not name.startswith(self._USER_PREFIXES):
+            self.inner.pointwise(name, flops, accesses, eff_class)
+            return
+        if not self._registered:
+            self.inner.buffer("soaQ", self.soa_bytes, "temp")
+            self.inner.buffer("soaF", self.soa_bytes, "temp")
+            self._registered = True
+        src = accesses[0].buffer
+        dst = accesses[-1].buffer
+        nbytes = 8.0 * self.spec.order**3 * self.spec.nquantities
+        d = {"x": 0, "y": 1, "z": 2}[name.split("_")[-1][0]]
+        kind = "flux" if name.startswith("flux_") else "ncp"
+        self.inner.transpose("aos->soa", src, "soaQ", nbytes)
+        record_user_function(
+            self.inner, f"{name}_soa_vect", self.spec, self.pde, kind, d,
+            vectorized=True, src="soaQ", dst="soaF",
+        )
+        self.inner.transpose("soa->aos", "soaF", dst, nbytes)

@@ -1,0 +1,25 @@
+"""The ADER-DG engine: everything around the element-local kernels.
+
+Mirrors the paper's Fig. 2 "ExaHyPE core" box: solver base
+functionality (time stepping, CFL), Riemann solvers for the corrector's
+face integrals, boundary conditions, point sources and receivers.
+Multi-node parallelization (Peano/MPI/TBB) is out of scope of the
+paper's single-socket benchmarks and is not reproduced; the
+space-filling-curve element ordering is kept in
+:mod:`repro.mesh.sfc` for traversal fidelity.
+"""
+
+from repro.engine.solver import ADERDGSolver
+from repro.engine.riemann import rusanov_flux, upwind_flux
+from repro.engine.source import GaussianDerivativeWavelet, PointSource, RickerWavelet
+from repro.engine.receivers import Receiver
+
+__all__ = [
+    "ADERDGSolver",
+    "rusanov_flux",
+    "upwind_flux",
+    "PointSource",
+    "GaussianDerivativeWavelet",
+    "RickerWavelet",
+    "Receiver",
+]

@@ -1,0 +1,48 @@
+"""Boundary conditions for non-periodic faces.
+
+A boundary condition supplies the *ghost state* the Riemann solver sees
+on the outside of a physical boundary face:
+
+* ``absorbing`` -- copy the interior state (first-order outflow: the
+  upwind flux then transports everything outward).
+* ``reflective`` -- the PDE's mirror state (rigid wall / free surface,
+  via :meth:`repro.pde.base.LinearPDE.reflect`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pde.base import LinearPDE
+
+__all__ = ["ghost_state", "BOUNDARY_CONDITIONS"]
+
+
+def _absorbing(pde: LinearPDE, qface: np.ndarray, d: int, side: int) -> np.ndarray:
+    del pde, d, side
+    return qface.copy()
+
+
+def _reflective(pde: LinearPDE, qface: np.ndarray, d: int, side: int) -> np.ndarray:
+    del side
+    return pde.reflect(qface, d)
+
+
+BOUNDARY_CONDITIONS = {
+    "absorbing": _absorbing,
+    "reflective": _reflective,
+}
+
+
+def ghost_state(
+    kind: str, pde: LinearPDE, qface: np.ndarray, d: int, side: int
+) -> np.ndarray:
+    """Ghost face state for boundary condition ``kind``."""
+    try:
+        bc = BOUNDARY_CONDITIONS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown boundary condition {kind!r}; "
+            f"available: {sorted(BOUNDARY_CONDITIONS)}"
+        ) from None
+    return bc(pde, qface, d, side)

@@ -1,0 +1,50 @@
+"""Time-step control for explicit ADER-DG.
+
+The high-order DG stability bound (cf. Dumbser et al.): the admissible
+time step shrinks with the polynomial degree as ``1 / (2N - 1)`` and
+with the spatial dimension,
+
+.. math::
+
+    \\Delta t \\le C \\; \\frac{h}{d \\, (2 N - 1) \\, |\\lambda_{max}|}.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["stable_timestep", "global_timestep", "STABILITY_FACTOR"]
+
+#: Order-dependent stability coefficients (PNPM-style, cf. Dumbser &
+#: Munz): the admissible CFL number shrinks faster than 1/(2N-1) at
+#: high order.  Determined empirically for this implementation with
+#: long plane-wave runs (see tests/engine/test_solver.py).
+STABILITY_FACTOR = {
+    2: 1.0, 3: 0.9, 4: 0.75, 5: 0.65, 6: 0.55, 7: 0.5,
+    8: 0.45, 9: 0.42, 10: 0.38, 11: 0.35,
+}
+_FACTOR_FLOOR = 0.3
+
+
+def stable_timestep(
+    h: float,
+    order: int,
+    max_speed: float,
+    cfl: float = 0.9,
+    dim: int = 3,
+) -> float:
+    """Largest stable time step for an element of size ``h``."""
+    if max_speed <= 0:
+        raise ValueError("maximum wave speed must be positive")
+    if not 0 < cfl <= 1:
+        raise ValueError("cfl must be in (0, 1]")
+    factor = STABILITY_FACTOR.get(order, _FACTOR_FLOOR)
+    return cfl * factor * h / (dim * (2 * order - 1) * max_speed)
+
+
+def global_timestep(
+    states: np.ndarray, pde, h: float, order: int, cfl: float = 0.9, dim: int = 3
+) -> float:
+    """Stable time step over all elements' states ``(nelem, N, N, N, m)``."""
+    speed = float(np.max(pde.max_wave_speed(states)))
+    return stable_timestep(h, order, speed, cfl, dim)

@@ -1,0 +1,95 @@
+"""VTK output: ExaHyPE's "plotters for various file formats" box (Fig. 2).
+
+Writes the DG solution as legacy-ASCII VTK structured-points files --
+one scalar/vector field per evolved quantity, sampled on a uniform
+sub-grid per element (the usual way high-order DG data is exported for
+ParaView-class tools).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["write_vtk", "sample_solution"]
+
+
+def sample_solution(solver, points_per_element: int = 2) -> tuple[np.ndarray, np.ndarray]:
+    """Resample the DG solution on a uniform grid.
+
+    Returns ``(coordinates, values)`` with shapes ``(nz, ny, nx, 3)``
+    and ``(nz, ny, nx, m)``; each element contributes
+    ``points_per_element`` samples per dimension, evaluated with the
+    tensor-product Lagrange basis (not just copied nodal values).
+    """
+    if points_per_element < 1:
+        raise ValueError("need at least one sample point per element")
+    grid = solver.grid
+    basis = solver.ops.basis
+    # sample at element-local positions strictly inside the element
+    local = (np.arange(points_per_element) + 0.5) / points_per_element
+    phi = basis.evaluate(local)  # (ppe, N)
+
+    ex, ey, ez = grid.shape
+    p = points_per_element
+    m = solver.pde.nquantities
+    values = np.zeros((ez * p, ey * p, ex * p, m))
+    coords = np.zeros((ez * p, ey * p, ex * p, 3))
+    for e in range(grid.n_elements):
+        ix, iy, iz = grid.coordinates(e)
+        # interpolate: state (z, y, x, m) contracted with phi per dim
+        block = np.einsum(
+            "ak,bj,ci,kjim->abcm",
+            phi, phi, phi, solver.states[e],
+            optimize=True,
+        )
+        values[iz * p:(iz + 1) * p, iy * p:(iy + 1) * p, ix * p:(ix + 1) * p] = block
+        org = grid.origin(e)
+        h = grid.h
+        zs = org[2] + h * local
+        ys = org[1] + h * local
+        xs = org[0] + h * local
+        sub = coords[iz * p:(iz + 1) * p, iy * p:(iy + 1) * p, ix * p:(ix + 1) * p]
+        sub[..., 0] = xs[None, None, :]
+        sub[..., 1] = ys[None, :, None]
+        sub[..., 2] = zs[:, None, None]
+    return coords, values
+
+
+def write_vtk(
+    solver,
+    path: str | Path,
+    field_names: list[str] | None = None,
+    points_per_element: int = 2,
+) -> Path:
+    """Write the (resampled) solution as a legacy VTK structured-points file."""
+    path = Path(path)
+    coords, values = sample_solution(solver, points_per_element)
+    nz, ny, nx, m = values.shape
+    nvar = solver.pde.nvar
+    if field_names is None:
+        field_names = [f"q{i}" for i in range(nvar)]
+    if len(field_names) > nvar:
+        raise ValueError("more field names than evolved quantities")
+
+    spacing = solver.grid.h / points_per_element
+    origin = coords[0, 0, 0]
+    lines = [
+        "# vtk DataFile Version 3.0",
+        f"repro ADER-DG solution at t = {solver.t:.6e}",
+        "ASCII",
+        "DATASET STRUCTURED_POINTS",
+        f"DIMENSIONS {nx} {ny} {nz}",
+        f"ORIGIN {origin[0]:.6e} {origin[1]:.6e} {origin[2]:.6e}",
+        f"SPACING {spacing:.6e} {spacing:.6e} {spacing:.6e}",
+        f"POINT_DATA {nx * ny * nz}",
+    ]
+    for i, name in enumerate(field_names):
+        lines.append(f"SCALARS {name} double 1")
+        lines.append("LOOKUP_TABLE default")
+        # VTK structured points iterate x fastest, then y, then z
+        flat = values[..., i].reshape(-1)
+        lines.extend(f"{v:.9e}" for v in flat)
+    path.write_text("\n".join(lines) + "\n")
+    return path

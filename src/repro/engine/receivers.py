@@ -1,0 +1,52 @@
+"""Receivers: record time series of the solution at fixed points.
+
+The LOH1 benchmark's deliverable is seismograms -- velocity time
+series at surface receivers.  A :class:`Receiver` interpolates the
+nodal DG solution at an arbitrary point with the tensor-product
+Lagrange basis each time it is sampled.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.basis.operators import DGOperators
+
+__all__ = ["Receiver"]
+
+
+class Receiver:
+    """Samples the solution at one physical point over time."""
+
+    def __init__(self, position, label: str = ""):
+        self.position = np.asarray(position, dtype=float)
+        self.label = label or f"recv@{self.position}"
+        self.times: list[float] = []
+        self.samples: list[np.ndarray] = []
+        self._element: int | None = None
+        self._weights: np.ndarray | None = None
+
+    def bind(self, grid, ops: DGOperators) -> None:
+        """Locate the receiver in the grid and precompute basis weights."""
+        self._element, ref = grid.locate(self.position)
+        phi = [ops.basis.evaluate(float(ref[d]))[0] for d in range(3)]
+        # weights over (z, y, x) nodes: w[k3, k2, k1] = phi_z phi_y phi_x
+        self._weights = np.einsum("k,j,i->kji", phi[2], phi[1], phi[0])
+
+    @property
+    def element(self) -> int:
+        if self._element is None:
+            raise RuntimeError("receiver not bound to a grid yet")
+        return self._element
+
+    def record(self, t: float, element_state: np.ndarray) -> None:
+        """Sample from the owning element's canonical ``(N, N, N, m)`` state."""
+        if self._weights is None:
+            raise RuntimeError("receiver not bound to a grid yet")
+        value = np.tensordot(self._weights, element_state, axes=([0, 1, 2], [0, 1, 2]))
+        self.times.append(float(t))
+        self.samples.append(value)
+
+    def seismogram(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(times, samples)`` arrays; samples shape ``(nt, m)``."""
+        return np.asarray(self.times), np.asarray(self.samples)

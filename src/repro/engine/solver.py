@@ -1,0 +1,185 @@
+"""The ADER-DG solver: one-step predictor-corrector time stepping.
+
+Orchestrates, per time step (paper Sec. II-A):
+
+1. the element-local **Space-Time Predictor** (any of the four kernel
+   variants -- the choice is a constructor flag, exactly like the
+   opt-in specification-file flags of the paper),
+2. the **Riemann solves** on all faces, using the time-integrated face
+   states both sides projected in step 1, and
+3. the element-local **corrector** (eq. 5).
+
+Elements are traversed in Peano space-filling-curve order, mirroring
+the Peano framework underneath ExaHyPE.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.basis.operators import cached_operators
+from repro.core.corrector import _face_params, corrector_update
+from repro.core.spec import KernelSpec
+from repro.core.variants import ElementSource, make_kernel
+from repro.engine.boundary import ghost_state
+from repro.engine.cfl import global_timestep
+from repro.engine.riemann import SOLVERS
+from repro.engine.source import PointSource
+from repro.mesh.grid import BOUNDARY, UniformGrid
+from repro.mesh.sfc import peano_order
+from repro.pde.base import LinearPDE
+
+__all__ = ["ADERDGSolver"]
+
+
+class ADERDGSolver:
+    """Linear ADER-DG solver on a uniform hexahedral grid."""
+
+    def __init__(
+        self,
+        grid: UniformGrid,
+        pde: LinearPDE,
+        order: int,
+        variant: str = "splitck",
+        arch: str = "skx",
+        riemann: str = "rusanov",
+        boundary: str = "absorbing",
+        cfl: float = 0.5,
+        quadrature: str = "gauss_legendre",
+    ):
+        self.grid = grid
+        self.pde = pde
+        self.spec = KernelSpec(
+            order=order,
+            nvar=pde.nvar,
+            nparam=pde.nparam,
+            arch=arch,
+            quadrature=quadrature,
+        )
+        self.kernel = make_kernel(variant, self.spec, pde)
+        self.ops = cached_operators(order, quadrature)
+        self.riemann = SOLVERS[riemann]
+        self.boundary = boundary
+        self.cfl = cfl
+        n, m = order, pde.nquantities
+        self.states = np.zeros((grid.n_elements, n, n, n, m))
+        self.traversal = peano_order(grid.shape)
+        self.t = 0.0
+        self.step_count = 0
+        self.sources: list[tuple[int, np.ndarray, np.ndarray, PointSource]] = []
+        self.receivers = []
+
+    # -- setup ----------------------------------------------------------------
+
+    def set_initial_condition(self, fn) -> None:
+        """``fn(points) -> (..., m)`` evaluated at all node coordinates."""
+        for e in range(self.grid.n_elements):
+            pts = self.grid.node_coordinates(e, self.ops)
+            self.states[e] = fn(pts)
+
+    def add_point_source(self, source: PointSource) -> None:
+        """Register a point source (element-located, projection precomputed)."""
+        element, ref = self.grid.locate(source.position)
+        # Physical Dirac: the reference projection scales with 1/h^3.
+        projection = self.ops.source_projection(ref[::-1]) / self.grid.h**3
+        amplitude = source.element_amplitude(self.pde.nquantities)
+        self.sources.append((element, projection, amplitude, source))
+
+    def add_receiver(self, receiver) -> None:
+        receiver.bind(self.grid, self.ops)
+        self.receivers.append(receiver)
+
+    # -- stepping ---------------------------------------------------------------
+
+    def stable_dt(self) -> float:
+        return global_timestep(
+            self.states, self.pde, self.grid.h, self.spec.order, self.cfl
+        )
+
+    def _element_source(self, e: int, dt: float) -> ElementSource | None:
+        del dt
+        for element, projection, amplitude, source in self.sources:
+            if element == e:
+                derivs = source.wavelet.derivatives(self.t, self.spec.order)
+                return ElementSource(projection, amplitude, derivs)
+        return None
+
+    def step(self, dt: float | None = None) -> float:
+        """Advance the full mesh by one time step; returns the dt used."""
+        dt = self.stable_dt() if dt is None else float(dt)
+        grid, pde, h = self.grid, self.pde, self.grid.h
+        nvar = pde.nvar
+
+        # 1. predictor on every element (Peano traversal order)
+        results = [None] * grid.n_elements
+        for e in self.traversal:
+            results[e] = self.kernel.predictor(
+                self.states[e], dt, h, source=self._element_source(e, dt)
+            )
+
+        # 2. Riemann solve per face (shared between the two sides)
+        fluxes: dict[tuple[int, int, int], np.ndarray] = {}
+        for e in range(grid.n_elements):
+            for d in range(3):
+                neighbor = grid.neighbor(e, d, 1)
+                q_left = results[e].qface[(d, 1)]
+                params_left = _face_params(self.states[e], d, 1, pde)
+                if neighbor == BOUNDARY:
+                    q_right = ghost_state(self.boundary, pde, q_left, d, 1)
+                    params_right = params_left
+                else:
+                    q_right = results[neighbor].qface[(d, 0)]
+                    params_right = _face_params(self.states[neighbor], d, 0, pde)
+                fluxes[(e, d, 1)] = self.riemann(
+                    pde, q_left, q_right, params_left, params_right, d
+                )
+                if neighbor != BOUNDARY:
+                    fluxes[(neighbor, d, 0)] = fluxes[(e, d, 1)]
+            for d in range(3):
+                if (e, d, 0) in fluxes:
+                    continue
+                neighbor = grid.neighbor(e, d, 0)
+                q_right = results[e].qface[(d, 0)]
+                params_right = _face_params(self.states[e], d, 0, pde)
+                if neighbor == BOUNDARY:
+                    q_left = ghost_state(self.boundary, pde, q_right, d, 0)
+                    params_left = params_right
+                    fluxes[(e, d, 0)] = self.riemann(
+                        pde, q_left, q_right, params_left, params_right, d
+                    )
+                # periodic/interior faces are filled when their left
+                # element is visited; with periodic wrap every face has
+                # a left element, so nothing else to do here.
+
+        # 3. corrector on every element
+        for e in self.traversal:
+            numerical = {
+                (d, side): fluxes[(e, d, side)] for d in range(3) for side in (0, 1)
+            }
+            self.states[e] = corrector_update(
+                self.states[e], results[e], numerical, h, pde, self.ops
+            )
+
+        self.t += dt
+        self.step_count += 1
+        for receiver in self.receivers:
+            receiver.record(self.t, self.states[receiver.element])
+        return dt
+
+    def run(self, t_end: float, max_steps: int = 100000) -> None:
+        """Advance until ``t_end`` (last step clipped to land exactly)."""
+        while self.t < t_end - 1e-14 and self.step_count < max_steps:
+            dt = min(self.stable_dt(), t_end - self.t)
+            self.step(dt)
+
+    # -- diagnostics ---------------------------------------------------------------
+
+    def integrate(self) -> np.ndarray:
+        """Discrete integral of every quantity over the domain, ``(m,)``."""
+        w = self.ops.weights
+        w3 = np.einsum("k,j,i->kji", w, w, w) * self.grid.h**3
+        return np.einsum("kji,ekjis->s", w3, self.states)
+
+    def max_abs(self) -> float:
+        """Largest absolute evolved-variable value (stability monitor)."""
+        return float(np.abs(self.states[..., : self.pde.nvar]).max())

@@ -1,0 +1,95 @@
+"""Point sources (the ``delta_x0`` term of eq. 1).
+
+A :class:`PointSource` combines a position, a per-quantity amplitude
+and a smooth wavelet.  The Cauchy-Kowalewsky predictor needs the
+wavelet's *time derivatives* up to the scheme order at every step
+(Fig. 1's ``derive(pointSource, dim=time, order=o)``), so wavelets
+provide them analytically via the Hermite-function identity
+
+.. math::
+
+    \\frac{d^n}{dt^n} e^{-u^2/2}
+        = (-1)^n \\sigma^{-n} He_n(u) \\, e^{-u^2/2},
+    \\qquad u = (t - t_0) / \\sigma .
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from numpy.polynomial.hermite_e import hermeval
+
+__all__ = ["GaussianDerivativeWavelet", "RickerWavelet", "PointSource"]
+
+
+class GaussianDerivativeWavelet:
+    """The ``k``-th time derivative of a Gaussian pulse.
+
+    ``k = 0`` is the Gaussian itself; ``k = 2`` (negated, normalized)
+    is the Ricker wavelet customary in seismology.
+    """
+
+    def __init__(self, k: int = 0, t0: float = 0.1, sigma: float = 0.025,
+                 amplitude: float = 1.0):
+        if k < 0:
+            raise ValueError("derivative order must be non-negative")
+        if sigma <= 0:
+            raise ValueError("sigma must be positive")
+        self.k = k
+        self.t0 = t0
+        self.sigma = sigma
+        self.amplitude = amplitude
+
+    def derivatives(self, t: float, count: int) -> np.ndarray:
+        """``s^(o)(t)`` for ``o = 0 .. count-1`` (including the base value)."""
+        u = (t - self.t0) / self.sigma
+        gauss = np.exp(-0.5 * u * u)
+        out = np.empty(count)
+        for o in range(count):
+            n = self.k + o
+            coeffs = np.zeros(n + 1)
+            coeffs[n] = 1.0
+            he_n = hermeval(u, coeffs)
+            out[o] = self.amplitude * (-1.0 / self.sigma) ** n * he_n * gauss
+        return out
+
+    def __call__(self, t: float) -> float:
+        return float(self.derivatives(t, 1)[0])
+
+
+class RickerWavelet(GaussianDerivativeWavelet):
+    """Ricker (Mexican-hat) wavelet: normalized negative 2nd Gaussian derivative."""
+
+    def __init__(self, t0: float = 0.1, f0: float = 10.0, amplitude: float = 1.0):
+        # peak frequency f0 relates to the Gaussian width
+        sigma = 1.0 / (np.pi * f0 * np.sqrt(2.0))
+        super().__init__(k=2, t0=t0, sigma=sigma, amplitude=-amplitude * sigma**2)
+        self.f0 = f0
+
+
+@dataclass(frozen=True)
+class PointSource:
+    """A Dirac point source with a smooth time signal.
+
+    Attributes
+    ----------
+    position:
+        Physical coordinates of the source.
+    amplitude:
+        Amplitude per *evolved* quantity, ``(nvar,)`` -- e.g. a stress
+        glut for a seismic double-couple.
+    wavelet:
+        Time signal with a ``derivatives(t, count)`` method.
+    """
+
+    position: np.ndarray
+    amplitude: np.ndarray
+    wavelet: GaussianDerivativeWavelet
+
+    def element_amplitude(self, nquantities: int) -> np.ndarray:
+        """Amplitude embedded into the full m-vector (zero parameters)."""
+        amp = np.asarray(self.amplitude, dtype=float)
+        out = np.zeros(nquantities)
+        out[: amp.size] = amp
+        return out

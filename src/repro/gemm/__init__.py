@@ -1,0 +1,20 @@
+"""LIBXSMM-like small-GEMM layer.
+
+The paper's optimized kernels perform all tensor contractions as
+batches of *small, fixed-shape* matrix multiplications dispatched to
+LIBXSMM-generated assembly (Sec. III-B).  This package substitutes:
+
+* :class:`repro.gemm.smallgemm.SmallGemm` -- a shape-specialized GEMM
+  ``C (+)= A @ B`` with explicit leading dimensions (so tensor matrix
+  slices can be multiplied in place, Fig. 3), a NumPy execution path,
+  and an exact instruction/traffic cost model for the machine
+  simulation.
+* :class:`repro.gemm.registry.GemmRegistry` -- the dispatch cache that
+  mirrors LIBXSMM's kernel-handle reuse; it also counts how many
+  distinct microkernels a kernel variant needs.
+"""
+
+from repro.gemm.registry import GemmRegistry
+from repro.gemm.smallgemm import SmallGemm
+
+__all__ = ["SmallGemm", "GemmRegistry"]

@@ -1,0 +1,59 @@
+"""GEMM dispatch cache, mirroring LIBXSMM's kernel-handle reuse.
+
+LIBXSMM JIT-compiles one microkernel per (shape, leading dimensions,
+beta) combination and hands back a function pointer that callers cache.
+:class:`GemmRegistry` plays that role here: kernel variants request
+GEMMs through it, identical shapes share one :class:`SmallGemm`, and
+the registry exposes how many distinct microkernels a variant needed --
+a statistic the Kernel Generator uses when rendering code.
+"""
+
+from __future__ import annotations
+
+from repro.gemm.smallgemm import SmallGemm
+
+__all__ = ["GemmRegistry"]
+
+
+class GemmRegistry:
+    """Cache of :class:`SmallGemm` microkernels keyed by dispatch shape."""
+
+    def __init__(self, vector_doubles: int = 8):
+        if vector_doubles not in (1, 2, 4, 8):
+            raise ValueError("vector_doubles must be 1, 2, 4 or 8")
+        self.vector_doubles = vector_doubles
+        self._kernels: dict[tuple, SmallGemm] = {}
+        self.dispatch_count = 0
+
+    def get(
+        self,
+        m: int,
+        n: int,
+        k: int,
+        lda: int = -1,
+        ldb: int = -1,
+        ldc: int = -1,
+        accumulate: bool = False,
+    ) -> SmallGemm:
+        """Return the microkernel for this shape, generating it on first use."""
+        self.dispatch_count += 1
+        probe = SmallGemm(
+            m=m, n=n, k=k, lda=lda, ldb=ldb, ldc=ldc,
+            accumulate=accumulate, vector_doubles=self.vector_doubles,
+        )
+        return self._kernels.setdefault(probe.shape_key, probe)
+
+    @property
+    def generated_kernels(self) -> list[SmallGemm]:
+        """All distinct microkernels generated so far."""
+        return list(self._kernels.values())
+
+    def __len__(self) -> int:
+        return len(self._kernels)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of dispatches served from the cache."""
+        if self.dispatch_count == 0:
+            return 0.0
+        return 1.0 - len(self._kernels) / self.dispatch_count

@@ -1,0 +1,148 @@
+"""Shape-specialized small matrix multiplication (the LIBXSMM analog).
+
+A :class:`SmallGemm` computes ``C (+)= A @ B`` for fixed shapes
+
+* ``A``: ``(m, k)``,
+* ``B``: ``(k, n)``,
+* ``C``: ``(m, n)``,
+
+where ``n`` -- the *columns* of ``B`` and ``C`` -- is the unit-stride
+dimension (row-major convention).  Leading dimensions ``lda/ldb/ldc``
+are row strides in doubles and may exceed the logical widths; this is
+how the kernels restrict a GEMM to a matrix slice of a larger tensor
+without copying, interpreting the slice stride as the padded leading
+dimension (paper Fig. 3).
+
+The cost model mirrors a LIBXSMM microkernel vectorized along the
+unit-stride ``n`` dimension: each ``(row, k)`` pair issues
+``ceil(n / vec)`` FMA instructions, so padded lanes execute real FLOPs
+-- exactly the "padding comes for free" accounting of Sec. III-A.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.machine.isa import FlopCounts, TrafficCounts
+
+__all__ = ["SmallGemm"]
+
+
+@dataclass(frozen=True)
+class SmallGemm:
+    """One generated small-GEMM microkernel.
+
+    Parameters
+    ----------
+    m, n, k:
+        Logical GEMM shape: ``C[m, n] (+)= A[m, k] @ B[k, n]``.
+    lda, ldb, ldc:
+        Row strides (in doubles) of the operands as laid out in the
+        surrounding tensors; default to the logical widths.
+    accumulate:
+        ``True`` for ``beta = 1`` (accumulate into C), ``False`` for
+        ``beta = 0`` (overwrite).
+    vector_doubles:
+        SIMD lanes of the target microkernel (1 = scalar code, e.g. the
+        generic triple-loop fallback the Kernel Generator emits when
+        LIBXSMM is unavailable).
+    """
+
+    m: int
+    n: int
+    k: int
+    lda: int = -1
+    ldb: int = -1
+    ldc: int = -1
+    accumulate: bool = False
+    vector_doubles: int = 8
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.n, self.k) < 1:
+            raise ValueError("GEMM dimensions must be positive")
+        if self.vector_doubles not in (1, 2, 4, 8):
+            raise ValueError("vector_doubles must be 1, 2, 4 or 8")
+        object.__setattr__(self, "lda", self.k if self.lda < 0 else self.lda)
+        object.__setattr__(self, "ldb", self.n if self.ldb < 0 else self.ldb)
+        object.__setattr__(self, "ldc", self.n if self.ldc < 0 else self.ldc)
+        if self.lda < self.k or self.ldb < self.n or self.ldc < self.n:
+            raise ValueError("leading dimensions must cover the logical widths")
+
+    # -- geometry ---------------------------------------------------------
+
+    @property
+    def width_bits(self) -> int:
+        """Packing width of the generated FP instructions."""
+        return 64 * self.vector_doubles
+
+    @property
+    def n_vectors(self) -> int:
+        """Vector registers per C row (``ceil(n / vec)``)."""
+        v = self.vector_doubles
+        return (self.n + v - 1) // v
+
+    @property
+    def shape_key(self) -> tuple:
+        """Dispatch key, LIBXSMM-style: shape + strides + beta + ISA."""
+        return (self.m, self.n, self.k, self.lda, self.ldb, self.ldc,
+                self.accumulate, self.vector_doubles)
+
+    # -- cost model -------------------------------------------------------
+
+    def flop_counts(self) -> FlopCounts:
+        """Executed FLOPs attributed to the microkernel's packing width.
+
+        The microkernel runs full vectors over the (padded) unit-stride
+        dimension: ``m * k`` FMA sweeps of ``n_vectors`` registers, i.e.
+        ``2 * m * k * n_vectors * vec`` FLOPs, *including* the padding
+        lanes a hardware counter would see.
+        """
+        flops = 2.0 * self.m * self.k * self.n_vectors * self.vector_doubles
+        return FlopCounts.at_width(flops, self.width_bits)
+
+    @property
+    def useful_flops(self) -> float:
+        """FLOPs excluding padding lanes (the numerically needed work)."""
+        return 2.0 * self.m * self.k * self.n
+
+    def traffic(self) -> TrafficCounts:
+        """Bytes moved per call, assuming no intra-call cache hits.
+
+        A touches ``m * k`` doubles, B ``k * n_vec`` vectors, C is read
+        (when accumulating) and written once.
+        """
+        a = 8.0 * self.m * self.k
+        b = 8.0 * self.k * self.n_vectors * self.vector_doubles
+        c = 8.0 * self.m * self.n_vectors * self.vector_doubles
+        reads = a + b + (c if self.accumulate else 0.0)
+        return TrafficCounts(read_bytes=reads, write_bytes=c)
+
+    # -- execution ----------------------------------------------------------
+
+    def __call__(self, a: np.ndarray, b: np.ndarray, c: np.ndarray) -> None:
+        """Execute on 2-D views ``a (m,k)``, ``b (k,n)``, ``c (m,n)``.
+
+        The views are expected to be slices of padded tensors; strides
+        are carried by NumPy, the ``ld*`` fields only feed the cost
+        model.  Padding columns beyond ``n`` are not touched by the
+        NumPy path (they stay zero by the layout contract).
+        """
+        if a.shape != (self.m, self.k):
+            raise ValueError(f"A must be {(self.m, self.k)}, got {a.shape}")
+        if b.shape != (self.k, self.n):
+            raise ValueError(f"B must be {(self.k, self.n)}, got {b.shape}")
+        if c.shape != (self.m, self.n):
+            raise ValueError(f"C must be {(self.m, self.n)}, got {c.shape}")
+        if self.accumulate:
+            c += a @ b
+        else:
+            c[...] = a @ b
+
+    def __repr__(self) -> str:  # compact, libxsmm-dispatch style
+        beta = 1 if self.accumulate else 0
+        return (
+            f"SmallGemm({self.m}x{self.n}x{self.k}, ld=({self.lda},{self.ldb},"
+            f"{self.ldc}), beta={beta}, vec={self.vector_doubles})"
+        )

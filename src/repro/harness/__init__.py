@@ -1,0 +1,36 @@
+"""Experiment harness: regenerates every figure of the paper.
+
+============ ==========================================================
+entry point  reproduces
+============ ==========================================================
+``fig4``     Fig. 4 -- generic vs LoG (AVX-512) vs LoG (AVX2)
+``fig6``     Fig. 6 -- LoG vs SplitCK
+``fig9``     Fig. 9 -- instruction-mix distribution, all variants
+``fig10``    Fig. 10 -- % available performance + % memory stalls
+``footprint`` Sec. IV-A -- temporary-memory footprints vs the 1 MiB L2
+``headlines`` Sec. VI -- the quoted headline numbers, paper vs model
+============ ==========================================================
+
+Run ``python -m repro.harness <experiment>`` or ``repro-harness``.
+"""
+
+from repro.harness.experiments import application_performance, stp_plan
+from repro.harness.figures import (
+    figure10,
+    figure4,
+    figure6,
+    figure9,
+    footprint_table,
+    headline_metrics,
+)
+
+__all__ = [
+    "application_performance",
+    "stp_plan",
+    "figure4",
+    "figure6",
+    "figure9",
+    "figure10",
+    "footprint_table",
+    "headline_metrics",
+]

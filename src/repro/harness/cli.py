@@ -1,0 +1,53 @@
+"""Command line entry point: ``python -m repro.harness <experiment>``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness import report
+
+EXPERIMENTS = {
+    "fig4": report.render_fig4,
+    "fig6": report.render_fig6,
+    "fig9": report.render_fig9,
+    "fig10": report.render_fig10,
+    "footprint": report.render_footprint,
+    "headlines": report.render_headlines,
+    "roofline": report.render_roofline,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-harness",
+        description="Regenerate the paper's evaluation figures on the "
+        "simulated machine (see DESIGN.md).",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="+",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which figure(s) to regenerate",
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        help="additionally export every figure's data as CSV into DIR",
+    )
+    args = parser.parse_args(argv)
+    names = sorted(EXPERIMENTS) if "all" in args.experiment else args.experiment
+    for i, name in enumerate(names):
+        if i:
+            print("\n")
+        print(EXPERIMENTS[name]())
+    if args.csv:
+        from repro.harness.export import export_all
+
+        for path in export_all(args.csv):
+            print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

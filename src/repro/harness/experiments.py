@@ -1,0 +1,65 @@
+"""Shared experiment plumbing: plans, application profiles, caching.
+
+All performance figures run the paper's workload: the curvilinear
+elastic wave equations with m = 21 quantities (Sec. VI), benchmarked
+per core as an *application* profile -- STP kernel + corrector + engine
+overhead per element and time step ("end-to-end performance, with all
+kernels and engine overhead included").
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.codegen.plan import KernelPlan
+from repro.core.corrector import record_corrector_plan
+from repro.core.spec import KernelSpec
+from repro.core.variants import make_kernel
+from repro.machine.perfmodel import KernelPerformance, PerfModelConfig
+from repro.machine.profiler import Profiler, engine_overhead_plan, merge_plans
+from repro.pde import CurvilinearElasticPDE
+
+__all__ = [
+    "paper_spec",
+    "stp_plan",
+    "application_plan",
+    "application_performance",
+    "PAPER_ORDERS",
+]
+
+#: the order sweep of every figure
+PAPER_ORDERS: tuple[int, ...] = (4, 5, 6, 7, 8, 9, 10, 11)
+
+_PDE = CurvilinearElasticPDE()
+
+
+def paper_spec(order: int, arch: str = "skx") -> KernelSpec:
+    """The Sec. VI kernel specification: 9 + 12 quantities, 3-D."""
+    return KernelSpec(order=order, nvar=9, nparam=12, dim=3, arch=arch)
+
+
+@lru_cache(maxsize=256)
+def stp_plan(variant: str, order: int, arch: str = "skx") -> KernelPlan:
+    """Recorded STP plan of one variant on the paper workload (cached)."""
+    spec = paper_spec(order, arch)
+    return make_kernel(variant, spec, _PDE).build_plan()
+
+
+@lru_cache(maxsize=256)
+def application_plan(variant: str, order: int, arch: str = "skx") -> KernelPlan:
+    """Per-element application step: STP + corrector + engine overhead."""
+    spec = paper_spec(order, arch)
+    return merge_plans(
+        stp_plan(variant, order, arch),
+        record_corrector_plan(spec, _PDE),
+        engine_overhead_plan(spec),
+    )
+
+
+@lru_cache(maxsize=256)
+def application_performance(
+    variant: str, order: int, arch: str = "skx"
+) -> KernelPerformance:
+    """Machine-model metrics for one (variant, order, arch) point."""
+    profiler = Profiler(PerfModelConfig())
+    return profiler.profile(application_plan(variant, order, arch))

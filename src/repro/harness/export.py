@@ -1,0 +1,58 @@
+"""CSV export of the experiment data (for external plotting)."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.harness.figures import (
+    figure10,
+    figure4,
+    figure6,
+    figure9,
+    footprint_table,
+    headline_metrics,
+    roofline_table,
+)
+
+__all__ = ["export_all", "write_rows"]
+
+
+def write_rows(path: Path, rows: list[dict]) -> Path:
+    """Write a list of row dicts as a CSV file."""
+    if not rows:
+        raise ValueError("nothing to write")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=list(rows[0].keys()))
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+def _flatten_series(series: dict[str, list[dict]]) -> list[dict]:
+    return [row for rows in series.values() for row in rows]
+
+
+def export_all(directory: str | Path) -> list[Path]:
+    """Write every figure's data as CSV into ``directory``."""
+    directory = Path(directory)
+    written = [
+        write_rows(directory / "fig4.csv", _flatten_series(figure4())),
+        write_rows(directory / "fig6.csv", _flatten_series(figure6())),
+        write_rows(directory / "fig9.csv", figure9()),
+        write_rows(directory / "fig10.csv", _flatten_series(figure10())),
+        write_rows(directory / "footprint.csv", footprint_table()),
+        write_rows(directory / "roofline.csv", roofline_table()),
+    ]
+    headline_rows = [
+        {
+            "metric": name,
+            "paper": str(entry["paper"]),
+            "measured": str(entry["measured"]),
+            "description": entry["description"],
+        }
+        for name, entry in headline_metrics().items()
+    ]
+    written.append(write_rows(directory / "headlines.csv", headline_rows))
+    return written

@@ -1,0 +1,134 @@
+"""Text rendering of the experiment results."""
+
+from __future__ import annotations
+
+from repro.harness.figures import (
+    figure10,
+    figure4,
+    figure6,
+    figure9,
+    footprint_table,
+    headline_metrics,
+    roofline_table,
+)
+
+__all__ = [
+    "render_two_panel",
+    "render_fig4",
+    "render_fig6",
+    "render_fig9",
+    "render_fig10",
+    "render_footprint",
+    "render_headlines",
+    "render_roofline",
+]
+
+
+def render_two_panel(series: dict[str, list[dict]], title: str) -> str:
+    """Render a Fig. 4/6/10-style result: % perf and % stalls per order."""
+    orders = [row["order"] for row in next(iter(series.values()))]
+    lines = [title, "=" * len(title), ""]
+    header = f"{'series':<14}" + "".join(f"{o:>7}" for o in orders)
+    lines.append("Available performance reached (%)")
+    lines.append(header)
+    for name, rows in series.items():
+        lines.append(
+            f"{name:<14}" + "".join(f"{r['percent_available']:7.1f}" for r in rows)
+        )
+    lines.append("")
+    lines.append("Pipeline slots affected by memory stalls (%)")
+    lines.append(header)
+    for name, rows in series.items():
+        lines.append(
+            f"{name:<14}" + "".join(f"{r['memory_stall_pct']:7.1f}" for r in rows)
+        )
+    return "\n".join(lines)
+
+
+def render_fig4() -> str:
+    return render_two_panel(
+        figure4(), "Fig. 4 -- generic vs LoG (AVX-512) vs LoG (AVX2)"
+    )
+
+
+def render_fig6() -> str:
+    return render_two_panel(figure6(), "Fig. 6 -- LoG vs SplitCK")
+
+
+def render_fig10() -> str:
+    return render_two_panel(figure10(), "Fig. 10 -- all four kernel variants")
+
+
+def render_fig9() -> str:
+    rows = figure9()
+    title = "Fig. 9 -- FLOP packing-width distribution (%)"
+    lines = [title, "=" * len(title), ""]
+    lines.append(
+        f"{'variant':<10}{'order':>6}{'scalar':>9}{'128-bit':>9}{'256-bit':>9}{'512-bit':>9}"
+    )
+    last = None
+    for row in rows:
+        if last is not None and row["variant"] != last:
+            lines.append("")
+        last = row["variant"]
+        lines.append(
+            f"{row['variant']:<10}{row['order']:>6}"
+            f"{row['scalar']:9.1f}{row['bits128']:9.1f}"
+            f"{row['bits256']:9.1f}{row['bits512']:9.1f}"
+        )
+    return "\n".join(lines)
+
+
+def render_footprint() -> str:
+    rows = footprint_table()
+    title = "Sec. IV-A -- STP temporary-memory footprint vs the 1 MiB L2"
+    lines = [title, "=" * len(title), ""]
+    lines.append(f"{'variant':<10}{'order':>6}{'temp MiB':>10}  fits L2?")
+    last = None
+    for row in rows:
+        if last is not None and row["variant"] != last:
+            lines.append("")
+        last = row["variant"]
+        lines.append(
+            f"{row['variant']:<10}{row['order']:>6}{row['temp_mib']:10.2f}  "
+            + ("yes" if row["fits_l2"] else "NO")
+        )
+    return "\n".join(lines)
+
+
+def render_roofline() -> str:
+    rows = roofline_table()
+    title = "Roofline placement (extension; DRAM-traffic operational intensity)"
+    lines = [title, "=" * len(title), ""]
+    lines.append(
+        f"{'variant':<10}{'order':>6}{'flop/byte':>11}{'ceiling GF/s':>14}  bound"
+    )
+    last = None
+    for row in rows:
+        if last is not None and row["variant"] != last:
+            lines.append("")
+        last = row["variant"]
+        lines.append(
+            f"{row['variant']:<10}{row['order']:>6}{row['intensity']:11.1f}"
+            f"{row['ceiling_gflops']:14.1f}  "
+            + ("memory" if row["memory_bound"] else "compute")
+        )
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, tuple):
+        return f"{value[0]:.1f} .. {value[1]:.1f}"
+    return f"{value:.1f}"
+
+
+def render_headlines() -> str:
+    metrics = headline_metrics()
+    title = "Sec. VI headline numbers -- paper vs machine model"
+    lines = [title, "=" * len(title), ""]
+    lines.append(f"{'metric':<38}{'paper':>14}{'measured':>14}")
+    for name, entry in metrics.items():
+        lines.append(
+            f"{name:<38}{_fmt(entry['paper']):>14}{_fmt(entry['measured']):>14}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""Simulated target machine: ISA, caches, and performance model.
+
+The paper measures its kernels on Intel Skylake (Xeon Platinum 8174)
+with Intel VTune.  Python cannot issue SIMD instructions or observe
+hardware counters, so this package substitutes a *model* of the target
+machine (see DESIGN.md, substitution 3):
+
+* :mod:`repro.machine.arch` -- architecture descriptors (vector width,
+  FMA units, AVX frequency derating, cache geometry) with the Skylake
+  constants from the paper's Sec. VI.
+* :mod:`repro.machine.isa` -- instruction-mix accounting
+  (scalar/128/256/512-bit FLOP attribution, Fig. 9's metric).
+* :mod:`repro.machine.cache` -- reference set-associative LRU cache
+  simulator at cache-line granularity.
+* :mod:`repro.machine.segcache` -- fast segment-granular LRU cache
+  model used by the benchmark harness, cross-validated against the
+  line-level simulator in the test-suite.
+* :mod:`repro.machine.memtrace` -- turns kernel plans into memory
+  access streams for the cache models.
+* :mod:`repro.machine.perfmodel` -- top-down pipeline-slot model
+  producing the paper's two headline metrics: % of available
+  performance and % of pipeline slots affected by memory stalls.
+* :mod:`repro.machine.profiler` -- VTune-like facade bundling all of
+  the above.
+"""
+
+from repro.machine.arch import Architecture, CacheLevel, get_architecture
+from repro.machine.isa import FlopCounts, TrafficCounts
+
+__all__ = [
+    "Architecture",
+    "CacheLevel",
+    "get_architecture",
+    "FlopCounts",
+    "TrafficCounts",
+]

@@ -1,0 +1,221 @@
+"""Target architecture descriptors.
+
+The constants for ``skx`` mirror the paper's benchmark platform
+(Sec. VI): SuperMUC-NG nodes with Intel Xeon Platinum 8174 CPUs.
+
+* two AVX-512 FMA units per core,
+* 1.9 GHz sustained frequency under AVX-512 (reduced from the 2.7 GHz
+  scalar base frequency -- the ~30 % derating the paper highlights),
+* available performance per core: ``1.9 GHz * 2 units * 2 flops * 8
+  doubles = 60.8 DP GFlop/s``,
+* 32 KiB 8-way L1D, **1 MiB** 16-way L2 per core (the bottleneck of
+  Sec. IV-A), and a non-inclusive shared L3 of which each core
+  effectively sees ~4 MiB in the paper's 8-cores-per-socket run
+  configuration.
+
+``hsw`` is the AVX2 code path the paper uses for its "LoG (AVX2)"
+series -- the same physical Skylake core executing 256-bit code at the
+higher AVX2 frequency.  ``noarch`` models the generic kernels: plain
+scalar code at the base frequency.
+
+Latency and overlap constants are *calibration* constants in the sense
+of DESIGN.md Sec. 5: they are set once from public Skylake
+characterization (Fog's tables / Intel SoftDevGuide ranges) and the
+paper's generic-kernel plateau, then held fixed for every variant,
+order and figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CacheLevel", "Architecture", "get_architecture", "ARCHITECTURES", "SKX_PEAK_GFLOPS"]
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """Geometry and timing of one level of the data-cache hierarchy."""
+
+    name: str
+    capacity_bytes: int
+    ways: int
+    latency_cycles: float
+    line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes % (self.ways * self.line_bytes):
+            raise ValueError(f"{self.name}: capacity must be a multiple of ways*line")
+
+    @property
+    def sets(self) -> int:
+        return self.capacity_bytes // (self.ways * self.line_bytes)
+
+    @property
+    def lines(self) -> int:
+        return self.capacity_bytes // self.line_bytes
+
+
+@dataclass(frozen=True)
+class Architecture:
+    """A SIMD target architecture, ExaHyPE-Kernel-Generator style.
+
+    ExaHyPE's Kernel Generator selects padding and alignment from an
+    architecture name (``noarch``, ``wsm``, ``snb``, ``hsw``, ``knl``,
+    ``skx``); this class carries the same information plus the machine
+    model constants.
+    """
+
+    name: str
+    vector_bytes: int  # SIMD register width (8 = scalar)
+    fma_units: int
+    simd_freq_ghz: float  # sustained frequency executing this ISA
+    scalar_freq_ghz: float  # base frequency for scalar-dominated code
+    caches: tuple[CacheLevel, ...] = field(default=())
+    #: DRAM latency is frequency-independent, so it is specified in ns
+    #: (cache latencies scale with the core clock and stay in cycles).
+    dram_latency_ns: float = 100.0
+    line_bytes: int = 64
+
+    @property
+    def dram_latency_cycles(self) -> float:
+        """DRAM latency in cycles at the SIMD-sustained frequency."""
+        return self.dram_latency_ns * self.simd_freq_ghz
+
+    def __post_init__(self) -> None:
+        if self.vector_bytes % 8:
+            raise ValueError("vector_bytes must be a multiple of 8 (a double)")
+
+    # -- SIMD geometry ---------------------------------------------------
+
+    @property
+    def vector_doubles(self) -> int:
+        """Number of float64 lanes in one SIMD register."""
+        return self.vector_bytes // 8
+
+    @property
+    def alignment_bytes(self) -> int:
+        """Required alignment for vector loads/stores."""
+        return max(self.vector_bytes, 16)
+
+    def pad_doubles(self, n: int) -> int:
+        """Zero-pad a leading dimension of ``n`` doubles to the SIMD width.
+
+        This is the Kernel Generator's padding rule (Sec. III-A): the
+        fastest-running dimension of every tensor is rounded up to the
+        next multiple of the vector length.
+        """
+        v = self.vector_doubles
+        return ((n + v - 1) // v) * v
+
+    # -- peak throughput ---------------------------------------------------
+
+    def flops_per_cycle(self, width_bits: int) -> float:
+        """Peak FMA DP-FLOPs per cycle for instructions of ``width_bits``."""
+        lanes = min(width_bits // 64, self.vector_doubles)
+        return 2.0 * self.fma_units * lanes  # 2 flops per lane per FMA
+
+    @property
+    def peak_flops_per_cycle(self) -> float:
+        return self.flops_per_cycle(self.vector_bytes * 8)
+
+    @property
+    def peak_gflops(self) -> float:
+        """Peak DP GFlop/s per core at the SIMD-sustained frequency."""
+        return self.peak_flops_per_cycle * self.simd_freq_ghz
+
+    # -- cache hierarchy ---------------------------------------------------
+
+    @property
+    def l2(self) -> CacheLevel:
+        for lvl in self.caches:
+            if lvl.name == "L2":
+                return lvl
+        raise LookupError(f"{self.name} has no L2 cache level")
+
+
+def _skylake_caches() -> tuple[CacheLevel, ...]:
+    return (
+        CacheLevel("L1", 32 * 1024, ways=8, latency_cycles=4.0),
+        CacheLevel("L2", 1024 * 1024, ways=16, latency_cycles=14.0),
+        # 33 MiB shared non-inclusive L3; ~4 MiB effective per core in the
+        # paper's 8-core-per-socket benchmark layout.
+        CacheLevel("L3", 4 * 1024 * 1024, ways=16, latency_cycles=68.0),
+    )
+
+
+ARCHITECTURES: dict[str, Architecture] = {
+    # Generic scalar compilation target (paper's "generic" baseline): the
+    # same Skylake core, running mostly-scalar code at base frequency.
+    "noarch": Architecture(
+        name="noarch",
+        vector_bytes=8,
+        fma_units=2,
+        simd_freq_ghz=2.7,
+        scalar_freq_ghz=2.7,
+        caches=_skylake_caches(),
+    ),
+    # Westmere-era SSE target kept for Kernel-Generator parity.
+    "wsm": Architecture(
+        name="wsm",
+        vector_bytes=16,
+        fma_units=1,
+        simd_freq_ghz=2.7,
+        scalar_freq_ghz=2.7,
+        caches=_skylake_caches(),
+    ),
+    # Sandy Bridge AVX target.
+    "snb": Architecture(
+        name="snb",
+        vector_bytes=32,
+        fma_units=1,
+        simd_freq_ghz=2.5,
+        scalar_freq_ghz=2.7,
+        caches=_skylake_caches(),
+    ),
+    # Haswell AVX2 target -- the paper's "LoG (AVX2)" series runs this
+    # code path on the Skylake machine at the AVX2 turbo frequency.
+    "hsw": Architecture(
+        name="hsw",
+        vector_bytes=32,
+        fma_units=2,
+        simd_freq_ghz=2.3,
+        scalar_freq_ghz=2.7,
+        caches=_skylake_caches(),
+    ),
+    # Knights Landing AVX-512 target (smaller caches).
+    "knl": Architecture(
+        name="knl",
+        vector_bytes=64,
+        fma_units=2,
+        simd_freq_ghz=1.3,
+        scalar_freq_ghz=1.4,
+        caches=(
+            CacheLevel("L1", 32 * 1024, ways=8, latency_cycles=4.0),
+            CacheLevel("L2", 512 * 1024, ways=16, latency_cycles=17.0),
+        ),
+        dram_latency_ns=150.0,
+    ),
+    # Skylake AVX-512 -- the paper's primary platform.
+    "skx": Architecture(
+        name="skx",
+        vector_bytes=64,
+        fma_units=2,
+        simd_freq_ghz=1.9,
+        scalar_freq_ghz=2.7,
+        caches=_skylake_caches(),
+    ),
+}
+
+#: The paper's fixed "available performance" denominator (Sec. VI):
+#: 60.8 DP GFlop/s per Skylake core under AVX-512.
+SKX_PEAK_GFLOPS: float = ARCHITECTURES["skx"].peak_gflops
+
+
+def get_architecture(name: str) -> Architecture:
+    """Look up an architecture descriptor by Kernel-Generator name."""
+    try:
+        return ARCHITECTURES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown architecture {name!r}; available: {sorted(ARCHITECTURES)}"
+        ) from None

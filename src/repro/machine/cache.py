@@ -1,0 +1,108 @@
+"""Reference set-associative LRU cache simulator (line granularity).
+
+This is the ground-truth model: true LRU within each set, one entry per
+64-byte line, simulated access by access.  It is too slow for the
+full benchmark sweeps (those use the segment-granular model in
+:mod:`repro.machine.segcache`, which the test-suite cross-validates
+against this one) but exact for unit tests and small kernels.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.machine.arch import Architecture, CacheLevel
+
+__all__ = ["LRUCache", "CacheHierarchy", "AccessStats"]
+
+
+@dataclass
+class AccessStats:
+    """Hit/miss counters of one cache level."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_ratio(self) -> float:
+        return 0.0 if self.accesses == 0 else self.misses / self.accesses
+
+
+class LRUCache:
+    """One set-associative cache level with true LRU replacement."""
+
+    def __init__(self, level: CacheLevel):
+        self.level = level
+        self.sets = level.sets
+        self.ways = level.ways
+        self._storage: list[OrderedDict] = [OrderedDict() for _ in range(self.sets)]
+        self.stats = AccessStats()
+
+    def access(self, line: int) -> bool:
+        """Touch one line address; returns ``True`` on hit."""
+        s = self._storage[line % self.sets]
+        if line in s:
+            s.move_to_end(line)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        s[line] = None
+        if len(s) > self.ways:
+            s.popitem(last=False)
+        return False
+
+    def flush(self) -> None:
+        for s in self._storage:
+            s.clear()
+
+    @property
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self._storage)
+
+
+@dataclass
+class CacheHierarchy:
+    """An inclusive multi-level hierarchy fed by a line-address stream.
+
+    A miss at level ``k`` propagates to level ``k+1``; a final miss
+    counts as a DRAM access.  (The real Skylake L3 is non-inclusive;
+    at our granularity the distinction is immaterial and inclusive
+    book-keeping is simpler to validate.)
+    """
+
+    arch: Architecture
+    levels: list[LRUCache] = field(init=False)
+    dram_accesses: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        self.levels = [LRUCache(lvl) for lvl in self.arch.caches]
+
+    def access(self, line: int) -> str:
+        """Touch a line; returns the name of the level that served it."""
+        for cache in self.levels:
+            if cache.access(line):
+                return cache.level.name
+        self.dram_accesses += 1
+        return "DRAM"
+
+    def access_stream(self, lines: np.ndarray) -> None:
+        for line in lines:
+            self.access(int(line))
+
+    def miss_summary(self) -> dict[str, int]:
+        """Misses per level that had to go further down, plus DRAM hits."""
+        out = {c.level.name: c.stats.misses for c in self.levels}
+        out["DRAM"] = self.dram_accesses
+        return out
+
+    def flush(self) -> None:
+        for c in self.levels:
+            c.flush()
+        # keep stats: flush models a context switch, not a new experiment

@@ -1,0 +1,119 @@
+"""Instruction-mix and traffic accounting.
+
+The paper's Fig. 9 plots the distribution of floating point operations
+by the packing width of the instruction that produced them (scalar /
+128 / 256 / 512-bit).  :class:`FlopCounts` carries exactly that
+attribution; every operation in a kernel plan reports one, and the
+profiler sums them.
+
+:class:`TrafficCounts` carries the byte volumes an operation moves,
+split into reads and writes, which the cache models consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FlopCounts", "TrafficCounts", "PACKING_WIDTHS"]
+
+#: Packing widths in bits, in ascending order (64 = scalar double).
+PACKING_WIDTHS: tuple[int, ...] = (64, 128, 256, 512)
+
+
+@dataclass(frozen=True)
+class FlopCounts:
+    """DP floating point operations attributed to instruction widths.
+
+    Attributes hold *FLOPs* (not instruction counts): one AVX-512 FMA
+    contributes 16 to :attr:`v512`.  Padding FLOPs are included, exactly
+    as a hardware counter would see them (Sec. III-A: padding work is
+    executed, it just rides along in otherwise-idle lanes).
+    """
+
+    scalar: float = 0.0
+    v128: float = 0.0
+    v256: float = 0.0
+    v512: float = 0.0
+
+    def __add__(self, other: "FlopCounts") -> "FlopCounts":
+        return FlopCounts(
+            self.scalar + other.scalar,
+            self.v128 + other.v128,
+            self.v256 + other.v256,
+            self.v512 + other.v512,
+        )
+
+    def scaled(self, factor: float) -> "FlopCounts":
+        return FlopCounts(
+            self.scalar * factor,
+            self.v128 * factor,
+            self.v256 * factor,
+            self.v512 * factor,
+        )
+
+    @property
+    def total(self) -> float:
+        return self.scalar + self.v128 + self.v256 + self.v512
+
+    def by_width(self) -> dict[int, float]:
+        """Map packing width in bits -> FLOPs."""
+        return {64: self.scalar, 128: self.v128, 256: self.v256, 512: self.v512}
+
+    def fractions(self) -> dict[int, float]:
+        """Map packing width in bits -> fraction of total FLOPs (Fig. 9)."""
+        t = self.total
+        if t == 0.0:
+            return {w: 0.0 for w in PACKING_WIDTHS}
+        return {w: f / t for w, f in self.by_width().items()}
+
+    @property
+    def scalar_fraction(self) -> float:
+        return 0.0 if self.total == 0.0 else self.scalar / self.total
+
+    @property
+    def vectorized_fraction(self) -> float:
+        return 1.0 - self.scalar_fraction
+
+    @staticmethod
+    def at_width(flops: float, width_bits: int) -> "FlopCounts":
+        """Attribute ``flops`` FLOPs to a single packing width."""
+        if width_bits == 64:
+            return FlopCounts(scalar=flops)
+        if width_bits == 128:
+            return FlopCounts(v128=flops)
+        if width_bits == 256:
+            return FlopCounts(v256=flops)
+        if width_bits == 512:
+            return FlopCounts(v512=flops)
+        raise ValueError(f"unsupported packing width {width_bits} bits")
+
+    def instructions(self) -> float:
+        """Approximate FP instruction count (FLOPs / lanes, FMA-normalized).
+
+        Used by the performance model to convert FLOPs into issue slots:
+        one FMA instruction retires 2 FLOPs per lane.
+        """
+        return (
+            self.scalar / 2.0
+            + self.v128 / 4.0
+            + self.v256 / 8.0
+            + self.v512 / 16.0
+        )
+
+
+@dataclass(frozen=True)
+class TrafficCounts:
+    """Bytes an operation reads and writes (before any cache filtering)."""
+
+    read_bytes: float = 0.0
+    write_bytes: float = 0.0
+
+    def __add__(self, other: "TrafficCounts") -> "TrafficCounts":
+        return TrafficCounts(
+            self.read_bytes + other.read_bytes,
+            self.write_bytes + other.write_bytes,
+        )
+
+    @property
+    def total_bytes(self) -> float:
+        return self.read_bytes + self.write_bytes

@@ -1,0 +1,82 @@
+"""Line-granular memory trace generation from kernel plans.
+
+Used to drive the exact LRU simulator of :mod:`repro.machine.cache`
+when validating the fast segment model.  Buffers are placed at disjoint
+aligned virtual base addresses; each operation emits the cache-line
+addresses it touches, in the streaming order of the generated code:
+
+* ``GemmOp`` -- per batch slice: the B slice, the (usually tiny,
+  resident) A operand, then the C slice.  Fused slices are contiguous
+  and consecutive, exactly like in the kernels.
+* ``PointwiseOp`` -- one sequential sweep per buffer access, capped at
+  the buffer size (re-reads of small constants revisit the same lines).
+* ``TransposeOp`` -- source sweep, then destination sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codegen.plan import GemmOp, KernelPlan, PointwiseOp, TransposeOp
+
+__all__ = ["assign_addresses", "op_trace", "plan_trace"]
+
+_LINE = 64
+
+
+def assign_addresses(plan: KernelPlan, alignment: int = 4096) -> dict[str, int]:
+    """Place every buffer at a disjoint aligned base address."""
+    bases: dict[str, int] = {}
+    cursor = alignment
+    for name, buf in plan.buffers.items():
+        bases[name] = cursor
+        size = max(buf.nbytes, 1)
+        cursor += ((size + alignment - 1) // alignment) * alignment
+    return bases
+
+
+def _range_lines(base: int, offset_bytes: float, nbytes: float) -> np.ndarray:
+    start = int(base + offset_bytes)
+    end = int(base + offset_bytes + max(nbytes, 0))
+    first = start // _LINE
+    last = (max(end - 1, start)) // _LINE
+    return np.arange(first, last + 1, dtype=np.int64)
+
+
+def op_trace(op, bases: dict[str, int], buffers) -> np.ndarray:
+    """Cache-line address stream of one operation."""
+    chunks: list[np.ndarray] = []
+    if isinstance(op, GemmOp):
+        g = op.gemm
+        a_bytes = 8 * g.m * g.k
+        b_bytes = 8 * g.k * g.n_vectors * g.vector_doubles
+        c_bytes = 8 * g.m * g.n_vectors * g.vector_doubles
+        a_size = buffers[op.a].nbytes
+        b_size = buffers[op.b].nbytes
+        c_size = buffers[op.c].nbytes
+        for i in range(op.batch):
+            b_off = (i * b_bytes) % max(b_size, 1)
+            c_off = (i * c_bytes) % max(c_size, 1)
+            a_off = (i * a_bytes) % max(a_size, 1) if a_bytes * op.batch > a_size else 0
+            chunks.append(_range_lines(bases[op.b], b_off, min(b_bytes, b_size)))
+            chunks.append(_range_lines(bases[op.a], a_off, min(a_bytes, a_size)))
+            chunks.append(_range_lines(bases[op.c], c_off, min(c_bytes, c_size)))
+    elif isinstance(op, (PointwiseOp, TransposeOp)):
+        for acc in op.accesses():
+            total = acc.read_bytes + acc.write_bytes
+            size = buffers[acc.buffer].nbytes
+            chunks.append(_range_lines(bases[acc.buffer], 0, min(total, size)))
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"unknown op type {type(op)!r}")
+    if not chunks:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(chunks)
+
+
+def plan_trace(plan: KernelPlan, bases: dict[str, int] | None = None) -> np.ndarray:
+    """Full line-address stream of one kernel invocation."""
+    bases = assign_addresses(plan) if bases is None else bases
+    parts = [op_trace(op, bases, plan.buffers) for op in plan.ops]
+    if not parts:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(parts)

@@ -1,0 +1,93 @@
+"""VTune-like profiler facade.
+
+Bundles the segment cache model and the performance model into the
+one-call interface the experiment harness uses, and provides the plan
+composition needed to model the *full application* the paper measures
+("end-to-end performance, with all kernels and engine overhead
+included -- though performance stays dominated by the STP kernel",
+Sec. VI): per element and time step, one STP invocation plus the
+corrector/engine work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.codegen.plan import Buffer, BufferAccess, KernelPlan, PointwiseOp
+from repro.machine.isa import FlopCounts
+from repro.machine.perfmodel import KernelPerformance, PerfModel, PerfModelConfig
+from repro.machine.segcache import SegmentCacheModel
+
+__all__ = ["Profiler", "merge_plans", "engine_overhead_plan"]
+
+
+def merge_plans(*plans: KernelPlan) -> KernelPlan:
+    """Concatenate plans into one application plan.
+
+    Buffer names are prefixed per source plan so different kernels'
+    temporaries occupy distinct addresses (as they do in the engine).
+    """
+    if not plans:
+        raise ValueError("need at least one plan")
+    merged = KernelPlan(variant=plans[0].variant, spec=plans[0].spec)
+    for idx, plan in enumerate(plans):
+        prefix = f"p{idx}."
+        for name, buf in plan.buffers.items():
+            merged.buffers[prefix + name] = replace(buf, name=prefix + name)
+        for op in plan.ops:
+            merged.ops.append(_remap(op, prefix))
+    return merged
+
+
+def _remap(op, prefix: str):
+    if hasattr(op, "buffer_accesses"):  # PointwiseOp
+        return replace(
+            op,
+            buffer_accesses=tuple(
+                replace(a, buffer=prefix + a.buffer) for a in op.buffer_accesses
+            ),
+        )
+    if hasattr(op, "gemm"):  # GemmOp
+        return replace(op, a=prefix + op.a, b=prefix + op.b, c=prefix + op.c)
+    return replace(op, src=prefix + op.src, dst=prefix + op.dst)  # TransposeOp
+
+
+def engine_overhead_plan(spec, flops_per_node: float = 40.0) -> KernelPlan:
+    """Per-element engine work outside the optimized kernels.
+
+    Mesh traversal, heap bookkeeping, plotting hooks and the
+    (unvectorized) glue code contribute a scalar-FLOP tail proportional
+    to the element size.  This is the part of the application that
+    keeps even the AoSoA setup at 2-4 % scalar FLOPs in Fig. 9.
+    """
+    n, m = spec.order, spec.nquantities
+    plan = KernelPlan(variant="engine", spec=spec)
+    nbytes = 8 * n**3 * m
+    plan.buffers["element"] = Buffer("element", nbytes, "input")
+    plan.ops.append(
+        PointwiseOp(
+            "engine_overhead",
+            FlopCounts.at_width(flops_per_node * n**3, 64),
+            (BufferAccess("element", read_bytes=nbytes, write_bytes=nbytes),),
+        )
+    )
+    return plan
+
+
+class Profiler:
+    """Profile kernel plans on the simulated machine."""
+
+    def __init__(self, config: PerfModelConfig | None = None, repetitions: int = 4):
+        self.config = config or PerfModelConfig()
+        self.repetitions = repetitions
+
+    def profile(self, plan: KernelPlan) -> KernelPerformance:
+        """Model one plan executed repeatedly over mesh elements."""
+        arch = plan.spec.architecture
+        cache = SegmentCacheModel(arch)
+        misses = cache.run_plan(plan, repetitions=self.repetitions)
+        return PerfModel(arch, self.config).evaluate(plan, misses)
+
+    def profile_application(self, *plans: KernelPlan) -> KernelPerformance:
+        """Model an application step: STP + corrector + engine overhead."""
+        return self.profile(merge_plans(*plans))

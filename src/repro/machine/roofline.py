@@ -1,0 +1,86 @@
+"""Roofline analysis of the kernel variants.
+
+The paper's narrative is a roofline story: ADER-DG's "high arithmetic
+intensity" should make the kernels compute-bound, but the generic/LoG
+variants' memory footprint pushes them under the bandwidth roof; the
+SplitCK reformulation restores the intensity by keeping the working set
+in cache.  This module quantifies that: operational intensity is
+measured against *DRAM* traffic from the cache model (the standard
+roofline convention), and the attainable ceiling is
+``min(peak, intensity * bandwidth)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codegen.plan import KernelPlan
+from repro.machine.arch import Architecture
+from repro.machine.segcache import LevelMisses, SegmentCacheModel
+
+__all__ = ["RooflinePoint", "roofline_point", "SKX_DRAM_BW_GBS"]
+
+#: per-core sustainable DRAM bandwidth on the benchmark platform
+#: (6-channel DDR4-2666 socket shared by 8 active cores).
+SKX_DRAM_BW_GBS = 14.0
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel's position in the roofline plot."""
+
+    variant: str
+    order: int
+    flops: float
+    dram_bytes: float
+    peak_gflops: float
+    bandwidth_gbs: float
+
+    @property
+    def intensity(self) -> float:
+        """Operational intensity in FLOP/byte (DRAM traffic)."""
+        if self.dram_bytes == 0.0:
+            return float("inf")
+        return self.flops / self.dram_bytes
+
+    @property
+    def ridge_intensity(self) -> float:
+        """Intensity at which the two roofs intersect."""
+        return self.peak_gflops / self.bandwidth_gbs
+
+    @property
+    def ceiling_gflops(self) -> float:
+        """Attainable performance under the roofline."""
+        return min(self.peak_gflops, self.intensity * self.bandwidth_gbs)
+
+    @property
+    def memory_bound(self) -> bool:
+        return self.intensity < self.ridge_intensity
+
+
+def roofline_point(
+    plan: KernelPlan,
+    arch: Architecture | None = None,
+    bandwidth_gbs: float = SKX_DRAM_BW_GBS,
+    repetitions: int = 4,
+    misses: LevelMisses | None = None,
+) -> RooflinePoint:
+    """Place one kernel plan on the roofline.
+
+    DRAM traffic is taken from the segment cache model's steady state
+    (reads + write-allocates), so the intensity reflects cache reuse --
+    not just the algorithmic byte count.
+    """
+    arch = plan.spec.architecture if arch is None else arch
+    if misses is None:
+        model = SegmentCacheModel(arch)
+        misses = model.run_plan(plan, repetitions=repetitions)
+    dram_lines = misses.get("DRAM") + misses.get_writes("DRAM")
+    return RooflinePoint(
+        variant=plan.variant,
+        order=getattr(plan.spec, "order", 0),
+        flops=plan.flop_counts().total,
+        dram_bytes=dram_lines * arch.line_bytes,
+        peak_gflops=arch.peak_gflops,
+        bandwidth_gbs=bandwidth_gbs,
+    )

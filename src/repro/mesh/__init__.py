@@ -1,0 +1,22 @@
+"""Hexahedral mesh infrastructure (the Peano-framework substitute).
+
+* :mod:`repro.mesh.grid` -- uniform Cartesian hexahedral grid with
+  periodic/boundary connectivity and per-element node coordinates.
+* :mod:`repro.mesh.sfc` -- Peano space-filling-curve element ordering
+  (the traversal order of the Peano framework underlying ExaHyPE).
+* :mod:`repro.mesh.curvilinear` -- smooth boundary-fitted mesh
+  transforms and their per-node metric tensors, providing the 9
+  geometry parameters of the paper's m = 21 workload.
+"""
+
+from repro.mesh.grid import UniformGrid
+from repro.mesh.sfc import peano_order
+from repro.mesh.curvilinear import CurvilinearTransform, SinusoidalTransform, IdentityTransform
+
+__all__ = [
+    "UniformGrid",
+    "peano_order",
+    "CurvilinearTransform",
+    "SinusoidalTransform",
+    "IdentityTransform",
+]

@@ -1,0 +1,128 @@
+"""Uniform Cartesian hexahedral grid.
+
+ExaHyPE runs on tree-structured Cartesian meshes managed by Peano; the
+paper's benchmarks use regular grids, which is what this class
+provides: ``nx x ny x nz`` cubic elements over a box, with neighbor
+connectivity, periodic or physical boundaries, and per-element node
+coordinates for a given quadrature rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.basis.operators import DGOperators
+
+__all__ = ["UniformGrid", "BOUNDARY"]
+
+#: neighbor index returned for a physical (non-periodic) boundary face
+BOUNDARY = -1
+
+
+@dataclass(frozen=True)
+class UniformGrid:
+    """A regular grid of cubic elements.
+
+    Parameters
+    ----------
+    shape:
+        Elements per dimension ``(nx, ny, nz)``.
+    extent:
+        Physical box size per dimension; elements must come out cubic
+        (the kernels assume a single edge length ``h``).
+    periodic:
+        Periodicity per dimension.
+    """
+
+    shape: tuple[int, int, int]
+    extent: tuple[float, float, float] = (1.0, 1.0, 1.0)
+    periodic: tuple[bool, bool, bool] = (True, True, True)
+
+    def __post_init__(self) -> None:
+        if any(n < 1 for n in self.shape):
+            raise ValueError("grid needs at least one element per dimension")
+        hs = {self.extent[d] / self.shape[d] for d in range(3)}
+        if max(hs) - min(hs) > 1e-12 * max(hs):
+            raise ValueError("elements must be cubic (equal h in all dimensions)")
+
+    @property
+    def n_elements(self) -> int:
+        nx, ny, nz = self.shape
+        return nx * ny * nz
+
+    @property
+    def h(self) -> float:
+        """Physical element edge length."""
+        return self.extent[0] / self.shape[0]
+
+    # -- indexing -----------------------------------------------------------
+
+    def index(self, ex: int, ey: int, ez: int) -> int:
+        """Flat element id from per-dimension indices."""
+        nx, ny, _ = self.shape
+        return (ez * ny + ey) * nx + ex
+
+    def coordinates(self, e: int) -> tuple[int, int, int]:
+        """Per-dimension indices from flat element id."""
+        nx, ny, _ = self.shape
+        ex = e % nx
+        ey = (e // nx) % ny
+        ez = e // (nx * ny)
+        return ex, ey, ez
+
+    def neighbor(self, e: int, d: int, side: int) -> int:
+        """Neighbor element across face (``d``, ``side``); BOUNDARY if none.
+
+        ``side = 0`` is the low-coordinate face, ``side = 1`` the high
+        one.
+        """
+        idx = list(self.coordinates(e))
+        idx[d] += 1 if side == 1 else -1
+        if 0 <= idx[d] < self.shape[d]:
+            return self.index(*idx)
+        if self.periodic[d]:
+            idx[d] %= self.shape[d]
+            return self.index(*idx)
+        return BOUNDARY
+
+    # -- geometry ----------------------------------------------------------------
+
+    def origin(self, e: int) -> np.ndarray:
+        """Physical coordinates of the element's low corner."""
+        idx = self.coordinates(e)
+        return np.array([idx[d] * self.extent[d] / self.shape[d] for d in range(3)])
+
+    def node_coordinates(self, e: int, ops: DGOperators) -> np.ndarray:
+        """Physical coordinates of all quadrature nodes, ``(N, N, N, 3)``.
+
+        Array index order is ``(z, y, x)``, matching the kernels'
+        canonical tensor layout.
+        """
+        h = self.h
+        org = self.origin(e)
+        nodes = ops.nodes
+        z = org[2] + h * nodes
+        y = org[1] + h * nodes
+        x = org[0] + h * nodes
+        out = np.zeros((len(nodes),) * 3 + (3,))
+        out[..., 0] = x[None, None, :]
+        out[..., 1] = y[None, :, None]
+        out[..., 2] = z[:, None, None]
+        return out
+
+    def locate(self, point: np.ndarray) -> tuple[int, np.ndarray]:
+        """Element containing ``point`` and the reference coordinates in it."""
+        point = np.asarray(point, dtype=float)
+        idx = []
+        ref = np.zeros(3)
+        for d in range(3):
+            h_d = self.extent[d] / self.shape[d]
+            i = int(np.clip(point[d] / h_d, 0, self.shape[d] - 1e-9))
+            i = min(i, self.shape[d] - 1)
+            idx.append(i)
+            ref[d] = point[d] / h_d - i
+        if np.any(ref < -1e-12) or np.any(ref > 1 + 1e-12):
+            raise ValueError(f"point {point} outside the grid")
+        return self.index(*idx), np.clip(ref, 0.0, 1.0)

@@ -1,0 +1,35 @@
+"""Linear hyperbolic PDE systems (the application layer / user functions).
+
+ExaHyPE applications provide PDE-specific *user functions* -- fluxes,
+non-conservative products, eigenvalues, boundary treatment -- which the
+generated kernels call back into (paper Sec. II-C).  This package
+implements the systems used throughout the reproduction:
+
+* :mod:`repro.pde.advection` -- scalar/system linear advection (the
+  simplest validation workload).
+* :mod:`repro.pde.acoustic` -- linear acoustics (4 quantities).
+* :mod:`repro.pde.elastic` -- 3-D isotropic elastic waves in
+  first-order velocity-stress form: 9 evolved quantities + 3 material
+  parameters, the paper's benchmark system (Sec. VI).
+* :mod:`repro.pde.curvilinear` -- the curvilinear wrapper that adds the
+  9 per-node geometry entries, giving the paper's ``m = 21`` workload.
+"""
+
+from repro.pde.base import LinearPDE
+from repro.pde.advection import AdvectionPDE
+from repro.pde.acoustic import AcousticPDE
+from repro.pde.elastic import ElasticPDE
+from repro.pde.curvilinear import CurvilinearElasticPDE
+from repro.pde.ncp import ElasticNCPPDE, NCPWrapperPDE
+from repro.pde.burgers import BurgersPDE
+
+__all__ = [
+    "BurgersPDE",
+    "LinearPDE",
+    "AdvectionPDE",
+    "AcousticPDE",
+    "ElasticPDE",
+    "CurvilinearElasticPDE",
+    "NCPWrapperPDE",
+    "ElasticNCPPDE",
+]

@@ -1,0 +1,186 @@
+"""Abstract interface for linear hyperbolic PDE systems.
+
+The systems have the form (paper eq. 1)
+
+.. math::
+
+    Q_t + \\sum_d \\partial_d F_d(Q) + \\sum_d B_d \\, \\partial_d Q = S,
+
+with ``F_d`` and ``B_d`` *linear* in the evolved quantities but
+possibly depending on static per-node parameters (material properties,
+geometry).  Each node carries ``m = nvar + nparam`` doubles: the
+``nvar`` evolved quantities first, then the ``nparam`` parameters --
+exactly the "m = 21 quantities at each integration point" bookkeeping
+of the paper's Sec. VI.
+
+All user functions operate on arrays whose *last* axis is the quantity
+axis (canonical order), on arbitrary batch shapes.  Fluxes return
+full-width ``(..., m)`` arrays with zeros in the parameter slots, so
+the kernels never special-case parameters: deriving a zero flux keeps
+them constant in time automatically.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = ["LinearPDE"]
+
+
+class LinearPDE(ABC):
+    """A linear hyperbolic PDE system with static per-node parameters."""
+
+    #: number of evolved quantities
+    nvar: int
+    #: number of static per-node parameters stored alongside them
+    nparam: int = 0
+    #: whether the system has a non-conservative product term B . grad Q
+    has_ncp: bool = False
+    #: the Cauchy-Kowalewsky kernels require linearity in the variables;
+    #: nonlinear systems (e.g. Burgers) override this and are only
+    #: accepted by the Picard predictor.
+    is_linear: bool = True
+    #: short identifier used in reports
+    name: str = "pde"
+
+    # -- sizes ------------------------------------------------------------
+
+    @property
+    def nquantities(self) -> int:
+        """``m``: evolved quantities plus parameters per node."""
+        return self.nvar + self.nparam
+
+    def split(self, q: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Split a ``(..., m)`` array into (variables, parameters) views."""
+        return q[..., : self.nvar], q[..., self.nvar :]
+
+    def embed(self, variables: np.ndarray, parameters: np.ndarray | None = None) -> np.ndarray:
+        """Assemble a full ``(..., m)`` node vector from parts."""
+        variables = np.asarray(variables, dtype=float)
+        out = np.zeros(variables.shape[:-1] + (self.nquantities,))
+        out[..., : self.nvar] = variables
+        if self.nparam:
+            if parameters is None:
+                raise ValueError(f"{self.name} needs {self.nparam} parameters per node")
+            out[..., self.nvar :] = parameters
+        return out
+
+    # -- user functions -----------------------------------------------------
+
+    @abstractmethod
+    def flux(self, q: np.ndarray, d: int) -> np.ndarray:
+        """Conservative flux ``F_d(Q)`` for direction ``d``.
+
+        ``q`` is ``(..., m)``; the result is ``(..., m)`` with zeros in
+        the parameter slots.
+        """
+
+    def ncp(self, grad_d: np.ndarray, q: np.ndarray, d: int) -> np.ndarray:
+        """Non-conservative product ``B_d(params) . grad_d`` (``(..., m)``).
+
+        ``grad_d`` holds the spatial gradient of all quantities along
+        ``d``; ``q`` supplies the parameters.  Default: no NCP term.
+        """
+        del q, d
+        return np.zeros_like(grad_d)
+
+    @abstractmethod
+    def max_wave_speed(self, q: np.ndarray) -> np.ndarray:
+        """Largest absolute characteristic speed at each node, ``(...,)``."""
+
+    def flux_matrix(self, params: np.ndarray, d: int) -> np.ndarray:
+        """Dense ``(m, m)`` matrix ``A_d`` with ``F_d(Q) = A_d Q``.
+
+        ``params`` is the parameter vector at a single node.  The
+        default builds the matrix column-by-column from :meth:`flux`
+        (correct for any linear flux, used by the reference operator
+        and the upwind Riemann solver).
+        """
+        m = self.nquantities
+        mat = np.zeros((m, m))
+        basis = np.zeros(m)
+        for j in range(self.nvar):
+            basis[:] = 0.0
+            basis[j] = 1.0
+            if self.nparam:
+                basis[self.nvar :] = params
+            col = self.flux(basis, d)
+            if self.nparam:
+                # Subtract the affine offset contributed by the parameters
+                # so the matrix acts on the variable part only.
+                zero = np.zeros(m)
+                zero[self.nvar :] = params
+                col = col - self.flux(zero, d)
+            mat[:, j] = col
+            basis[j] = 0.0
+        return mat
+
+    def ncp_matrix(self, params: np.ndarray, d: int) -> np.ndarray:
+        """Dense ``(m, m)`` matrix ``B_d`` with ``ncp(g) = B_d g``."""
+        m = self.nquantities
+        mat = np.zeros((m, m))
+        node = np.zeros(m)
+        if self.nparam:
+            node[self.nvar :] = params
+        g = np.zeros(m)
+        for j in range(m):
+            g[:] = 0.0
+            g[j] = 1.0
+            mat[:, j] = self.ncp(g, node, d)
+        return mat
+
+    # -- boundary handling ----------------------------------------------------
+
+    def reflect(self, q: np.ndarray, d: int) -> np.ndarray:
+        """Ghost state for a reflecting wall with normal along ``d``.
+
+        Default: copy the state (a do-nothing wall); wave systems
+        override this with the proper sign flips.
+        """
+        del d
+        return q.copy()
+
+    # -- cost model (feeds the machine simulation) ----------------------------
+
+    def flux_flops_per_node(self, d: int) -> int:
+        """Scalar FLOPs one ``flux`` evaluation costs at a single node.
+
+        Subclasses count the operations of their scalar formulation
+        (cf. the paper's Fig. 8 user function).
+        """
+        del d
+        return 2 * self.nvar  # safe lower bound: one multiply-add per output
+
+    def ncp_flops_per_node(self, d: int) -> int:
+        del d
+        return 2 * self.nvar if self.has_ncp else 0
+
+    # -- example data (plan recording, tests, benchmarks) -----------------------
+
+    def example_parameters(self, shape: tuple[int, ...]) -> np.ndarray:
+        """Physically valid parameter block of the given batch shape.
+
+        Subclasses with parameters must override; used wherever a
+        kernel needs representative data (e.g. recording a plan).
+        """
+        if self.nparam:
+            raise NotImplementedError(f"{self.name} must provide example parameters")
+        return np.zeros(shape + (0,))
+
+    def example_state(self, shape: tuple[int, ...], rng=None) -> np.ndarray:
+        """Full ``(*shape, m)`` state with random variables, valid parameters."""
+        rng = np.random.default_rng(0) if rng is None else rng
+        variables = rng.standard_normal(shape + (self.nvar,))
+        if self.nparam:
+            return self.embed(variables, self.example_parameters(shape))
+        return self.embed(variables)
+
+    # -- misc -------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(nvar={self.nvar}, nparam={self.nparam}, "
+            f"ncp={self.has_ncp})"
+        )

@@ -1,0 +1,64 @@
+"""A genuinely nonlinear system: multidimensional scalar Burgers.
+
+``u_t + div(a u^2 / 2) = 0`` with direction weights ``a``.  Used to
+exercise the nonlinear (Picard) space-time predictor -- the kernel
+family the paper's linear Cauchy-Kowalewsky variants sit next to in
+ExaHyPE (Sec. II: "choosing between a scheme for a linear or a
+non-linear PDE system").
+
+For smooth short times the exact solution follows characteristics:
+``u(x, t) = u0(x - a u t)`` (an implicit equation solvable by fixed
+point iteration before shocks form).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pde.base import LinearPDE
+
+__all__ = ["BurgersPDE"]
+
+
+class BurgersPDE(LinearPDE):
+    """Scalar Burgers in 3-D.
+
+    Inherits the :class:`LinearPDE` interface for interoperability (the
+    kernels only call ``flux``/``ncp``/``max_wave_speed``), but the
+    flux is *quadratic*: only the Picard predictor handles it
+    correctly; the linear CK kernels must reject it.
+    """
+
+    name = "burgers"
+    nvar = 1
+    nparam = 0
+    is_linear = False  # checked by the linear kernels
+
+    def __init__(self, direction=(1.0, 0.5, 0.25)):
+        self.direction = np.asarray(direction, dtype=float)
+
+    def flux(self, q: np.ndarray, d: int) -> np.ndarray:
+        return 0.5 * self.direction[d] * q * q
+
+    def max_wave_speed(self, q: np.ndarray) -> np.ndarray:
+        return np.abs(self.direction).max() * np.abs(q[..., 0])
+
+    def flux_matrix(self, params: np.ndarray, d: int) -> np.ndarray:
+        raise TypeError("Burgers flux is nonlinear; no flux matrix exists")
+
+    def flux_flops_per_node(self, d: int) -> int:
+        del d
+        return 2
+
+    def exact_smooth_solution(self, initial, points: np.ndarray, t: float,
+                              iterations: int = 50) -> np.ndarray:
+        """Characteristics solution ``u = u0(x - a u t)`` (pre-shock)."""
+        u = np.asarray(initial(points), dtype=float)
+        for _ in range(iterations):
+            shifted = points - self.direction * (u * t)[..., None]
+            u_new = np.asarray(initial(shifted), dtype=float)
+            if np.abs(u_new - u).max() < 1e-14:
+                u = u_new
+                break
+            u = u_new
+        return u

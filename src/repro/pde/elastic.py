@@ -1,0 +1,160 @@
+"""3-D isotropic elastic waves in first-order velocity-stress form.
+
+This is the paper's benchmark system (Sec. VI): "three quantities for
+particle velocity and six variables for the stress tensor.  Three
+material parameters define density and the velocity of P- and S-waves."
+
+Quantities ``Q = (v_x, v_y, v_z, s_xx, s_yy, s_zz, s_xy, s_xz, s_yz)``
+with Lame parameters ``lambda = rho (cp^2 - 2 cs^2)``, ``mu = rho cs^2``:
+
+.. math::
+
+    \\rho \\, v_t = \\nabla \\cdot \\sigma, \\qquad
+    \\sigma_t = \\lambda (\\nabla \\cdot v) I
+              + \\mu (\\nabla v + \\nabla v^T).
+
+Written as ``Q_t + sum_d \\partial_d F_d(Q) = 0`` the fluxes are linear
+in ``Q`` with coefficients from the per-node material parameters --
+compare the paper's Fig. 8 ``flux_x`` user function, which is this
+system with unit coefficients.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pde.base import LinearPDE
+
+__all__ = ["ElasticPDE"]
+
+# quantity indices
+VX, VY, VZ = 0, 1, 2
+SXX, SYY, SZZ, SXY, SXZ, SYZ = 3, 4, 5, 6, 7, 8
+# parameter indices (offset by nvar)
+RHO, CP, CS = 0, 1, 2
+
+#: normal and shear stress index per direction: sigma[d] row/col layout
+_NORMAL = (SXX, SYY, SZZ)
+#: sigma_{d, other}: for d=x -> (sxy, sxz); d=y -> (sxy, syz); d=z -> (sxz, syz)
+_SHEAR = ((SXY, SXZ), (SXY, SYZ), (SXZ, SYZ))
+#: which velocity the two shear entries couple to, per direction
+_SHEAR_V = ((VY, VZ), (VX, VZ), (VX, VY))
+
+
+class ElasticPDE(LinearPDE):
+    """Isotropic elastodynamics: 9 evolved quantities + 3 material parameters."""
+
+    name = "elastic"
+    nvar = 9
+    nparam = 3
+
+    def _material(self, q: np.ndarray):
+        rho = q[..., self.nvar + RHO]
+        cp = q[..., self.nvar + CP]
+        cs = q[..., self.nvar + CS]
+        mu = rho * cs * cs
+        lam = rho * (cp * cp - 2.0 * cs * cs)
+        return rho, lam, mu
+
+    def flux(self, q: np.ndarray, d: int) -> np.ndarray:
+        """``F_d(Q)``: stress feeds velocity, velocity feeds stress."""
+        rho, lam, mu = self._material(q)
+        inv_rho = 1.0 / rho
+        out = np.zeros_like(q)
+        vd = q[..., VX + d]
+        # velocity rows: v_t = (1/rho) div sigma  ->  F_d[v_a] = -sigma_{a d}/rho
+        out[..., VX + d] = -q[..., _NORMAL[d]] * inv_rho
+        for shear_idx, v_idx in zip(_SHEAR[d], _SHEAR_V[d]):
+            out[..., v_idx] = -q[..., shear_idx] * inv_rho
+        # normal stresses: sigma_aa_t = lam div v + 2 mu dv_a/dx_a
+        for a, idx in enumerate(_NORMAL):
+            coeff = lam + 2.0 * mu if a == d else lam
+            out[..., idx] = -coeff * vd
+        # shear stresses: sigma_ab_t = mu (dv_a/dx_b + dv_b/dx_a)
+        for shear_idx, v_idx in zip(_SHEAR[d], _SHEAR_V[d]):
+            out[..., shear_idx] = -mu * q[..., v_idx]
+        return out
+
+    def max_wave_speed(self, q: np.ndarray) -> np.ndarray:
+        return np.abs(q[..., self.nvar + CP])
+
+    def reflect(self, q: np.ndarray, d: int) -> np.ndarray:
+        """Free-surface-like mirror: flip normal velocity, keep stresses.
+
+        Mirroring the normal velocity while copying the stress tensor
+        yields a rigid wall; combined with the upwind flux this absorbs
+        no energy.
+        """
+        ghost = q.copy()
+        ghost[..., VX + d] *= -1.0
+        return ghost
+
+    def flux_flops_per_node(self, d: int) -> int:
+        """Scalar FLOPs of one flux evaluation (matching the code above).
+
+        1 divide, 3 velocity rows (1 mul each), lam+2mu (2 ops), 3
+        normal-stress rows (1 mul each), 2 shear rows (1 mul each),
+        plus the lam/mu recovery from (rho, cp, cs): ~8 ops.
+        """
+        del d
+        return 19
+
+    def example_parameters(self, shape: tuple[int, ...]) -> np.ndarray:
+        """LOH1-like hard-rock material: rho=2.7, cp=6.0, cs=3.464 (km, s)."""
+        params = np.zeros(shape + (3,))
+        params[..., RHO] = 2.7
+        params[..., CP] = 6.0
+        params[..., CS] = 3.464
+        return params
+
+    # -- analytic solutions -------------------------------------------------
+
+    @staticmethod
+    def plane_wave(k: np.ndarray, rho: float, cp: float, cs: float, mode: str = "p"):
+        """Exact plane wave: P mode (longitudinal) or S mode (transverse).
+
+        Returns ``solution(points, t) -> (..., 9)`` for homogeneous
+        material; used for engine convergence tests.
+        """
+        k = np.asarray(k, dtype=float)
+        knorm = float(np.linalg.norm(k))
+        if knorm == 0.0:
+            raise ValueError("wave vector must be nonzero")
+        n = k / knorm
+        mu = rho * cs * cs
+        lam = rho * (cp * cp - 2.0 * cs * cs)
+        if mode == "p":
+            a = n  # polarization parallel to propagation
+            c = cp
+        elif mode == "s":
+            # any unit vector orthogonal to n
+            trial = np.array([1.0, 0.0, 0.0])
+            if abs(n @ trial) > 0.9:
+                trial = np.array([0.0, 1.0, 0.0])
+            a = np.cross(n, trial)
+            a /= np.linalg.norm(a)
+            c = cs
+        else:
+            raise ValueError("mode must be 'p' or 's'")
+        omega = c * knorm
+
+        # Stress amplitude: sigma = -(1/omega)(lam (k.a) I + mu (k a^T + a k^T)) *
+        # d/dt cos == consistent with v = a cos(k.x - omega t).
+        ka = float(k @ a)
+        stress_amp = (lam * ka * np.eye(3) + mu * (np.outer(k, a) + np.outer(a, k))) / omega
+
+        def solution(points: np.ndarray, t: float) -> np.ndarray:
+            phase = points @ k - omega * t
+            wave = np.cos(phase)
+            out = np.zeros(points.shape[:-1] + (9,))
+            for d in range(3):
+                out[..., VX + d] = a[d] * wave
+            out[..., SXX] = -stress_amp[0, 0] * wave
+            out[..., SYY] = -stress_amp[1, 1] * wave
+            out[..., SZZ] = -stress_amp[2, 2] * wave
+            out[..., SXY] = -stress_amp[0, 1] * wave
+            out[..., SXZ] = -stress_amp[0, 2] * wave
+            out[..., SYZ] = -stress_amp[1, 2] * wave
+            return out
+
+        return solution

@@ -1,0 +1,84 @@
+"""Non-conservative-product formulations (the ``B . grad Q`` term of eq. 1).
+
+The paper's system class includes a non-conservative flux
+``B . grad Q`` next to the conservative ``div F(Q)``.  For linear
+constant-coefficient systems the two formulations are mathematically
+equivalent (``div(A Q) = A . grad Q``), which gives a sharp test: a
+system written with fluxes and the same system written with NCP terms
+must produce identical predictor output.
+
+:class:`NCPWrapperPDE` re-expresses any linear PDE in pure NCP form;
+:class:`ElasticNCPPDE` is the convenience wrapper for the elastic wave
+equations (velocity-stress elastodynamics is commonly written this way
+in the seismic literature).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pde.base import LinearPDE
+from repro.pde.elastic import ElasticPDE
+
+__all__ = ["NCPWrapperPDE", "ElasticNCPPDE"]
+
+
+class NCPWrapperPDE(LinearPDE):
+    """Any linear PDE, rewritten with ``B_d = A_d`` and zero flux.
+
+    ``Q_t + div F(Q) = 0`` becomes ``Q_t + sum_d A_d(params) dQ/dx_d = 0``
+    -- valid wherever the coefficient matrices are spatially constant
+    (element-wise constant material in our scenarios).
+    """
+
+    has_ncp = True
+
+    def __init__(self, inner: LinearPDE):
+        self.inner = inner
+        self.nvar = inner.nvar
+        self.nparam = inner.nparam
+        self.name = f"{inner.name}_ncp"
+
+    def flux(self, q: np.ndarray, d: int) -> np.ndarray:
+        del d
+        return np.zeros_like(q)
+
+    def ncp(self, grad_d: np.ndarray, q: np.ndarray, d: int) -> np.ndarray:
+        """``B_d . grad_d`` with ``B_d`` the inner PDE's flux matrix.
+
+        Evaluated matrix-free: the inner flux is linear in the
+        variables, so ``A_d g = flux(g-with-q's-parameters, d)``.
+        """
+        g_full = q.copy()
+        g_full[..., : self.nvar] = grad_d[..., : self.nvar]
+        return self.inner.flux(g_full, d)
+
+    def max_wave_speed(self, q: np.ndarray) -> np.ndarray:
+        return self.inner.max_wave_speed(q)
+
+    def flux_matrix(self, params: np.ndarray, d: int) -> np.ndarray:
+        return np.zeros((self.nquantities, self.nquantities))
+
+    def ncp_matrix(self, params: np.ndarray, d: int) -> np.ndarray:
+        return self.inner.flux_matrix(params, d)
+
+    def reflect(self, q: np.ndarray, d: int) -> np.ndarray:
+        return self.inner.reflect(q, d)
+
+    def flux_flops_per_node(self, d: int) -> int:
+        del d
+        return 0
+
+    def ncp_flops_per_node(self, d: int) -> int:
+        return self.inner.flux_flops_per_node(d)
+
+    def example_parameters(self, shape: tuple[int, ...]) -> np.ndarray:
+        return self.inner.example_parameters(shape)
+
+
+class ElasticNCPPDE(NCPWrapperPDE):
+    """Elastic waves in non-conservative (quasi-linear) form."""
+
+    def __init__(self):
+        super().__init__(ElasticPDE())
+        self.name = "elastic_ncp"

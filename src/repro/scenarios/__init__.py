@@ -1,0 +1,21 @@
+"""Ready-made simulation scenarios.
+
+* :mod:`repro.scenarios.planarwave` -- periodic plane waves with exact
+  solutions (convergence studies).
+* :mod:`repro.scenarios.gaussian` -- an acoustic Gaussian pressure
+  pulse (quickstart example).
+* :mod:`repro.scenarios.loh1` -- the LOH1 layer-over-halfspace seismic
+  benchmark (paper Sec. VI), scaled to laptop size: curvilinear m = 21
+  elastic workload, double-couple point source, surface receivers.
+"""
+
+from repro.scenarios.planarwave import acoustic_plane_wave_setup, elastic_plane_wave_setup
+from repro.scenarios.gaussian import gaussian_pulse_setup
+from repro.scenarios.loh1 import LOH1Scenario
+
+__all__ = [
+    "acoustic_plane_wave_setup",
+    "elastic_plane_wave_setup",
+    "gaussian_pulse_setup",
+    "LOH1Scenario",
+]

@@ -1,0 +1,158 @@
+"""LOH1: Layer Over a Halfspace (paper Sec. VI's benchmark scenario).
+
+The established seismic benchmark [Day & Bradley]: a 1 km soft
+sediment layer over a hard-rock halfspace, excited by a double-couple
+point source below the interface; receivers on the free surface record
+seismograms.  The paper runs it with a curvilinear boundary-fitted
+mesh, storing 9 transformation entries per node -- the m = 21 workload
+all performance figures use.
+
+This reproduction keeps the material contrast, the m = 21 curvilinear
+quantity layout, the double-couple source and the surface receivers,
+but shrinks the domain so the NumPy engine finishes in seconds.  The
+*performance* experiments never need the large run: like the paper's
+per-core analysis, they operate on the per-element kernels.
+
+Material (original LOH1 values, in km, km/s, g/cm^3):
+
+========== ===== ===== =====
+region      rho   cp    cs
+========== ===== ===== =====
+layer       2.6   4.0   2.0
+halfspace   2.7   6.0   3.464
+========== ===== ===== =====
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.receivers import Receiver
+from repro.engine.solver import ADERDGSolver
+from repro.engine.source import PointSource, RickerWavelet
+from repro.mesh.curvilinear import IdentityTransform, SinusoidalTransform
+from repro.mesh.grid import UniformGrid
+from repro.pde import CurvilinearElasticPDE
+from repro.pde.elastic import SXY
+
+__all__ = ["LOH1Scenario"]
+
+LAYER = dict(rho=2.6, cp=4.0, cs=2.0)
+HALFSPACE = dict(rho=2.7, cp=6.0, cs=3.464)
+
+
+class LOH1Scenario:
+    """A shrunk LOH1 setup on the curvilinear m = 21 elastic system.
+
+    Parameters
+    ----------
+    elements:
+        Elements per dimension (cubic domain).
+    order:
+        ADER-DG order ``N``.
+    domain_km:
+        Edge length of the cubic domain; the sediment layer occupies
+        the top ``layer_km`` of it (z is depth-up: the free surface is
+        the z = domain top).
+    curvilinear_amplitude:
+        Amplitude of the sinusoidal boundary-fitted mesh perturbation;
+        0 selects the identity transform.
+    """
+
+    def __init__(
+        self,
+        elements: int = 3,
+        order: int = 4,
+        variant: str = "splitck",
+        domain_km: float = 3.0,
+        layer_km: float = 1.0,
+        source_depth_km: float = 2.0,
+        curvilinear_amplitude: float = 0.05,
+        cfl: float = 0.4,
+    ):
+        self.pde = CurvilinearElasticPDE()
+        self.domain_km = domain_km
+        self.layer_km = layer_km
+        self.grid = UniformGrid(
+            (elements,) * 3,
+            extent=(domain_km,) * 3,
+            periodic=(False, False, False),
+        )
+        self.transform = (
+            SinusoidalTransform(curvilinear_amplitude)
+            if curvilinear_amplitude > 0
+            else IdentityTransform()
+        )
+        self.solver = ADERDGSolver(
+            self.grid,
+            self.pde,
+            order=order,
+            variant=variant,
+            riemann="rusanov",
+            boundary="reflective",  # free-surface-like walls
+            cfl=cfl,
+        )
+        self.solver.set_initial_condition(self._initial_condition)
+        surface_z = domain_km
+        self.source = PointSource(
+            position=np.array([domain_km / 2, domain_km / 2, surface_z - source_depth_km]),
+            amplitude=self._double_couple_amplitude(),
+            wavelet=RickerWavelet(t0=0.1, f0=5.0),
+        )
+        self.solver.add_point_source(self.source)
+        self.receivers = []
+        for offset in (0.25, 0.5, 0.75):
+            recv = Receiver(
+                position=np.array(
+                    [offset * domain_km, domain_km / 2, surface_z - 1e-6]
+                ),
+                label=f"surface_{offset:.2f}",
+            )
+            self.solver.add_receiver(recv)
+            self.receivers.append(recv)
+
+    # -- setup helpers ----------------------------------------------------
+
+    def material(self, depth_from_surface: np.ndarray) -> dict[str, np.ndarray]:
+        """Material parameters as a function of depth below the surface."""
+        in_layer = depth_from_surface <= self.layer_km
+        return {
+            key: np.where(in_layer, LAYER[key], HALFSPACE[key])
+            for key in ("rho", "cp", "cs")
+        }
+
+    def _double_couple_amplitude(self) -> np.ndarray:
+        """Seismic double couple: a moment-rate glut on sigma_xy."""
+        amp = np.zeros(9)
+        amp[SXY] = 1.0
+        return amp
+
+    def _initial_condition(self, points: np.ndarray) -> np.ndarray:
+        depth = self.domain_km - points[..., 2]
+        mat = self.material(depth)
+        params = np.zeros(points.shape[:-1] + (12,))
+        params[..., 0] = mat["rho"]
+        params[..., 1] = mat["cp"]
+        params[..., 2] = mat["cs"]
+        # metric of the boundary-fitted transform at each node
+        ref = points / self.domain_km
+        params[..., 3:12] = self.transform.metric_parameters(ref)
+        variables = np.zeros(points.shape[:-1] + (9,))
+        return self.pde.embed(variables, params)
+
+    # -- running ----------------------------------------------------------------
+
+    def run(self, t_end: float = 0.5, max_steps: int = 10000) -> None:
+        self.solver.run(t_end, max_steps=max_steps)
+
+    def seismograms(self) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+        return {r.label: r.seismogram() for r in self.receivers}
+
+    def peak_surface_velocity(self) -> float:
+        """Largest |v| recorded by any surface receiver so far."""
+        peak = 0.0
+        for r in self.receivers:
+            _, samples = r.seismogram()
+            if samples.size:
+                peak = max(peak, float(np.abs(samples[:, :3]).max()))
+        return peak

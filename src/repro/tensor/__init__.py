@@ -1,0 +1,19 @@
+"""Tensor-contraction machinery: slicing, Loop-over-GEMM, transposes.
+
+Implements the paper's Sec. III-B / Fig. 3 technique: tensor
+contractions are reformulated as batches of matrix multiplications on
+*matrix slices* of the tensors, addressed by an offset and a slice
+stride, so no data is copied.  Dimension fusing (Fig. 7) turns slices
+on slow axes into wide contiguous matrices.
+"""
+
+from repro.tensor.slicing import SliceBatch, fused_slice_batch, tail_slice_batch
+from repro.tensor.contraction import contract_axis, contract_last_axis_transposed
+
+__all__ = [
+    "SliceBatch",
+    "fused_slice_batch",
+    "tail_slice_batch",
+    "contract_axis",
+    "contract_last_axis_transposed",
+]

@@ -1,0 +1,109 @@
+"""Loop-over-GEMM tensor contractions (paper Sec. III-B).
+
+Both helpers operate on *padded* C-ordered tensors in place, dispatch
+shape-specialized :class:`~repro.gemm.smallgemm.SmallGemm` microkernels
+through a registry (the LIBXSMM dispatch analog) and optionally record
+the batch on a plan recorder.
+
+* :func:`contract_axis` -- ``dst[..., l, ...] (+)= sum_j M[l, j]
+  src[..., j, ...]`` along a non-unit-stride axis, fusing all faster
+  axes into the GEMM columns (Fig. 7).
+* :func:`contract_last_axis_transposed` -- the same contraction along
+  the unit-stride axis, executed in transposed form ``C^T = A^T M^T``
+  with a precomputed ``M^T`` (Sec. V-B, first case; used by the AoSoA
+  x-derivative).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codegen.plan import NULL_RECORDER
+from repro.gemm.registry import GemmRegistry
+from repro.tensor.slicing import fused_slice_batch, tail_slice_batch
+
+__all__ = ["contract_axis", "contract_last_axis_transposed"]
+
+
+def contract_axis(
+    matrix: np.ndarray,
+    src: np.ndarray,
+    dst: np.ndarray,
+    axis: int,
+    registry: GemmRegistry,
+    *,
+    accumulate: bool = False,
+    recorder=NULL_RECORDER,
+    matrix_name: str = "D",
+    src_name: str = "src",
+    dst_name: str = "dst",
+) -> None:
+    """Contract ``axis`` of ``src`` with ``matrix`` into ``dst`` via LoG.
+
+    ``matrix`` must be square ``(n_axis, n_axis)``; ``src`` and ``dst``
+    must share their (padded) shape.  The operation is the discrete
+    derivative of Sec. II-A when ``matrix`` is the (scaled) derivative
+    operator.
+    """
+    if src.shape != dst.shape:
+        raise ValueError("src and dst must have the same shape")
+    n_axis = src.shape[axis]
+    if matrix.shape != (n_axis, n_axis):
+        raise ValueError(
+            f"matrix must be ({n_axis}, {n_axis}) for axis {axis}, got {matrix.shape}"
+        )
+    batch = fused_slice_batch(src.shape, axis)
+    gemm = registry.get(
+        m=n_axis,
+        n=batch.cols,
+        k=n_axis,
+        lda=n_axis,
+        ldb=batch.row_stride,
+        ldc=batch.row_stride,
+        accumulate=accumulate,
+    )
+    for b_view, c_view in zip(batch.views(src), batch.views(dst)):
+        gemm(matrix, b_view, c_view)
+    recorder.gemm(gemm, batch.batch, matrix_name, src_name, dst_name)
+
+
+def contract_last_axis_transposed(
+    matrix_t: np.ndarray,
+    src: np.ndarray,
+    dst: np.ndarray,
+    logical_cols: int,
+    registry: GemmRegistry,
+    *,
+    accumulate: bool = False,
+    recorder=NULL_RECORDER,
+    matrix_name: str = "DT",
+    src_name: str = "src",
+    dst_name: str = "dst",
+) -> None:
+    """Contract the padded unit-stride axis using the transposed GEMM trick.
+
+    Computes ``dst[..., s, i] (+)= sum_l src[..., s, l] * matrix_t[l, i]``
+    for ``i, l < logical_cols``; padding lanes beyond ``logical_cols``
+    are left untouched (they stay zero by the layout contract, and the
+    microkernel cost model still charges the padded vector lanes).
+    """
+    if src.shape != dst.shape:
+        raise ValueError("src and dst must have the same shape")
+    n = logical_cols
+    if matrix_t.shape != (n, n):
+        raise ValueError(f"matrix_t must be ({n}, {n}), got {matrix_t.shape}")
+    if n > src.shape[-1]:
+        raise ValueError("logical_cols exceeds the padded axis length")
+    batch = tail_slice_batch(src.shape)
+    gemm = registry.get(
+        m=batch.rows,
+        n=n,
+        k=n,
+        lda=batch.row_stride,
+        ldb=n,
+        ldc=batch.row_stride,
+        accumulate=accumulate,
+    )
+    for a_view, c_view in zip(batch.views(src), batch.views(dst)):
+        gemm(a_view[:, :n], matrix_t, c_view[:, :n])
+    recorder.gemm(gemm, batch.batch, src_name, matrix_name, dst_name)

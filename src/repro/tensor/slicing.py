@@ -1,0 +1,183 @@
+"""Extracting matrix slices from tensors (paper Fig. 3).
+
+A matrix slice of a C-ordered tensor is described by an *offset*, a
+row/column count and a *slice stride* -- the distance between the rows
+that are stored unit-stride.  LIBXSMM accepts the slice stride as the
+padded leading dimension of the matrix, which is how the kernels run
+GEMMs directly on tensor slices "without requiring extra memory
+transfers".
+
+Three batch shapes cover everything the STP kernels need:
+
+* :func:`fused_slice_batch` -- contract axis ``a``; all axes faster
+  than ``a`` are fused into the matrix columns (Fig. 7's trick), all
+  axes slower than ``a`` enumerate the batch.  Slices are contiguous.
+* :func:`strided_slice_batch` -- rows taken along axis ``a``, columns
+  along the unit-stride axis, remaining axes enumerate the batch; rows
+  are *not* adjacent in memory (Fig. 3, bottom) and the slice stride
+  becomes the GEMM leading dimension.
+* :func:`tail_slice_batch` -- the matrix is the last two axes (used by
+  the AoSoA x-derivative, where the contracted axis is unit-stride and
+  the GEMM is transposed, Sec. V-B case 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from math import prod
+
+import numpy as np
+
+__all__ = [
+    "SliceBatch",
+    "fused_slice_batch",
+    "strided_slice_batch",
+    "tail_slice_batch",
+]
+
+
+@dataclass(frozen=True)
+class SliceBatch:
+    """A batch of equally-shaped matrix slices of one tensor.
+
+    Attributes
+    ----------
+    tensor_shape:
+        Padded shape of the underlying C-ordered tensor.
+    rows, cols:
+        Shape of each matrix slice.
+    row_stride:
+        Distance (in elements) between consecutive rows of a slice --
+        the LIBXSMM leading dimension ("slice stride", Fig. 3).
+    slice_offsets:
+        Flat element offset of each slice in the batch.
+    """
+
+    tensor_shape: tuple[int, ...]
+    rows: int
+    cols: int
+    row_stride: int
+    slice_offsets: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError("slice must have positive shape")
+        if self.row_stride < self.cols:
+            raise ValueError("row stride must cover the columns")
+        tensor_size = prod(self.tensor_shape)
+        span = (self.rows - 1) * self.row_stride + self.cols
+        if self.slice_offsets.size and int(self.slice_offsets.max()) + span > tensor_size:
+            raise ValueError("slice extends beyond the tensor")
+
+    @property
+    def batch(self) -> int:
+        """Number of slices."""
+        return int(self.slice_offsets.size)
+
+    def offsets(self) -> np.ndarray:
+        return self.slice_offsets
+
+    @property
+    def contiguous_rows(self) -> bool:
+        """True when each slice is a contiguous subarray (Fig. 3, top)."""
+        return self.row_stride == self.cols
+
+    def views(self, arr: np.ndarray):
+        """Yield each slice of ``arr`` as a zero-copy ``(rows, cols)`` view."""
+        if arr.shape != self.tensor_shape:
+            raise ValueError(f"expected tensor shape {self.tensor_shape}, got {arr.shape}")
+        flat = arr.reshape(-1)
+        for off in self.slice_offsets:
+            yield np.lib.stride_tricks.as_strided(
+                flat[off:],
+                shape=(self.rows, self.cols),
+                strides=(self.row_stride * arr.itemsize, arr.itemsize),
+                writeable=arr.flags.writeable,
+            )
+
+
+def fused_slice_batch(shape: tuple[int, ...], axis: int) -> SliceBatch:
+    """Slices for contracting ``axis``, fusing all faster axes into columns.
+
+    For a tensor ``A[s0, ..., axis, ..., s_last]`` the matrix slice at a
+    fixed combination of the slow indices is
+    ``(shape[axis], prod(shape[axis+1:]))`` and contiguous, so the
+    row stride equals the column count.
+    """
+    ndim = len(shape)
+    if not -ndim <= axis < ndim:
+        raise ValueError(f"axis {axis} out of range for shape {shape}")
+    axis %= ndim
+    cols = prod(shape[axis + 1 :]) if axis + 1 < ndim else 1
+    rows = shape[axis]
+    batch = prod(shape[:axis]) if axis > 0 else 1
+    offsets = rows * cols * np.arange(batch)
+    return SliceBatch(
+        tensor_shape=tuple(shape),
+        rows=rows,
+        cols=cols,
+        row_stride=cols,
+        slice_offsets=offsets,
+    )
+
+
+def strided_slice_batch(shape: tuple[int, ...], axis: int) -> SliceBatch:
+    """Non-contiguous slices: rows along ``axis``, columns unit-stride.
+
+    This is Fig. 3's bottom case (``A(:, 1, :)``): the rows of the
+    matrix slice are separated by the product of all dimensions faster
+    than ``axis``, which becomes the slice stride / leading dimension.
+    The batch enumerates every other non-column axis.
+    """
+    ndim = len(shape)
+    if ndim < 2:
+        raise ValueError("need at least two axes")
+    if not -ndim <= axis < ndim:
+        raise ValueError(f"axis {axis} out of range for shape {shape}")
+    axis %= ndim
+    if axis == ndim - 1:
+        raise ValueError("rows cannot be the unit-stride axis; use tail_slice_batch")
+    rows = shape[axis]
+    cols = shape[-1]
+    row_stride = prod(shape[axis + 1 :])
+    # Batch indices: all axes except `axis` and the last one.
+    batch_axes = [a for a in range(ndim - 1) if a != axis]
+    strides = []
+    s = 1
+    for a in reversed(range(ndim)):
+        strides.insert(0, s)
+        s *= shape[a]
+    combos = product(*(range(shape[a]) for a in batch_axes)) if batch_axes else [()]
+    offsets = np.array(
+        [sum(idx * strides[a] for idx, a in zip(combo, batch_axes)) for combo in combos],
+        dtype=np.int64,
+    )
+    return SliceBatch(
+        tensor_shape=tuple(shape),
+        rows=rows,
+        cols=cols,
+        row_stride=row_stride,
+        slice_offsets=offsets,
+    )
+
+
+def tail_slice_batch(shape: tuple[int, ...]) -> SliceBatch:
+    """Slices over the last two axes, one per leading-index combination.
+
+    Used when the contracted dimension is the unit-stride axis (AoSoA
+    x-derivative): the slice is ``(shape[-2], shape[-1])`` and the GEMM
+    runs in transposed form ``C^T = B^T A^T`` (Sec. V-B).
+    """
+    if len(shape) < 2:
+        raise ValueError("need at least two axes for tail slices")
+    rows, cols = shape[-2], shape[-1]
+    batch = prod(shape[:-2]) if len(shape) > 2 else 1
+    offsets = rows * cols * np.arange(batch)
+    return SliceBatch(
+        tensor_shape=tuple(shape),
+        rows=rows,
+        cols=cols,
+        row_stride=cols,
+        slice_offsets=offsets,
+    )

@@ -1,0 +1,61 @@
+"""Layout transposes between padded AoS and AoSoA tensors (Sec. V-B).
+
+The AoSoA kernel receives and returns AoS data ("the rest of the engine
+still expects an AoS data layout"), so it transposes its inputs to
+AoSoA on entry and its outputs back on exit.  The paper measures this
+cost as "minimal compared to the cost of the kernel itself"; the
+recorded :class:`~repro.codegen.plan.TransposeOp` lets the machine
+model charge exactly that data movement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codegen.plan import NULL_RECORDER
+from repro.core.layouts import Layout, TensorLayout
+
+__all__ = ["aos_to_aosoa", "aosoa_to_aos"]
+
+
+def _check(aos: TensorLayout, aosoa: TensorLayout) -> None:
+    if aos.kind is not Layout.AOS or aosoa.kind is not Layout.AOSOA:
+        raise ValueError("expected an (AoS, AoSoA) layout pair")
+    if aos.space_shape != aosoa.space_shape or aos.nquantities != aosoa.nquantities:
+        raise ValueError("layouts must describe the same logical tensor")
+
+
+def aos_to_aosoa(
+    src: np.ndarray,
+    dst: np.ndarray,
+    aos: TensorLayout,
+    aosoa: TensorLayout,
+    *,
+    recorder=NULL_RECORDER,
+    src_name: str = "aos",
+    dst_name: str = "aosoa",
+) -> None:
+    """Transpose a padded AoS tensor into a padded AoSoA tensor in place."""
+    _check(aos, aosoa)
+    m, nx = aos.nquantities, aos.space_shape[-1]
+    dst[..., :nx] = np.swapaxes(src[..., :m], -1, -2)
+    dst[..., nx:] = 0.0
+    recorder.transpose("aos->aosoa", src_name, dst_name, 8.0 * aos.logical_doubles)
+
+
+def aosoa_to_aos(
+    src: np.ndarray,
+    dst: np.ndarray,
+    aosoa: TensorLayout,
+    aos: TensorLayout,
+    *,
+    recorder=NULL_RECORDER,
+    src_name: str = "aosoa",
+    dst_name: str = "aos",
+) -> None:
+    """Transpose a padded AoSoA tensor back into a padded AoS tensor."""
+    _check(aos, aosoa)
+    m, nx = aos.nquantities, aos.space_shape[-1]
+    dst[..., :m] = np.swapaxes(src[..., :nx], -1, -2)
+    dst[..., m:] = 0.0
+    recorder.transpose("aosoa->aos", src_name, dst_name, 8.0 * aos.logical_doubles)

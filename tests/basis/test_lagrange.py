@@ -1,0 +1,89 @@
+"""Unit tests for the barycentric Lagrange basis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.basis.lagrange import LagrangeBasis
+from repro.basis.quadrature import gauss_legendre, gauss_lobatto
+
+
+@pytest.fixture(params=[3, 5, 8, 11])
+def basis(request):
+    return LagrangeBasis(gauss_legendre(request.param))
+
+
+def test_cardinal_property(basis):
+    """phi_j(x_i) = delta_ij."""
+    vals = basis.evaluate(basis.nodes)
+    np.testing.assert_allclose(vals, np.eye(basis.n), atol=1e-12)
+
+
+def test_partition_of_unity(basis):
+    x = np.linspace(0, 1, 17)
+    vals = basis.evaluate(x)
+    np.testing.assert_allclose(vals.sum(axis=-1), 1.0, atol=1e-11)
+
+
+def test_interpolates_polynomials_exactly(basis):
+    """A polynomial of degree < n is reproduced exactly."""
+    rng = np.random.default_rng(42)
+    coeffs = rng.standard_normal(basis.n)
+    poly = np.polynomial.Polynomial(coeffs)
+    nodal = poly(basis.nodes)
+    x = np.linspace(0, 1, 23)
+    np.testing.assert_allclose(basis.interpolate(nodal, x), poly(x), atol=1e-9)
+
+
+def test_derivative_matrix_exact_on_polynomials(basis):
+    rng = np.random.default_rng(7)
+    coeffs = rng.standard_normal(basis.n)
+    poly = np.polynomial.Polynomial(coeffs)
+    d = basis.derivative_matrix()
+    np.testing.assert_allclose(d @ poly(basis.nodes), poly.deriv()(basis.nodes), atol=1e-8)
+
+
+def test_derivative_matrix_annihilates_constants(basis):
+    d = basis.derivative_matrix()
+    np.testing.assert_allclose(d @ np.ones(basis.n), 0.0, atol=1e-10)
+
+
+def test_boundary_values_interpolate(basis):
+    left, right = basis.boundary_values()
+    rng = np.random.default_rng(3)
+    coeffs = rng.standard_normal(basis.n)
+    poly = np.polynomial.Polynomial(coeffs)
+    nodal = poly(basis.nodes)
+    assert left @ nodal == pytest.approx(poly(0.0), abs=1e-9)
+    assert right @ nodal == pytest.approx(poly(1.0), abs=1e-9)
+
+
+def test_evaluate_at_node_returns_unit_vector(basis):
+    vals = basis.evaluate(float(basis.nodes[2]))[0]
+    expected = np.zeros(basis.n)
+    expected[2] = 1.0
+    np.testing.assert_allclose(vals, expected, atol=1e-13)
+
+
+def test_lobatto_boundary_vectors_are_cardinal():
+    basis = LagrangeBasis(gauss_lobatto(6))
+    left, right = basis.boundary_values()
+    np.testing.assert_allclose(left, np.eye(6)[0], atol=1e-12)
+    np.testing.assert_allclose(right, np.eye(6)[-1], atol=1e-12)
+
+
+def test_vandermonde_shape(basis):
+    x = np.linspace(0, 1, 9)
+    v = basis.vandermonde(x)
+    assert v.shape == (9, basis.n)
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(min_value=2, max_value=10), seed=st.integers(0, 2**31))
+def test_interpolation_is_projection(n, seed):
+    """Interpolating nodal values back to the nodes is the identity."""
+    basis = LagrangeBasis(gauss_legendre(n))
+    rng = np.random.default_rng(seed)
+    nodal = rng.standard_normal(n)
+    np.testing.assert_allclose(basis.interpolate(nodal, basis.nodes), nodal, atol=1e-10)

@@ -1,0 +1,96 @@
+"""Unit tests for the discrete DG operators."""
+
+import numpy as np
+import pytest
+
+from repro.basis.operators import DGOperators, cached_operators
+
+
+@pytest.fixture(params=[4, 6, 9])
+def ops(request):
+    return DGOperators(request.param)
+
+
+def test_mass_matrix_is_diagonal_with_weights(ops):
+    m = ops.mass_matrix()
+    np.testing.assert_allclose(np.diag(m), ops.weights)
+    np.testing.assert_allclose(m - np.diag(np.diag(m)), 0.0)
+
+
+def test_mass_matrix_is_exact_gram_matrix(ops):
+    """With Gauss-Legendre nodes, w_i delta_ij equals the true Gram matrix.
+
+    The L2 inner products (phi_i, phi_j) involve degree 2N-2 <= 2N-1
+    polynomials, so an N-point Gauss rule evaluates them exactly, and the
+    quadrature-diagonal mass matrix is the *exact* mass matrix.
+    """
+    fine = DGOperators(2 * ops.order)  # exact for degree up to 4N-1
+    v = ops.basis.vandermonde(fine.nodes)  # (nfine, N)
+    gram = v.T @ (fine.weights[:, None] * v)
+    np.testing.assert_allclose(gram, ops.mass_matrix(), atol=1e-12)
+
+
+def test_stiffness_is_mass_times_derivative(ops):
+    np.testing.assert_allclose(
+        ops.stiffness_matrix(), ops.weights[:, None] * ops.derivative
+    )
+
+
+def test_summation_by_parts_identity(ops):
+    """K + K^T = phi(1)phi(1)^T - phi(0)phi(0)^T (exact integration by parts)."""
+    k = ops.stiffness_matrix()
+    boundary = np.outer(ops.face_right, ops.face_right) - np.outer(
+        ops.face_left, ops.face_left
+    )
+    np.testing.assert_allclose(k + k.T, boundary, atol=1e-10)
+
+
+def test_derivative_transpose_precomputed(ops):
+    np.testing.assert_allclose(ops.derivative_T, ops.derivative.T)
+    assert ops.derivative_T.flags["C_CONTIGUOUS"]
+
+
+def test_source_projection_1d_reproduces_point_evaluation(ops):
+    """Integrating P(xi) against nodal values of f equals f(xi) for poly f.
+
+    P is defined so that sum_k w_k P_k f_k = f(xi) -- a Dirac integrated
+    against the interpolant.
+    """
+    xi = 0.37
+    p = ops.source_projection_1d(xi)
+    rng = np.random.default_rng(0)
+    coeffs = rng.standard_normal(ops.order)
+    poly = np.polynomial.Polynomial(coeffs)
+    f = poly(ops.nodes)
+    assert np.dot(ops.weights * p, f) == pytest.approx(poly(xi), abs=1e-9)
+
+
+def test_source_projection_3d_is_tensor_product(ops):
+    point = np.array([0.2, 0.5, 0.8])
+    p3 = ops.source_projection(point)
+    assert p3.shape == (ops.order,) * 3
+    f0 = ops.source_projection_1d(0.2)
+    f1 = ops.source_projection_1d(0.5)
+    f2 = ops.source_projection_1d(0.8)
+    expected = np.einsum("i,j,k->ijk", f0, f1, f2)
+    np.testing.assert_allclose(p3, expected)
+
+
+def test_source_projection_rejects_outside_element(ops):
+    with pytest.raises(ValueError):
+        ops.source_projection_1d(1.5)
+
+
+def test_lifting_vectors(ops):
+    np.testing.assert_allclose(ops.lifting_left(), ops.face_left / ops.weights)
+    np.testing.assert_allclose(ops.lifting_right(), ops.face_right / ops.weights)
+
+
+def test_order_validation():
+    with pytest.raises(ValueError):
+        DGOperators(0)
+
+
+def test_cached_operators_identity():
+    assert cached_operators(5) is cached_operators(5)
+    assert cached_operators(5) is not cached_operators(6)

@@ -1,0 +1,115 @@
+"""Unit tests for quadrature rules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.basis.quadrature import QuadratureRule, gauss_legendre, gauss_lobatto, get_rule
+
+
+@pytest.mark.parametrize("n", range(1, 16))
+def test_legendre_weights_sum_to_measure(n):
+    rule = gauss_legendre(n)
+    assert rule.weights.sum() == pytest.approx(1.0, abs=1e-14)
+
+
+@pytest.mark.parametrize("n", range(2, 16))
+def test_lobatto_weights_sum_to_measure(n):
+    rule = gauss_lobatto(n)
+    assert rule.weights.sum() == pytest.approx(1.0, abs=1e-13)
+
+
+@pytest.mark.parametrize("n", range(1, 13))
+def test_legendre_matches_numpy(n):
+    rule = gauss_legendre(n)
+    x_ref, w_ref = np.polynomial.legendre.leggauss(n)
+    np.testing.assert_allclose(rule.nodes, (x_ref + 1) / 2, atol=1e-13)
+    np.testing.assert_allclose(rule.weights, w_ref / 2, atol=1e-13)
+
+
+@pytest.mark.parametrize("n", range(2, 13))
+def test_lobatto_endpoints(n):
+    rule = gauss_lobatto(n)
+    assert rule.nodes[0] == pytest.approx(0.0, abs=1e-15)
+    assert rule.nodes[-1] == pytest.approx(1.0, abs=1e-15)
+
+
+@pytest.mark.parametrize("name", ["gauss_legendre", "gauss_lobatto"])
+@pytest.mark.parametrize("n", range(2, 12))
+def test_exactness_up_to_declared_degree(name, n):
+    rule = get_rule(name, n)
+    for p in range(rule.degree + 1):
+        exact = 1.0 / (p + 1)  # integral of x^p over [0, 1]
+        approx = float(np.dot(rule.weights, rule.nodes**p))
+        assert approx == pytest.approx(exact, rel=1e-12, abs=1e-13), f"degree {p}"
+
+
+def test_legendre_not_exact_beyond_degree():
+    rule = gauss_legendre(3)  # exact to degree 5
+    p = 6
+    approx = float(np.dot(rule.weights, rule.nodes**p))
+    assert approx != pytest.approx(1.0 / (p + 1), rel=1e-12)
+
+
+def test_nodes_sorted_and_interior():
+    for n in range(1, 12):
+        rule = gauss_legendre(n)
+        assert np.all(np.diff(rule.nodes) > 0)
+        assert np.all((rule.nodes > 0) & (rule.nodes < 1))
+
+
+def test_weights_positive():
+    for n in range(2, 12):
+        assert np.all(gauss_legendre(n).weights > 0)
+        assert np.all(gauss_lobatto(n).weights > 0)
+
+
+def test_integrate_method_shapes():
+    rule = gauss_legendre(5)
+    vals = np.ones((3, 5))
+    out = rule.integrate(vals, axis=-1)
+    assert out.shape == (3,)
+    np.testing.assert_allclose(out, 1.0)
+
+
+def test_integrate_rejects_bad_axis_length():
+    rule = gauss_legendre(5)
+    with pytest.raises(ValueError):
+        rule.integrate(np.ones(4))
+
+
+def test_get_rule_unknown_name():
+    with pytest.raises(ValueError, match="unknown quadrature"):
+        get_rule("simpson", 3)
+
+
+def test_invalid_sizes():
+    with pytest.raises(ValueError):
+        gauss_legendre(0)
+    with pytest.raises(ValueError):
+        gauss_lobatto(1)
+
+
+def test_rule_validation():
+    with pytest.raises(ValueError):
+        QuadratureRule("x", np.zeros((2, 2)), np.zeros((2, 2)))
+    with pytest.raises(ValueError):
+        QuadratureRule("x", np.zeros(3), np.zeros(2))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=10),
+    coeffs=st.lists(st.floats(-5, 5), min_size=1, max_size=6),
+)
+def test_polynomial_integration_property(n, coeffs):
+    """Quadrature integrates any polynomial within its degree exactly."""
+    rule = gauss_legendre(n)
+    deg = len(coeffs) - 1
+    if deg > rule.degree:
+        coeffs = coeffs[: rule.degree + 1]
+    poly = np.polynomial.Polynomial(coeffs)
+    exact = poly.integ()(1.0) - poly.integ()(0.0)
+    approx = float(np.dot(rule.weights, poly(rule.nodes)))
+    assert approx == pytest.approx(exact, rel=1e-10, abs=1e-10)

@@ -1,0 +1,77 @@
+"""Tests for the Kernel Generator facade, controller and renderer."""
+
+import pytest
+
+from repro.codegen.controller import template_variables
+from repro.codegen.generator import KernelGenerator
+from repro.core.spec import VARIANTS, KernelSpec
+from repro.core.variants import make_kernel
+from repro.pde import AcousticPDE, CurvilinearElasticPDE
+
+
+def elastic_generator(order=4, arch="skx"):
+    spec = KernelSpec(order=order, nvar=9, nparam=12, arch=arch)
+    return KernelGenerator(spec, CurvilinearElasticPDE())
+
+
+def test_template_variables_mirror_exahype_names():
+    spec = KernelSpec(order=6, nvar=9, nparam=12, arch="skx")
+    tvars = template_variables(spec)
+    assert tvars["nDof"] == 6
+    assert tvars["nDofPad"] == 8
+    assert tvars["nVar"] == 9
+    assert tvars["nData"] == 21
+    assert tvars["nDataPad"] == 24
+    assert tvars["VECTLENGTH"] == 6  # Fig. 8 constants
+    assert tvars["VECTSTRIDE"] == 8
+    assert tvars["ALIGNMENT"] == 64
+
+
+def test_generator_validates_pde():
+    spec = KernelSpec(order=4, nvar=9, nparam=12)
+    with pytest.raises(ValueError):
+        KernelGenerator(spec, AcousticPDE())
+
+
+def test_generator_builds_all_variants():
+    gen = elastic_generator()
+    plans = gen.plans()
+    assert set(plans) == set(VARIANTS)
+    for plan in plans.values():
+        assert plan.ops
+
+
+def test_generator_rejects_unknown_variant():
+    gen = elastic_generator()
+    with pytest.raises(ValueError):
+        gen.kernel("turbo")
+
+
+def test_render_contains_gemm_calls_and_footprint():
+    gen = elastic_generator()
+    source = gen.render("log")
+    assert "gemm_4_24_4" in source  # x-derivative microkernel at order 4
+    assert "aligned(ALIGNMENT)" in source
+    assert "temp footprint" in source
+    assert source.startswith("// Generated STP kernel: variant=log")
+
+
+def test_render_generic_has_no_gemms():
+    source = elastic_generator().render("generic")
+    assert "gemm_" not in source
+
+
+def test_render_aosoa_has_transposes_and_pragmas():
+    source = elastic_generator().render("aosoa")
+    assert "transpose_aos_to_aosoa" in source
+    assert "#pragma omp simd" in source
+
+
+def test_plan_consistency_with_direct_kernel():
+    """The facade records the same plan as calling the kernel directly."""
+    gen = elastic_generator()
+    via_facade = gen.plan("splitck")
+    direct = make_kernel("splitck", gen.spec, gen.pde).build_plan()
+    assert via_facade.gemm_shapes() == direct.gemm_shapes()
+    assert via_facade.flop_counts().total == direct.flop_counts().total
+    assert set(via_facade.buffers) == set(direct.buffers)

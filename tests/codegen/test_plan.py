@@ -1,0 +1,95 @@
+"""Tests for kernel plans, operations and the recorder."""
+
+import pytest
+
+from repro.codegen.plan import (
+    Buffer,
+    BufferAccess,
+    GemmOp,
+    KernelPlan,
+    PlanRecorder,
+    PointwiseOp,
+    TransposeOp,
+)
+from repro.core.spec import KernelSpec
+from repro.gemm.smallgemm import SmallGemm
+from repro.machine.isa import FlopCounts
+
+
+def recorder():
+    return PlanRecorder("test", KernelSpec(order=4, nvar=2, arch="skx"))
+
+
+def test_buffer_validation():
+    with pytest.raises(ValueError):
+        Buffer("x", 100, "scratch")
+    with pytest.raises(ValueError):
+        Buffer("x", -1, "temp")
+
+
+def test_recorder_buffer_idempotent_but_consistent():
+    rec = recorder()
+    rec.buffer("a", 100, "temp")
+    rec.buffer("a", 100, "temp")  # fine
+    with pytest.raises(ValueError):
+        rec.buffer("a", 200, "temp")
+
+
+def test_ops_require_registered_buffers():
+    rec = recorder()
+    with pytest.raises(ValueError):
+        rec.gemm(SmallGemm(2, 2, 2), 1, "a", "b", "c")
+    with pytest.raises(ValueError):
+        rec.pointwise("x", FlopCounts(), (BufferAccess("nope"),))
+    with pytest.raises(ValueError):
+        rec.transpose("t", "a", "b", 10)
+
+
+def test_gemm_op_aggregates():
+    gemm = SmallGemm(m=4, n=8, k=4, vector_doubles=8)
+    op = GemmOp(gemm, batch=10, a="A", b="B", c="C")
+    assert op.flops().total == 10 * gemm.flop_counts().total
+    assert op.traffic().total_bytes == 10 * gemm.traffic().total_bytes
+    accesses = {a.buffer: a for a in op.accesses()}
+    assert accesses["A"].read_bytes == 10 * 8 * 4 * 4
+    assert accesses["C"].write_bytes > 0
+    assert accesses["C"].read_bytes == 0  # beta = 0
+
+
+def test_gemm_op_accumulate_reads_c():
+    gemm = SmallGemm(m=4, n=8, k=4, vector_doubles=8, accumulate=True)
+    op = GemmOp(gemm, batch=1, a="A", b="B", c="C")
+    accesses = {a.buffer: a for a in op.accesses()}
+    assert accesses["C"].read_bytes == accesses["C"].write_bytes > 0
+
+
+def test_pointwise_and_transpose_traffic():
+    op = PointwiseOp(
+        "f",
+        FlopCounts(scalar=10),
+        (BufferAccess("a", read_bytes=64), BufferAccess("b", write_bytes=128)),
+    )
+    assert op.traffic().read_bytes == 64
+    assert op.traffic().write_bytes == 128
+    t = TransposeOp("t", "a", "b", nbytes=100)
+    assert t.flops().total == 0
+    assert t.traffic().total_bytes == 200
+
+
+def test_plan_aggregates_and_phases():
+    rec = recorder()
+    rec.buffer("a", 1000, "temp")
+    rec.buffer("b", 2000, "input")
+    rec.buffer("c", 500, "output")
+    rec.phase("one")
+    rec.pointwise("f", FlopCounts(scalar=5), (BufferAccess("a", read_bytes=10),))
+    rec.phase("two")
+    rec.transpose("t", "a", "c", 100)
+    plan = rec.finish()
+    assert plan.flop_counts().total == 5
+    assert plan.temp_footprint_bytes == 1000
+    assert plan.total_footprint_bytes == 3500
+    assert plan.bytes_in_scope("input") == 2000
+    assert plan.phases() == ["one", "two"]
+    assert plan.ops_of(TransposeOp)[0].name == "t"
+    assert plan.gemm_shapes() == []

@@ -1,0 +1,135 @@
+"""Unit and property tests for the AoS / SoA / AoSoA tensor layouts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.layouts import Layout, TensorLayout
+from repro.core.spec import KernelSpec
+
+
+def make_layout(kind, n=5, m=9, vec=8):
+    return TensorLayout(kind, (n, n, n), m, vec)
+
+
+@pytest.mark.parametrize("kind", list(Layout))
+def test_pack_unpack_roundtrip(kind):
+    layout = make_layout(kind)
+    rng = np.random.default_rng(0)
+    canonical = rng.standard_normal(layout.logical_shape)
+    np.testing.assert_array_equal(layout.unpack(layout.pack(canonical)), canonical)
+
+
+def test_padded_shapes():
+    assert make_layout(Layout.AOS, n=6, m=21, vec=8).padded_shape == (6, 6, 6, 24)
+    assert make_layout(Layout.SOA, n=6, m=21, vec=8).padded_shape == (21, 6, 6, 8)
+    assert make_layout(Layout.AOSOA, n=6, m=21, vec=8).padded_shape == (6, 6, 21, 8)
+
+
+def test_aosoa_quantity_dimension_between_spatial():
+    """The hybrid layout is A[k, j, s, i] -- quantity between y and x (Sec. V-A)."""
+    layout = make_layout(Layout.AOSOA, n=4, m=3, vec=4)
+    canonical = np.arange(4 * 4 * 4 * 3, dtype=float).reshape(4, 4, 4, 3)
+    packed = layout.pack(canonical)
+    k, j, i, s = 1, 2, 3, 1
+    assert packed[k, j, s, i] == canonical[k, j, i, s]
+
+
+def test_padding_lanes_are_zero():
+    layout = make_layout(Layout.AOS, n=4, m=5, vec=8)
+    packed = layout.pack(np.ones(layout.logical_shape))
+    assert np.all(packed[..., 5:] == 0.0)
+
+
+def test_aosoa_soa_line_is_view():
+    layout = make_layout(Layout.AOSOA, n=6, m=9, vec=8)
+    rng = np.random.default_rng(1)
+    packed = layout.pack(rng.standard_normal(layout.logical_shape))
+    line = layout.soa_line(packed, (2, 3))
+    assert line.shape == (9, 8)
+    assert line.base is not None  # zero-copy view
+    # The line holds quantity-major data: line[s, i] == canonical[2, 3, i, s].
+    canonical = layout.unpack(packed)
+    np.testing.assert_array_equal(line[:, :6], canonical[2, 3].T)
+
+
+def test_soa_line_rejected_for_other_layouts():
+    layout = make_layout(Layout.AOS)
+    with pytest.raises(ValueError):
+        layout.soa_line(layout.empty(), (0, 0))
+
+
+def test_soa_line_index_arity():
+    layout = make_layout(Layout.AOSOA)
+    with pytest.raises(ValueError):
+        layout.soa_line(layout.empty(), (0,))
+
+
+def test_nbytes_and_overhead():
+    layout = make_layout(Layout.AOS, n=6, m=21, vec=8)
+    assert layout.nbytes == 6 * 6 * 6 * 24 * 8
+    assert layout.padding_overhead == pytest.approx(3 / 21)
+    scalar = make_layout(Layout.AOS, n=6, m=21, vec=1)
+    assert scalar.padding_overhead == 0.0
+
+
+def test_for_spec():
+    spec = KernelSpec(order=6, nvar=9, nparam=12, arch="skx")
+    layout = TensorLayout.for_spec(Layout.AOSOA, spec)
+    assert layout.padded_shape == (6, 6, 21, 8)
+    assert layout.vector_doubles == 8
+
+
+def test_pack_shape_validation():
+    layout = make_layout(Layout.AOS)
+    with pytest.raises(ValueError):
+        layout.pack(np.zeros((2, 2)))
+    with pytest.raises(ValueError):
+        layout.unpack(np.zeros((2, 2)))
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(kind=Layout.AOS, space_shape=(), nquantities=3),
+        dict(kind=Layout.AOS, space_shape=(0, 3), nquantities=3),
+        dict(kind=Layout.AOS, space_shape=(3,), nquantities=0),
+        dict(kind=Layout.AOS, space_shape=(3,), nquantities=3, vector_doubles=0),
+    ],
+)
+def test_layout_validation(kwargs):
+    with pytest.raises(ValueError):
+        TensorLayout(**kwargs)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    kind=st.sampled_from(list(Layout)),
+    n=st.integers(2, 8),
+    m=st.integers(1, 12),
+    vec=st.sampled_from([1, 2, 4, 8]),
+    seed=st.integers(0, 2**31),
+)
+def test_roundtrip_property(kind, n, m, vec, seed):
+    """pack/unpack is lossless for every layout, size and SIMD width."""
+    layout = TensorLayout(kind, (n, n, n), m, vec)
+    rng = np.random.default_rng(seed)
+    canonical = rng.standard_normal(layout.logical_shape)
+    np.testing.assert_array_equal(layout.unpack(layout.pack(canonical)), canonical)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    src=st.sampled_from(list(Layout)),
+    dst=st.sampled_from(list(Layout)),
+    seed=st.integers(0, 2**31),
+)
+def test_layout_conversion_via_canonical(src, dst, seed):
+    """Converting src -> canonical -> dst preserves all logical entries."""
+    ls = make_layout(src, n=4, m=7, vec=4)
+    ld = make_layout(dst, n=4, m=7, vec=4)
+    rng = np.random.default_rng(seed)
+    canonical = rng.standard_normal(ls.logical_shape)
+    converted = ld.unpack(ld.pack(ls.unpack(ls.pack(canonical))))
+    np.testing.assert_array_equal(converted, canonical)

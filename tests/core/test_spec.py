@@ -1,0 +1,65 @@
+"""Unit tests for KernelSpec."""
+
+import pytest
+
+from repro.core.spec import VARIANTS, KernelSpec
+
+
+def elastic_spec(order=6, arch="skx"):
+    """The paper's benchmark workload: 9 wave quantities + 12 parameters."""
+    return KernelSpec(order=order, nvar=9, nparam=12, dim=3, arch=arch)
+
+
+def test_paper_workload_quantities():
+    spec = elastic_spec()
+    assert spec.nquantities == 21
+    assert spec.mpad == 24  # padded to 3 AVX-512 registers
+
+
+def test_nodes_per_element():
+    assert elastic_spec(order=6).nodes_per_element == 216
+    assert KernelSpec(order=4, nvar=5, dim=2).nodes_per_element == 16
+
+
+def test_order8_sweet_spot_order9_pathological():
+    """Paper Sec. V-A: AVX-512 padding sweet spot at N=8, worst at N=9."""
+    assert elastic_spec(order=8).aosoa_padding_overhead == 0.0
+    assert elastic_spec(order=9).aosoa_padding_overhead == pytest.approx(7 / 9)
+
+
+def test_padding_depends_on_architecture():
+    assert elastic_spec(arch="hsw").mpad == 24
+    assert elastic_spec(arch="noarch").mpad == 21
+    assert elastic_spec(order=9, arch="hsw").npad == 12
+
+
+def test_aos_padding_overhead():
+    spec = elastic_spec()
+    assert spec.aos_padding_overhead == pytest.approx(3 / 21)
+
+
+def test_with_arch_and_order():
+    spec = elastic_spec()
+    assert spec.with_arch("hsw").arch == "hsw"
+    assert spec.with_order(11).order == 11
+    # original untouched (frozen dataclass)
+    assert spec.arch == "skx" and spec.order == 6
+
+
+def test_variant_names():
+    assert VARIANTS == ("generic", "log", "splitck", "aosoa")
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(order=1, nvar=3),
+        dict(order=4, nvar=0),
+        dict(order=4, nvar=3, nparam=-1),
+        dict(order=4, nvar=3, dim=4),
+        dict(order=4, nvar=3, arch="nope"),
+    ],
+)
+def test_validation(kwargs):
+    with pytest.raises(ValueError):
+        KernelSpec(**kwargs)

@@ -1,0 +1,265 @@
+"""Equivalence and behavior tests for the four STP kernel variants.
+
+The paper's central correctness requirement: every optimization step
+(LoG, SplitCK, AoSoA) must reproduce the generic kernel's outputs.  We
+check all four against an independently assembled dense-operator oracle
+and against each other.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codegen.plan import GemmOp, TransposeOp
+from repro.core.reference import ReferenceCK
+from repro.core.spec import KernelSpec
+from repro.core.variants import KERNEL_CLASSES, ElementSource, make_kernel
+from repro.core.variants.base import taylor_coefficients
+from repro.basis.operators import cached_operators
+from repro.pde import AcousticPDE, AdvectionPDE, CurvilinearElasticPDE, ElasticPDE
+
+VARIANTS = list(KERNEL_CLASSES)
+
+
+def make_setup(pde, order=4, arch="skx", seed=0):
+    spec = KernelSpec(order=order, nvar=pde.nvar, nparam=pde.nparam, arch=arch)
+    q = pde.example_state((order,) * 3, np.random.default_rng(seed))
+    return spec, q
+
+
+def make_source(spec, pde, norder):
+    ops = cached_operators(spec.order, spec.quadrature)
+    amp = np.zeros(spec.nquantities)
+    amp[: pde.nvar] = np.linspace(1.0, 2.0, pde.nvar)
+    rng = np.random.default_rng(5)
+    return ElementSource(
+        projection=ops.source_projection(np.array([0.3, 0.6, 0.2])),
+        amplitude=amp,
+        derivatives=rng.standard_normal(norder),
+    )
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+@pytest.mark.parametrize(
+    "pde", [AcousticPDE(), ElasticPDE(), CurvilinearElasticPDE()], ids=lambda p: p.name
+)
+def test_variant_matches_dense_reference(variant, pde):
+    spec, q = make_setup(pde)
+    kernel = make_kernel(variant, spec, pde)
+    result = kernel.predictor(q, dt=0.01, h=0.5)
+    ref = ReferenceCK(spec, pde).predictor(q, dt=0.01, h=0.5)
+    np.testing.assert_allclose(result.qavg, ref.qavg, atol=1e-12)
+    np.testing.assert_allclose(result.vavg, ref.vavg, atol=1e-12)
+    for key, face in ref.qface.items():
+        np.testing.assert_allclose(result.qface[key], face, atol=1e-12)
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_variant_matches_reference_with_source(variant):
+    pde = AcousticPDE()
+    spec, q = make_setup(pde, order=5)
+    source = make_source(spec, pde, 5)
+    kernel = make_kernel(variant, spec, pde)
+    result = kernel.predictor(q, dt=0.02, h=1.0, source=source)
+    ref = ReferenceCK(spec, pde).predictor(q, dt=0.02, h=1.0, source=source)
+    np.testing.assert_allclose(result.qavg, ref.qavg, atol=1e-12)
+    np.testing.assert_allclose(result.vavg, ref.vavg, atol=1e-12)
+    np.testing.assert_allclose(result.savg, ref.savg, atol=1e-12)
+
+
+@pytest.mark.parametrize("arch", ["noarch", "hsw", "skx"])
+def test_all_variants_agree_across_architectures(arch):
+    """Padding/vector width must never change the numbers."""
+    pde = ElasticPDE()
+    spec, q = make_setup(pde, order=5, arch=arch)
+    results = {
+        v: make_kernel(v, spec, pde).predictor(q, dt=0.005, h=0.25) for v in VARIANTS
+    }
+    base = results["generic"]
+    for v in VARIANTS[1:]:
+        np.testing.assert_allclose(results[v].qavg, base.qavg, atol=1e-12, err_msg=v)
+        np.testing.assert_allclose(results[v].vavg, base.vavg, atol=1e-12, err_msg=v)
+
+
+def test_vavg_total_equals_v_applied_to_qavg():
+    """Linearity identity: sum_d favg_d == V qavg (what SplitCK exploits)."""
+    pde = AcousticPDE()
+    spec, q = make_setup(pde, order=4)
+    kernel = make_kernel("generic", spec, pde)
+    result = kernel.predictor(q, dt=0.01, h=0.5)
+    v_d = ReferenceCK(spec, pde).volume_operators(q, h=0.5)
+    expected = (v_d.sum(axis=0) @ result.qavg.reshape(-1)).reshape(result.qavg.shape)
+    # Parameter slots of qavg hold dt * params and are annihilated by V
+    # only up to the (zero) flux columns; compare variable slots.
+    np.testing.assert_allclose(
+        result.vavg_total[..., : pde.nvar], expected[..., : pde.nvar], atol=1e-12
+    )
+
+
+def test_taylor_coefficients():
+    dt = 0.3
+    coef = taylor_coefficients(4, dt)
+    np.testing.assert_allclose(
+        coef, [dt, dt**2 / 2, dt**3 / 6, dt**4 / 24], rtol=1e-14
+    )
+
+
+def test_constant_state_is_preserved():
+    """A spatially constant state has zero derivatives: qavg = dt * q."""
+    pde = ElasticPDE()
+    spec, _ = make_setup(pde, order=4)
+    n = spec.order
+    const = pde.embed(
+        np.broadcast_to(np.linspace(1, 2, 9), (n, n, n, 9)),
+        np.broadcast_to([2.7, 6.0, 3.464], (n, n, n, 3)),
+    )
+    for v in VARIANTS:
+        result = make_kernel(v, spec, pde).predictor(const, dt=0.01, h=1.0)
+        np.testing.assert_allclose(result.qavg, 0.01 * const, atol=1e-12, err_msg=v)
+        np.testing.assert_allclose(result.vavg, 0.0, atol=1e-12, err_msg=v)
+
+
+def test_input_validation():
+    pde = AcousticPDE()
+    spec, q = make_setup(pde)
+    kernel = make_kernel("generic", spec, pde)
+    with pytest.raises(ValueError):
+        kernel.predictor(q[:-1], dt=0.01, h=1.0)
+    with pytest.raises(ValueError):
+        make_kernel("generic", spec, ElasticPDE())  # m mismatch
+    with pytest.raises(ValueError):
+        make_kernel("warp", spec, pde)
+    with pytest.raises(ValueError):
+        make_kernel("generic", KernelSpec(order=4, nvar=6, dim=2), AdvectionPDE(nvar=6))
+
+
+# ---------------------------------------------------------------------------
+# plan recording
+# ---------------------------------------------------------------------------
+
+
+def elastic_plans(order=4, arch="skx"):
+    pde = CurvilinearElasticPDE()
+    spec = KernelSpec(order=order, nvar=9, nparam=12, arch=arch)
+    return {v: make_kernel(v, spec, pde).build_plan() for v in VARIANTS}, spec
+
+
+def test_generic_plan_has_no_gemms_and_is_mostly_scalar():
+    plans, _ = elastic_plans()
+    plan = plans["generic"]
+    assert not plan.gemm_shapes()
+    assert plan.flop_counts().scalar_fraction > 0.6
+
+
+def test_optimized_plans_are_mostly_packed():
+    plans, _ = elastic_plans(order=6)
+    for v in ("log", "splitck", "aosoa"):
+        fr = plans[v].flop_counts()
+        assert fr.vectorized_fraction > 0.65, v
+        assert plans[v].gemm_shapes(), v
+
+
+def test_aosoa_plan_fully_vectorized_and_has_transposes():
+    plans, _ = elastic_plans(order=8)
+    plan = plans["aosoa"]
+    assert plan.flop_counts().scalar_fraction == 0.0
+    assert plan.ops_of(TransposeOp), "AoSoA must record layout transposes"
+
+
+def test_footprint_hierarchy_matches_paper():
+    """Sec. IV-A: generic/LoG are O(N^4 m), SplitCK/AoSoA are O(N^3 m)."""
+    plans, _ = elastic_plans(order=6)
+    assert plans["generic"].temp_footprint_bytes > 4 * plans["splitck"].temp_footprint_bytes
+    assert plans["log"].temp_footprint_bytes > 4 * plans["splitck"].temp_footprint_bytes
+    # the time dimension is the dominant factor
+    ratio = plans["log"].temp_footprint_bytes / plans["splitck"].temp_footprint_bytes
+    assert ratio > 6  # ~ (7N+1)/5 at order 6
+
+
+def test_l2_crossover_at_order_six():
+    """The LoG working set exceeds the 1 MiB L2 between orders 5 and 6."""
+    l2 = 1024 * 1024
+    below, _ = elastic_plans(order=5)
+    above, _ = elastic_plans(order=6)
+    assert below["log"].temp_footprint_bytes < l2
+    assert above["log"].temp_footprint_bytes > l2
+    # SplitCK stays inside L2 through the paper's whole sweep
+    high, _ = elastic_plans(order=11)
+    assert high["splitck"].temp_footprint_bytes < l2
+
+
+def test_order9_padding_penalty():
+    """Sec. V-A: AoSoA at order 9 executes far more FLOPs than SplitCK."""
+    plans8, _ = elastic_plans(order=8)
+    plans9, _ = elastic_plans(order=9)
+    # Order 8: x needs no padding (8 = AVX-512 width) while the AoS
+    # variants pad 21 quantities to 24, so AoSoA executes *fewer* FLOPs.
+    assert plans8["aosoa"].flop_counts().total <= plans8["splitck"].flop_counts().total
+    # Order 9: x pads 9 -> 16 lanes; the FLOP count blows up vs SplitCK.
+    assert plans9["aosoa"].flop_counts().total > 1.3 * plans9["splitck"].flop_counts().total
+
+
+def test_avx2_plans_use_256bit():
+    plans, _ = elastic_plans(order=6, arch="hsw")
+    counts = plans["log"].flop_counts()
+    assert counts.v256 > 0 and counts.v512 == 0
+
+
+def test_plan_gemm_shapes_reflect_loop_over_gemm():
+    """LoG x-derivative: N^2 GEMMs of (N x mpad); z-derivative: one wide GEMM."""
+    plans, spec = elastic_plans(order=6)
+    shapes = plans["log"].gemm_shapes()
+    n, mpad = spec.order, spec.mpad
+    assert (n, mpad, n, n * n) in shapes  # x: batch of N^2 slices
+    assert (n, n * mpad, n, n) in shapes  # y: fused x+quantity columns
+    assert (n, n * n * mpad, n, 1) in shapes  # z: single fused GEMM
+
+
+def test_aosoa_transposed_gemm_for_x_derivative():
+    plans, spec = elastic_plans(order=6)
+    gemms = plans["aosoa"].ops_of(GemmOp)
+    n = spec.order
+    x_gemms = [op for op in gemms if op.gemm.m == spec.nquantities]
+    assert x_gemms, "expected transposed-form x-derivative GEMMs"
+    for op in x_gemms:
+        assert op.gemm.n == n and op.gemm.k == n
+        assert op.gemm.ldc == spec.npad  # slice stride = padded line
+
+
+def test_plan_buffers_cover_pseudocode_arrays():
+    plans, spec = elastic_plans()
+    generic = plans["generic"].buffers
+    # space-time arrays are registered slot-wise (one buffer per time
+    # level / dimension) so the cache model sees the true footprint
+    for o in range(spec.order + 1):
+        assert f"p[{o}]" in generic
+    for name in ("flux[0][0]", "dF[3][2]", "qavg", "favg"):
+        assert name in generic, name
+    splitck = plans["splitck"].buffers
+    assert "pnext" in splitck
+    assert not any(b.startswith("dF") for b in splitck)  # the reformulation's point
+
+
+def test_plan_phases_ordered():
+    plans, _ = elastic_plans()
+    assert plans["splitck"].phases() == [
+        "predictor",
+        "favg_recompute",
+        "face_projection",
+    ]
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 2**31), order=st.integers(3, 6))
+def test_variant_equivalence_property(seed, order):
+    """For random states and orders, all variants agree to round-off."""
+    pde = AcousticPDE()
+    spec = KernelSpec(order=order, nvar=4, nparam=2, arch="skx")
+    q = pde.example_state((order,) * 3, np.random.default_rng(seed))
+    results = [
+        make_kernel(v, spec, pde).predictor(q, dt=0.01, h=1.0) for v in VARIANTS
+    ]
+    for r in results[1:]:
+        np.testing.assert_allclose(r.qavg, results[0].qavg, atol=1e-11)
+        np.testing.assert_allclose(r.vavg, results[0].vavg, atol=1e-11)

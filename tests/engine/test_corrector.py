@@ -1,0 +1,91 @@
+"""Tests for the corrector step (eq. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.basis.operators import cached_operators
+from repro.core.corrector import corrector_update, record_corrector_plan
+from repro.core.spec import KernelSpec
+from repro.core.variants import make_kernel
+from repro.pde import AcousticPDE
+
+
+def setup(order=4):
+    pde = AcousticPDE()
+    spec = KernelSpec(order=order, nvar=4, nparam=2, arch="skx")
+    q = pde.example_state((order,) * 3, np.random.default_rng(0))
+    kernel = make_kernel("splitck", spec, pde)
+    return pde, spec, q, kernel
+
+
+def exact_fluxes(pde, result, q, d_range=range(3)):
+    """Numerical fluxes equal to the element's own face fluxes (no jumps)."""
+    from repro.core.corrector import _face_params
+
+    fluxes = {}
+    for d in d_range:
+        for side in (0, 1):
+            face = result.qface[(d, side)]
+            params = _face_params(q, d, side, pde)
+            fluxes[(d, side)] = pde.flux(
+                pde.embed(face[..., : pde.nvar], params), d
+            )
+    return fluxes
+
+
+def test_zero_jump_reduces_to_volume_update():
+    """With F* = F(own face) the face terms vanish: q_new = q + V qavg."""
+    pde, spec, q, kernel = setup()
+    result = kernel.predictor(q, dt=0.01, h=0.5)
+    fluxes = exact_fluxes(pde, result, q)
+    qnew = corrector_update(q, result, fluxes, h=0.5, pde=pde)
+    np.testing.assert_allclose(qnew, q + result.vavg_total, atol=1e-12)
+
+
+def test_face_jump_changes_only_through_lifting():
+    pde, spec, q, kernel = setup()
+    result = kernel.predictor(q, dt=0.01, h=0.5)
+    fluxes = exact_fluxes(pde, result, q)
+    # perturb the numerical flux on the +x face
+    delta = np.zeros_like(fluxes[(0, 1)])
+    delta[..., 0] = 1.0
+    fluxes[(0, 1)] = fluxes[(0, 1)] + delta
+    qnew = corrector_update(q, result, fluxes, h=0.5, pde=pde)
+    base = q + result.vavg_total
+    diff = qnew - base
+    # lifting acts along x with the right-face lifting vector
+    ops = cached_operators(spec.order)
+    expected = -(1.0 / 0.5) * ops.lifting_right()[None, None, :, None] * delta[:, :, None, :]
+    np.testing.assert_allclose(diff, expected, atol=1e-12)
+
+
+def test_source_contribution_added():
+    pde, spec, q, kernel = setup()
+    from repro.basis.operators import cached_operators as co
+    from repro.core.variants import ElementSource
+
+    ops = co(spec.order)
+    amp = np.zeros(spec.nquantities)
+    amp[0] = 1.0
+    source = ElementSource(
+        projection=ops.source_projection(np.full(3, 0.5)),
+        amplitude=amp,
+        derivatives=np.ones(spec.order),
+    )
+    result = kernel.predictor(q, dt=0.01, h=0.5, source=source)
+    fluxes = exact_fluxes(pde, result, q)
+    qnew = corrector_update(q, result, fluxes, h=0.5, pde=pde)
+    np.testing.assert_allclose(
+        qnew, q + result.vavg_total + result.savg, atol=1e-12
+    )
+
+
+def test_corrector_plan_is_scalar_and_complete():
+    pde = AcousticPDE()
+    spec = KernelSpec(order=5, nvar=4, nparam=2, arch="skx")
+    plan = record_corrector_plan(spec, pde)
+    counts = plan.flop_counts()
+    assert counts.scalar == counts.total > 0
+    names = [op.name for op in plan.ops]
+    assert names == ["corrector_volume", "riemann", "surface_lift"]
+    assert "qface_neigh" in plan.buffers

@@ -1,0 +1,77 @@
+"""Tests for the VTK plotter."""
+
+import numpy as np
+import pytest
+
+from repro.engine.output import sample_solution, write_vtk
+from repro.scenarios import gaussian_pulse_setup
+from repro.scenarios.planarwave import acoustic_plane_wave_setup
+
+
+def test_sample_solution_shapes():
+    solver = gaussian_pulse_setup(elements=2, order=3)
+    coords, values = sample_solution(solver, points_per_element=3)
+    assert coords.shape == (6, 6, 6, 3)
+    assert values.shape == (6, 6, 6, 6)  # m = 4 + 2 parameters
+
+
+def test_sampling_interpolates_not_copies():
+    """Samples come from the Lagrange interpolant, exact for polynomials."""
+    solver, _ = acoustic_plane_wave_setup(elements=2, order=4)
+
+    def linear_field(points):
+        v = np.zeros(points.shape[:-1] + (4,))
+        v[..., 0] = 1.0 + 2.0 * points[..., 0] - points[..., 2]
+        params = np.broadcast_to([1.0, 1.0], points.shape[:-1] + (2,))
+        return solver.pde.embed(v, params)
+
+    solver.set_initial_condition(linear_field)
+    coords, values = sample_solution(solver, points_per_element=3)
+    expected = 1.0 + 2.0 * coords[..., 0] - coords[..., 2]
+    np.testing.assert_allclose(values[..., 0], expected, atol=1e-10)
+
+
+def test_sample_validation():
+    solver = gaussian_pulse_setup(elements=2, order=3)
+    with pytest.raises(ValueError):
+        sample_solution(solver, points_per_element=0)
+
+
+def test_write_vtk_roundtrip(tmp_path):
+    solver = gaussian_pulse_setup(elements=2, order=3)
+    out = write_vtk(solver, tmp_path / "state.vtk", field_names=["p", "vx"])
+    text = out.read_text()
+    assert text.startswith("# vtk DataFile Version 3.0")
+    assert "DIMENSIONS 4 4 4" in text
+    assert "SCALARS p double 1" in text
+    assert "SCALARS vx double 1" in text
+    # value count: 2 fields x 64 points + headers
+    data_lines = [l for l in text.splitlines() if l and l[0] in "-0123456789"]
+    assert len(data_lines) == 2 * 64
+
+
+def test_write_vtk_default_names_and_validation(tmp_path):
+    solver = gaussian_pulse_setup(elements=2, order=3)
+    out = write_vtk(solver, tmp_path / "d.vtk")
+    assert "SCALARS q0 double 1" in out.read_text()
+    with pytest.raises(ValueError):
+        write_vtk(solver, tmp_path / "bad.vtk", field_names=["a"] * 9)
+
+
+def test_vtk_x_fastest_ordering(tmp_path):
+    """VTK structured points iterate x fastest."""
+    solver, _ = acoustic_plane_wave_setup(elements=2, order=3)
+
+    def x_field(points):
+        v = np.zeros(points.shape[:-1] + (4,))
+        v[..., 0] = points[..., 0]
+        params = np.broadcast_to([1.0, 1.0], points.shape[:-1] + (2,))
+        return solver.pde.embed(v, params)
+
+    solver.set_initial_condition(x_field)
+    out = write_vtk(solver, tmp_path / "x.vtk", field_names=["p"], points_per_element=2)
+    lines = out.read_text().splitlines()
+    start = lines.index("LOOKUP_TABLE default") + 1
+    first_row = [float(v) for v in lines[start : start + 4]]
+    assert first_row == sorted(first_row)  # x increases along the row
+    assert first_row[0] != first_row[-1]

@@ -1,0 +1,92 @@
+"""Tests for the linear Riemann solvers."""
+
+import numpy as np
+import pytest
+
+from repro.engine.riemann import rusanov_flux, upwind_flux
+from repro.pde import AcousticPDE, AdvectionPDE, ElasticPDE
+
+
+def face_states(pde, shape=(3, 3), seed=0, params=None):
+    rng = np.random.default_rng(seed)
+    if params is None and pde.nparam:
+        params = pde.example_parameters(shape)
+    ql = pde.embed(rng.standard_normal(shape + (pde.nvar,)), params)
+    qr = pde.embed(rng.standard_normal(shape + (pde.nvar,)), params)
+    return ql, qr, params
+
+
+@pytest.mark.parametrize("solver", [rusanov_flux, upwind_flux])
+@pytest.mark.parametrize("pde", [AcousticPDE(), ElasticPDE()], ids=lambda p: p.name)
+@pytest.mark.parametrize("d", [0, 1, 2])
+def test_consistency(solver, pde, d):
+    """F*(q, q) = F(q): the numerical flux is consistent."""
+    ql, _, params = face_states(pde)
+    fstar = solver(pde, ql, ql, params, params, d)
+    np.testing.assert_allclose(fstar, pde.flux(ql, d), atol=1e-12)
+
+
+@pytest.mark.parametrize("solver", [rusanov_flux, upwind_flux])
+def test_parameter_slots_stay_zero(solver):
+    pde = ElasticPDE()
+    ql, qr, params = face_states(pde)
+    fstar = solver(pde, ql, qr, params, params, 1)
+    np.testing.assert_array_equal(fstar[..., 9:], 0.0)
+
+
+@pytest.mark.parametrize("solver", [rusanov_flux, upwind_flux])
+def test_linearity_in_states(solver):
+    pde = AcousticPDE()
+    ql, qr, params = face_states(pde)
+    ql2, qr2, _ = face_states(pde, seed=1)
+    f12 = solver(pde, ql + ql2, qr + qr2, params, params, 0)
+    f1 = solver(pde, ql, qr, params, params, 0)
+    f2 = solver(pde, ql2, qr2, params, params, 0)
+    np.testing.assert_allclose(
+        f12[..., :4], (f1 + f2)[..., :4], atol=1e-11
+    )
+
+
+def test_upwind_advection_takes_left_state():
+    """For positive advection speed the upwind flux uses the left state."""
+    pde = AdvectionPDE(velocity=(2.0, 0.0, 0.0), nvar=2)
+    ql = np.array([[1.0, 3.0]])
+    qr = np.array([[5.0, 7.0]])
+    fstar = upwind_flux(pde, ql, qr, np.zeros((1, 0)), np.zeros((1, 0)), 0)
+    np.testing.assert_allclose(fstar, 2.0 * ql)
+
+
+def test_upwind_splits_characteristics():
+    """Acoustic contact: out-going and in-going waves separate."""
+    pde = AcousticPDE()
+    params = np.array([1.0, 2.0])
+    m = 6
+    ql = np.zeros((1, m))
+    qr = np.zeros((1, m))
+    ql[0, 0] = 1.0  # pressure jump
+    fstar = upwind_flux(pde, ql, qr, params, params, 0)
+    # flux must lie between the one-sided fluxes and be nonzero
+    assert fstar[0, 1] != 0.0
+
+
+def test_rusanov_dissipation_scales_with_wave_speed():
+    pde = AcousticPDE()
+    jump = 2.0
+    out = {}
+    for c in (1.0, 4.0):
+        params = np.array([1.0, c])
+        ql = pde.embed(np.array([0.0, 0.0, 0.0, 0.0]), params)
+        qr = pde.embed(np.array([jump, 0.0, 0.0, 0.0]), params)
+        fstar = rusanov_flux(pde, ql, qr, params, params, 0)
+        central = 0.5 * (pde.flux(ql, 0) + pde.flux(qr, 0))
+        out[c] = fstar[0] - central[0]
+    assert abs(out[4.0]) == pytest.approx(4 * abs(out[1.0]))
+
+
+def test_upwind_rejects_varying_face_parameters():
+    pde = AcousticPDE()
+    ql, qr, _ = face_states(pde)
+    params = pde.example_parameters((3, 3))
+    params[0, 0, 1] = 9.0  # one node differs
+    with pytest.raises(ValueError):
+        upwind_flux(pde, ql, qr, params, params, 0)

@@ -1,0 +1,85 @@
+"""Tests for point sources, wavelets and receivers."""
+
+import numpy as np
+import pytest
+
+from repro.basis.operators import cached_operators
+from repro.engine.receivers import Receiver
+from repro.engine.source import GaussianDerivativeWavelet, PointSource, RickerWavelet
+from repro.mesh.grid import UniformGrid
+
+
+def test_gaussian_wavelet_value():
+    w = GaussianDerivativeWavelet(k=0, t0=0.5, sigma=0.1)
+    assert w(0.5) == pytest.approx(1.0)
+    assert w(0.5 + 0.1) == pytest.approx(np.exp(-0.5))
+
+
+@pytest.mark.parametrize("k", [0, 1, 2])
+def test_wavelet_derivatives_match_finite_differences(k):
+    w = GaussianDerivativeWavelet(k=k, t0=0.3, sigma=0.05)
+    t, eps = 0.33, 1e-6
+    derivs = w.derivatives(t, 3)
+    fd1 = (w(t + eps) - w(t - eps)) / (2 * eps)
+    fd2 = (w(t + eps) - 2 * w(t) + w(t - eps)) / eps**2
+    assert derivs[0] == pytest.approx(w(t))
+    assert derivs[1] == pytest.approx(fd1, rel=1e-5)
+    assert derivs[2] == pytest.approx(fd2, rel=1e-3)
+
+
+def test_derivative_chain_consistency():
+    """The o-th derivative of the k-wavelet is the (o+k)-th of the base."""
+    base = GaussianDerivativeWavelet(k=0, t0=0.2, sigma=0.04)
+    second = GaussianDerivativeWavelet(k=2, t0=0.2, sigma=0.04)
+    t = 0.21
+    np.testing.assert_allclose(
+        second.derivatives(t, 2), base.derivatives(t, 4)[2:], rtol=1e-12
+    )
+
+
+def test_ricker_peak_at_t0():
+    w = RickerWavelet(t0=0.4, f0=8.0)
+    ts = np.linspace(0.3, 0.5, 401)
+    vals = np.array([w(t) for t in ts])
+    assert ts[np.argmax(np.abs(vals))] == pytest.approx(0.4, abs=1e-3)
+
+
+def test_wavelet_validation():
+    with pytest.raises(ValueError):
+        GaussianDerivativeWavelet(k=-1)
+    with pytest.raises(ValueError):
+        GaussianDerivativeWavelet(sigma=0.0)
+
+
+def test_point_source_amplitude_embedding():
+    src = PointSource(
+        position=np.zeros(3),
+        amplitude=np.array([1.0, 2.0]),
+        wavelet=GaussianDerivativeWavelet(),
+    )
+    amp = src.element_amplitude(6)
+    np.testing.assert_array_equal(amp, [1, 2, 0, 0, 0, 0])
+
+
+def test_receiver_binds_and_interpolates():
+    grid = UniformGrid((2, 2, 2))
+    ops = cached_operators(4)
+    recv = Receiver([0.3, 0.6, 0.7])
+    recv.bind(grid, ops)
+    assert recv.element == grid.locate(np.array([0.3, 0.6, 0.7]))[0]
+
+    # a linear field is interpolated exactly
+    pts = grid.node_coordinates(recv.element, ops)
+    state = (2.0 * pts[..., 0] + pts[..., 2])[..., None]  # (N,N,N,1)
+    recv.record(0.1, state)
+    times, samples = recv.seismogram()
+    assert times[0] == 0.1
+    assert samples[0, 0] == pytest.approx(2.0 * 0.3 + 0.7, abs=1e-12)
+
+
+def test_receiver_requires_binding():
+    recv = Receiver([0.5, 0.5, 0.5])
+    with pytest.raises(RuntimeError):
+        recv.record(0.0, np.zeros((4, 4, 4, 1)))
+    with pytest.raises(RuntimeError):
+        _ = recv.element

@@ -1,0 +1,125 @@
+"""Unit tests for the LIBXSMM-like small-GEMM layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gemm.registry import GemmRegistry
+from repro.gemm.smallgemm import SmallGemm
+
+
+def test_execute_overwrite_and_accumulate():
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((3, 4))
+    b = rng.standard_normal((4, 5))
+    c = np.ones((3, 5))
+    SmallGemm(3, 5, 4)(a, b, c)
+    np.testing.assert_allclose(c, a @ b, atol=1e-14)
+    SmallGemm(3, 5, 4, accumulate=True)(a, b, c)
+    np.testing.assert_allclose(c, 2 * (a @ b), atol=1e-13)
+
+
+def test_execute_shape_checks():
+    g = SmallGemm(3, 5, 4)
+    with pytest.raises(ValueError):
+        g(np.zeros((4, 3)), np.zeros((4, 5)), np.zeros((3, 5)))
+    with pytest.raises(ValueError):
+        g(np.zeros((3, 4)), np.zeros((5, 4)), np.zeros((3, 5)))
+    with pytest.raises(ValueError):
+        g(np.zeros((3, 4)), np.zeros((4, 5)), np.zeros((5, 3)))
+
+
+def test_flop_counts_padded_width():
+    """A 4x21x4 AVX-512 microkernel pads 21 columns to 3 full registers."""
+    g = SmallGemm(m=4, n=21, k=4, vector_doubles=8)
+    assert g.n_vectors == 3
+    counts = g.flop_counts()
+    assert counts.v512 == 2 * 4 * 4 * 24
+    assert counts.total == counts.v512
+    assert g.useful_flops == 2 * 4 * 4 * 21
+
+
+def test_scalar_microkernel_attribution():
+    g = SmallGemm(m=4, n=21, k=4, vector_doubles=1)
+    counts = g.flop_counts()
+    assert counts.scalar == 2 * 4 * 4 * 21
+    assert counts.total == g.useful_flops
+
+
+def test_avx2_attribution():
+    g = SmallGemm(m=4, n=22, k=4, vector_doubles=4)
+    counts = g.flop_counts()
+    assert counts.v256 == 2 * 4 * 4 * 24  # 22 -> 6 registers of 4
+    assert counts.scalar == 0
+
+
+def test_no_padding_when_exact_multiple():
+    g = SmallGemm(m=8, n=24, k=8, vector_doubles=8)
+    assert g.flop_counts().total == g.useful_flops
+
+
+def test_traffic_counts():
+    g = SmallGemm(m=2, n=8, k=3, vector_doubles=8)
+    t = g.traffic()
+    assert t.read_bytes == 8 * (2 * 3 + 3 * 8)
+    assert t.write_bytes == 8 * 2 * 8
+    acc = SmallGemm(m=2, n=8, k=3, vector_doubles=8, accumulate=True)
+    assert acc.traffic().read_bytes == 8 * (2 * 3 + 3 * 8 + 2 * 8)
+
+
+def test_leading_dimension_defaults_and_validation():
+    g = SmallGemm(3, 5, 4)
+    assert (g.lda, g.ldb, g.ldc) == (4, 5, 5)
+    g2 = SmallGemm(3, 5, 4, ldb=24, ldc=24)
+    assert g2.ldb == 24
+    with pytest.raises(ValueError):
+        SmallGemm(3, 5, 4, ldc=2)
+    with pytest.raises(ValueError):
+        SmallGemm(0, 5, 4)
+    with pytest.raises(ValueError):
+        SmallGemm(3, 5, 4, vector_doubles=3)
+
+
+def test_registry_dedup_and_stats():
+    reg = GemmRegistry(8)
+    g1 = reg.get(4, 8, 4)
+    g2 = reg.get(4, 8, 4)
+    g3 = reg.get(4, 8, 4, accumulate=True)
+    assert g1 is g2
+    assert g1 is not g3
+    assert len(reg) == 2
+    assert reg.dispatch_count == 3
+    assert reg.generated_kernels == [g1, g3]
+
+
+def test_registry_vector_width_validation():
+    with pytest.raises(ValueError):
+        GemmRegistry(5)
+    assert GemmRegistry(8).hit_rate == 0.0
+
+
+def test_repr_contains_shape():
+    assert "4x8x4" in repr(SmallGemm(4, 8, 4))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    m=st.integers(1, 8),
+    n=st.integers(1, 32),
+    k=st.integers(1, 8),
+    vec=st.sampled_from([1, 2, 4, 8]),
+    seed=st.integers(0, 2**31),
+)
+def test_execution_matches_numpy_property(m, n, k, vec, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((m, k))
+    b = rng.standard_normal((k, n))
+    c = np.zeros((m, n))
+    g = SmallGemm(m, n, k, vector_doubles=vec)
+    g(a, b, c)
+    np.testing.assert_allclose(c, a @ b, atol=1e-12)
+    # Cost model invariants: padded >= useful, equality iff n % vec == 0.
+    assert g.flop_counts().total >= g.useful_flops
+    if n % vec == 0:
+        assert g.flop_counts().total == g.useful_flops

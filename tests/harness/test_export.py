@@ -1,0 +1,48 @@
+"""Tests for the CSV export and the extended CLI."""
+
+import csv
+
+import pytest
+
+from repro.harness.cli import main
+from repro.harness.export import export_all, write_rows
+
+
+def test_write_rows(tmp_path):
+    path = write_rows(tmp_path / "t.csv", [{"a": 1, "b": 2}, {"a": 3, "b": 4}])
+    with path.open() as fh:
+        rows = list(csv.DictReader(fh))
+    assert rows == [{"a": "1", "b": "2"}, {"a": "3", "b": "4"}]
+
+
+def test_write_rows_rejects_empty(tmp_path):
+    with pytest.raises(ValueError):
+        write_rows(tmp_path / "x.csv", [])
+
+
+def test_export_all(tmp_path):
+    files = export_all(tmp_path)
+    names = {p.name for p in files}
+    assert names == {
+        "fig4.csv", "fig6.csv", "fig9.csv", "fig10.csv",
+        "footprint.csv", "roofline.csv", "headlines.csv",
+    }
+    with (tmp_path / "fig10.csv").open() as fh:
+        rows = list(csv.DictReader(fh))
+    variants = {r["variant"] for r in rows}
+    assert variants == {"generic", "log", "splitck", "aosoa"}
+    orders = sorted({int(r["order"]) for r in rows})
+    assert orders == list(range(4, 12))
+
+
+def test_cli_csv_flag(tmp_path, capsys):
+    assert main(["footprint", "--csv", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "wrote" in out
+    assert (tmp_path / "headlines.csv").exists()
+
+
+def test_cli_roofline(capsys):
+    assert main(["roofline"]) == 0
+    out = capsys.readouterr().out
+    assert "flop/byte" in out

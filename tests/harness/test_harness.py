@@ -1,0 +1,153 @@
+"""Tests for the experiment harness: the paper's shapes must hold.
+
+These are the reproduction's acceptance tests: every qualitative claim
+of the evaluation section is asserted against the machine model, at
+reduced order sweeps to keep the suite fast.
+"""
+
+import pytest
+
+from repro.harness.cli import main
+from repro.harness.experiments import application_performance, stp_plan
+from repro.harness.figures import figure4, figure6, figure9, footprint_table
+from repro.harness import report
+
+ORDERS = (4, 6, 9, 11)
+
+
+@pytest.fixture(scope="module")
+def perf():
+    """Performance of every variant at the test orders (cached)."""
+    out = {}
+    for variant in ("generic", "log", "splitck", "aosoa"):
+        for order in ORDERS:
+            out[(variant, order)] = application_performance(variant, order)
+    for order in ORDERS:
+        out[("log_avx2", order)] = application_performance("log", order, "hsw")
+    return out
+
+
+def test_variant_ordering_at_high_order(perf):
+    """Fig. 10: aosoa > splitck > log > generic at order 11."""
+    p = {v: perf[(v, 11)].percent_available for v in ("generic", "log", "splitck", "aosoa")}
+    assert p["aosoa"] > p["splitck"] > p["log"] > p["generic"]
+
+
+def test_generic_plateau(perf):
+    """Generic kernels stay in the 3-5% band at every order."""
+    for order in ORDERS:
+        assert 2.5 < perf[("generic", order)].percent_available < 5.5
+
+
+def test_aosoa_reaches_paper_band(perf):
+    """AoSoA at order 11: ~22.5% of available performance (+-25%)."""
+    assert 17.0 < perf[("aosoa", 11)].percent_available < 28.0
+
+
+def test_aosoa_speedup_over_generic(perf):
+    """Paper: factor ~6 at order 11."""
+    speedup = perf[("aosoa", 11)].gflops / perf[("generic", 11)].gflops
+    assert 4.5 < speedup < 7.5
+
+
+def test_log_memory_stalls_stay_high(perf):
+    """Fig. 4/6: LoG stalls never fall below ~40% for N >= 6."""
+    for order in (6, 9, 11):
+        assert perf[("log", order)].memory_stall_pct > 38.0
+
+
+def test_splitck_stalls_decrease_with_order(perf):
+    """Fig. 6: the footprint reduction removes the stall plateau."""
+    stalls = [perf[("splitck", o)].memory_stall_pct for o in ORDERS]
+    assert stalls == sorted(stalls, reverse=True)
+    assert stalls[-1] < 25.0
+
+
+def test_splitck_beats_log_from_moderate_order(perf):
+    for order in (6, 9, 11):
+        assert (
+            perf[("splitck", order)].percent_available
+            > perf[("log", order)].percent_available
+        )
+
+
+def test_avx512_faster_than_avx2(perf):
+    """Fig. 4: AVX-512 beats AVX2, but far below the 2x vector width."""
+    for order in (9, 11):
+        ratio = perf[("log", order)].gflops / perf[("log_avx2", order)].gflops
+        assert 1.0 < ratio < 1.5
+
+
+def test_avx2_stalls_lower_than_avx512(perf):
+    """Fig. 4: the slower AVX2 code is less memory-stalled (41% vs 34%)."""
+    assert (
+        perf[("log_avx2", 11)].memory_stall_pct
+        < perf[("log", 11)].memory_stall_pct
+    )
+
+
+def test_frequency_licenses(perf):
+    assert perf[("generic", 9)].freq_ghz == pytest.approx(2.7)
+    assert perf[("log", 9)].freq_ghz == pytest.approx(1.9)
+    assert perf[("log_avx2", 9)].freq_ghz == pytest.approx(2.3)
+
+
+def test_instruction_mix_shapes():
+    """Fig. 9: scalar share generic >> log/splitck >> aosoa."""
+    rows = {(r["variant"], r["order"]): r for r in figure9(orders=(6, 11))}
+    assert rows[("generic", 11)]["scalar"] > 75.0
+    assert 5.0 < rows[("log", 11)]["scalar"] < 20.0
+    assert rows[("aosoa", 11)]["scalar"] < 5.0  # paper: 2-4%
+    assert rows[("log", 11)]["bits512"] > 75.0
+    # scalar share shrinks with order (arithmetic intensity grows)
+    assert rows[("log", 11)]["scalar"] < rows[("log", 6)]["scalar"]
+
+
+def test_footprint_crossover_at_order_six():
+    """Sec. IV-A: generic/LoG exceed 1 MiB L2 at N = 6; SplitCK never."""
+    rows = {(r["variant"], r["order"]): r for r in footprint_table(orders=(5, 6, 11))}
+    assert rows[("log", 5)]["fits_l2"]
+    assert not rows[("log", 6)]["fits_l2"]
+    assert not rows[("generic", 6)]["fits_l2"]
+    assert rows[("splitck", 11)]["fits_l2"]
+    assert rows[("aosoa", 11)]["fits_l2"]
+
+
+def test_footprint_scaling_laws():
+    """O(N^{d+1} m d) vs O(N^d m): the ratio grows linearly in N."""
+    r6 = {
+        r["variant"]: r["temp_bytes"] for r in footprint_table(orders=(6,))
+    }
+    r11 = {
+        r["variant"]: r["temp_bytes"] for r in footprint_table(orders=(11,))
+    }
+    ratio6 = r6["log"] / r6["splitck"]
+    ratio11 = r11["log"] / r11["splitck"]
+    assert ratio11 / ratio6 == pytest.approx(11 / 6, rel=0.15)
+
+
+def test_figure_series_structures():
+    f4 = figure4(orders=(4, 6))
+    assert set(f4) == {"generic", "log_avx512", "log_avx2"}
+    f6 = figure6(orders=(4, 6))
+    assert set(f6) == {"log", "splitck"}
+    for series in f6.values():
+        assert [r["order"] for r in series] == [4, 6]
+        assert all(0 < r["percent_available"] < 100 for r in series)
+
+
+def test_reports_render(capsys):
+    text = report.render_footprint()
+    assert "fits L2?" in text
+    assert main(["footprint"]) == 0
+    out = capsys.readouterr().out
+    assert "Sec. IV-A" in out
+
+
+def test_cli_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        main(["fig99"])
+
+
+def test_stp_plan_cached():
+    assert stp_plan("splitck", 6) is stp_plan("splitck", 6)

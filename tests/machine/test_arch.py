@@ -1,0 +1,91 @@
+"""Unit tests for architecture descriptors."""
+
+import pytest
+
+from repro.machine.arch import (
+    ARCHITECTURES,
+    SKX_PEAK_GFLOPS,
+    Architecture,
+    CacheLevel,
+    get_architecture,
+)
+
+
+def test_skx_peak_matches_paper():
+    """Paper Sec. VI: 1.9 GHz * 2 FMA units * 2 flops * 8 lanes = 60.8 GF/s."""
+    assert SKX_PEAK_GFLOPS == pytest.approx(60.8)
+
+
+def test_skx_vector_geometry():
+    skx = get_architecture("skx")
+    assert skx.vector_doubles == 8
+    assert skx.alignment_bytes == 64
+    assert skx.peak_flops_per_cycle == 32
+
+
+def test_hsw_is_avx2():
+    hsw = get_architecture("hsw")
+    assert hsw.vector_doubles == 4
+    assert hsw.flops_per_cycle(256) == 16
+    # 512-bit requests are capped at the architecture's native width.
+    assert hsw.flops_per_cycle(512) == 16
+
+
+def test_frequency_derating():
+    """AVX-512 frequency is ~30% below base frequency (paper Sec. VI)."""
+    skx = get_architecture("skx")
+    assert skx.simd_freq_ghz == pytest.approx(1.9)
+    assert skx.scalar_freq_ghz == pytest.approx(2.7)
+    assert 1.0 - skx.simd_freq_ghz / skx.scalar_freq_ghz == pytest.approx(0.296, abs=0.01)
+
+
+def test_l2_is_one_mebibyte():
+    """The Sec. IV-A bottleneck: 1 MB of L2 per core."""
+    assert get_architecture("skx").l2.capacity_bytes == 1024 * 1024
+
+
+@pytest.mark.parametrize("name", sorted(ARCHITECTURES))
+def test_all_architectures_consistent(name):
+    arch = get_architecture(name)
+    assert arch.vector_bytes % 8 == 0
+    assert arch.pad_doubles(1) == arch.vector_doubles
+    assert arch.pad_doubles(arch.vector_doubles) == arch.vector_doubles
+    for lvl in arch.caches:
+        assert lvl.sets * lvl.ways * lvl.line_bytes == lvl.capacity_bytes
+
+
+def test_padding_rule():
+    skx = get_architecture("skx")
+    assert skx.pad_doubles(21) == 24  # m=21 elastic quantities -> 24
+    assert skx.pad_doubles(8) == 8  # order 8: the no-padding sweet spot
+    assert skx.pad_doubles(9) == 16  # order 9: the pathological case
+    hsw = get_architecture("hsw")
+    assert hsw.pad_doubles(21) == 24
+    assert hsw.pad_doubles(9) == 12
+
+
+def test_scalar_arch():
+    noarch = get_architecture("noarch")
+    assert noarch.vector_doubles == 1
+    assert noarch.simd_freq_ghz == noarch.scalar_freq_ghz
+
+
+def test_unknown_architecture():
+    with pytest.raises(ValueError, match="unknown architecture"):
+        get_architecture("m1max")
+
+
+def test_cache_level_validation():
+    with pytest.raises(ValueError):
+        CacheLevel("L1", capacity_bytes=1000, ways=8, latency_cycles=4.0)
+
+
+def test_architecture_validation():
+    with pytest.raises(ValueError):
+        Architecture("bad", vector_bytes=12, fma_units=1, simd_freq_ghz=1, scalar_freq_ghz=1)
+
+
+def test_missing_l2_lookup():
+    arch = Architecture("tiny", 8, 1, 1.0, 1.0, caches=())
+    with pytest.raises(LookupError):
+        _ = arch.l2

@@ -1,0 +1,74 @@
+"""Unit tests for instruction-mix accounting."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.machine.isa import PACKING_WIDTHS, FlopCounts, TrafficCounts
+
+
+def test_total_and_add():
+    a = FlopCounts(scalar=1, v128=2, v256=3, v512=4)
+    b = FlopCounts(scalar=10)
+    assert (a + b).total == 20
+    assert (a + b).scalar == 11
+
+
+def test_fractions_sum_to_one():
+    c = FlopCounts(scalar=5, v256=10, v512=35)
+    fr = c.fractions()
+    assert sum(fr.values()) == pytest.approx(1.0)
+    assert fr[64] == pytest.approx(0.1)
+    assert fr[512] == pytest.approx(0.7)
+
+
+def test_fractions_of_zero():
+    assert all(v == 0.0 for v in FlopCounts().fractions().values())
+    assert FlopCounts().scalar_fraction == 0.0
+
+
+def test_at_width():
+    assert FlopCounts.at_width(8.0, 512).v512 == 8.0
+    assert FlopCounts.at_width(8.0, 64).scalar == 8.0
+    assert FlopCounts.at_width(8.0, 128).v128 == 8.0
+    assert FlopCounts.at_width(8.0, 256).v256 == 8.0
+    with pytest.raises(ValueError):
+        FlopCounts.at_width(1.0, 1024)
+
+
+def test_scaled():
+    c = FlopCounts(scalar=2, v512=4).scaled(0.5)
+    assert c.scalar == 1 and c.v512 == 2
+
+
+def test_vectorized_fraction():
+    c = FlopCounts(scalar=10, v512=90)
+    assert c.vectorized_fraction == pytest.approx(0.9)
+
+
+def test_instruction_count_fma_normalized():
+    # 16 FLOPs in one AVX-512 FMA; 2 FLOPs in one scalar FMA.
+    assert FlopCounts(v512=16.0).instructions() == 1.0
+    assert FlopCounts(scalar=2.0).instructions() == 1.0
+    assert FlopCounts(v256=8.0).instructions() == 1.0
+
+
+def test_traffic_counts():
+    t = TrafficCounts(read_bytes=100, write_bytes=50) + TrafficCounts(read_bytes=10)
+    assert t.read_bytes == 110
+    assert t.total_bytes == 160
+
+
+def test_packing_widths_constant():
+    assert PACKING_WIDTHS == (64, 128, 256, 512)
+
+
+@given(
+    s=st.floats(0, 1e9),
+    a=st.floats(0, 1e9),
+    b=st.floats(0, 1e9),
+    c=st.floats(0, 1e9),
+)
+def test_total_is_sum_property(s, a, b, c):
+    fc = FlopCounts(s, a, b, c)
+    assert fc.total == pytest.approx(s + a + b + c, rel=1e-12)

@@ -1,0 +1,79 @@
+"""Tests for memory-trace generation."""
+
+import numpy as np
+import pytest
+
+from repro.codegen.plan import Buffer, BufferAccess, GemmOp, KernelPlan, PointwiseOp, TransposeOp
+from repro.gemm.smallgemm import SmallGemm
+from repro.harness.experiments import stp_plan
+from repro.machine.isa import FlopCounts
+from repro.machine.memtrace import assign_addresses, op_trace, plan_trace
+
+
+def small_plan():
+    plan = KernelPlan(variant="t", spec=None)
+    plan.buffers["A"] = Buffer("A", 4096, "temp")
+    plan.buffers["B"] = Buffer("B", 8192, "temp")
+    plan.buffers["C"] = Buffer("C", 8192, "temp")
+    return plan
+
+
+def test_assign_addresses_disjoint_and_aligned():
+    plan = stp_plan("log", 4)
+    bases = assign_addresses(plan)
+    ranges = sorted(
+        (bases[name], bases[name] + buf.nbytes) for name, buf in plan.buffers.items()
+    )
+    for (s1, e1), (s2, _) in zip(ranges, ranges[1:]):
+        assert e1 <= s2, "buffer ranges overlap"
+    assert all(b % 4096 == 0 for b in bases.values())
+
+
+def test_pointwise_trace_covers_accessed_bytes():
+    plan = small_plan()
+    op = PointwiseOp(
+        "sweep",
+        FlopCounts(scalar=1.0),
+        (BufferAccess("A", read_bytes=4096), BufferAccess("B", write_bytes=8192)),
+    )
+    bases = {"A": 0, "B": 4096, "C": 16384}
+    trace = op_trace(op, bases, plan.buffers)
+    assert len(trace) == 4096 // 64 + 8192 // 64
+    assert trace.min() == 0
+    assert trace.max() == (4096 + 8192) // 64 - 1
+
+
+def test_transpose_trace():
+    plan = small_plan()
+    op = TransposeOp("t", "A", "B", nbytes=4096)
+    bases = {"A": 0, "B": 4096, "C": 16384}
+    trace = op_trace(op, bases, plan.buffers)
+    assert len(trace) == 2 * 4096 // 64
+
+
+def test_gemm_trace_slices_advance():
+    plan = small_plan()
+    gemm = SmallGemm(m=4, n=8, k=4, vector_doubles=8)
+    op = GemmOp(gemm, batch=4, a="A", b="B", c="C")
+    bases = assign_addresses(plan)
+    trace = op_trace(op, bases, plan.buffers)
+    # every batch touches distinct B/C slices: trace grows with batch
+    single = op_trace(GemmOp(gemm, 1, "A", "B", "C"), bases, plan.buffers)
+    assert len(trace) > 2 * len(single)
+
+
+def test_plan_trace_concatenates_all_ops():
+    plan = stp_plan("splitck", 4)
+    trace = plan_trace(plan)
+    assert trace.dtype == np.int64
+    assert len(trace) > 1000
+    # all addresses fall inside assigned buffer ranges
+    bases = assign_addresses(plan)
+    top = max(bases[n] + b.nbytes for n, b in plan.buffers.items())
+    assert trace.max() * 64 < top + 4096
+
+
+def test_unknown_op_type_rejected():
+    plan = small_plan()
+    with pytest.raises(TypeError):
+        op_trace(object(), {}, plan.buffers)

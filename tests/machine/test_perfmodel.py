@@ -1,0 +1,119 @@
+"""Tests for the top-down performance model."""
+
+import pytest
+
+from repro.codegen.plan import Buffer, BufferAccess, GemmOp, KernelPlan, PointwiseOp, TransposeOp
+from repro.core.spec import KernelSpec
+from repro.gemm.smallgemm import SmallGemm
+from repro.machine.arch import SKX_PEAK_GFLOPS, get_architecture
+from repro.machine.isa import FlopCounts
+from repro.machine.perfmodel import KernelPerformance, PerfModel, PerfModelConfig
+from repro.machine.segcache import LevelMisses
+
+
+def gemm_only_plan(spec, flops_512=1.0e6):
+    plan = KernelPlan(variant="x", spec=spec)
+    plan.buffers["A"] = Buffer("A", 1024, "const")
+    plan.buffers["B"] = Buffer("B", 65536, "temp")
+    plan.buffers["C"] = Buffer("C", 65536, "temp")
+    gemm = SmallGemm(m=8, n=8, k=8, vector_doubles=8)
+    batch = int(flops_512 / gemm.flop_counts().total)
+    plan.ops.append(GemmOp(gemm, batch, "A", "B", "C"))
+    return plan
+
+
+def test_compute_cycles_gemm_efficiency():
+    spec = KernelSpec(order=4, nvar=4, nparam=2, arch="skx")
+    arch = spec.architecture
+    cfg = PerfModelConfig()
+    plan = gemm_only_plan(spec)
+    model = PerfModel(arch, cfg)
+    flops = plan.flop_counts().total
+    expected = flops / (32 * cfg.gemm_efficiency)
+    assert model.compute_cycles(plan) == pytest.approx(expected)
+
+
+def test_heavy_pointwise_slower_than_default():
+    spec = KernelSpec(order=4, nvar=4, nparam=2, arch="skx")
+    arch = spec.architecture
+    model = PerfModel(arch)
+    acc = (BufferAccess("A", read_bytes=100),)
+    flops = FlopCounts(scalar=1e6)
+    heavy = PointwiseOp("h", flops, acc, eff_class="heavy")
+    normal = PointwiseOp("n", flops, acc)
+    assert model._op_cycles(heavy) > model._op_cycles(normal)
+
+
+def test_transpose_cycles_from_bandwidth():
+    spec = KernelSpec(order=4, nvar=4, nparam=2, arch="skx")
+    model = PerfModel(spec.architecture)
+    op = TransposeOp("t", "A", "B", nbytes=2400)
+    assert model._op_cycles(op) == pytest.approx(
+        2 * 2400 / model.config.transpose_bytes_per_cycle
+    )
+
+
+def test_stall_cycles_attribution():
+    arch = get_architecture("skx")
+    cfg = PerfModelConfig()
+    model = PerfModel(arch, cfg)
+    # 100 lines served by L2 (missed L1 only)
+    misses = LevelMisses({"L1": 100.0})
+    expected = 100 * arch.caches[1].latency_cycles * cfg.exposure_l2
+    assert model.stall_cycles(misses) == pytest.approx(expected)
+    # DRAM-served lines cost ns * frequency
+    misses = LevelMisses({"L1": 100.0, "L2": 100.0, "L3": 100.0, "DRAM": 100.0})
+    dram_part = 100 * arch.dram_latency_ns * arch.simd_freq_ghz * cfg.exposure_dram
+    assert model.stall_cycles(misses) == pytest.approx(dram_part, rel=0.2)
+
+
+def test_write_misses_discounted():
+    arch = get_architecture("skx")
+    model = PerfModel(arch)
+    reads = LevelMisses({"L1": 1000.0})
+    writes = LevelMisses({}, {"L1": 1000.0})
+    assert model.stall_cycles(writes) == pytest.approx(
+        model.config.write_stall_factor * model.stall_cycles(reads)
+    )
+
+
+def test_frequency_license():
+    arch = get_architecture("skx")
+    model = PerfModel(arch)
+    assert model.frequency_ghz(FlopCounts(v512=100.0)) == arch.simd_freq_ghz
+    assert model.frequency_ghz(FlopCounts(scalar=100.0)) == arch.scalar_freq_ghz
+    # 5% 512-bit does not trigger the AVX license derating
+    assert (
+        model.frequency_ghz(FlopCounts(scalar=95.0, v512=5.0))
+        == arch.scalar_freq_ghz
+    )
+
+
+def test_dram_latency_scales_with_frequency():
+    arch = get_architecture("skx")
+    model = PerfModel(arch)
+    misses = LevelMisses({"L1": 100.0, "L2": 100.0, "L3": 100.0, "DRAM": 100.0})
+    slow = model.stall_cycles(misses, freq_ghz=1.9)
+    fast = model.stall_cycles(misses, freq_ghz=2.7)
+    assert fast > slow  # same ns, more cycles at higher clock
+
+
+def test_kernel_performance_metrics():
+    perf = KernelPerformance(
+        variant="x",
+        order=6,
+        arch="skx",
+        flops=FlopCounts(v512=60.8e9),
+        compute_cycles=0.95e9,
+        stall_cycles=0.95e9,
+        freq_ghz=1.9,
+    )
+    assert perf.time_seconds == pytest.approx(1.0)
+    assert perf.gflops == pytest.approx(60.8)
+    assert perf.percent_available == pytest.approx(100.0)
+    assert perf.memory_stall_pct == pytest.approx(50.0)
+    assert perf.mix_percentages()[512] == pytest.approx(100.0)
+
+
+def test_skx_peak_constant():
+    assert SKX_PEAK_GFLOPS == pytest.approx(60.8)

@@ -1,0 +1,64 @@
+"""Tests for the VTune-like profiler facade and plan composition."""
+
+import pytest
+
+from repro.codegen.plan import GemmOp, PointwiseOp, TransposeOp
+from repro.harness.experiments import paper_spec, stp_plan
+from repro.machine.profiler import Profiler, engine_overhead_plan, merge_plans
+
+
+def test_merge_plans_prefixes_buffers():
+    a = stp_plan("splitck", 4)
+    b = engine_overhead_plan(paper_spec(4))
+    merged = merge_plans(a, b)
+    assert len(merged.ops) == len(a.ops) + len(b.ops)
+    assert "p0.qavg" in merged.buffers
+    assert "p1.element" in merged.buffers
+    # every op references only merged buffer names
+    for op in merged.ops:
+        for acc in op.accesses():
+            assert acc.buffer in merged.buffers
+
+
+def test_merge_remaps_all_op_kinds():
+    plan = stp_plan("aosoa", 4)
+    merged = merge_plans(plan)
+    kinds = {type(op) for op in merged.ops}
+    assert GemmOp in kinds and PointwiseOp in kinds and TransposeOp in kinds
+
+
+def test_merge_requires_plans():
+    with pytest.raises(ValueError):
+        merge_plans()
+
+
+def test_engine_overhead_is_scalar():
+    plan = engine_overhead_plan(paper_spec(6))
+    counts = plan.flop_counts()
+    assert counts.scalar == counts.total > 0
+
+
+def test_profile_produces_paper_metrics():
+    profiler = Profiler()
+    perf = profiler.profile(stp_plan("splitck", 5))
+    assert 0 < perf.percent_available < 100
+    assert 0 < perf.memory_stall_pct < 100
+    assert perf.freq_ghz == pytest.approx(1.9)  # AVX-512-heavy kernel
+
+
+def test_profile_application_includes_overhead():
+    profiler = Profiler()
+    stp = stp_plan("aosoa", 5)
+    app = profiler.profile_application(stp, engine_overhead_plan(paper_spec(5)))
+    kernel_only = profiler.profile(stp)
+    # overhead adds scalar FLOPs -> scalar fraction rises
+    assert app.flops.scalar_fraction > kernel_only.flops.scalar_fraction
+
+
+def test_footprint_reduction_improves_stalls():
+    """The paper's core claim, end to end through the model."""
+    profiler = Profiler()
+    log = profiler.profile(stp_plan("log", 9))
+    split = profiler.profile(stp_plan("splitck", 9))
+    assert split.memory_stall_pct < log.memory_stall_pct
+    assert split.percent_available > log.percent_available

@@ -1,0 +1,56 @@
+"""Tests for the roofline analysis extension."""
+
+import pytest
+
+from repro.harness.experiments import stp_plan
+from repro.machine.roofline import RooflinePoint, roofline_point
+from repro.machine.segcache import LevelMisses
+
+
+def test_point_geometry():
+    p = RooflinePoint(
+        variant="x", order=6, flops=1e9, dram_bytes=1e8,
+        peak_gflops=60.8, bandwidth_gbs=14.0,
+    )
+    assert p.intensity == pytest.approx(10.0)
+    assert p.ridge_intensity == pytest.approx(60.8 / 14.0)
+    assert not p.memory_bound
+    assert p.ceiling_gflops == pytest.approx(60.8)
+
+
+def test_memory_bound_below_ridge():
+    p = RooflinePoint("x", 6, flops=1e9, dram_bytes=1e9,
+                      peak_gflops=60.8, bandwidth_gbs=14.0)
+    assert p.memory_bound
+    assert p.ceiling_gflops == pytest.approx(14.0)
+
+
+def test_zero_traffic_is_compute_bound():
+    p = RooflinePoint("x", 6, flops=1e9, dram_bytes=0.0,
+                      peak_gflops=60.8, bandwidth_gbs=14.0)
+    assert p.intensity == float("inf")
+    assert not p.memory_bound
+
+
+def test_precomputed_misses_respected():
+    plan = stp_plan("splitck", 4)
+    misses = LevelMisses({"DRAM": 1000.0}, {"DRAM": 500.0})
+    point = roofline_point(plan, misses=misses)
+    assert point.dram_bytes == 1500 * 64
+
+
+def test_splitck_restores_arithmetic_intensity():
+    """The paper's story as a roofline: the footprint reduction keeps
+    SplitCK compute-bound at high order while LoG collapses under the
+    bandwidth roof."""
+    log = roofline_point(stp_plan("log", 11))
+    split = roofline_point(stp_plan("splitck", 11))
+    assert log.memory_bound
+    assert not split.memory_bound
+    assert split.intensity > 10 * log.intensity
+
+
+def test_intensity_grows_with_order_for_splitck():
+    i6 = roofline_point(stp_plan("splitck", 6)).intensity
+    i11 = roofline_point(stp_plan("splitck", 11)).intensity
+    assert i11 > 2 * i6

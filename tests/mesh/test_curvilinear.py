@@ -1,0 +1,68 @@
+"""Tests for the curvilinear mesh transforms."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.curvilinear import IdentityTransform, SinusoidalTransform
+
+
+def fd_jacobian(transform, r, eps=1e-6):
+    out = np.zeros((3, 3))
+    for b in range(3):
+        dr = np.zeros(3)
+        dr[b] = eps
+        out[:, b] = (transform.physical(r + dr) - transform.physical(r - dr)) / (2 * eps)
+    return out
+
+
+def test_identity_transform():
+    t = IdentityTransform()
+    r = np.random.default_rng(0).random((5, 3))
+    np.testing.assert_array_equal(t.physical(r), r)
+    np.testing.assert_allclose(t.metric(r), np.broadcast_to(np.eye(3), (5, 3, 3)))
+
+
+@pytest.mark.parametrize("amplitude", [0.02, 0.1, 0.25])
+def test_sinusoidal_jacobian_matches_finite_differences(amplitude):
+    t = SinusoidalTransform(amplitude)
+    rng = np.random.default_rng(1)
+    for r in rng.random((5, 3)):
+        np.testing.assert_allclose(t.jacobian(r), fd_jacobian(t, r), atol=1e-6)
+
+
+def test_sinusoidal_fixes_boundary():
+    """The perturbation vanishes on the box boundary (boundary-fitted)."""
+    t = SinusoidalTransform(0.1)
+    for r in ([0, 0.3, 0.7], [1, 0.5, 0.5], [0.2, 0.9, 0.0], [0.2, 0.9, 1.0]):
+        np.testing.assert_allclose(t.physical(np.array(r, float)), r, atol=1e-14)
+
+
+def test_metric_is_inverse_jacobian():
+    t = SinusoidalTransform(0.1)
+    r = np.array([0.3, 0.6, 0.4])
+    np.testing.assert_allclose(
+        t.metric(r) @ t.jacobian(r), np.eye(3), atol=1e-12
+    )
+
+
+def test_metric_parameters_shape_and_layout():
+    t = SinusoidalTransform(0.05)
+    r = np.random.default_rng(2).random((4, 4, 3))
+    params = t.metric_parameters(r)
+    assert params.shape == (4, 4, 9)
+    g = t.metric(r)
+    np.testing.assert_array_equal(params[..., 3], g[..., 1, 0])  # row-major
+
+
+def test_invertibility_guard():
+    with pytest.raises(ValueError):
+        SinusoidalTransform(0.5)
+    with pytest.raises(ValueError):
+        SinusoidalTransform(-0.1)
+
+
+def test_jacobian_positive_determinant():
+    t = SinusoidalTransform(0.25)
+    r = np.random.default_rng(3).random((50, 3))
+    det = np.linalg.det(t.jacobian(r))
+    assert np.all(det > 0)

@@ -1,0 +1,76 @@
+"""Tests for the uniform hexahedral grid."""
+
+import numpy as np
+import pytest
+
+from repro.basis.operators import cached_operators
+from repro.mesh.grid import BOUNDARY, UniformGrid
+
+
+def test_index_roundtrip():
+    grid = UniformGrid((3, 4, 5), extent=(3.0, 4.0, 5.0))
+    for e in range(grid.n_elements):
+        assert grid.index(*grid.coordinates(e)) == e
+
+
+def test_cubic_element_validation():
+    with pytest.raises(ValueError):
+        UniformGrid((2, 2, 2), extent=(1.0, 2.0, 1.0))
+    with pytest.raises(ValueError):
+        UniformGrid((0, 1, 1))
+
+
+def test_periodic_neighbors_wrap():
+    grid = UniformGrid((3, 3, 3))
+    e = grid.index(2, 1, 1)
+    assert grid.neighbor(e, 0, 1) == grid.index(0, 1, 1)
+    assert grid.neighbor(e, 0, 0) == grid.index(1, 1, 1)
+
+
+def test_physical_boundary():
+    grid = UniformGrid((2, 2, 2), periodic=(False, False, False))
+    corner = grid.index(0, 0, 0)
+    assert grid.neighbor(corner, 0, 0) == BOUNDARY
+    assert grid.neighbor(corner, 2, 0) == BOUNDARY
+    assert grid.neighbor(corner, 1, 1) == grid.index(0, 1, 0)
+
+
+def test_neighbor_symmetry():
+    grid = UniformGrid((3, 3, 3))
+    for e in range(grid.n_elements):
+        for d in range(3):
+            n = grid.neighbor(e, d, 1)
+            assert grid.neighbor(n, d, 0) == e
+
+
+def test_node_coordinates_within_element():
+    grid = UniformGrid((2, 2, 2), extent=(2.0, 2.0, 2.0))
+    ops = cached_operators(4)
+    e = grid.index(1, 0, 1)
+    pts = grid.node_coordinates(e, ops)
+    assert pts.shape == (4, 4, 4, 3)
+    org = grid.origin(e)
+    assert np.all(pts[..., 0] >= org[0]) and np.all(pts[..., 0] <= org[0] + 1.0)
+    # canonical index order: axis 2 of the array is x, axis 0 is z
+    assert pts[0, 0, 1, 0] > pts[0, 0, 0, 0]  # x grows along last axis
+    assert pts[1, 0, 0, 2] > pts[0, 0, 0, 2]  # z grows along first axis
+
+
+def test_locate():
+    grid = UniformGrid((4, 4, 4), extent=(2.0, 2.0, 2.0))
+    e, ref = grid.locate(np.array([0.75, 0.25, 1.9]))
+    assert e == grid.index(1, 0, 3)
+    np.testing.assert_allclose(ref, [0.5, 0.5, 0.8], atol=1e-12)
+    with pytest.raises(ValueError):
+        grid.locate(np.array([5.0, 0.0, 0.0]))
+
+
+def test_locate_on_boundary_point():
+    grid = UniformGrid((2, 2, 2))
+    e, ref = grid.locate(np.array([1.0, 1.0, 1.0]))
+    assert e == grid.index(1, 1, 1)
+    np.testing.assert_allclose(ref, [1.0, 1.0, 1.0])
+
+
+def test_h():
+    assert UniformGrid((5, 5, 5), extent=(2.5, 2.5, 2.5)).h == pytest.approx(0.5)

@@ -1,0 +1,53 @@
+"""Tests for the Peano space-filling-curve ordering."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.sfc import is_power_of_three, peano_coordinates, peano_order
+
+
+def test_is_power_of_three():
+    assert is_power_of_three(1)
+    assert is_power_of_three(3)
+    assert is_power_of_three(27)
+    assert not is_power_of_three(0)
+    assert not is_power_of_three(6)
+
+
+@pytest.mark.parametrize("levels", [1, 2, 3])
+def test_curve_visits_every_cell_once(levels):
+    coords = peano_coordinates(levels)
+    n = 3**levels
+    assert len(coords) == n**3
+    assert len(set(coords)) == n**3
+
+
+@pytest.mark.parametrize("levels", [1, 2, 3])
+def test_consecutive_cells_are_face_adjacent(levels):
+    """The defining locality property of the Peano curve."""
+    coords = np.array(peano_coordinates(levels))
+    steps = np.abs(np.diff(coords, axis=0)).sum(axis=1)
+    assert steps.max() == 1
+
+
+def test_peano_order_permutation():
+    order = peano_order((9, 9, 9))
+    assert sorted(order) == list(range(9**3))
+
+
+def test_peano_order_locality_on_grid():
+    n = 9
+    order = peano_order((n, n, n))
+    coords = np.array([(e % n, (e // n) % n, e // (n * n)) for e in order])
+    assert np.abs(np.diff(coords, axis=0)).sum(axis=1).max() == 1
+
+
+def test_non_power_of_three_falls_back_to_identity():
+    order = peano_order((4, 4, 4))
+    np.testing.assert_array_equal(order, np.arange(64))
+    order = peano_order((3, 3, 9))
+    np.testing.assert_array_equal(order, np.arange(81))
+
+
+def test_curve_starts_at_origin():
+    assert peano_coordinates(2)[0] == (0, 0, 0)

@@ -1,0 +1,91 @@
+"""Tests for the non-conservative-product formulation.
+
+These exercise the kernels' ``computeNcp`` branches end-to-end: the
+same physics written with fluxes and written with NCP terms must give
+identical predictor output.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.reference import ReferenceCK
+from repro.core.spec import KernelSpec
+from repro.core.variants import KERNEL_CLASSES, make_kernel
+from repro.pde import AcousticPDE, ElasticNCPPDE, ElasticPDE, NCPWrapperPDE
+
+
+def test_ncp_matrix_equals_inner_flux_matrix():
+    ncp = ElasticNCPPDE()
+    params = np.array([2.7, 6.0, 3.464])
+    for d in range(3):
+        np.testing.assert_allclose(
+            ncp.ncp_matrix(params, d), ElasticPDE().flux_matrix(params, d)
+        )
+        np.testing.assert_array_equal(ncp.flux_matrix(params, d), 0.0)
+
+
+def test_ncp_is_linear_in_gradient():
+    ncp = ElasticNCPPDE()
+    q = ncp.example_state((5,))
+    rng = np.random.default_rng(0)
+    g1 = rng.standard_normal(q.shape)
+    g2 = rng.standard_normal(q.shape)
+    np.testing.assert_allclose(
+        ncp.ncp(2 * g1 + g2, q, 1),
+        2 * ncp.ncp(g1, q, 1) + ncp.ncp(g2, q, 1),
+        atol=1e-12,
+    )
+
+
+def test_flux_is_zero_and_flops_shift_to_ncp():
+    ncp = NCPWrapperPDE(AcousticPDE())
+    q = ncp.example_state((4,))
+    np.testing.assert_array_equal(ncp.flux(q, 0), 0.0)
+    assert ncp.flux_flops_per_node(0) == 0
+    assert ncp.ncp_flops_per_node(0) == AcousticPDE().flux_flops_per_node(0)
+    assert ncp.has_ncp
+
+
+@pytest.mark.parametrize("variant", list(KERNEL_CLASSES))
+def test_ncp_predictor_matches_conservative_form(variant):
+    """Flux form and NCP form of the same system agree to round-off."""
+    order = 4
+    flux_pde = AcousticPDE()
+    ncp_pde = NCPWrapperPDE(AcousticPDE())
+    spec = KernelSpec(order=order, nvar=4, nparam=2, arch="skx")
+    q = flux_pde.example_state((order,) * 3, np.random.default_rng(7))
+    res_flux = make_kernel(variant, spec, flux_pde).predictor(q, dt=0.01, h=0.5)
+    res_ncp = make_kernel(variant, spec, ncp_pde).predictor(q, dt=0.01, h=0.5)
+    np.testing.assert_allclose(res_ncp.qavg, res_flux.qavg, atol=1e-11)
+    np.testing.assert_allclose(res_ncp.vavg, res_flux.vavg, atol=1e-11)
+
+
+@pytest.mark.parametrize("variant", list(KERNEL_CLASSES))
+def test_ncp_elastic_matches_dense_reference(variant):
+    pde = ElasticNCPPDE()
+    spec = KernelSpec(order=4, nvar=9, nparam=3, arch="skx")
+    q = pde.example_state((4,) * 3, np.random.default_rng(3))
+    result = make_kernel(variant, spec, pde).predictor(q, dt=0.005, h=0.25)
+    ref = ReferenceCK(spec, pde).predictor(q, dt=0.005, h=0.25)
+    np.testing.assert_allclose(result.qavg, ref.qavg, atol=1e-12)
+    np.testing.assert_allclose(result.vavg, ref.vavg, atol=1e-12)
+
+
+def test_ncp_plans_record_gradq_machinery():
+    """With NCP terms the plans grow gradQ buffers and extra sweeps."""
+    pde = ElasticNCPPDE()
+    spec = KernelSpec(order=4, nvar=9, nparam=3, arch="skx")
+    plan = make_kernel("splitck", spec, pde).build_plan()
+    assert "gradQ" in plan.buffers
+    assert any(op.name.startswith("ncp_") for op in plan.ops if hasattr(op, "name"))
+    # flux-form plans have no gradQ at all
+    flux_plan = make_kernel(
+        "splitck", KernelSpec(order=4, nvar=9, nparam=3, arch="skx"), ElasticPDE()
+    ).build_plan()
+    assert "gradQ" not in flux_plan.buffers
+
+
+def test_reflect_delegates():
+    pde = ElasticNCPPDE()
+    q = pde.example_state(())
+    np.testing.assert_array_equal(pde.reflect(q, 0)[0], -q[0])

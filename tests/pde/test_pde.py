@@ -1,0 +1,211 @@
+"""Unit tests for the linear PDE systems."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pde import AcousticPDE, AdvectionPDE, CurvilinearElasticPDE, ElasticPDE
+
+
+def random_state(pde, shape=(7,), seed=0, rho=2.0, cp=3.0, cs=1.5):
+    """Random full node vectors with physical parameters."""
+    rng = np.random.default_rng(seed)
+    variables = rng.standard_normal(shape + (pde.nvar,))
+    if pde.nparam == 0:
+        return pde.embed(variables)
+    if isinstance(pde, AcousticPDE):
+        params = np.broadcast_to([rho, cp], shape + (2,))
+    elif isinstance(pde, CurvilinearElasticPDE):
+        params = CurvilinearElasticPDE.identity_parameters(shape, rho, cp, cs)
+    else:
+        params = np.broadcast_to([rho, cp, cs], shape + (3,))
+    return pde.embed(variables, params)
+
+
+ALL_PDES = [AdvectionPDE(nvar=3), AcousticPDE(), ElasticPDE(), CurvilinearElasticPDE()]
+
+
+@pytest.mark.parametrize("pde", ALL_PDES, ids=lambda p: p.name)
+@pytest.mark.parametrize("d", [0, 1, 2])
+def test_flux_is_linear_in_variables(pde, d):
+    q1 = random_state(pde, seed=1)
+    q2 = random_state(pde, seed=2)
+    qsum = q1.copy()
+    qsum[..., : pde.nvar] = 2.0 * q1[..., : pde.nvar] + 3.0 * q2[..., : pde.nvar]
+    f = pde.flux(qsum, d)
+    expected = 2.0 * pde.flux(q1, d) + 3.0 * pde.flux(q2, d)
+    np.testing.assert_allclose(f, expected, atol=1e-12)
+
+
+@pytest.mark.parametrize("pde", ALL_PDES, ids=lambda p: p.name)
+@pytest.mark.parametrize("d", [0, 1, 2])
+def test_flux_vanishes_on_parameter_slots(pde, d):
+    q = random_state(pde)
+    f = pde.flux(q, d)
+    assert f.shape == q.shape
+    if pde.nparam:
+        np.testing.assert_array_equal(f[..., pde.nvar :], 0.0)
+
+
+@pytest.mark.parametrize("pde", ALL_PDES, ids=lambda p: p.name)
+@pytest.mark.parametrize("d", [0, 1, 2])
+def test_flux_matrix_matches_flux(pde, d):
+    q = random_state(pde, shape=())
+    mat = pde.flux_matrix(q[pde.nvar :], d)
+    np.testing.assert_allclose(mat @ q * 1.0, pde.flux(q, d), atol=1e-12)
+
+
+@pytest.mark.parametrize("pde", ALL_PDES, ids=lambda p: p.name)
+def test_flux_matrix_is_hyperbolic(pde):
+    """Any normal combination of flux matrices has real eigenvalues."""
+    q = random_state(pde, shape=())
+    n = np.array([0.36, 0.48, 0.8])
+    a = sum(n[d] * pde.flux_matrix(q[pde.nvar :], d) for d in range(3))
+    eig = np.linalg.eigvals(a[: pde.nvar, : pde.nvar])
+    np.testing.assert_allclose(eig.imag, 0.0, atol=1e-9)
+
+
+def test_elastic_eigenvalues_are_wave_speeds():
+    pde = ElasticPDE()
+    rho, cp, cs = 2.6, 6.0, 3.464
+    params = np.array([rho, cp, cs])
+    a = pde.flux_matrix(params, 0)[:9, :9]
+    eig = np.sort(np.real(np.linalg.eigvals(a)))
+    # eigenvalues: {-cp, -cs, -cs, 0, 0, 0, cs, cs, cp}
+    np.testing.assert_allclose(eig[0], -cp, atol=1e-9)
+    np.testing.assert_allclose(eig[1:3], -cs, atol=1e-9)
+    np.testing.assert_allclose(eig[3:6], 0.0, atol=1e-9)
+    np.testing.assert_allclose(eig[8], cp, atol=1e-9)
+
+
+def test_acoustic_eigenvalues():
+    pde = AcousticPDE()
+    params = np.array([1.2, 4.0])
+    a = pde.flux_matrix(params, 2)[:4, :4]
+    eig = np.sort(np.real(np.linalg.eigvals(a)))
+    np.testing.assert_allclose(eig, [-4.0, 0.0, 0.0, 4.0], atol=1e-9)
+
+
+def test_curvilinear_identity_metric_reduces_to_elastic():
+    curv, ela = CurvilinearElasticPDE(), ElasticPDE()
+    shape = (5,)
+    rng = np.random.default_rng(3)
+    variables = rng.standard_normal(shape + (9,))
+    qc = curv.embed(variables, CurvilinearElasticPDE.identity_parameters(shape, 2.0, 3.0, 1.5))
+    qe = ela.embed(variables, np.broadcast_to([2.0, 3.0, 1.5], shape + (3,)))
+    for d in range(3):
+        np.testing.assert_allclose(
+            curv.flux(qc, d)[..., :9], ela.flux(qe, d)[..., :9], atol=1e-12
+        )
+
+
+def test_curvilinear_metric_mixes_directions():
+    curv = CurvilinearElasticPDE()
+    params = CurvilinearElasticPDE.identity_parameters((), 2.0, 3.0, 1.5)
+    # Swap x and y rows of the metric.
+    g = np.zeros(9)
+    g[1] = 1.0  # G[0,1] = 1
+    g[3] = 1.0  # G[1,0] = 1
+    g[8] = 1.0  # G[2,2] = 1
+    params[3:12] = g
+    rng = np.random.default_rng(4)
+    q = curv.embed(rng.standard_normal(9), params)
+    ela = ElasticPDE()
+    qe = ela.embed(q[:9], q[9:12])
+    np.testing.assert_allclose(curv.flux(q, 0)[:9], ela.flux(qe, 1)[:9], atol=1e-12)
+
+
+def test_advection_exact_solution_translates():
+    pde = AdvectionPDE(velocity=(1.0, 2.0, 0.0), nvar=1)
+    pts = np.random.default_rng(0).random((10, 3))
+
+    def init(x):
+        return np.sin(2 * np.pi * x[..., 0])[..., None]
+
+    sol = pde.exact_solution(init, pts, t=0.25)
+    np.testing.assert_allclose(sol, init(pts - np.array([0.25, 0.5, 0.0])))
+
+
+def test_acoustic_plane_wave_satisfies_pde():
+    """Finite-difference check that the analytic plane wave solves the system."""
+    rho, c = 1.3, 2.0
+    k = np.array([2 * np.pi, 0.0, 0.0])
+    sol = AcousticPDE.plane_wave(k, rho, c)
+    pde = AcousticPDE()
+    x0 = np.array([0.3, 0.4, 0.5])
+    t0, eps = 0.2, 1e-6
+    qdot = (sol(x0, t0 + eps) - sol(x0, t0 - eps)) / (2 * eps)
+    div = np.zeros(4)
+    for d in range(3):
+        dx = np.zeros(3)
+        dx[d] = eps
+        qp = pde.embed(sol(x0 + dx, t0), [rho, c])
+        qm = pde.embed(sol(x0 - dx, t0), [rho, c])
+        div += (pde.flux(qp, d)[:4] - pde.flux(qm, d)[:4]) / (2 * eps)
+    np.testing.assert_allclose(qdot, -div, atol=1e-5)
+
+
+@pytest.mark.parametrize("mode", ["p", "s"])
+def test_elastic_plane_wave_satisfies_pde(mode):
+    rho, cp, cs = 2.6, 6.0, 3.0
+    k = np.array([2 * np.pi, 4 * np.pi, 0.0])
+    sol = ElasticPDE.plane_wave(k, rho, cp, cs, mode=mode)
+    pde = ElasticPDE()
+    x0 = np.array([0.25, 0.125, 0.75])
+    t0, eps = 0.1, 1e-6
+    qdot = (sol(x0, t0 + eps) - sol(x0, t0 - eps)) / (2 * eps)
+    div = np.zeros(9)
+    for d in range(3):
+        dx = np.zeros(3)
+        dx[d] = eps
+        qp = pde.embed(sol(x0 + dx, t0), [rho, cp, cs])
+        qm = pde.embed(sol(x0 - dx, t0), [rho, cp, cs])
+        div += (pde.flux(qp, d)[:9] - pde.flux(qm, d)[:9]) / (2 * eps)
+    np.testing.assert_allclose(qdot, -div, atol=1e-4)
+
+
+def test_reflect_flips_normal_velocity():
+    pde = ElasticPDE()
+    q = random_state(pde, shape=())
+    for d in range(3):
+        ghost = pde.reflect(q, d)
+        assert ghost[d] == -q[d]
+        np.testing.assert_array_equal(ghost[3:], q[3:])
+
+
+def test_embed_split_roundtrip():
+    pde = ElasticPDE()
+    rng = np.random.default_rng(1)
+    variables = rng.standard_normal((4, 9))
+    params = rng.random((4, 3)) + 1.0
+    q = pde.embed(variables, params)
+    v, p = pde.split(q)
+    np.testing.assert_array_equal(v, variables)
+    np.testing.assert_array_equal(p, params)
+
+
+def test_embed_requires_parameters():
+    with pytest.raises(ValueError):
+        ElasticPDE().embed(np.zeros(9))
+
+
+def test_flux_flops_positive():
+    for pde in ALL_PDES:
+        assert pde.flux_flops_per_node(0) > 0
+        assert pde.ncp_flops_per_node(0) == 0  # none of these use NCP terms
+
+
+def test_max_wave_speed():
+    pde = ElasticPDE()
+    q = random_state(pde, shape=(3,), cp=5.5)
+    np.testing.assert_allclose(pde.max_wave_speed(q), 5.5)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2**31), d=st.integers(0, 2))
+def test_elastic_flux_matrix_linearity_property(seed, d):
+    pde = ElasticPDE()
+    q = random_state(pde, shape=(), seed=seed)
+    mat = pde.flux_matrix(q[9:], d)
+    np.testing.assert_allclose(mat @ q, pde.flux(q, d), atol=1e-10)

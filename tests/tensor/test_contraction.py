@@ -1,0 +1,131 @@
+"""Unit and property tests for Loop-over-GEMM contractions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codegen.plan import PlanRecorder
+from repro.core.spec import KernelSpec
+from repro.gemm.registry import GemmRegistry
+from repro.tensor.contraction import contract_axis, contract_last_axis_transposed
+
+
+def reference_contract(matrix, src, axis):
+    """Straightforward einsum reference for dst = matrix applied along axis."""
+    return np.moveaxis(np.tensordot(matrix, src, axes=([1], [axis])), 0, axis)
+
+
+@pytest.mark.parametrize("axis", [0, 1, 2])
+def test_contract_matches_einsum(axis):
+    rng = np.random.default_rng(0)
+    src = rng.standard_normal((4, 4, 4, 8))
+    matrix = rng.standard_normal((4, 4))
+    dst = np.zeros_like(src)
+    contract_axis(matrix, src, dst, axis, GemmRegistry(8))
+    np.testing.assert_allclose(dst, reference_contract(matrix, src, axis), atol=1e-12)
+
+
+def test_contract_accumulates():
+    rng = np.random.default_rng(1)
+    src = rng.standard_normal((3, 3, 4))
+    matrix = rng.standard_normal((3, 3))
+    dst = np.ones_like(src)
+    contract_axis(matrix, src, dst, 1, GemmRegistry(4), accumulate=True)
+    np.testing.assert_allclose(
+        dst, 1.0 + reference_contract(matrix, src, 1), atol=1e-12
+    )
+
+
+def test_contract_transposed_matches_einsum():
+    """AoSoA x-derivative: contract the padded unit-stride axis."""
+    rng = np.random.default_rng(2)
+    n, npad, m = 6, 8, 5
+    src = np.zeros((4, 4, m, npad))
+    src[..., :n] = rng.standard_normal((4, 4, m, n))
+    matrix = rng.standard_normal((n, n))
+    dst = np.zeros_like(src)
+    contract_last_axis_transposed(
+        np.ascontiguousarray(matrix.T), src, dst, n, GemmRegistry(8)
+    )
+    expected = np.einsum("il,zysl->zysi", matrix, src[..., :n])
+    np.testing.assert_allclose(dst[..., :n], expected, atol=1e-12)
+    # padding lanes untouched
+    np.testing.assert_array_equal(dst[..., n:], 0.0)
+
+
+def test_transposed_equivalent_to_fused_on_swapped_tensor():
+    """C^T = A^T M^T: the transposed LoG equals the direct contraction."""
+    rng = np.random.default_rng(3)
+    n, m = 5, 7
+    aosoa = rng.standard_normal((3, 3, m, n))
+    matrix = rng.standard_normal((n, n))
+    out_t = np.zeros_like(aosoa)
+    contract_last_axis_transposed(
+        np.ascontiguousarray(matrix.T), aosoa, out_t, n, GemmRegistry(1)
+    )
+    # Same contraction done on the swapped (AoS-like) tensor.
+    aos = np.ascontiguousarray(np.swapaxes(aosoa, -1, -2))
+    out = np.zeros_like(aos)
+    contract_axis(matrix, aos, out, 2, GemmRegistry(1))
+    np.testing.assert_allclose(out_t, np.swapaxes(out, -1, -2), atol=1e-12)
+
+
+def test_recorder_receives_gemm_batches():
+    spec = KernelSpec(order=4, nvar=2, arch="skx")
+    rec = PlanRecorder("test", spec)
+    rec.buffer("D", 4 * 4 * 8, "const")
+    rec.buffer("src", 4**3 * 8 * 8, "temp")
+    rec.buffer("dst", 4**3 * 8 * 8, "temp")
+    src = np.zeros((4, 4, 4, 8))
+    matrix = np.eye(4)
+    contract_axis(
+        matrix, src, np.zeros_like(src), 2, GemmRegistry(8),
+        recorder=rec, matrix_name="D", src_name="src", dst_name="dst",
+    )
+    plan = rec.finish()
+    assert plan.gemm_shapes() == [(4, 8, 4, 16)]
+    op = plan.ops[0]
+    assert (op.a, op.b, op.c) == ("D", "src", "dst")
+
+
+def test_gemm_registry_reuse_across_calls():
+    registry = GemmRegistry(8)
+    src = np.zeros((4, 4, 4, 8))
+    for _ in range(3):
+        contract_axis(np.eye(4), src, np.zeros_like(src), 2, registry)
+    assert len(registry) == 1  # one microkernel, reused
+    assert registry.dispatch_count == 3
+    assert registry.hit_rate == pytest.approx(2 / 3)
+
+
+def test_shape_validation():
+    registry = GemmRegistry(8)
+    with pytest.raises(ValueError):
+        contract_axis(np.eye(3), np.zeros((4, 4)), np.zeros((4, 4)), 0, registry)
+    with pytest.raises(ValueError):
+        contract_axis(np.eye(4), np.zeros((4, 4)), np.zeros((4, 5)), 0, registry)
+    with pytest.raises(ValueError):
+        contract_last_axis_transposed(
+            np.eye(9), np.zeros((3, 8)), np.zeros((3, 8)), 9, registry
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(2, 6),
+    m=st.integers(1, 9),
+    axis=st.integers(0, 2),
+    vec=st.sampled_from([1, 4, 8]),
+    seed=st.integers(0, 2**31),
+)
+def test_contraction_property(n, m, axis, vec, seed):
+    """LoG contraction equals the einsum reference for any shape/ISA."""
+    rng = np.random.default_rng(seed)
+    pad = ((m + vec - 1) // vec) * vec
+    src = np.zeros((n, n, n, pad))
+    src[..., :m] = rng.standard_normal((n, n, n, m))
+    matrix = rng.standard_normal((n, n))
+    dst = np.zeros_like(src)
+    contract_axis(matrix, src, dst, axis, GemmRegistry(vec))
+    np.testing.assert_allclose(dst, reference_contract(matrix, src, axis), atol=1e-10)

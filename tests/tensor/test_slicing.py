@@ -1,0 +1,124 @@
+"""Unit tests for matrix-slice extraction (paper Fig. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.tensor.slicing import (
+    SliceBatch,
+    fused_slice_batch,
+    strided_slice_batch,
+    tail_slice_batch,
+)
+
+
+def test_fused_batch_x_axis_aos():
+    """AoS x-derivative slices: (N, mpad) contiguous blocks, one per (z, y)."""
+    shape = (5, 5, 5, 24)
+    batch = fused_slice_batch(shape, axis=2)
+    assert (batch.rows, batch.cols) == (5, 24)
+    assert batch.row_stride == 24
+    assert batch.batch == 25
+    assert batch.contiguous_rows
+
+
+def test_fused_batch_views_match_indexing():
+    rng = np.random.default_rng(0)
+    arr = rng.standard_normal((3, 4, 5, 6))
+    batch = fused_slice_batch(arr.shape, axis=1)
+    views = list(batch.views(arr))
+    assert len(views) == 3
+    for i, v in enumerate(views):
+        np.testing.assert_array_equal(v, arr[i].reshape(4, 30))
+
+
+def test_fused_batch_axis0_single_slice():
+    arr = np.arange(2 * 3 * 4, dtype=float).reshape(2, 3, 4)
+    batch = fused_slice_batch(arr.shape, axis=0)
+    views = list(batch.views(arr))
+    assert len(views) == 1
+    np.testing.assert_array_equal(views[0], arr.reshape(2, 12))
+
+
+def test_fused_views_are_writable_views():
+    arr = np.zeros((3, 4, 5))
+    batch = fused_slice_batch(arr.shape, axis=1)
+    for v in batch.views(arr):
+        v += 1.0
+    np.testing.assert_array_equal(arr, 1.0)
+
+
+def test_strided_batch_fig3_case():
+    """Fig. 3: A(:, 1, :) of a (3, 2, 3) tensor -- slice stride 6 > cols 3."""
+    arr = np.arange(3 * 2 * 3, dtype=float).reshape(3, 2, 3)
+    batch = strided_slice_batch(arr.shape, axis=0)
+    assert (batch.rows, batch.cols) == (3, 3)
+    assert batch.row_stride == 6
+    assert not batch.contiguous_rows
+    assert batch.batch == 2
+    views = list(batch.views(arr))
+    np.testing.assert_array_equal(views[0], arr[:, 0, :])
+    np.testing.assert_array_equal(views[1], arr[:, 1, :])
+
+
+def test_strided_batch_middle_axis():
+    rng = np.random.default_rng(1)
+    arr = rng.standard_normal((2, 3, 4, 5))
+    batch = strided_slice_batch(arr.shape, axis=1)
+    views = list(batch.views(arr))
+    assert len(views) == 2 * 4
+    idx = 0
+    for i in range(2):
+        for k in range(4):
+            np.testing.assert_array_equal(views[idx], arr[i, :, k, :])
+            idx += 1
+
+
+def test_tail_batch():
+    rng = np.random.default_rng(2)
+    arr = rng.standard_normal((4, 4, 21, 8))
+    batch = tail_slice_batch(arr.shape)
+    assert (batch.rows, batch.cols) == (21, 8)
+    assert batch.batch == 16
+    views = list(batch.views(arr))
+    np.testing.assert_array_equal(views[0], arr[0, 0])
+    np.testing.assert_array_equal(views[-1], arr[3, 3])
+
+
+def test_tail_batch_2d_tensor():
+    arr = np.ones((3, 4))
+    batch = tail_slice_batch(arr.shape)
+    assert batch.batch == 1
+    np.testing.assert_array_equal(next(iter(batch.views(arr))), arr)
+
+
+def test_views_shape_validation():
+    batch = fused_slice_batch((3, 4), axis=0)
+    with pytest.raises(ValueError):
+        list(batch.views(np.zeros((4, 3))))
+
+
+def test_axis_validation():
+    with pytest.raises(ValueError):
+        fused_slice_batch((3, 4), axis=5)
+    with pytest.raises(ValueError):
+        strided_slice_batch((3, 4), axis=1)  # rows cannot be unit-stride
+    with pytest.raises(ValueError):
+        tail_slice_batch((3,))
+
+
+def test_slice_bounds_validation():
+    with pytest.raises(ValueError):
+        SliceBatch(
+            tensor_shape=(2, 2),
+            rows=3,
+            cols=2,
+            row_stride=2,
+            slice_offsets=np.array([0]),
+        )
+
+
+def test_negative_axis():
+    arr = np.arange(24, dtype=float).reshape(2, 3, 4)
+    batch = fused_slice_batch(arr.shape, axis=-2)
+    views = list(batch.views(arr))
+    np.testing.assert_array_equal(views[0], arr[0])
