@@ -1,0 +1,164 @@
+"""Wall-clock comparison: batched element-block STP vs the per-element loop.
+
+The :class:`~repro.core.variants.batched.BatchedSTP` driver removes the
+per-element Python overhead (operator rebuilds, scratch allocation,
+per-slice GEMM dispatch) by fusing the contraction stages over element
+blocks.  This benchmark measures that win on the paper's m = 21
+curvilinear elastic workload and asserts the two paths agree to
+round-off -- the speedup must come purely from execution, never from
+numerics.
+
+Run styles:
+
+* ``PYTHONPATH=src python -m pytest benchmarks/bench_batched_stp.py``
+  -- pytest-benchmark timings;
+* ``PYTHONPATH=src python benchmarks/bench_batched_stp.py [--quick]``
+  -- direct speedup report (the acceptance check: batched ``log`` at
+  order 6 must beat the per-element loop by >= 2x), plus the
+  machine-model footprint view.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.spec import KernelSpec
+from repro.core.variants import BatchedSTP, make_kernel
+from repro.pde import CurvilinearElasticPDE
+
+PDE = CurvilinearElasticPDE()
+ORDER = 6
+BATCH = 16
+ELEMENTS = 32
+
+
+def element_block(order, elements=ELEMENTS):
+    rng = np.random.default_rng(0)
+    states = np.empty((elements, order, order, order, PDE.nquantities))
+    for e in range(elements):
+        states[e] = PDE.example_state((order,) * 3, rng)
+    return states
+
+
+def paper_spec(order):
+    return KernelSpec(order=order, nvar=9, nparam=12, arch="skx")
+
+
+def run_scalar(kernel, states, dt=1e-3, h=0.5):
+    return [kernel.predictor(states[e], dt, h) for e in range(states.shape[0])]
+
+
+@pytest.mark.parametrize("variant", ["generic", "log", "splitck", "aosoa"])
+def test_batched_block_wallclock(benchmark, variant):
+    driver = BatchedSTP(variant, paper_spec(ORDER), PDE, batch_size=BATCH)
+    states = element_block(ORDER)
+    results = benchmark(driver.predictor_all, states, 1e-3, 0.5)
+    assert len(results) == ELEMENTS
+
+
+@pytest.mark.parametrize("variant", ["log", "splitck"])
+def test_per_element_loop_wallclock(benchmark, variant):
+    kernel = make_kernel(variant, paper_spec(ORDER), PDE)
+    states = element_block(ORDER)
+    results = benchmark(run_scalar, kernel, states)
+    assert len(results) == ELEMENTS
+
+
+def _time(fn, *args, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def speedup_report(order=ORDER, elements=ELEMENTS, batch_size=BATCH,
+                   variants=("generic", "log", "splitck", "aosoa"), repeats=3):
+    """Measure per-element vs batched wall-clock and verify equivalence."""
+    spec = paper_spec(order)
+    states = element_block(order, elements)
+    dt, h = 1e-3, 0.5
+    rows = []
+    for variant in variants:
+        kernel = make_kernel(variant, spec, PDE)
+        driver = BatchedSTP(variant, spec, PDE, batch_size=batch_size)
+        ref = run_scalar(kernel, states, dt, h)
+        got = driver.predictor_all(states, dt, h)
+        max_diff = max(
+            max(
+                float(np.max(np.abs(g.qavg - r.qavg))),
+                float(np.max(np.abs(g.vavg - r.vavg))),
+            )
+            for g, r in zip(got, ref)
+        )
+        t_scalar = _time(run_scalar, kernel, states, dt, h, repeats=repeats)
+        t_batched = _time(driver.predictor_all, states, dt, h, repeats=repeats)
+        rows.append(
+            {
+                "variant": variant,
+                "order": order,
+                "elements": elements,
+                "batch_size": batch_size,
+                "t_scalar_ms": 1e3 * t_scalar,
+                "t_batched_ms": 1e3 * t_batched,
+                "speedup": t_scalar / t_batched,
+                "max_diff": max_diff,
+                "arena_mib": driver.scratch_bytes / 2**20,
+            }
+        )
+    return rows
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller sweep (CI smoke): fewer elements/repeats")
+    parser.add_argument("--order", type=int, default=ORDER)
+    args = parser.parse_args(argv)
+
+    elements = 8 if args.quick else ELEMENTS
+    batch = 4 if args.quick else BATCH
+    repeats = 1 if args.quick else 3
+    rows = speedup_report(order=args.order, elements=elements,
+                          batch_size=batch, repeats=repeats)
+
+    header = (f"{'variant':<10}{'order':>6}{'elems':>7}{'B':>4}"
+              f"{'scalar ms':>11}{'batched ms':>12}{'speedup':>9}"
+              f"{'max|diff|':>11}{'arena MiB':>11}")
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(f"{row['variant']:<10}{row['order']:>6}{row['elements']:>7}"
+              f"{row['batch_size']:>4}{row['t_scalar_ms']:11.1f}"
+              f"{row['t_batched_ms']:12.1f}{row['speedup']:9.2f}"
+              f"{row['max_diff']:11.1e}{row['arena_mib']:11.2f}")
+        if row["max_diff"] > 1e-12:
+            raise SystemExit(
+                f"batched/{row['variant']} diverged from the per-element "
+                f"path: max|diff| = {row['max_diff']:.3e}"
+            )
+
+    print()
+    print("machine-model footprint view (see also: python -m repro.harness batched)")
+    for variant in ("log", "splitck"):
+        driver = BatchedSTP(variant, paper_spec(args.order), PDE, batch_size=batch)
+        rep = driver.footprint_report()
+        print(f"  {variant}: arena {rep['arena_bytes'] / 2**20:.2f} MiB "
+              f"({rep['arena_bytes_per_element'] / 2**10:.0f} KiB/elem), "
+              f"scalar temp {rep['scalar_temp_bytes'] / 2**10:.0f} KiB/elem")
+
+    log_row = next((r for r in rows if r["variant"] == "log"), None)
+    if log_row is not None and not args.quick and log_row["speedup"] < 2.0:
+        raise SystemExit(
+            f"acceptance: batched log at order {args.order} only reached "
+            f"{log_row['speedup']:.2f}x (need >= 2x)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -154,6 +154,56 @@ class TensorLayout:
         trimmed = padded[..., : self.space_shape[-1]]
         return np.swapaxes(trimmed, -1, -2).copy()
 
+    # -- element-block conversion (batched STP driver) --------------------
+
+    def pack_block(self, stack: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Pack a ``(B, *space, m)`` element block into ``(B, *padded)``.
+
+        The block form of :meth:`pack`: one leading element axis, the
+        per-element layout unchanged.  ``out`` may be a preallocated
+        (scratch-arena) array; padding lanes are zero-filled either way,
+        honoring the zero-padding contract.
+        """
+        stack = np.asarray(stack, dtype=np.float64)
+        if stack.ndim != len(self.logical_shape) + 1 or stack.shape[1:] != self.logical_shape:
+            raise ValueError(
+                f"expected block shape (B, {', '.join(map(str, self.logical_shape))}), "
+                f"got {stack.shape}"
+            )
+        b = stack.shape[0]
+        if out is None:
+            out = np.zeros((b,) + self.padded_shape)
+        elif out.shape != (b,) + self.padded_shape:
+            raise ValueError(
+                f"out must be {(b,) + self.padded_shape}, got {out.shape}"
+            )
+        if self.kind is Layout.AOS:
+            out[..., : self.nquantities] = stack
+            out[..., self.nquantities :] = 0.0
+        elif self.kind is Layout.SOA:
+            out[..., : self.space_shape[-1]] = np.moveaxis(stack, -1, 1)
+            out[..., self.space_shape[-1] :] = 0.0
+        else:  # AOSOA: (B, z, y, x, m) -> (B, z, y, m, x)
+            out[..., : self.space_shape[-1]] = np.swapaxes(stack, -1, -2)
+            out[..., self.space_shape[-1] :] = 0.0
+        return out
+
+    def unpack_block(self, padded: np.ndarray) -> np.ndarray:
+        """Extract the canonical ``(B, *space, m)`` block from this layout."""
+        padded = np.asarray(padded)
+        if padded.ndim != len(self.padded_shape) + 1 or padded.shape[1:] != self.padded_shape:
+            raise ValueError(
+                f"expected block shape (B, {', '.join(map(str, self.padded_shape))}), "
+                f"got {padded.shape}"
+            )
+        if self.kind is Layout.AOS:
+            return padded[..., : self.nquantities].copy()
+        if self.kind is Layout.SOA:
+            trimmed = padded[..., : self.space_shape[-1]]
+            return np.moveaxis(trimmed, 1, -1).copy()
+        trimmed = padded[..., : self.space_shape[-1]]
+        return np.swapaxes(trimmed, -1, -2).copy()
+
     # -- SoA line extraction (the AoSoA selling point, Sec. V-C) ----------
 
     def soa_line(self, padded: np.ndarray, index: tuple[int, ...]) -> np.ndarray:

@@ -1,19 +1,27 @@
-"""The four Space-Time-Predictor kernel variants of the paper.
+"""The Space-Time-Predictor kernel variants of the paper.
 
-========= ======================================================== =========
-variant   description                                              paper
-========= ======================================================== =========
-generic   scalar reference implementation, full space-time storage Fig. 1
-log       vectorized Loop-over-GEMM on padded AoS tensors          Sec. III
-splitck   dimension-split CK with minimized memory footprint       Sec. IV
-aosoa     SplitCK on the hybrid AoSoA layout, vectorized user fns  Sec. V
-========= ======================================================== =========
+============ ======================================================== =========
+variant      description                                              paper
+============ ======================================================== =========
+generic      scalar reference implementation, full space-time storage Fig. 1
+log          vectorized Loop-over-GEMM on padded AoS tensors          Sec. III
+splitck      dimension-split CK with minimized memory footprint       Sec. IV
+aosoa        SplitCK on the hybrid AoSoA layout, vectorized user fns  Sec. V
+transpose_uf SplitCK numerics with transposed-input user functions    Sec. V-A
+============ ======================================================== =========
 
 All variants compute identical outputs (up to floating point rounding)
--- the test-suite enforces this against a dense-operator oracle.
+-- the test-suite enforces this against a dense-operator oracle.  The
+table above is kept in sync with :data:`KERNEL_CLASSES` by a test.
+
+On top of the per-element kernels,
+:class:`~repro.core.variants.batched.BatchedSTP` executes any variant
+over element blocks with cached operators and a preallocated scratch
+arena (an execution driver, not a separate variant).
 """
 
 from repro.core.variants.base import ElementSource, STPKernel, STPResult
+from repro.core.variants.batched import BatchedSTP, OperatorSet, ScratchArena, operator_set
 from repro.core.variants.generic import GenericSTP
 from repro.core.variants.log_kernel import LoGSTP
 from repro.core.variants.splitck import SplitCKSTP
@@ -29,6 +37,10 @@ __all__ = [
     "SplitCKSTP",
     "AoSoASTP",
     "TransposedUFSTP",
+    "BatchedSTP",
+    "OperatorSet",
+    "ScratchArena",
+    "operator_set",
     "make_kernel",
     "KERNEL_CLASSES",
 ]

@@ -1,0 +1,680 @@
+"""Batched element-block execution of the STP kernel variants.
+
+The per-element kernels in this package re-derive their operator set
+and re-allocate their whole scratch working set on *every* invocation
+-- faithful to a single kernel call, but wasteful when a solver sweeps
+thousands of elements per time step.  This module adds the standard
+matrix-free-DG batching layer on top of them (cf. Kronbichler &
+Kormann's element batches; the paper's Sec. IV buffer-reuse idea
+extended from intra-element to inter-element):
+
+* an **operator registry** caches the per-(variant, spec, pde)
+  operator set -- derivative matrices, layouts, basis operators --
+  exactly once per process;
+* a **scratch arena** preallocates one block-sized working set and
+  reuses it across all element blocks and all time steps;
+* the contraction stages run over an extra element-block axis through
+  :func:`~repro.tensor.contraction.block_contract_axis`, so every GEMM
+  call (and every flux/NCP user-function sweep) amortizes over ``B``
+  elements instead of one.
+
+The numerics are the *same* operations in the same order as the
+per-element variants -- only the element loop moves from Python into
+the stacked matmuls -- so outputs agree with the scalar path to
+round-off (the test-suite enforces <= 1e-12).
+
+:class:`BatchedSTP` is an execution driver, not a fifth kernel
+variant: plans, instruction mixes and the machine model still come from
+the per-element kernels (:meth:`BatchedSTP.footprint_report` combines
+both views).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.basis.operators import DGOperators, cached_operators
+from repro.core.layouts import Layout, TensorLayout
+from repro.core.spec import KernelSpec
+from repro.core.variants.base import (
+    AXIS_OF_DIM,
+    ElementSource,
+    STPResult,
+    taylor_coefficients,
+)
+from repro.gemm.registry import GemmRegistry
+from repro.pde.base import LinearPDE
+from repro.tensor.contraction import (
+    block_contract_axis,
+    block_contract_last_axis_transposed,
+)
+
+__all__ = [
+    "BatchedSTP",
+    "OperatorSet",
+    "ScratchArena",
+    "operator_set",
+    "clear_operator_registry",
+]
+
+#: AoSoA array axis carrying each PDE direction for a *block* tensor
+#: ``(B, z, y, m, x)``; x (d = 0) is handled by the transposed GEMM.
+_BLOCK_AOSOA_AXIS = {1: 2, 2: 1}
+
+#: canonical block-tensor axis of each PDE direction ((B, z, y, x, m))
+_BLOCK_AXIS_OF_DIM = {d: 1 + AXIS_OF_DIM[d] for d in range(3)}
+
+
+# ---------------------------------------------------------------------------
+# operator registry
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OperatorSet:
+    """Everything shape-dependent a batched kernel needs, derived once.
+
+    The per-element kernels rebuild these on every construction; the
+    registry below hands out one shared, immutable instance per
+    (variant, spec, pde) combination.
+    """
+
+    variant: str
+    spec: KernelSpec
+    ops: DGOperators
+    #: padded working layout (AoS for log/splitck/transpose_uf, AoSoA
+    #: for aosoa, unpadded canonical for generic -> None)
+    layout: TensorLayout | None
+    #: reference-element derivative operator (unscaled; kernels scale by 1/h)
+    derivative: np.ndarray
+    #: its contiguous transpose (AoSoA x-derivative, Sec. V-B case 1)
+    derivative_t: np.ndarray
+
+    @property
+    def mpad(self) -> int:
+        return self.layout.mpad if self.layout is not None else self.spec.nquantities
+
+    def scaled(self, h: float) -> tuple[np.ndarray, np.ndarray]:
+        """``(-D/h, D/h)`` -- the flux and gradient operators at size ``h``."""
+        deriv = self.derivative / h
+        return -deriv, deriv
+
+
+_LAYOUT_OF_VARIANT = {
+    "generic": None,
+    "log": Layout.AOS,
+    "splitck": Layout.AOS,
+    "transpose_uf": Layout.AOS,
+    "aosoa": Layout.AOSOA,
+}
+
+_OPERATOR_SETS: dict[tuple, OperatorSet] = {}
+
+
+def operator_set(variant: str, spec: KernelSpec, pde: LinearPDE) -> OperatorSet:
+    """The cached operator set for one (variant, spec, pde) combination.
+
+    All operator shapes follow from ``variant`` and ``spec`` alone; the
+    PDE only contributes its name to the cache key (two PDEs sharing a
+    spec share the arrays -- they are immutable).
+    """
+    if variant not in _LAYOUT_OF_VARIANT:
+        raise ValueError(
+            f"unknown variant {variant!r}; available: {sorted(_LAYOUT_OF_VARIANT)}"
+        )
+    key = (variant, spec, pde.name)
+    cached = _OPERATOR_SETS.get(key)
+    if cached is not None:
+        return cached
+    ops = cached_operators(spec.order, spec.quadrature)
+    kind = _LAYOUT_OF_VARIANT[variant]
+    layout = None if kind is None else TensorLayout.for_spec(kind, spec)
+    derivative = ops.derivative
+    oset = OperatorSet(
+        variant=variant,
+        spec=spec,
+        ops=ops,
+        layout=layout,
+        derivative=derivative,
+        derivative_t=np.ascontiguousarray(derivative.T),
+    )
+    return _OPERATOR_SETS.setdefault(key, oset)
+
+
+def clear_operator_registry() -> int:
+    """Drop all cached operator sets; returns how many were held."""
+    count = len(_OPERATOR_SETS)
+    _OPERATOR_SETS.clear()
+    return count
+
+
+# ---------------------------------------------------------------------------
+# scratch arena
+# ---------------------------------------------------------------------------
+
+
+class ScratchArena:
+    """A named pool of preallocated scratch arrays, reused across calls.
+
+    Arrays are handed out *dirty* (no implicit zeroing) -- callers own
+    initialization, exactly like the reused single-time-level tensors
+    of the SplitCK kernel (Sec. IV-B).  Requesting a name with a new
+    shape reallocates that entry; the batched driver always requests
+    full-block shapes and slices views for partial blocks, so in steady
+    state no allocation happens at all.
+    """
+
+    def __init__(self) -> None:
+        self._arrays: dict[str, np.ndarray] = {}
+
+    def get(self, name: str, shape: tuple[int, ...]) -> np.ndarray:
+        arr = self._arrays.get(name)
+        if arr is None or arr.shape != tuple(shape):
+            arr = np.zeros(shape)
+            self._arrays[name] = arr
+        return arr
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._arrays
+
+    def __len__(self) -> int:
+        return len(self._arrays)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes held by the arena."""
+        return sum(a.nbytes for a in self._arrays.values())
+
+    def buffers(self) -> dict[str, int]:
+        """Name -> bytes of every held array (for footprint reports)."""
+        return {name: a.nbytes for name, a in self._arrays.items()}
+
+
+# ---------------------------------------------------------------------------
+# the batched driver
+# ---------------------------------------------------------------------------
+
+
+class BatchedSTP:
+    """Run an STP kernel variant over element blocks of size ``batch_size``.
+
+    Parameters
+    ----------
+    variant:
+        Any name in :data:`repro.core.variants.KERNEL_CLASSES`
+        (``transpose_uf`` shares the SplitCK numerics).
+    spec, pde:
+        As for :class:`~repro.core.variants.base.STPKernel`.
+    batch_size:
+        ``B``, the number of elements fused per block.  The scratch
+        arena is sized for ``B`` at construction; meshes whose element
+        count is not a multiple of ``B`` are handled with partial-block
+        views (no reallocation).
+    """
+
+    def __init__(
+        self,
+        variant: str,
+        spec: KernelSpec,
+        pde: LinearPDE,
+        batch_size: int = 8,
+    ):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if spec.dim != 3:
+            raise ValueError("the STP kernels are implemented for d = 3")
+        if pde.nquantities != spec.nquantities:
+            raise ValueError(
+                f"PDE has m={pde.nquantities} quantities, spec expects "
+                f"m={spec.nquantities}"
+            )
+        if not getattr(pde, "is_linear", True):
+            raise TypeError(
+                f"{pde.name} is nonlinear; the Cauchy-Kowalewsky kernels "
+                "require a linear system"
+            )
+        self.variant = variant
+        self.spec = spec
+        self.pde = pde
+        self.batch_size = int(batch_size)
+        self.oset = operator_set(variant, spec, pde)
+        self.registry = GemmRegistry(spec.architecture.vector_doubles)
+        self.arena = ScratchArena()
+        self._impl = {
+            "generic": self._block_generic,
+            "log": self._block_log,
+            "splitck": self._block_splitck,
+            "transpose_uf": self._block_splitck,
+            "aosoa": self._block_aosoa,
+        }[variant]
+        self._preallocate()
+
+    # -- sizes -----------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return self.spec.order
+
+    @property
+    def m(self) -> int:
+        return self.spec.nquantities
+
+    def _block_space(self) -> tuple[int, ...]:
+        """Padded per-element tensor shape of the working layout."""
+        n, oset = self.n, self.oset
+        if oset.layout is None:
+            return (n, n, n, self.m)
+        return oset.layout.padded_shape
+
+    def _preallocate(self) -> None:
+        """Size the arena for a full block once, at construction.
+
+        This is the whole point of the driver: allocation happens here
+        and never again, no matter how many blocks or steps run.
+        """
+        n = self.n
+        full = (self.batch_size,) + self._block_space()
+        if self.variant in ("splitck", "transpose_uf", "aosoa"):
+            for name in ("p", "pnext", "flux", "tmp", "qavg"):
+                self.arena.get(name, full)
+            self.arena.get("favg", (3,) + full)
+            if self.pde.has_ncp:
+                self.arena.get("gradQ", full)
+        else:  # generic / log: full space-time storage, batched
+            self.arena.get("p_st", (n + 1,) + full)
+            self.arena.get("flux_st", (n, 3) + full)
+            self.arena.get("dF_st", (n, 3) + full)
+            self.arena.get("qavg", full)
+            self.arena.get("favg", (3,) + full)
+            if self.pde.has_ncp:
+                self.arena.get("gradQ_st", (n, 3) + full)
+
+    @property
+    def scratch_bytes(self) -> int:
+        """Bytes of the preallocated block arena."""
+        return self.arena.nbytes
+
+    @property
+    def scratch_bytes_per_element(self) -> float:
+        """Arena bytes amortized per element of the block."""
+        return self.arena.nbytes / self.batch_size
+
+    # -- driving ---------------------------------------------------------
+
+    def predictor_all(
+        self,
+        states: np.ndarray,
+        dt: float,
+        h: float,
+        order=None,
+        source_fn=None,
+    ) -> list:
+        """Run the STP on every element of ``states``, block by block.
+
+        Parameters
+        ----------
+        states:
+            ``(E, N, N, N, m)`` canonical element states.
+        order:
+            Optional traversal order (e.g. the Peano SFC); blocks are
+            formed along it.  Defaults to ``0 .. E-1``.
+        source_fn:
+            Optional ``element_id -> ElementSource | None`` callback.
+
+        Returns
+        -------
+        A list of :class:`STPResult`, indexed by element id.
+        """
+        n_elements = states.shape[0]
+        traversal = list(range(n_elements)) if order is None else list(order)
+        results = [None] * n_elements
+        for start in range(0, len(traversal), self.batch_size):
+            chunk = traversal[start : start + self.batch_size]
+            q_block = states[chunk]
+            sources = [source_fn(e) if source_fn is not None else None for e in chunk]
+            for element, result in zip(chunk, self.predictor_block(q_block, dt, h, sources)):
+                results[element] = result
+        return results
+
+    def predictor_block(
+        self,
+        q: np.ndarray,
+        dt: float,
+        h: float,
+        sources: list | None = None,
+    ) -> list:
+        """Run the STP on one ``(b, N, N, N, m)`` element block.
+
+        ``sources`` is an optional per-element list of
+        :class:`ElementSource` (or ``None``); ``b`` may be any size up
+        to ``batch_size``.
+        """
+        q = np.asarray(q, dtype=np.float64)
+        n, m = self.n, self.m
+        if q.ndim != 5 or q.shape[1:] != (n, n, n, m):
+            raise ValueError(
+                f"expected element block (b, {n}, {n}, {n}, {m}), got {q.shape}"
+            )
+        b = q.shape[0]
+        if b < 1 or b > self.batch_size:
+            raise ValueError(f"block size must be in 1..{self.batch_size}, got {b}")
+        if sources is None:
+            sources = [None] * b
+        if len(sources) != b:
+            raise ValueError("sources must match the block size")
+        return self._impl(q, dt, h, sources)
+
+    # -- shared pieces ----------------------------------------------------
+
+    def _active_sources(self, sources: list) -> list[tuple[int, ElementSource]]:
+        return [(i, s) for i, s in enumerate(sources) if s is not None]
+
+    def _project_faces_block(self, qavg_c: np.ndarray) -> dict:
+        """Batched face projection: one tensordot per face for the block."""
+        left, right = self.oset.ops.face_left, self.oset.ops.face_right
+        faces = {}
+        for d in range(3):
+            axis = _BLOCK_AXIS_OF_DIM[d]
+            faces[(d, 0)] = np.tensordot(left, qavg_c, axes=([0], [axis]))
+            faces[(d, 1)] = np.tensordot(right, qavg_c, axes=([0], [axis]))
+        return faces
+
+    def _collect_results(
+        self,
+        qavg_c: np.ndarray,
+        vavg_c: np.ndarray,
+        savg_c: np.ndarray | None,
+        sources: list,
+        faces: dict,
+    ) -> list:
+        results = []
+        for i in range(qavg_c.shape[0]):
+            qface = {key: face[i] for key, face in faces.items()}
+            savg_i = savg_c[i] if (savg_c is not None and sources[i] is not None) else None
+            results.append(
+                STPResult(qavg=qavg_c[i], vavg=vavg_c[:, i], savg=savg_i, qface=qface)
+            )
+        return results
+
+    def _savg_block(self, b: int, any_sources: bool) -> np.ndarray | None:
+        if not any_sources:
+            return None
+        savg = self.arena.get("savg", (self.batch_size,) + self._block_space())[:b]
+        savg[...] = 0.0
+        return savg
+
+    # -- variant implementations ------------------------------------------
+    #
+    # Each mirrors its per-element twin statement by statement; the only
+    # change is the leading block axis and the arena-backed storage.
+
+    def _block_splitck(self, q: np.ndarray, dt: float, h: float, sources: list) -> list:
+        n, m, b = self.n, self.m, q.shape[0]
+        nvar = self.pde.nvar
+        layout = self.oset.layout
+        full = (self.batch_size,) + self._block_space()
+        p = self.arena.get("p", full)[:b]
+        pnext = self.arena.get("pnext", full)[:b]
+        flux = self.arena.get("flux", full)[:b]
+        tmp = self.arena.get("tmp", full)
+        qavg = self.arena.get("qavg", full)[:b]
+        favg = self.arena.get("favg", (3,) + full)[:, :b]
+        grad_q = self.arena.get("gradQ", full)[:b] if self.pde.has_ncp else None
+        neg_deriv, deriv = self.oset.scaled(h)
+
+        active = self._active_sources(sources)
+        savg = self._savg_block(b, bool(active))
+
+        layout.pack_block(q, out=p)
+        params = q[..., nvar:]
+        qavg[...] = 0.0
+
+        coef = taylor_coefficients(n, dt)
+        for o in range(n):
+            qavg += coef[o] * p
+            pnext[...] = 0.0
+            for d in range(3):
+                flux[..., :m] = self.pde.flux(p[..., :m], d)
+                flux[..., m:] = 0.0
+                block_contract_axis(
+                    neg_deriv, flux, pnext, _BLOCK_AXIS_OF_DIM[d], self.registry,
+                    accumulate=True, tmp=tmp,
+                )
+                if self.pde.has_ncp:
+                    block_contract_axis(
+                        deriv, p, grad_q, _BLOCK_AXIS_OF_DIM[d], self.registry,
+                    )
+                    pnext[..., :m] -= self.pde.ncp(grad_q[..., :m], p[..., :m], d)
+            for i, source in active:
+                term = source.term(o)
+                pnext[i, ..., :m] += term
+                savg[i, ..., :m] += coef[o] * term
+            pnext[..., nvar:m] = params
+            p, pnext = pnext, p
+
+        # favg_d = V_d qavg by linearity (Sec. IV-B's recomputation).
+        qavg[..., nvar:m] = params
+        for d in range(3):
+            flux[..., :m] = self.pde.flux(qavg[..., :m], d)
+            flux[..., m:] = 0.0
+            block_contract_axis(
+                neg_deriv, flux, favg[d], _BLOCK_AXIS_OF_DIM[d], self.registry,
+            )
+            if self.pde.has_ncp:
+                block_contract_axis(
+                    deriv, qavg, grad_q, _BLOCK_AXIS_OF_DIM[d], self.registry,
+                )
+                favg[d, ..., :m] -= self.pde.ncp(grad_q[..., :m], qavg[..., :m], d)
+        qavg[..., nvar:m] = dt * params
+
+        qavg_c = layout.unpack_block(qavg)
+        vavg_c = np.stack([layout.unpack_block(favg[d]) for d in range(3)])
+        savg_c = None if savg is None else layout.unpack_block(savg)
+        faces = self._project_faces_block(qavg_c)
+        return self._collect_results(qavg_c, vavg_c, savg_c, sources, faces)
+
+    def _block_aosoa(self, q: np.ndarray, dt: float, h: float, sources: list) -> list:
+        n, m, b = self.n, self.m, q.shape[0]
+        nvar = self.pde.nvar
+        layout = self.oset.layout
+        full = (self.batch_size,) + self._block_space()
+        p = self.arena.get("p", full)[:b]
+        pnext = self.arena.get("pnext", full)[:b]
+        flux = self.arena.get("flux", full)[:b]
+        tmp = self.arena.get("tmp", full)
+        qavg = self.arena.get("qavg", full)[:b]
+        favg = self.arena.get("favg", (3,) + full)[:, :b]
+        grad_q = self.arena.get("gradQ", full)[:b] if self.pde.has_ncp else None
+        neg_deriv, deriv = self.oset.scaled(h)
+        neg_deriv_t = np.ascontiguousarray(neg_deriv.T)
+        deriv_t = np.ascontiguousarray(deriv.T)
+
+        active = self._active_sources(sources)
+        savg = self._savg_block(b, bool(active))
+
+        def flux_lines(arr: np.ndarray, out: np.ndarray, d: int) -> None:
+            # every (b, k, j) line is an SoA chunk; padding lanes excluded
+            q_lines = np.swapaxes(arr[..., :n], -1, -2)
+            out[..., :n] = np.swapaxes(self.pde.flux(q_lines, d), -1, -2)
+            out[..., n:] = 0.0
+
+        def derive_into(matrix, matrix_t, src, dst, d, accumulate):
+            if d == 0:
+                block_contract_last_axis_transposed(
+                    matrix_t, src, dst, n, self.registry,
+                    accumulate=accumulate, tmp=tmp,
+                )
+            else:
+                block_contract_axis(
+                    matrix, src, dst, _BLOCK_AOSOA_AXIS[d], self.registry,
+                    accumulate=accumulate, tmp=tmp,
+                )
+
+        layout.pack_block(q, out=p)
+        params_t = np.swapaxes(q[..., nvar:], -1, -2)  # (b, z, y, npar, x)
+
+        qavg[...] = 0.0
+        coef = taylor_coefficients(n, dt)
+        for o in range(n):
+            qavg += coef[o] * p
+            pnext[...] = 0.0
+            for d in range(3):
+                flux_lines(p, flux, d)
+                derive_into(neg_deriv, neg_deriv_t, flux, pnext, d, True)
+                if self.pde.has_ncp:
+                    derive_into(deriv, deriv_t, p, grad_q, d, False)
+                    gq = np.swapaxes(grad_q[..., :n], -1, -2)
+                    qq = np.swapaxes(p[..., :n], -1, -2)
+                    pnext[..., :n] -= np.swapaxes(self.pde.ncp(gq, qq, d), -1, -2)
+            for i, source in active:
+                term = np.swapaxes(source.term(o), -1, -2)  # (z, y, m, n)
+                pnext[i, ..., :n] += term
+                savg[i, ..., :n] += coef[o] * term
+            pnext[:, :, :, nvar:m, :n] = params_t
+            p, pnext = pnext, p
+
+        qavg[:, :, :, nvar:m, :n] = params_t
+        for d in range(3):
+            flux_lines(qavg, flux, d)
+            derive_into(neg_deriv, neg_deriv_t, flux, favg[d], d, False)
+            if self.pde.has_ncp:
+                derive_into(deriv, deriv_t, qavg, grad_q, d, False)
+                gq = np.swapaxes(grad_q[..., :n], -1, -2)
+                qq = np.swapaxes(qavg[..., :n], -1, -2)
+                favg[d, ..., :n] -= np.swapaxes(self.pde.ncp(gq, qq, d), -1, -2)
+        qavg[:, :, :, nvar:m, :n] = dt * params_t
+
+        qavg_c = layout.unpack_block(qavg)
+        vavg_c = np.stack([layout.unpack_block(favg[d]) for d in range(3)])
+        savg_c = None if savg is None else layout.unpack_block(savg)
+        faces = self._project_faces_block(qavg_c)
+        return self._collect_results(qavg_c, vavg_c, savg_c, sources, faces)
+
+    def _block_log(self, q: np.ndarray, dt: float, h: float, sources: list) -> list:
+        return self._block_spacetime(q, dt, h, sources, padded=True)
+
+    def _block_generic(self, q: np.ndarray, dt: float, h: float, sources: list) -> list:
+        return self._block_spacetime(q, dt, h, sources, padded=False)
+
+    def _block_spacetime(
+        self, q: np.ndarray, dt: float, h: float, sources: list, padded: bool
+    ) -> list:
+        """Shared block path for the two full-space-time-storage variants.
+
+        ``padded=True`` is the LoG kernel (AoS padding, Sec. III-A);
+        ``padded=False`` the generic one.  Both keep the full
+        ``O(N^{d+1} m d)`` storage -- now ``B`` elements wide.
+        """
+        n, m, b = self.n, self.m, q.shape[0]
+        nvar = self.pde.nvar
+        layout = self.oset.layout
+        full = (self.batch_size,) + self._block_space()
+        p = self.arena.get("p_st", (n + 1,) + full)[:, :b]
+        flux = self.arena.get("flux_st", (n, 3) + full)[:, :, :b]
+        d_f = self.arena.get("dF_st", (n, 3) + full)[:, :, :b]
+        grad_q = (
+            self.arena.get("gradQ_st", (n, 3) + full)[:, :, :b]
+            if self.pde.has_ncp
+            else None
+        )
+        qavg = self.arena.get("qavg", full)[:b]
+        favg = self.arena.get("favg", (3,) + full)[:, :b]
+        neg_deriv, deriv = self.oset.scaled(h)
+
+        active = self._active_sources(sources)
+        savg = self._savg_block(b, bool(active))
+
+        if padded:
+            layout.pack_block(q, out=p[0])
+        else:
+            p[0] = q
+        p[1:] = 0.0
+        params = q[..., nvar:]
+
+        for o in range(n):
+            for d in range(3):
+                flux[o, d, ..., :m] = self.pde.flux(p[o, ..., :m], d)
+                if padded:
+                    flux[o, d, ..., m:] = 0.0
+            for d in range(3):
+                block_contract_axis(
+                    neg_deriv, flux[o, d], d_f[o, d], _BLOCK_AXIS_OF_DIM[d],
+                    self.registry,
+                )
+            if self.pde.has_ncp:
+                for d in range(3):
+                    block_contract_axis(
+                        deriv, p[o], grad_q[o, d], _BLOCK_AXIS_OF_DIM[d],
+                        self.registry,
+                    )
+                for d in range(3):
+                    d_f[o, d, ..., :m] -= self.pde.ncp(
+                        grad_q[o, d, ..., :m], p[o, ..., :m], d
+                    )
+            for d in range(3):
+                p[o + 1] += d_f[o, d]
+            for i, source in active:
+                p[o + 1, i, ..., :m] += source.term(o)
+            p[o + 1, ..., nvar:m] = params
+
+        coef = taylor_coefficients(n, dt)
+        qavg[...] = 0.0
+        for o in range(n):
+            qavg += coef[o] * p[o]
+        favg[...] = 0.0
+        for d in range(3):
+            for o in range(n):
+                favg[d] += coef[o] * d_f[o, d]
+        for i, source in active:
+            for o in range(n):
+                savg[i, ..., :m] += coef[o] * source.term(o)
+
+        qavg[..., nvar:m] = dt * params
+
+        if padded:
+            qavg_c = layout.unpack_block(qavg)
+            vavg_c = np.stack([layout.unpack_block(favg[d]) for d in range(3)])
+            savg_c = None if savg is None else layout.unpack_block(savg)
+        else:
+            qavg_c = qavg.copy()
+            vavg_c = favg.copy()
+            savg_c = None if savg is None else savg.copy()
+        faces = self._project_faces_block(qavg_c)
+        return self._collect_results(qavg_c, vavg_c, savg_c, sources, faces)
+
+    # -- footprint reporting (machine-model view) --------------------------
+
+    def footprint_report(self) -> dict:
+        """Scratch footprint of the batched driver vs the per-element kernel.
+
+        The per-element numbers come from the recorded kernel plan --
+        the same ``temp`` accounting the machine's cache models consume
+        (Sec. IV-A) -- so both columns are in the machine model's
+        currency.
+        """
+        from repro.core.variants import make_kernel
+
+        plan = make_kernel(self.variant, self.spec, self.pde).build_plan(
+            with_source=False
+        )
+        return {
+            "variant": self.variant,
+            "order": self.spec.order,
+            "batch_size": self.batch_size,
+            "arena_bytes": self.scratch_bytes,
+            "arena_bytes_per_element": self.scratch_bytes_per_element,
+            "scalar_temp_bytes": plan.temp_footprint_bytes,
+            "amortization": (
+                plan.temp_footprint_bytes / self.scratch_bytes_per_element
+                if self.scratch_bytes
+                else float("nan")
+            ),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchedSTP(variant={self.variant!r}, order={self.n}, m={self.m}, "
+            f"batch_size={self.batch_size}, arena={self.scratch_bytes / 2**20:.2f} MiB)"
+        )

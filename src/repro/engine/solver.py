@@ -20,7 +20,7 @@ import numpy as np
 from repro.basis.operators import cached_operators
 from repro.core.corrector import _face_params, corrector_update
 from repro.core.spec import KernelSpec
-from repro.core.variants import ElementSource, make_kernel
+from repro.core.variants import BatchedSTP, ElementSource, make_kernel
 from repro.engine.boundary import ghost_state
 from repro.engine.cfl import global_timestep
 from repro.engine.riemann import SOLVERS
@@ -46,6 +46,7 @@ class ADERDGSolver:
         boundary: str = "absorbing",
         cfl: float = 0.5,
         quadrature: str = "gauss_legendre",
+        batch_size: int | None = None,
     ):
         self.grid = grid
         self.pde = pde
@@ -57,6 +58,13 @@ class ADERDGSolver:
             quadrature=quadrature,
         )
         self.kernel = make_kernel(variant, self.spec, pde)
+        # Optional batched execution: fuse the predictor over element
+        # blocks of this size (None keeps the per-element loop).
+        self.batched = (
+            None
+            if batch_size is None
+            else BatchedSTP(variant, self.spec, pde, batch_size=batch_size)
+        )
         self.ops = cached_operators(order, quadrature)
         self.riemann = SOLVERS[riemann]
         self.boundary = boundary
@@ -111,11 +119,18 @@ class ADERDGSolver:
         nvar = pde.nvar
 
         # 1. predictor on every element (Peano traversal order)
-        results = [None] * grid.n_elements
-        for e in self.traversal:
-            results[e] = self.kernel.predictor(
-                self.states[e], dt, h, source=self._element_source(e, dt)
+        if self.batched is not None:
+            results = self.batched.predictor_all(
+                self.states, dt, h,
+                order=self.traversal,
+                source_fn=lambda e: self._element_source(e, dt),
             )
+        else:
+            results = [None] * grid.n_elements
+            for e in self.traversal:
+                results[e] = self.kernel.predictor(
+                    self.states[e], dt, h, source=self._element_source(e, dt)
+                )
 
         # 2. Riemann solve per face (shared between the two sides)
         fluxes: dict[tuple[int, int, int], np.ndarray] = {}

@@ -12,9 +12,14 @@ LIBXSMM-generated assembly (Sec. III-B).  This package substitutes:
 * :class:`repro.gemm.registry.GemmRegistry` -- the dispatch cache that
   mirrors LIBXSMM's kernel-handle reuse; it also counts how many
   distinct microkernels a kernel variant needs.
+* :class:`repro.gemm.blockgemm.BlockGemm` -- an element-block wrapper
+  executing one microkernel shape over many stacked slices with a
+  single broadcast matmul (the ``dgemm_batch`` analog used by the
+  batched STP driver).
 """
 
+from repro.gemm.blockgemm import BlockGemm
 from repro.gemm.registry import GemmRegistry
 from repro.gemm.smallgemm import SmallGemm
 
-__all__ = ["SmallGemm", "GemmRegistry"]
+__all__ = ["SmallGemm", "GemmRegistry", "BlockGemm"]

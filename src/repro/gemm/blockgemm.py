@@ -1,0 +1,127 @@
+"""Element-block GEMM execution: one call, many stacked slices.
+
+The per-element Loop-over-GEMM path dispatches a :class:`SmallGemm`
+and then walks its slice batch in a Python loop -- faithful to the
+LIBXSMM call-per-slice structure, but the loop overhead dwarfs the
+math for the small matrices of the STP.  When several elements are
+processed as one block, every slice of every element shares the same
+operand matrix, so the whole batch collapses into a single broadcast
+``np.matmul`` over a stacked 3-D view -- the NumPy analog of calling a
+batched/strided GEMM (``dgemm_batch``) instead of ``N`` small GEMMs.
+
+A :class:`BlockGemm` wraps the :class:`SmallGemm` microkernel it
+amortizes: the cost model (FLOPs, traffic) is exactly the microkernel's
+scaled by the stacked-slice count, so plans and the machine model keep
+seeing the same work, just issued from fewer call sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gemm.smallgemm import SmallGemm
+from repro.machine.isa import FlopCounts, TrafficCounts
+
+__all__ = ["BlockGemm"]
+
+
+@dataclass(frozen=True)
+class BlockGemm:
+    """``blocks`` stacked executions of one :class:`SmallGemm` shape.
+
+    Two stacking forms cover the STP contractions:
+
+    * shared A (:meth:`__call__`): ``C[i] (+)= A @ B[i]`` -- the
+      operator matrix multiplies every slice (all non-unit-stride
+      derivative axes).
+    * shared B (:meth:`stacked_a`): ``C[i] (+)= A[i] @ B`` -- every
+      slice multiplies the (transposed) operator from the right (the
+      AoSoA unit-stride x-derivative, Sec. V-B case 1).
+    """
+
+    gemm: SmallGemm
+    blocks: int
+
+    def __post_init__(self) -> None:
+        if self.blocks < 1:
+            raise ValueError("blocks must be >= 1")
+
+    # -- cost model (the microkernel's, amortized) -----------------------
+
+    @property
+    def shape_key(self) -> tuple:
+        return (*self.gemm.shape_key, self.blocks)
+
+    def flop_counts(self) -> FlopCounts:
+        return self.gemm.flop_counts().scaled(self.blocks)
+
+    def traffic(self) -> TrafficCounts:
+        t = self.gemm.traffic()
+        return TrafficCounts(t.read_bytes * self.blocks, t.write_bytes * self.blocks)
+
+    # -- execution ----------------------------------------------------------
+
+    def _check(self, stack: np.ndarray, rows: int, cols: int, what: str) -> None:
+        if stack.shape != (self.blocks, rows, cols):
+            raise ValueError(
+                f"{what} must be {(self.blocks, rows, cols)}, got {stack.shape}"
+            )
+
+    def _tmp_view(self, tmp: np.ndarray | None, shape: tuple) -> np.ndarray:
+        """A contiguous scratch view for the accumulate form."""
+        size = int(np.prod(shape))
+        if tmp is None:
+            return np.empty(shape)
+        if not tmp.flags.c_contiguous or tmp.size < size:
+            raise ValueError("tmp must be C-contiguous and large enough")
+        return tmp.reshape(-1)[:size].reshape(shape)
+
+    def __call__(
+        self,
+        a: np.ndarray,
+        b_stack: np.ndarray,
+        c_stack: np.ndarray,
+        tmp: np.ndarray | None = None,
+    ) -> None:
+        """``C[i] (+)= A @ B[i]`` for all ``i`` in one broadcast matmul.
+
+        ``tmp`` backs the accumulate form (``np.matmul`` cannot add into
+        its output); pass a preallocated arena buffer to avoid a fresh
+        allocation per call.
+        """
+        g = self.gemm
+        if a.shape != (g.m, g.k):
+            raise ValueError(f"A must be {(g.m, g.k)}, got {a.shape}")
+        self._check(b_stack, g.k, g.n, "B stack")
+        self._check(c_stack, g.m, g.n, "C stack")
+        if g.accumulate:
+            out = self._tmp_view(tmp, c_stack.shape)
+            np.matmul(a, b_stack, out=out)
+            c_stack += out
+        else:
+            np.matmul(a, b_stack, out=c_stack)
+
+    def stacked_a(
+        self,
+        a_stack: np.ndarray,
+        b: np.ndarray,
+        c_stack: np.ndarray,
+        tmp: np.ndarray | None = None,
+    ) -> None:
+        """``C[i] (+)= A[i] @ B`` for all ``i`` (transposed-GEMM form)."""
+        g = self.gemm
+        if b.shape != (g.k, g.n):
+            raise ValueError(f"B must be {(g.k, g.n)}, got {b.shape}")
+        self._check(a_stack, g.m, g.k, "A stack")
+        self._check(c_stack, g.m, g.n, "C stack")
+        out = self._tmp_view(tmp, c_stack.shape)
+        np.matmul(a_stack, b, out=out)
+        if g.accumulate:
+            c_stack += out
+        else:
+            c_stack[...] = out
+
+    def __repr__(self) -> str:
+        return f"BlockGemm({self.gemm!r} x {self.blocks})"

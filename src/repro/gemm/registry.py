@@ -10,6 +10,7 @@ a statistic the Kernel Generator uses when rendering code.
 
 from __future__ import annotations
 
+from repro.gemm.blockgemm import BlockGemm
 from repro.gemm.smallgemm import SmallGemm
 
 __all__ = ["GemmRegistry"]
@@ -23,6 +24,7 @@ class GemmRegistry:
             raise ValueError("vector_doubles must be 1, 2, 4 or 8")
         self.vector_doubles = vector_doubles
         self._kernels: dict[tuple, SmallGemm] = {}
+        self._block_kernels: dict[tuple, BlockGemm] = {}
         self.dispatch_count = 0
 
     def get(
@@ -42,6 +44,27 @@ class GemmRegistry:
             accumulate=accumulate, vector_doubles=self.vector_doubles,
         )
         return self._kernels.setdefault(probe.shape_key, probe)
+
+    def get_block(
+        self,
+        m: int,
+        n: int,
+        k: int,
+        lda: int = -1,
+        ldb: int = -1,
+        ldc: int = -1,
+        accumulate: bool = False,
+        blocks: int = 1,
+    ) -> BlockGemm:
+        """Return a block-amortized kernel: one microkernel, ``blocks`` slices.
+
+        The underlying :class:`SmallGemm` is dispatched through the
+        regular cache (so kernel-count statistics stay meaningful); the
+        :class:`BlockGemm` wrapper is cached per (shape, blocks) pair.
+        """
+        gemm = self.get(m, n, k, lda=lda, ldb=ldb, ldc=ldc, accumulate=accumulate)
+        probe = BlockGemm(gemm, blocks)
+        return self._block_kernels.setdefault(probe.shape_key, probe)
 
     @property
     def generated_kernels(self) -> list[SmallGemm]:

@@ -12,6 +12,7 @@ EXPERIMENTS = {
     "fig6": report.render_fig6,
     "fig9": report.render_fig9,
     "fig10": report.render_fig10,
+    "batched": report.render_batched,
     "footprint": report.render_footprint,
     "headlines": report.render_headlines,
     "roofline": report.render_roofline,

@@ -6,6 +6,7 @@ import csv
 from pathlib import Path
 
 from repro.harness.figures import (
+    batched_footprint_table,
     figure10,
     figure4,
     figure6,
@@ -43,6 +44,7 @@ def export_all(directory: str | Path) -> list[Path]:
         write_rows(directory / "fig9.csv", figure9()),
         write_rows(directory / "fig10.csv", _flatten_series(figure10())),
         write_rows(directory / "footprint.csv", footprint_table()),
+        write_rows(directory / "batched.csv", batched_footprint_table()),
         write_rows(directory / "roofline.csv", roofline_table()),
     ]
     headline_rows = [

@@ -19,6 +19,7 @@ __all__ = [
     "figure6",
     "figure9",
     "figure10",
+    "batched_footprint_table",
     "footprint_table",
     "headline_metrics",
     "roofline_table",
@@ -101,6 +102,37 @@ def footprint_table(orders=PAPER_ORDERS) -> list[dict]:
                     "temp_bytes": temp,
                     "temp_mib": temp / 2**20,
                     "fits_l2": temp <= L2_BYTES,
+                }
+            )
+    return rows
+
+
+def batched_footprint_table(orders=(4, 6, 8), batch_size: int = 16) -> list[dict]:
+    """Batched-execution arena footprint vs the per-element temp footprint.
+
+    Extension of the Sec. IV-A analysis to the :class:`BatchedSTP`
+    driver: the per-element column is the recorded plan's temporary
+    footprint (the machine model's currency), the arena columns show
+    what one block of ``batch_size`` elements holds and how it
+    amortizes per element.
+    """
+    from repro.core.variants import KERNEL_CLASSES, BatchedSTP
+    from repro.harness.experiments import _PDE, paper_spec
+
+    rows = []
+    for variant in KERNEL_CLASSES:
+        for order in orders:
+            driver = BatchedSTP(variant, paper_spec(order), _PDE, batch_size)
+            rep = driver.footprint_report()
+            rows.append(
+                {
+                    "variant": variant,
+                    "order": order,
+                    "batch_size": batch_size,
+                    "arena_mib": rep["arena_bytes"] / 2**20,
+                    "arena_kib_per_element": rep["arena_bytes_per_element"] / 2**10,
+                    "scalar_temp_kib": rep["scalar_temp_bytes"] / 2**10,
+                    "amortization": rep["amortization"],
                 }
             )
     return rows

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.harness.figures import (
+    batched_footprint_table,
     figure10,
     figure4,
     figure6,
@@ -18,6 +19,7 @@ __all__ = [
     "render_fig6",
     "render_fig9",
     "render_fig10",
+    "render_batched",
     "render_footprint",
     "render_headlines",
     "render_roofline",
@@ -92,6 +94,27 @@ def render_footprint() -> str:
         lines.append(
             f"{row['variant']:<10}{row['order']:>6}{row['temp_mib']:10.2f}  "
             + ("yes" if row["fits_l2"] else "NO")
+        )
+    return "\n".join(lines)
+
+
+def render_batched() -> str:
+    rows = batched_footprint_table()
+    title = "Batched STP execution -- arena vs per-element temp footprint"
+    lines = [title, "=" * len(title), ""]
+    lines.append(
+        f"{'variant':<14}{'order':>6}{'B':>4}{'arena MiB':>11}"
+        f"{'KiB/elem':>10}{'scalar KiB':>12}{'amortize x':>12}"
+    )
+    last = None
+    for row in rows:
+        if last is not None and row["variant"] != last:
+            lines.append("")
+        last = row["variant"]
+        lines.append(
+            f"{row['variant']:<14}{row['order']:>6}{row['batch_size']:>4}"
+            f"{row['arena_mib']:11.2f}{row['arena_kib_per_element']:10.1f}"
+            f"{row['scalar_temp_kib']:12.1f}{row['amortization']:12.2f}"
         )
     return "\n".join(lines)
 

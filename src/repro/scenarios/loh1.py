@@ -69,6 +69,7 @@ class LOH1Scenario:
         source_depth_km: float = 2.0,
         curvilinear_amplitude: float = 0.05,
         cfl: float = 0.4,
+        batch_size: int | None = None,
     ):
         self.pde = CurvilinearElasticPDE()
         self.domain_km = domain_km
@@ -91,6 +92,7 @@ class LOH1Scenario:
             riemann="rusanov",
             boundary="reflective",  # free-surface-like walls
             cfl=cfl,
+            batch_size=batch_size,
         )
         self.solver.set_initial_condition(self._initial_condition)
         surface_z = domain_km

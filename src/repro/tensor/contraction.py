@@ -12,9 +12,17 @@ the batch on a plan recorder.
   the unit-stride axis, executed in transposed form ``C^T = A^T M^T``
   with a precomputed ``M^T`` (Sec. V-B, first case; used by the AoSoA
   x-derivative).
+
+The ``block_*`` twins perform the identical contractions on tensors
+carrying one (or more) extra leading element-block axes: instead of a
+Python loop over per-element matrix slices they issue a *single*
+broadcast matmul through :class:`~repro.gemm.blockgemm.BlockGemm`, so
+the GEMM dispatch and call overhead amortize over the whole block.
 """
 
 from __future__ import annotations
+
+from math import prod
 
 import numpy as np
 
@@ -22,7 +30,12 @@ from repro.codegen.plan import NULL_RECORDER
 from repro.gemm.registry import GemmRegistry
 from repro.tensor.slicing import fused_slice_batch, tail_slice_batch
 
-__all__ = ["contract_axis", "contract_last_axis_transposed"]
+__all__ = [
+    "contract_axis",
+    "contract_last_axis_transposed",
+    "block_contract_axis",
+    "block_contract_last_axis_transposed",
+]
 
 
 def contract_axis(
@@ -107,3 +120,107 @@ def contract_last_axis_transposed(
     for a_view, c_view in zip(batch.views(src), batch.views(dst)):
         gemm(a_view[:, :n], matrix_t, c_view[:, :n])
     recorder.gemm(gemm, batch.batch, src_name, matrix_name, dst_name)
+
+
+def _require_contiguous(name: str, arr: np.ndarray) -> None:
+    if not arr.flags.c_contiguous:
+        raise ValueError(f"{name} must be C-contiguous for block contraction")
+
+
+def block_contract_axis(
+    matrix: np.ndarray,
+    src: np.ndarray,
+    dst: np.ndarray,
+    axis: int,
+    registry: GemmRegistry,
+    *,
+    accumulate: bool = False,
+    tmp: np.ndarray | None = None,
+    recorder=NULL_RECORDER,
+    matrix_name: str = "D",
+    src_name: str = "src",
+    dst_name: str = "dst",
+) -> None:
+    """Block form of :func:`contract_axis`: one matmul for the whole batch.
+
+    ``src``/``dst`` may carry any number of leading block axes before
+    ``axis``; all axes slower than ``axis`` (including the element
+    block) enumerate the stacked slices, all faster axes fuse into the
+    GEMM columns -- the same slicing as :func:`fused_slice_batch`, but
+    executed as a single broadcast ``A @ B[i]`` matmul.  ``tmp`` backs
+    the accumulate form; pass an arena buffer of at least ``src.size``
+    doubles to avoid a per-call allocation.
+    """
+    if src.shape != dst.shape:
+        raise ValueError("src and dst must have the same shape")
+    _require_contiguous("src", src)
+    _require_contiguous("dst", dst)
+    axis %= src.ndim
+    n_axis = src.shape[axis]
+    if matrix.shape != (n_axis, n_axis):
+        raise ValueError(
+            f"matrix must be ({n_axis}, {n_axis}) for axis {axis}, got {matrix.shape}"
+        )
+    pre = prod(src.shape[:axis]) if axis > 0 else 1
+    post = prod(src.shape[axis + 1 :]) if axis + 1 < src.ndim else 1
+    a3 = src.reshape(pre, n_axis, post)
+    c3 = dst.reshape(pre, n_axis, post)
+    block = registry.get_block(
+        m=n_axis,
+        n=post,
+        k=n_axis,
+        ldb=post,
+        ldc=post,
+        accumulate=accumulate,
+        blocks=pre,
+    )
+    block(matrix, a3, c3, tmp=tmp)
+    recorder.gemm(block.gemm, pre, matrix_name, src_name, dst_name)
+
+
+def block_contract_last_axis_transposed(
+    matrix_t: np.ndarray,
+    src: np.ndarray,
+    dst: np.ndarray,
+    logical_cols: int,
+    registry: GemmRegistry,
+    *,
+    accumulate: bool = False,
+    tmp: np.ndarray | None = None,
+    recorder=NULL_RECORDER,
+    matrix_name: str = "DT",
+    src_name: str = "src",
+    dst_name: str = "dst",
+) -> None:
+    """Block form of :func:`contract_last_axis_transposed`.
+
+    Computes ``dst[..., s, i] (+)= sum_l src[..., s, l] matrix_t[l, i]``
+    for ``i, l < logical_cols`` over any leading block axes, as a single
+    stacked ``A[i] @ B`` matmul.  Padding lanes beyond ``logical_cols``
+    are left untouched, matching the per-element helper.
+    """
+    if src.shape != dst.shape:
+        raise ValueError("src and dst must have the same shape")
+    _require_contiguous("src", src)
+    _require_contiguous("dst", dst)
+    n = logical_cols
+    if matrix_t.shape != (n, n):
+        raise ValueError(f"matrix_t must be ({n}, {n}), got {matrix_t.shape}")
+    if n > src.shape[-1]:
+        raise ValueError("logical_cols exceeds the padded axis length")
+    rows = src.shape[-2]
+    pre = prod(src.shape[:-2]) if src.ndim > 2 else 1
+    a_stack = src.reshape(pre, rows, src.shape[-1])[:, :, :n]
+    c_stack = dst.reshape(pre, rows, dst.shape[-1])[:, :, :n]
+    block = registry.get_block(
+        m=rows,
+        n=n,
+        k=n,
+        lda=src.shape[-1],
+        ldb=n,
+        ldc=dst.shape[-1],
+        accumulate=accumulate,
+        blocks=pre,
+    )
+    block.stacked_a(a_stack, matrix_t, c_stack, tmp=tmp)
+    recorder.gemm(block.gemm, pre, src_name, matrix_name, dst_name)

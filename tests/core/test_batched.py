@@ -1,0 +1,205 @@
+"""Batched element-block STP driver: equivalence, arena reuse, solver path.
+
+The batched driver must be an *execution* optimization only: for every
+variant, block size and mesh it has to reproduce the per-element kernels
+to <= 1e-12 (in practice bit-exact, since the broadcast matmuls perform
+the same per-slice contractions), including partial trailing blocks,
+per-element point sources and the full LOH1-style solver loop.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.spec import KernelSpec
+from repro.core.variants import KERNEL_CLASSES, BatchedSTP, make_kernel
+from repro.core.variants.base import ElementSource
+from repro.core.variants.batched import ScratchArena, operator_set
+from repro.basis.operators import cached_operators
+from repro.pde import AcousticPDE, CurvilinearElasticPDE, ElasticNCPPDE
+from repro.scenarios.loh1 import LOH1Scenario
+
+PAPER_VARIANTS = ["generic", "log", "splitck", "aosoa"]
+
+
+def _spec(pde, order, arch="skx"):
+    return KernelSpec(order=order, nvar=pde.nvar, nparam=pde.nparam, arch=arch)
+
+
+def _states(pde, order, elements, seed=3):
+    rng = np.random.default_rng(seed)
+    states = np.empty((elements, order, order, order, pde.nquantities))
+    for e in range(elements):
+        states[e] = pde.example_state((order,) * 3, rng)
+        states[e, ..., : pde.nvar] += 0.2 * rng.standard_normal(
+            (order,) * 3 + (pde.nvar,)
+        )
+    return states
+
+
+def _source(pde, order, seed=5):
+    ops = cached_operators(order)
+    amp = np.zeros(pde.nquantities)
+    amp[: pde.nvar] = 1.0
+    rng = np.random.default_rng(seed)
+    return ElementSource(
+        projection=ops.source_projection(np.array([0.3, 0.6, 0.2])),
+        amplitude=amp,
+        derivatives=rng.standard_normal(order),
+    )
+
+
+def _assert_equal(batched_results, kernel, states, sources, dt, h, tol=1e-12):
+    for e in range(states.shape[0]):
+        ref = kernel.predictor(states[e], dt, h, source=sources.get(e))
+        got = batched_results[e]
+        assert np.max(np.abs(got.qavg - ref.qavg)) <= tol
+        assert np.max(np.abs(got.vavg - ref.vavg)) <= tol
+        for key, face in ref.qface.items():
+            assert np.max(np.abs(got.qface[key] - face)) <= tol
+        if ref.savg is None:
+            assert got.savg is None
+        else:
+            assert np.max(np.abs(got.savg - ref.savg)) <= tol
+
+
+# -- kernel-level equivalence ------------------------------------------------
+
+
+@pytest.mark.parametrize("batch_size", [1, 3, 8], ids=lambda b: f"B{b}")
+@pytest.mark.parametrize("variant", sorted(KERNEL_CLASSES))
+def test_block_matches_per_element(variant, batch_size):
+    """All variants, block sizes dividing and not dividing E = 7."""
+    pde = AcousticPDE()
+    order = 4
+    spec = _spec(pde, order)
+    states = _states(pde, order, elements=7)
+    sources = {2: _source(pde, order)}
+    dt, h = 1e-3, 0.5
+    driver = BatchedSTP(variant, spec, pde, batch_size=batch_size)
+    results = driver.predictor_all(states, dt, h, source_fn=sources.get)
+    kernel = make_kernel(variant, spec, pde)
+    _assert_equal(results, kernel, states, sources, dt, h)
+
+
+@pytest.mark.parametrize("variant", ["splitck", "aosoa"])
+def test_block_matches_per_element_with_ncp(variant):
+    pde = ElasticNCPPDE()
+    spec = _spec(pde, 3)
+    states = _states(pde, 3, elements=5)
+    dt, h = 2e-3, 0.8
+    driver = BatchedSTP(variant, spec, pde, batch_size=2)
+    results = driver.predictor_all(states, dt, h)
+    _assert_equal(results, make_kernel(variant, spec, pde), states, {}, dt, h)
+
+
+def test_traversal_order_respected():
+    """predictor_all must return results indexed by element id, whatever
+    the traversal order that formed the blocks."""
+    pde = AcousticPDE()
+    spec = _spec(pde, 3)
+    states = _states(pde, 3, elements=6)
+    driver = BatchedSTP("splitck", spec, pde, batch_size=4)
+    shuffled = [5, 0, 3, 1, 4, 2]
+    res_shuffled = driver.predictor_all(states, 1e-3, 0.5, order=shuffled)
+    res_plain = driver.predictor_all(states, 1e-3, 0.5)
+    for e in range(6):
+        assert np.array_equal(res_shuffled[e].qavg, res_plain[e].qavg)
+
+
+# -- arena / registry behavior ------------------------------------------------
+
+
+def test_arena_is_reused_across_calls():
+    pde = AcousticPDE()
+    spec = _spec(pde, 4)
+    driver = BatchedSTP("splitck", spec, pde, batch_size=4)
+    held = {name: id(driver.arena.get(name, arr.shape))
+            for name, arr in driver.arena._arrays.items()}
+    states = _states(pde, 4, elements=10)
+    driver.predictor_all(states, 1e-3, 0.5)
+    driver.predictor_all(states[:3], 1e-3, 0.5)  # partial block only
+    for name, arr in driver.arena._arrays.items():
+        assert id(arr) == held.get(name, id(arr)), f"{name} was reallocated"
+    assert driver.scratch_bytes == sum(
+        a.nbytes for a in driver.arena._arrays.values()
+    )
+
+
+def test_scratch_arena_shape_contract():
+    arena = ScratchArena()
+    a = arena.get("x", (2, 3))
+    assert arena.get("x", (2, 3)) is a
+    b = arena.get("x", (4, 3))
+    assert b is not a and b.shape == (4, 3)
+    assert arena.nbytes == b.nbytes
+    assert "x" in arena and len(arena) == 1
+
+
+def test_operator_registry_caches_per_key():
+    pde = AcousticPDE()
+    spec = _spec(pde, 4)
+    first = operator_set("splitck", spec, pde)
+    assert operator_set("splitck", spec, pde) is first
+    assert operator_set("aosoa", spec, pde) is not first
+    d1 = BatchedSTP("splitck", spec, pde, batch_size=2)
+    d2 = BatchedSTP("splitck", spec, pde, batch_size=7)
+    assert d1.oset is d2.oset  # shared operator set, independent arenas
+    assert d1.arena is not d2.arena
+
+
+def test_input_validation():
+    pde = AcousticPDE()
+    spec = _spec(pde, 3)
+    driver = BatchedSTP("splitck", spec, pde, batch_size=2)
+    with pytest.raises(ValueError, match="batch_size"):
+        BatchedSTP("splitck", spec, pde, batch_size=0)
+    with pytest.raises(ValueError, match="unknown variant"):
+        BatchedSTP("nope", spec, pde)
+    with pytest.raises(ValueError, match="block size"):
+        driver.predictor_block(np.zeros((3, 3, 3, 3, pde.nquantities)), 1e-3, 0.5)
+    with pytest.raises(ValueError, match="expected element block"):
+        driver.predictor_block(np.zeros((2, 3, 3, pde.nquantities)), 1e-3, 0.5)
+    with pytest.raises(ValueError, match="sources"):
+        driver.predictor_block(
+            np.zeros((2, 3, 3, 3, pde.nquantities)), 1e-3, 0.5, sources=[None]
+        )
+
+
+def test_footprint_report_consistent_with_machine_model():
+    pde = CurvilinearElasticPDE()
+    spec = _spec(pde, 4)
+    driver = BatchedSTP("splitck", spec, pde, batch_size=8)
+    rep = driver.footprint_report()
+    assert rep["arena_bytes"] == driver.scratch_bytes
+    assert rep["arena_bytes_per_element"] == driver.scratch_bytes / 8
+    plan = make_kernel("splitck", spec, pde).build_plan(with_source=False)
+    assert rep["scalar_temp_bytes"] == plan.temp_footprint_bytes
+    assert rep["scalar_temp_bytes"] > 0
+
+
+# -- solver-level equivalence (LOH1-style mesh) -------------------------------
+
+
+def _loh1_states(variant, batch_size, steps=2):
+    scenario = LOH1Scenario(
+        elements=2, order=3, variant=variant, batch_size=batch_size
+    )
+    for _ in range(steps):
+        scenario.solver.step(2e-3)
+    return scenario.solver.states
+
+
+@pytest.mark.parametrize("variant", PAPER_VARIANTS)
+def test_loh1_batched_matches_scalar(variant):
+    """Full predictor/Riemann/corrector loop with the double-couple point
+    source: batch of 3 does not divide the 8-element mesh."""
+    ref = _loh1_states(variant, batch_size=None)
+    got = _loh1_states(variant, batch_size=3)
+    assert np.max(np.abs(got - ref)) <= 1e-12
+
+
+@pytest.mark.parametrize("batch_size", [1, 5, 8], ids=lambda b: f"B{b}")
+def test_loh1_batch_size_sweep(batch_size):
+    ref = _loh1_states("splitck", batch_size=None)
+    got = _loh1_states("splitck", batch_size=batch_size)
+    assert np.max(np.abs(got - ref)) <= 1e-12

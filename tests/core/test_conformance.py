@@ -1,0 +1,104 @@
+"""Cross-variant conformance sweep (the PR's correctness tentpole guard).
+
+Every registered kernel variant must reproduce the ``generic`` oracle on
+seeded random inputs across the full (order, dimension, PDE) grid the
+repo supports:
+
+* orders 2 .. 6,
+* dims {2, 3} -- the STP kernels are 3-D only, so "2-D" problems enter
+  as z-extruded (z-invariant) 3-D states; every variant must preserve
+  that invariance *and* agree with the oracle on it.  A genuine
+  ``dim=2`` spec must be rejected uniformly by all variants.
+* PDEs {advection, acoustic, elastic}.
+
+Tolerance is 1e-11 *relative* -- tighter than the scheme's discretization
+error by many orders, loose enough for contraction-order differences.
+"""
+
+import inspect
+
+import numpy as np
+import pytest
+
+from repro.core.spec import KernelSpec
+from repro.core.variants import KERNEL_CLASSES, make_kernel
+import repro.core.variants as variants_pkg
+from repro.pde import AcousticPDE, AdvectionPDE, ElasticPDE
+
+PDES = {
+    "advection": AdvectionPDE,
+    "acoustic": AcousticPDE,
+    "elastic": ElasticPDE,
+}
+
+ORDERS = range(2, 7)
+NON_ORACLE_VARIANTS = [v for v in KERNEL_CLASSES if v != "generic"]
+
+
+def _spec(pde, order, arch="skx"):
+    return KernelSpec(order=order, nvar=pde.nvar, nparam=pde.nparam, arch=arch)
+
+
+def _random_state(pde, order, dim, seed):
+    """Seeded random element state; dim=2 means z-invariant (extruded)."""
+    rng = np.random.default_rng(seed)
+    q = pde.example_state((order,) * 3, rng)
+    q[..., : pde.nvar] += 0.25 * rng.standard_normal(q[..., : pde.nvar].shape)
+    if dim == 2:
+        q[:] = q[:1]  # copy the first z-slab everywhere: z-invariant
+    return q
+
+
+def _assert_conforms(result, oracle, rtol=1e-11):
+    np.testing.assert_allclose(result.qavg, oracle.qavg, rtol=rtol, atol=1e-14)
+    np.testing.assert_allclose(result.vavg, oracle.vavg, rtol=rtol, atol=1e-14)
+    for key, face in oracle.qface.items():
+        np.testing.assert_allclose(result.qface[key], face, rtol=rtol, atol=1e-14)
+
+
+@pytest.mark.parametrize("pde_name", sorted(PDES))
+@pytest.mark.parametrize("dim", [2, 3])
+@pytest.mark.parametrize("order", ORDERS)
+@pytest.mark.parametrize("variant", NON_ORACLE_VARIANTS)
+def test_variant_conforms_to_generic(variant, order, dim, pde_name):
+    pde = PDES[pde_name]()
+    spec = _spec(pde, order)
+    q = _random_state(pde, order, dim, seed=hash((order, dim, pde_name)) % 2**32)
+    dt, h = 2e-3, 0.6
+    oracle = make_kernel("generic", spec, pde).predictor(q, dt, h)
+    result = make_kernel(variant, spec, pde).predictor(q, dt, h)
+    _assert_conforms(result, oracle)
+
+
+@pytest.mark.parametrize("variant", NON_ORACLE_VARIANTS)
+def test_extruded_state_stays_z_invariant(variant):
+    """A z-invariant input must produce a z-invariant qavg (true 2-D limit)."""
+    pde = AcousticPDE()
+    spec = _spec(pde, 4)
+    q = _random_state(pde, 4, dim=2, seed=11)
+    result = make_kernel(variant, spec, pde).predictor(q, dt=1e-3, h=0.5)
+    assert np.max(np.abs(result.qavg - result.qavg[:1])) < 1e-13
+
+
+@pytest.mark.parametrize("variant", sorted(KERNEL_CLASSES))
+def test_dim2_spec_rejected_by_every_variant(variant):
+    pde = AcousticPDE()
+    spec = KernelSpec(order=3, nvar=pde.nvar, nparam=pde.nparam, dim=2)
+    with pytest.raises(ValueError, match="d = 3"):
+        make_kernel(variant, spec, pde)
+
+
+def test_variant_table_in_sync_with_registry():
+    """The docstring table in variants/__init__ must list exactly the
+    registered variants (guards against registry/doc drift)."""
+    doc = inspect.getdoc(variants_pkg)
+    lines = doc.splitlines()
+    separators = [i for i, ln in enumerate(lines) if set(ln.split()) == {
+        "=" * len(part) for part in ln.split()} and ln.startswith("=")]
+    assert len(separators) >= 3, "expected an RST grid table in the docstring"
+    body = lines[separators[1] + 1 : separators[2]]
+    table_variants = {ln.split()[0] for ln in body if ln.strip()}
+    assert table_variants == set(KERNEL_CLASSES), (
+        f"docstring table lists {sorted(table_variants)}, registry has "
+        f"{sorted(KERNEL_CLASSES)}"
+    )

@@ -1,0 +1,72 @@
+"""Footprint regression guard (paper Sec. IV-A, via the machine model).
+
+The paper's central memory claim: the dimension-split CK reformulation
+drops the STP's temporary footprint from ``O(N^{d+1} m d)`` (generic,
+LoG) to ``O(N^d m)`` (SplitCK, AoSoA).  These tests pin the *scaling
+exponent* of the recorded plans' ``temp_footprint_bytes`` -- the same
+quantity the cache model consumes -- so a future refactor cannot
+silently regress the working-set reduction.
+
+Plans are recorded at ``arch="noarch"`` (no SIMD padding) so the fitted
+exponents are clean powers of N.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.spec import KernelSpec
+from repro.core.variants import make_kernel
+from repro.pde import CurvilinearElasticPDE
+
+PDE = CurvilinearElasticPDE()
+ORDERS = (3, 4, 6, 8)
+
+#: expected power of N in the temp footprint, d = 3
+EXPONENT = {"generic": 4, "log": 4, "splitck": 3, "aosoa": 3}
+
+
+def _temp_bytes(variant, order):
+    spec = KernelSpec(
+        order=order, nvar=PDE.nvar, nparam=PDE.nparam, arch="noarch"
+    )
+    plan = make_kernel(variant, spec, PDE).build_plan(with_source=False)
+    return plan.temp_footprint_bytes
+
+
+def _fitted_exponent(variant):
+    sizes = [_temp_bytes(variant, order) for order in ORDERS]
+    slope, _ = np.polyfit(np.log(ORDERS), np.log(sizes), 1)
+    return slope, sizes
+
+
+@pytest.mark.parametrize("variant", sorted(EXPONENT))
+def test_temp_footprint_scaling_exponent(variant):
+    slope, sizes = _fitted_exponent(variant)
+    assert all(a < b for a, b in zip(sizes, sizes[1:]))
+    assert abs(slope - EXPONENT[variant]) < 0.35, (
+        f"{variant}: temp footprint scales like N^{slope:.2f}, "
+        f"expected N^{EXPONENT[variant]}"
+    )
+
+
+def test_splitck_beats_spacetime_variants_at_every_order():
+    """The reduction must hold pointwise, not just asymptotically."""
+    for order in ORDERS:
+        split = _temp_bytes("splitck", order)
+        for fat in ("generic", "log"):
+            assert split < _temp_bytes(fat, order) / 2, (
+                f"splitck not at least 2x below {fat} at order {order}"
+            )
+
+
+def test_spacetime_footprint_ratio_tracks_order():
+    """generic/splitck temp ratio must grow ~linearly with N (the extra
+    space-time factor), pinning the O(N) separation."""
+    ratios = [
+        _temp_bytes("generic", order) / _temp_bytes("splitck", order)
+        for order in ORDERS
+    ]
+    assert all(a < b for a, b in zip(ratios, ratios[1:]))
+    growth = ratios[-1] / ratios[0]
+    expected = ORDERS[-1] / ORDERS[0]
+    assert growth == pytest.approx(expected, rel=0.35)

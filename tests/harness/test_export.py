@@ -25,7 +25,7 @@ def test_export_all(tmp_path):
     names = {p.name for p in files}
     assert names == {
         "fig4.csv", "fig6.csv", "fig9.csv", "fig10.csv",
-        "footprint.csv", "roofline.csv", "headlines.csv",
+        "footprint.csv", "batched.csv", "roofline.csv", "headlines.csv",
     }
     with (tmp_path / "fig10.csv").open() as fh:
         rows = list(csv.DictReader(fh))
