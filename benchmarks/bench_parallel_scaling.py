@@ -1,0 +1,164 @@
+"""Strong scaling of the sharded multi-core solver on the LOH1 scenario.
+
+The :mod:`repro.parallel` subsystem splits the grid into contiguous
+Peano-SFC element blocks and runs each block's predictor/corrector in
+a persistent worker process over shared-memory state.  This benchmark
+measures the end-to-end time-step rate at increasing worker counts and
+verifies the acceptance property first: the parallel fields must match
+the serial run to 1e-12 relative (by construction they are bitwise
+equal -- cross-shard faces are solved redundantly from identical
+inputs, and every element has exactly one writer).
+
+Run styles:
+
+* ``PYTHONPATH=src python -m pytest benchmarks/bench_parallel_scaling.py``
+  -- pytest-benchmark timing of a sharded step;
+* ``PYTHONPATH=src python benchmarks/bench_parallel_scaling.py [--quick]``
+  -- scaling report.  The full run uses the acceptance configuration
+  (LOH1, order 6, ``log`` variant, ``num_workers=4``,
+  ``batch_size=16``); ``--quick`` shrinks it for CI smoke.
+
+The >= 2x speedup acceptance gate only makes sense with real cores to
+scale onto, so it is asserted when ``os.cpu_count() >= 4`` and
+otherwise reported without failing (a single-core container cannot
+speed anything up by adding processes).
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.scenarios import LOH1Scenario
+
+ORDER = 6
+ELEMENTS = 3
+VARIANT = "log"
+BATCH = 16
+WORKERS = 4
+STEPS = 3
+
+
+def _run(order, elements, variant, num_workers, batch_size, steps):
+    """Step LOH1 ``steps`` times; return (states, seconds_per_step)."""
+    with LOH1Scenario(
+        elements=elements,
+        order=order,
+        variant=variant,
+        num_workers=num_workers,
+        batch_size=batch_size,
+    ) as scenario:
+        dt = scenario.solver.stable_dt()
+        start = time.perf_counter()
+        for _ in range(steps):
+            scenario.solver.step(dt)
+        elapsed = time.perf_counter() - start
+        states = np.array(scenario.solver.states)
+    return states, elapsed / steps
+
+
+def relative_diff(a: np.ndarray, b: np.ndarray) -> float:
+    """max |a - b| scaled by max |b| (guarding the all-zero field)."""
+    return float(np.abs(a - b).max() / max(np.abs(b).max(), 1e-300))
+
+
+def test_parallel_step_wallclock(benchmark):
+    """pytest-benchmark entry: one sharded LOH1 step at a small order."""
+    with LOH1Scenario(
+        elements=ELEMENTS, order=3, variant=VARIANT, num_workers=2, batch_size=4
+    ) as scenario:
+        dt = scenario.solver.stable_dt()
+        benchmark(scenario.solver.step, dt)
+    assert np.isfinite(scenario.solver.states).all()
+
+
+@pytest.mark.parametrize("num_workers", [2, 4])
+def test_parallel_matches_serial(num_workers):
+    """Acceptance bound at bench scale: parallel == serial to 1e-12."""
+    serial, _ = _run(3, ELEMENTS, VARIANT, None, 4, STEPS)
+    parallel, _ = _run(3, ELEMENTS, VARIANT, num_workers, 4, STEPS)
+    assert relative_diff(parallel, serial) < 1e-12
+
+
+def scaling_report(order=ORDER, elements=ELEMENTS, variant=VARIANT,
+                   batch_size=BATCH, max_workers=WORKERS, steps=STEPS):
+    """Equivalence check + measured step rate for 1..max_workers shards."""
+    serial_states, t_serial = _run(order, elements, variant, None,
+                                   batch_size, steps)
+    rows = [
+        {
+            "workers": 1,
+            "sec_per_step": t_serial,
+            "speedup": 1.0,
+            "efficiency": 1.0,
+            "rel_diff": 0.0,
+        }
+    ]
+    workers = 2
+    while workers <= max_workers:
+        states, t_par = _run(order, elements, variant, workers,
+                             batch_size, steps)
+        rows.append(
+            {
+                "workers": workers,
+                "sec_per_step": t_par,
+                "speedup": t_serial / t_par,
+                "efficiency": t_serial / t_par / workers,
+                "rel_diff": relative_diff(states, serial_states),
+            }
+        )
+        workers *= 2
+    return rows
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller sweep (CI smoke): order 3, 2 workers")
+    parser.add_argument("--order", type=int, default=None)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="largest worker count to measure")
+    args = parser.parse_args(argv)
+
+    order = args.order or (3 if args.quick else ORDER)
+    max_workers = args.workers or (2 if args.quick else WORKERS)
+    batch = 4 if args.quick else BATCH
+    steps = 2 if args.quick else STEPS
+
+    cores = os.cpu_count() or 1
+    print(f"LOH1 {ELEMENTS}^3 elements, order {order}, variant {VARIANT}, "
+          f"batch {batch}; host cores: {cores}")
+    rows = scaling_report(order=order, batch_size=batch,
+                          max_workers=max_workers, steps=steps)
+
+    header = (f"{'workers':>8}{'s/step':>10}{'speedup':>9}"
+              f"{'efficiency':>12}{'rel diff':>11}")
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(f"{row['workers']:>8}{row['sec_per_step']:10.3f}"
+              f"{row['speedup']:9.2f}{row['efficiency']:12.2f}"
+              f"{row['rel_diff']:11.1e}")
+        if row["rel_diff"] > 1e-12:
+            raise SystemExit(
+                f"parallel run with {row['workers']} workers diverged from "
+                f"serial: rel diff = {row['rel_diff']:.3e}"
+            )
+
+    best = max(row["speedup"] for row in rows)
+    if cores >= 4 and not args.quick and best < 2.0:
+        raise SystemExit(
+            f"acceptance: best speedup only {best:.2f}x on {cores} cores "
+            f"(need >= 2x)"
+        )
+    if cores < 4:
+        print(f"\n(speedup gate skipped: {cores} core(s) < 4 -- process "
+              f"parallelism cannot beat serial here)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

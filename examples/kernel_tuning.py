@@ -8,18 +8,23 @@ paper's Secs. III-V walk through.  Also prints a slice of the
 generated C-like kernel source.
 
     python examples/kernel_tuning.py [--order 8] [--arch skx]
+
+Set ``REPRO_QUICK=1`` for a seconds-long smoke run (CI uses this).
 """
 
 import argparse
+import os
 
 from repro.codegen import KernelGenerator
 from repro.harness.experiments import application_performance, paper_spec
 from repro.pde import CurvilinearElasticPDE
 
+QUICK = os.environ.get("REPRO_QUICK") == "1"
+
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--order", type=int, default=8)
+    parser.add_argument("--order", type=int, default=4 if QUICK else 8)
     parser.add_argument("--arch", default="skx", choices=["noarch", "hsw", "skx", "knl"])
     args = parser.parse_args()
 

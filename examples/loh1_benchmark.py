@@ -6,13 +6,18 @@ parameters and 9 boundary-fitted-mesh metric entries per node, a
 Ricker-wavelet double-couple point source and three surface receivers.
 
     python examples/loh1_benchmark.py [--order 4] [--elements 3] [--variant aosoa]
+
+Set ``REPRO_QUICK=1`` for a seconds-long smoke run (CI uses this).
 """
 
 import argparse
+import os
 
 import numpy as np
 
 from repro.scenarios import LOH1Scenario
+
+QUICK = os.environ.get("REPRO_QUICK") == "1"
 
 
 def ascii_seismogram(times, values, width=64, height=9) -> str:
@@ -34,11 +39,11 @@ def ascii_seismogram(times, values, width=64, height=9) -> str:
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--order", type=int, default=4)
+    parser.add_argument("--order", type=int, default=3 if QUICK else 4)
     parser.add_argument("--elements", type=int, default=3)
     parser.add_argument("--variant", default="aosoa",
                         choices=["generic", "log", "splitck", "aosoa"])
-    parser.add_argument("--t-end", type=float, default=0.35)
+    parser.add_argument("--t-end", type=float, default=0.04 if QUICK else 0.35)
     args = parser.parse_args()
 
     scenario = LOH1Scenario(

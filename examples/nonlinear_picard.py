@@ -8,6 +8,9 @@ genuinely nonlinear system (3-D Burgers) and cross-checks it against
 the linear kernels on an acoustic problem.
 
     python examples/nonlinear_picard.py
+
+Runs in well under a minute; ``REPRO_QUICK=1`` is accepted for
+uniformity with the other examples but changes nothing here.
 """
 
 import numpy as np

@@ -5,21 +5,28 @@ A Gaussian pressure pulse in a periodic unit box, discretized at order
 of the engine.  Runs in a few seconds.
 
     python examples/quickstart.py
+
+Set ``REPRO_QUICK=1`` for a seconds-long smoke run (CI uses this).
 """
+
+import os
 
 import numpy as np
 
 from repro.scenarios import gaussian_pulse_setup
 
+QUICK = os.environ.get("REPRO_QUICK") == "1"
+
 
 def main() -> None:
-    solver = gaussian_pulse_setup(elements=3, order=4, variant="splitck")
+    order = 3 if QUICK else 4
+    solver = gaussian_pulse_setup(elements=3, order=order, variant="splitck")
     print(f"mesh: {solver.grid.shape} elements, order {solver.spec.order}, "
           f"{solver.grid.n_elements * solver.spec.nodes_per_element} nodes")
     print(f"kernel variant: {solver.kernel.variant}  (arch {solver.spec.arch})")
 
     mass0 = solver.integrate()
-    t_end = 0.25
+    t_end = 0.05 if QUICK else 0.25
     while solver.t < t_end - 1e-12:
         dt = solver.step()
         if solver.step_count % 5 == 0 or solver.t >= t_end - 1e-12:

@@ -51,6 +51,7 @@ class QuadratureRule:
 
     @property
     def npoints(self) -> int:
+        """Number of quadrature nodes."""
         return int(self.nodes.size)
 
     @property

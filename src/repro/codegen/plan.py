@@ -70,16 +70,20 @@ class GemmOp:
 
     @property
     def name(self) -> str:
+        """Display label: microkernel shape times batch count."""
         return f"gemm[{self.gemm.m}x{self.gemm.n}x{self.gemm.k}]x{self.batch}"
 
     def flops(self) -> FlopCounts:
+        """FLOPs of the whole batch, attributed to packing widths."""
         return self.gemm.flop_counts().scaled(self.batch)
 
     def traffic(self) -> TrafficCounts:
+        """Bytes the batch moves (microkernel traffic times batch)."""
         t = self.gemm.traffic()
         return TrafficCounts(t.read_bytes * self.batch, t.write_bytes * self.batch)
 
     def accesses(self) -> tuple[BufferAccess, ...]:
+        """Per-buffer byte volumes of A, B and C for the cache models."""
         g = self.gemm
         a_bytes = 8.0 * g.m * g.k * self.batch
         b_bytes = 8.0 * g.k * g.n_vectors * g.vector_doubles * self.batch
@@ -112,15 +116,18 @@ class PointwiseOp:
     eff_class: str = "default"
 
     def flops(self) -> FlopCounts:
+        """FLOPs of the sweep as recorded."""
         return self.flop_counts
 
     def traffic(self) -> TrafficCounts:
+        """Total bytes moved, summed over the recorded buffer accesses."""
         return TrafficCounts(
             sum(a.read_bytes for a in self.buffer_accesses),
             sum(a.write_bytes for a in self.buffer_accesses),
         )
 
     def accesses(self) -> tuple[BufferAccess, ...]:
+        """The recorded per-buffer accesses, unchanged."""
         return self.buffer_accesses
 
 
@@ -135,12 +142,15 @@ class TransposeOp:
     phase: str = ""
 
     def flops(self) -> FlopCounts:
+        """Zero -- a transpose computes nothing."""
         return FlopCounts()
 
     def traffic(self) -> TrafficCounts:
+        """Every byte is read from ``src`` and written to ``dst`` once."""
         return TrafficCounts(read_bytes=self.nbytes, write_bytes=self.nbytes)
 
     def accesses(self) -> tuple[BufferAccess, ...]:
+        """A full read of ``src`` and a full write of ``dst``."""
         return (
             BufferAccess(self.src, read_bytes=self.nbytes),
             BufferAccess(self.dst, write_bytes=self.nbytes),
@@ -159,18 +169,21 @@ class KernelPlan:
     # -- aggregates ------------------------------------------------------
 
     def flop_counts(self) -> FlopCounts:
+        """FLOPs of the whole plan, summed over all operations."""
         total = FlopCounts()
         for op in self.ops:
             total = total + op.flops()
         return total
 
     def traffic(self) -> TrafficCounts:
+        """Bytes moved by the whole plan, summed over all operations."""
         total = TrafficCounts()
         for op in self.ops:
             total = total + op.traffic()
         return total
 
     def bytes_in_scope(self, scope: str) -> int:
+        """Total bytes of buffers in one scope (input/output/temp/const)."""
         return sum(b.nbytes for b in self.buffers.values() if b.scope == scope)
 
     @property
@@ -180,6 +193,7 @@ class KernelPlan:
 
     @property
     def total_footprint_bytes(self) -> int:
+        """Bytes across all buffer scopes, temporaries and I/O alike."""
         return sum(b.nbytes for b in self.buffers.values())
 
     def gemm_shapes(self) -> list[tuple]:
@@ -191,6 +205,7 @@ class KernelPlan:
         ]
 
     def phases(self) -> list[str]:
+        """Phase labels in execution order, consecutive repeats collapsed."""
         seen: list[str] = []
         for op in self.ops:
             if op.phase and (not seen or seen[-1] != op.phase):
@@ -198,6 +213,7 @@ class KernelPlan:
         return seen
 
     def ops_of(self, kind) -> list:
+        """All operations of one type (e.g. :class:`GemmOp`), in order."""
         return [op for op in self.ops if isinstance(op, kind)]
 
 
@@ -211,9 +227,11 @@ class PlanRecorder:
     # -- structure -------------------------------------------------------
 
     def phase(self, name: str) -> None:
+        """Label all subsequently recorded operations with ``name``."""
         self._phase = name
 
     def buffer(self, name: str, nbytes: int, scope: str) -> None:
+        """Register a named buffer; re-registration must be identical."""
         existing = self.plan.buffers.get(name)
         buf = Buffer(name, int(nbytes), scope)
         if existing is not None and existing != buf:
@@ -228,6 +246,7 @@ class PlanRecorder:
     # -- operations --------------------------------------------------------
 
     def gemm(self, gemm: SmallGemm, batch: int, a: str, b: str, c: str) -> None:
+        """Record a Loop-over-GEMM batch over registered buffers."""
         self._check_buffers(a, b, c)
         self.plan.ops.append(GemmOp(gemm, batch, a, b, c, phase=self._phase))
 
@@ -238,6 +257,7 @@ class PlanRecorder:
         accesses: tuple[BufferAccess, ...],
         eff_class: str = "default",
     ) -> None:
+        """Record an elementwise sweep with explicit FLOPs and accesses."""
         self._check_buffers(*(a.buffer for a in accesses))
         self.plan.ops.append(
             PointwiseOp(name, flops, tuple(accesses), phase=self._phase,
@@ -245,10 +265,12 @@ class PlanRecorder:
         )
 
     def transpose(self, name: str, src: str, dst: str, nbytes: float) -> None:
+        """Record a layout change moving ``nbytes`` from src to dst."""
         self._check_buffers(src, dst)
         self.plan.ops.append(TransposeOp(name, src, dst, nbytes, phase=self._phase))
 
     def finish(self) -> KernelPlan:
+        """Return the completed plan."""
         return self.plan
 
 

@@ -29,6 +29,8 @@ __all__ = ["Layout", "TensorLayout"]
 
 
 class Layout(str, Enum):
+    """The three data layouts of paper Sec. V: AoS, SoA and AoSoA."""
+
     AOS = "aos"
     SOA = "soa"
     AOSOA = "aosoa"
@@ -80,10 +82,12 @@ class TensorLayout:
 
     @property
     def mpad(self) -> int:
+        """Quantity count padded to the vector width (AoS leading dim)."""
         return _pad_to(self.nquantities, self.vector_doubles)
 
     @property
     def xpad(self) -> int:
+        """Innermost spatial extent padded to the vector width (AoSoA)."""
         return _pad_to(self.space_shape[-1], self.vector_doubles)
 
     @property
@@ -103,6 +107,7 @@ class TensorLayout:
 
     @property
     def logical_doubles(self) -> int:
+        """Doubles in the unpadded (logical) tensor."""
         return int(np.prod(self.logical_shape))
 
     @property

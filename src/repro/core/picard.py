@@ -104,6 +104,7 @@ class PicardSTP:
         source: ElementSource | None = None,
         recorder=None,
     ) -> STPResult:
+        """Fixed-point (Picard) space-time predictor for one element."""
         del recorder  # the Picard kernel is outside the paper's plan study
         n, m = self.spec.order, self.spec.nquantities
         if q.shape != (n, n, n, m):

@@ -79,10 +79,12 @@ class KernelSpec:
 
     @property
     def nodes_per_element(self) -> int:
+        """Quadrature nodes per element, ``N^d``."""
         return self.order**self.dim
 
     @property
     def architecture(self) -> Architecture:
+        """The resolved :class:`~repro.machine.arch.Architecture`."""
         return get_architecture(self.arch)
 
     @property
@@ -115,4 +117,5 @@ class KernelSpec:
         return replace(self, arch=arch)
 
     def with_order(self, order: int) -> "KernelSpec":
+        """A copy of this spec at a different polynomial order."""
         return replace(self, order=order)

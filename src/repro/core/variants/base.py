@@ -127,10 +127,12 @@ class STPKernel(ABC):
 
     @property
     def n(self) -> int:
+        """Nodes per dimension (the order ``N``)."""
         return self.spec.order
 
     @property
     def m(self) -> int:
+        """Quantities per node, evolved variables plus parameters."""
         return self.spec.nquantities
 
     # -- the kernel ----------------------------------------------------------

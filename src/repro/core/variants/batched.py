@@ -94,6 +94,7 @@ class OperatorSet:
 
     @property
     def mpad(self) -> int:
+        """Padded quantity count of the working layout (m if unpadded)."""
         return self.layout.mpad if self.layout is not None else self.spec.nquantities
 
     def scaled(self, h: float) -> tuple[np.ndarray, np.ndarray]:
@@ -170,6 +171,7 @@ class ScratchArena:
         self._arrays: dict[str, np.ndarray] = {}
 
     def get(self, name: str, shape: tuple[int, ...]) -> np.ndarray:
+        """The named scratch array, (re)allocated on first use / reshape."""
         arr = self._arrays.get(name)
         if arr is None or arr.shape != tuple(shape):
             arr = np.zeros(shape)
@@ -255,10 +257,12 @@ class BatchedSTP:
 
     @property
     def n(self) -> int:
+        """Nodes per dimension (the order ``N``)."""
         return self.spec.order
 
     @property
     def m(self) -> int:
+        """Quantities per node, evolved variables plus parameters."""
         return self.spec.nquantities
 
     def _block_space(self) -> tuple[int, ...]:
@@ -336,6 +340,55 @@ class BatchedSTP:
             sources = [source_fn(e) if source_fn is not None else None for e in chunk]
             for element, result in zip(chunk, self.predictor_block(q_block, dt, h, sources)):
                 results[element] = result
+        return results
+
+    def predictor_shard(
+        self,
+        states: np.ndarray,
+        dt: float,
+        h: float,
+        elements,
+        qface_out: np.ndarray | None = None,
+        source_fn=None,
+    ) -> dict:
+        """Run the STP over an arbitrary subset of a global state array.
+
+        The shard driver of the parallel solver: ``elements`` selects
+        which rows of ``states`` (``(E, N, N, N, m)``, typically a
+        shared-memory view) to process, in blocks of ``batch_size``
+        along the given order.
+
+        Parameters
+        ----------
+        states:
+            Global ``(E, N, N, N, m)`` state array; only the selected
+            rows are read.
+        elements:
+            Element ids to process (the shard), in traversal order.
+        qface_out:
+            Optional ``(E, 3, 2, N, N, m)`` array (typically shared
+            memory); each processed element's six face traces are
+            written to ``qface_out[e, d, side]``.
+        source_fn:
+            Optional ``element_id -> ElementSource | None`` callback.
+
+        Returns
+        -------
+        ``{element id: STPResult}`` for exactly the shard's elements.
+        """
+        elements = np.asarray(elements, dtype=np.int64)
+        results: dict[int, STPResult] = {}
+        for start in range(0, elements.size, self.batch_size):
+            chunk = elements[start : start + self.batch_size]
+            q_block = states[chunk]
+            sources = [source_fn(int(e)) if source_fn is not None else None for e in chunk]
+            for e, result in zip(chunk, self.predictor_block(q_block, dt, h, sources)):
+                e = int(e)
+                results[e] = result
+                if qface_out is not None:
+                    for d in range(3):
+                        for side in (0, 1):
+                            qface_out[e, d, side] = result.qface[(d, side)]
         return results
 
     def predictor_block(

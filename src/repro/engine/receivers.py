@@ -35,6 +35,7 @@ class Receiver:
 
     @property
     def element(self) -> int:
+        """Index of the grid element containing this receiver."""
         if self._element is None:
             raise RuntimeError("receiver not bound to a grid yet")
         return self._element

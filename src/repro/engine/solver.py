@@ -11,6 +11,15 @@ Orchestrates, per time step (paper Sec. II-A):
 
 Elements are traversed in Peano space-filling-curve order, mirroring
 the Peano framework underneath ExaHyPE.
+
+Execution modes (orthogonal, freely composable):
+
+* ``batch_size=B`` fuses the predictor over element blocks
+  (:class:`~repro.core.variants.BatchedSTP`);
+* ``num_workers=K`` shards the grid into ``K`` contiguous SFC blocks
+  and runs the whole predictor/corrector step in a persistent
+  multi-core worker pool over shared-memory state
+  (:mod:`repro.parallel`; see ``docs/parallel.md``).
 """
 
 from __future__ import annotations
@@ -33,7 +42,28 @@ __all__ = ["ADERDGSolver"]
 
 
 class ADERDGSolver:
-    """Linear ADER-DG solver on a uniform hexahedral grid."""
+    """Linear ADER-DG solver on a uniform hexahedral grid.
+
+    Parameters
+    ----------
+    grid, pde, order:
+        Mesh, PDE system and scheme order ``N``.
+    variant:
+        STP kernel variant (``generic`` / ``log`` / ``splitck`` /
+        ``aosoa``).
+    batch_size:
+        Fuse the predictor over element blocks of this size; ``None``
+        keeps the per-element loop.
+    num_workers:
+        Run every step over ``K`` SFC shards in a persistent
+        multi-core worker pool (``None``/``1`` = serial; clamped to the
+        element count).  Composes with ``batch_size``: each worker uses
+        a batched driver on its own shard.  Call :meth:`close` (or use
+        the solver as a context manager) when done.
+    start_method:
+        ``multiprocessing`` start method for the pool; default
+        ``fork`` where available, else ``spawn``.
+    """
 
     def __init__(
         self,
@@ -47,6 +77,8 @@ class ADERDGSolver:
         cfl: float = 0.5,
         quadrature: str = "gauss_legendre",
         batch_size: int | None = None,
+        num_workers: int | None = None,
+        start_method: str | None = None,
     ):
         self.grid = grid
         self.pde = pde
@@ -57,21 +89,48 @@ class ADERDGSolver:
             arch=arch,
             quadrature=quadrature,
         )
+        self.variant = variant
         self.kernel = make_kernel(variant, self.spec, pde)
         # Optional batched execution: fuse the predictor over element
         # blocks of this size (None keeps the per-element loop).
+        self.batch_size = batch_size
         self.batched = (
             None
             if batch_size is None
             else BatchedSTP(variant, self.spec, pde, batch_size=batch_size)
         )
         self.ops = cached_operators(order, quadrature)
+        self.riemann_name = riemann
         self.riemann = SOLVERS[riemann]
         self.boundary = boundary
         self.cfl = cfl
         n, m = order, pde.nquantities
-        self.states = np.zeros((grid.n_elements, n, n, n, m))
         self.traversal = peano_order(grid.shape)
+        if num_workers is not None and num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.num_workers = min(num_workers or 1, grid.n_elements)
+        self._start_method = start_method
+        self._pool = None
+        self._shared = None
+        self._shard_plan = None
+        #: per-worker phase timings of the last parallel step
+        self.last_step_timings = None
+        if self.num_workers > 1:
+            from repro.parallel.shm import SharedArrayBundle
+
+            field = (grid.n_elements, n, n, n, m)
+            self._shared = SharedArrayBundle.create(
+                {
+                    "states0": field,
+                    "states1": field,
+                    "qface": (grid.n_elements, 3, 2, n, n, m),
+                }
+            )
+            self._buffers = (self._shared["states0"], self._shared["states1"])
+            self._cur = 0
+            self.states = self._buffers[0]
+        else:
+            self.states = np.zeros((grid.n_elements, n, n, n, m))
         self.t = 0.0
         self.step_count = 0
         self.sources: list[tuple[int, np.ndarray, np.ndarray, PointSource]] = []
@@ -94,12 +153,14 @@ class ADERDGSolver:
         self.sources.append((element, projection, amplitude, source))
 
     def add_receiver(self, receiver) -> None:
+        """Bind a receiver to the grid and record it every step."""
         receiver.bind(self.grid, self.ops)
         self.receivers.append(receiver)
 
     # -- stepping ---------------------------------------------------------------
 
     def stable_dt(self) -> float:
+        """CFL-stable global time step for the current state."""
         return global_timestep(
             self.states, self.pde, self.grid.h, self.spec.order, self.cfl
         )
@@ -112,9 +173,95 @@ class ADERDGSolver:
                 return ElementSource(projection, amplitude, derivs)
         return None
 
+    # -- parallel execution ------------------------------------------------
+
+    @property
+    def shard_plan(self):
+        """The SFC shard plan of the worker pool (``None`` when serial)."""
+        if self.num_workers <= 1:
+            return None
+        if self._shard_plan is None:
+            from repro.parallel.sharding import make_shard_plan
+
+            self._shard_plan = make_shard_plan(
+                self.grid, self.num_workers, traversal=self.traversal
+            )
+        return self._shard_plan
+
+    def _ensure_pool(self):
+        """Spawn the persistent worker pool on first use."""
+        if self._pool is None:
+            from repro.parallel.pool import ShardWorkerPool
+
+            self._pool = ShardWorkerPool(
+                self.shard_plan,
+                self._shared,
+                pde=self.pde,
+                order=self.spec.order,
+                variant=self.variant,
+                arch=self.spec.arch,
+                quadrature=self.spec.quadrature,
+                riemann=self.riemann_name,
+                boundary=self.boundary,
+                batch_size=self.batch_size,
+                start_method=self._start_method,
+            )
+        return self._pool
+
+    def _source_payload(self) -> dict:
+        """Per-element point-source data for this step's start time.
+
+        Mirrors :meth:`_element_source`: first registered source per
+        element wins; derivatives are evaluated at the current ``t``.
+        """
+        payload: dict[int, tuple] = {}
+        for element, projection, amplitude, source in self.sources:
+            if element in payload:
+                continue
+            derivs = source.wavelet.derivatives(self.t, self.spec.order)
+            payload[element] = (projection, amplitude, derivs)
+        return payload
+
+    def _step_parallel(self, dt: float) -> float:
+        """One predictor/corrector step through the worker pool."""
+        pool = self._ensure_pool()
+        self.last_step_timings = pool.step(self._cur, dt, self._source_payload())
+        self._cur = 1 - self._cur
+        self.states = self._buffers[self._cur]
+        return dt
+
+    def close(self) -> None:
+        """Shut down the worker pool and release shared memory (idempotent).
+
+        After closing, the solver still holds a private copy of the
+        final states, so diagnostics keep working; further parallel
+        steps are not possible.
+        """
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        if self._shared is not None:
+            self.states = np.array(self.states)  # detach from shm
+            self._shared.close()
+            self._shared = None
+            self.num_workers = 1
+
+    def __enter__(self) -> "ADERDGSolver":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     def step(self, dt: float | None = None) -> float:
         """Advance the full mesh by one time step; returns the dt used."""
         dt = self.stable_dt() if dt is None else float(dt)
+        if self.num_workers > 1:
+            self._step_parallel(dt)
+            self.t += dt
+            self.step_count += 1
+            for receiver in self.receivers:
+                receiver.record(self.t, self.states[receiver.element])
+            return dt
         grid, pde, h = self.grid, self.pde, self.grid.h
         nvar = pde.nvar
 

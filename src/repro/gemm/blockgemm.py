@@ -52,12 +52,15 @@ class BlockGemm:
 
     @property
     def shape_key(self) -> tuple:
+        """Hashable identity: microkernel shape plus block count."""
         return (*self.gemm.shape_key, self.blocks)
 
     def flop_counts(self) -> FlopCounts:
+        """FLOPs of all blocks (microkernel counts times blocks)."""
         return self.gemm.flop_counts().scaled(self.blocks)
 
     def traffic(self) -> TrafficCounts:
+        """Bytes moved by all blocks (microkernel traffic times blocks)."""
         t = self.gemm.traffic()
         return TrafficCounts(t.read_bytes * self.blocks, t.write_bytes * self.blocks)
 

@@ -15,11 +15,13 @@ EXPERIMENTS = {
     "batched": report.render_batched,
     "footprint": report.render_footprint,
     "headlines": report.render_headlines,
+    "parallel": report.render_parallel,
     "roofline": report.render_roofline,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Render the requested experiment(s); optionally export CSV data."""
     parser = argparse.ArgumentParser(
         prog="repro-harness",
         description="Regenerate the paper's evaluation figures on the "

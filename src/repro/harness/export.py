@@ -13,6 +13,7 @@ from repro.harness.figures import (
     figure9,
     footprint_table,
     headline_metrics,
+    parallel_scaling_table,
     roofline_table,
 )
 
@@ -46,6 +47,7 @@ def export_all(directory: str | Path) -> list[Path]:
         write_rows(directory / "footprint.csv", footprint_table()),
         write_rows(directory / "batched.csv", batched_footprint_table()),
         write_rows(directory / "roofline.csv", roofline_table()),
+        write_rows(directory / "parallel.csv", parallel_scaling_table()),
     ]
     headline_rows = [
         {

@@ -10,6 +10,7 @@ from repro.harness.figures import (
     figure9,
     footprint_table,
     headline_metrics,
+    parallel_scaling_table,
     roofline_table,
 )
 
@@ -22,6 +23,7 @@ __all__ = [
     "render_batched",
     "render_footprint",
     "render_headlines",
+    "render_parallel",
     "render_roofline",
 ]
 
@@ -48,20 +50,24 @@ def render_two_panel(series: dict[str, list[dict]], title: str) -> str:
 
 
 def render_fig4() -> str:
+    """Render Fig. 4: generic vs LoG on AVX-512 and AVX2."""
     return render_two_panel(
         figure4(), "Fig. 4 -- generic vs LoG (AVX-512) vs LoG (AVX2)"
     )
 
 
 def render_fig6() -> str:
+    """Render Fig. 6: LoG vs SplitCK."""
     return render_two_panel(figure6(), "Fig. 6 -- LoG vs SplitCK")
 
 
 def render_fig10() -> str:
+    """Render Fig. 10: all four kernel variants."""
     return render_two_panel(figure10(), "Fig. 10 -- all four kernel variants")
 
 
 def render_fig9() -> str:
+    """Render Fig. 9: FLOP packing-width distribution per variant."""
     rows = figure9()
     title = "Fig. 9 -- FLOP packing-width distribution (%)"
     lines = [title, "=" * len(title), ""]
@@ -82,6 +88,7 @@ def render_fig9() -> str:
 
 
 def render_footprint() -> str:
+    """Render the Sec. IV-A temporary-footprint table."""
     rows = footprint_table()
     title = "Sec. IV-A -- STP temporary-memory footprint vs the 1 MiB L2"
     lines = [title, "=" * len(title), ""]
@@ -99,6 +106,7 @@ def render_footprint() -> str:
 
 
 def render_batched() -> str:
+    """Render the batched-execution arena footprint table."""
     rows = batched_footprint_table()
     title = "Batched STP execution -- arena vs per-element temp footprint"
     lines = [title, "=" * len(title), ""]
@@ -119,7 +127,31 @@ def render_batched() -> str:
     return "\n".join(lines)
 
 
+def render_parallel() -> str:
+    """Render the measured strong-scaling run of the sharded solver."""
+    import os
+
+    rows = parallel_scaling_table()
+    title = "Sharded solver strong scaling (extension; measured on this host)"
+    lines = [title, "=" * len(title), ""]
+    lines.append(f"host cores: {os.cpu_count()}")
+    lines.append("")
+    lines.append(
+        f"{'workers':>8}{'shard sz':>10}{'cut frac':>10}{'imbal':>8}"
+        f"{'s/step':>10}{'speedup':>9}{'eff':>7}"
+    )
+    for row in rows:
+        shard = f"{row['shard_min']}-{row['shard_max']}"
+        lines.append(
+            f"{row['workers']:>8}{shard:>10}{row['cut_fraction']:10.3f}"
+            f"{row['imbalance']:8.2f}{row['sec_per_step']:10.4f}"
+            f"{row['speedup']:9.2f}{row['efficiency']:7.2f}"
+        )
+    return "\n".join(lines)
+
+
 def render_roofline() -> str:
+    """Render the roofline-placement table."""
     rows = roofline_table()
     title = "Roofline placement (extension; DRAM-traffic operational intensity)"
     lines = [title, "=" * len(title), ""]
@@ -146,6 +178,7 @@ def _fmt(value) -> str:
 
 
 def render_headlines() -> str:
+    """Render the Sec. VI headline paper-vs-model comparison."""
     metrics = headline_metrics()
     title = "Sec. VI headline numbers -- paper vs machine model"
     lines = [title, "=" * len(title), ""]

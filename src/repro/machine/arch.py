@@ -48,10 +48,12 @@ class CacheLevel:
 
     @property
     def sets(self) -> int:
+        """Number of associativity sets."""
         return self.capacity_bytes // (self.ways * self.line_bytes)
 
     @property
     def lines(self) -> int:
+        """Total cache lines in this level."""
         return self.capacity_bytes // self.line_bytes
 
 
@@ -116,6 +118,7 @@ class Architecture:
 
     @property
     def peak_flops_per_cycle(self) -> float:
+        """Peak double-precision FLOPs per cycle at full vector width."""
         return self.flops_per_cycle(self.vector_bytes * 8)
 
     @property
@@ -127,6 +130,7 @@ class Architecture:
 
     @property
     def l2(self) -> CacheLevel:
+        """The L2 cache level (the paper's per-core bottleneck)."""
         for lvl in self.caches:
             if lvl.name == "L2":
                 return lvl

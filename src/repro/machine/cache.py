@@ -28,10 +28,12 @@ class AccessStats:
 
     @property
     def accesses(self) -> int:
+        """Total accesses (hits plus misses)."""
         return self.hits + self.misses
 
     @property
     def miss_ratio(self) -> float:
+        """Misses over accesses; 0 before any access."""
         return 0.0 if self.accesses == 0 else self.misses / self.accesses
 
 
@@ -59,11 +61,13 @@ class LRUCache:
         return False
 
     def flush(self) -> None:
+        """Evict every line; statistics are kept."""
         for s in self._storage:
             s.clear()
 
     @property
     def resident_lines(self) -> int:
+        """Lines currently cached across all sets."""
         return sum(len(s) for s in self._storage)
 
 
@@ -93,6 +97,7 @@ class CacheHierarchy:
         return "DRAM"
 
     def access_stream(self, lines: np.ndarray) -> None:
+        """Run a sequence of line addresses through the hierarchy."""
         for line in lines:
             self.access(int(line))
 
@@ -103,6 +108,7 @@ class CacheHierarchy:
         return out
 
     def flush(self) -> None:
+        """Evict all levels (models a context switch; stats are kept)."""
         for c in self.levels:
             c.flush()
         # keep stats: flush models a context switch, not a new experiment

@@ -44,6 +44,7 @@ class FlopCounts:
         )
 
     def scaled(self, factor: float) -> "FlopCounts":
+        """All widths multiplied by ``factor`` (e.g. a batch count)."""
         return FlopCounts(
             self.scalar * factor,
             self.v128 * factor,
@@ -53,6 +54,7 @@ class FlopCounts:
 
     @property
     def total(self) -> float:
+        """FLOPs summed over all packing widths."""
         return self.scalar + self.v128 + self.v256 + self.v512
 
     def by_width(self) -> dict[int, float]:
@@ -68,10 +70,12 @@ class FlopCounts:
 
     @property
     def scalar_fraction(self) -> float:
+        """Share of FLOPs executed scalar (Fig. 9's headline metric)."""
         return 0.0 if self.total == 0.0 else self.scalar / self.total
 
     @property
     def vectorized_fraction(self) -> float:
+        """Share of FLOPs executed in any SIMD width."""
         return 1.0 - self.scalar_fraction
 
     @staticmethod
@@ -116,4 +120,5 @@ class TrafficCounts:
 
     @property
     def total_bytes(self) -> float:
+        """Read plus write bytes."""
         return self.read_bytes + self.write_bytes

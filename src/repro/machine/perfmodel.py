@@ -84,14 +84,17 @@ class KernelPerformance:
 
     @property
     def total_cycles(self) -> float:
+        """Compute plus memory-stall cycles."""
         return self.compute_cycles + self.stall_cycles
 
     @property
     def time_seconds(self) -> float:
+        """Modelled wall time at the effective frequency."""
         return self.total_cycles / (self.freq_ghz * 1e9)
 
     @property
     def gflops(self) -> float:
+        """Modelled double-precision GFLOP/s rate."""
         return self.flops.total / 1e9 / self.time_seconds
 
     @property
@@ -140,6 +143,7 @@ class PerfModel:
         return cycles
 
     def compute_cycles(self, plan: KernelPlan) -> float:
+        """Issue-limited cycles of the plan, summed over operations."""
         return sum(self._op_cycles(op) for op in plan.ops)
 
     # -- memory side ---------------------------------------------------------
@@ -163,6 +167,7 @@ class PerfModel:
         return cycles
 
     def stall_cycles(self, misses: LevelMisses, freq_ghz: float | None = None) -> float:
+        """Cycles lost to cache/DRAM latency for the given miss counts."""
         freq = self.arch.simd_freq_ghz if freq_ghz is None else freq_ghz
         reads = self._pool_stall_cycles(misses.get, freq)
         writes = self._pool_stall_cycles(misses.get_writes, freq)
@@ -181,6 +186,7 @@ class PerfModel:
     # -- top level -----------------------------------------------------------------
 
     def evaluate(self, plan: KernelPlan, misses: LevelMisses) -> KernelPerformance:
+        """Combine compute and stall cycles into a performance record."""
         flops = plan.flop_counts()
         freq = self.frequency_ghz(flops)
         return KernelPerformance(

@@ -55,6 +55,7 @@ class RooflinePoint:
 
     @property
     def memory_bound(self) -> bool:
+        """True left of the ridge: bandwidth, not compute, limits."""
         return self.intensity < self.ridge_intensity
 
 

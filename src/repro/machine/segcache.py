@@ -46,13 +46,16 @@ class LevelMisses:
     write_lines: dict[str, float] = field(default_factory=dict)
 
     def add(self, level: str, count: float, write: bool = False) -> None:
+        """Accumulate missed lines at one level (reads or writes)."""
         pool = self.write_lines if write else self.lines
         pool[level] = pool.get(level, 0.0) + count
 
     def get(self, level: str) -> float:
+        """Read-miss lines accumulated at one level."""
         return self.lines.get(level, 0.0)
 
     def get_writes(self, level: str) -> float:
+        """Write-miss lines accumulated at one level."""
         return self.write_lines.get(level, 0.0)
 
 

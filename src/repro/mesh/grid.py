@@ -49,6 +49,7 @@ class UniformGrid:
 
     @property
     def n_elements(self) -> int:
+        """Total elements in the grid."""
         nx, ny, nz = self.shape
         return nx * ny * nz
 

@@ -16,10 +16,16 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["peano_coordinates", "peano_order", "is_power_of_three"]
+__all__ = [
+    "peano_coordinates",
+    "peano_order",
+    "peano_segments",
+    "is_power_of_three",
+]
 
 
 def is_power_of_three(n: int) -> bool:
+    """True if ``n`` is ``3^k`` for some integer ``k >= 0``."""
     if n < 1:
         return False
     while n % 3 == 0:
@@ -80,3 +86,24 @@ def peano_order(shape: tuple[int, int, int]) -> np.ndarray:
         (z * ny + y) * nx + x for x, y, z in peano_coordinates(levels)
     ]
     return np.array(order, dtype=np.int64)
+
+
+def peano_segments(shape: tuple[int, int, int], num_segments: int) -> list[np.ndarray]:
+    """Split the SFC traversal into ``num_segments`` contiguous runs.
+
+    Because consecutive elements along the Peano curve are
+    face-adjacent, each returned segment is a connected, compact chunk
+    of the mesh -- the property that makes SFC segments good shards for
+    parallel sweeps (small cross-segment face count).  Segment sizes
+    differ by at most one element; every element appears in exactly one
+    segment.  On non-``3^k`` grids the row-major fallback order of
+    :func:`peano_order` is split the same way.
+    """
+    if num_segments < 1:
+        raise ValueError("num_segments must be >= 1")
+    traversal = peano_order(shape)
+    if num_segments > traversal.size:
+        raise ValueError(
+            f"cannot cut {traversal.size} elements into {num_segments} segments"
+        )
+    return np.array_split(traversal, num_segments)

@@ -1,0 +1,33 @@
+"""Multi-core sharded execution of the ADER-DG solver.
+
+The serial solver sweeps all elements on one core; this package shards
+the grid into contiguous Peano-SFC element blocks and runs each shard
+in a persistent worker process, with all field data in shared memory
+(see ``docs/parallel.md`` for the full model).  Layers:
+
+* :mod:`repro.parallel.sharding` -- the partition and its
+  communication-volume statistics,
+* :mod:`repro.parallel.shm` -- shared-memory numpy arrays,
+* :mod:`repro.parallel.worker` -- the per-shard predictor/corrector
+  worker,
+* :mod:`repro.parallel.pool` -- the persistent process pool and its
+  two-phase step barrier.
+
+Users normally never touch these directly: pass ``num_workers=K`` to
+:class:`~repro.engine.solver.ADERDGSolver` (composes with
+``batch_size=``) and the solver drives the pool.
+"""
+
+from repro.parallel.pool import ShardWorkerPool, StepTimings, default_start_method
+from repro.parallel.sharding import ShardPlan, make_shard_plan
+from repro.parallel.shm import SharedArrayBundle, SharedArraySpec
+
+__all__ = [
+    "ShardPlan",
+    "make_shard_plan",
+    "SharedArrayBundle",
+    "SharedArraySpec",
+    "ShardWorkerPool",
+    "StepTimings",
+    "default_start_method",
+]

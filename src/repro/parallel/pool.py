@@ -1,0 +1,205 @@
+"""Persistent multi-core worker pool driving the sharded solver step.
+
+:class:`ShardWorkerPool` spawns one process per shard **once** and
+keeps it alive for the solver's lifetime -- operator sets, scratch
+arenas and GEMM caches are built a single time per worker, exactly
+like the per-process caches of the serial path.  Field data lives in
+:class:`~repro.parallel.shm.SharedArrayBundle` segments; per step the
+pool only exchanges command tuples.
+
+A step is two globally-barriered phases (predict, then correct); the
+barrier is what makes every neighbor's face trace visible before any
+Riemann solve reads it.  The pool also collects per-worker phase
+timings, which the harness turns into the load-balance report.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing as mp
+
+import numpy as np
+
+from repro.parallel.sharding import ShardPlan
+from repro.parallel.shm import SharedArrayBundle
+from repro.parallel.worker import WorkerConfig, worker_main
+
+__all__ = ["ShardWorkerPool", "StepTimings", "default_start_method"]
+
+
+def default_start_method() -> str:
+    """``fork`` where the platform offers it (fast start), else ``spawn``."""
+    methods = mp.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+class StepTimings:
+    """Per-worker phase timings of one parallel step."""
+
+    def __init__(self, predict: dict[int, float], correct: dict[int, float]):
+        self.predict = predict
+        self.correct = correct
+
+    @property
+    def wall_predict(self) -> float:
+        """Slowest worker's predictor time -- the phase's critical path."""
+        return max(self.predict.values())
+
+    @property
+    def wall_correct(self) -> float:
+        """Slowest worker's corrector time."""
+        return max(self.correct.values())
+
+    def imbalance(self) -> float:
+        """max/mean of the summed per-worker busy time (1.0 = balanced)."""
+        totals = np.array(
+            [self.predict[w] + self.correct[w] for w in sorted(self.predict)]
+        )
+        return float(totals.max() / totals.mean()) if totals.size else 1.0
+
+
+class ShardWorkerPool:
+    """One persistent process per shard, stepped in lockstep phases."""
+
+    def __init__(
+        self,
+        plan: ShardPlan,
+        shared: SharedArrayBundle,
+        *,
+        pde,
+        order: int,
+        variant: str,
+        arch: str,
+        quadrature: str,
+        riemann: str,
+        boundary: str,
+        batch_size: int | None,
+        start_method: str | None = None,
+        start_timeout: float = 120.0,
+    ):
+        self.plan = plan
+        self.shared = shared
+        self._timeout = start_timeout
+        context = mp.get_context(start_method or default_start_method())
+        self._out_queue = context.Queue()
+        self._cmd_queues = []
+        self._processes = []
+        handles = shared.handles()
+        for worker_id, shard in enumerate(plan.shards):
+            config = WorkerConfig(
+                worker_id=worker_id,
+                grid=plan.grid,
+                pde=pde,
+                order=order,
+                variant=variant,
+                arch=arch,
+                quadrature=quadrature,
+                riemann=riemann,
+                boundary=boundary,
+                batch_size=batch_size,
+                elements=np.asarray(shard, dtype=np.int64),
+                handles=handles,
+            )
+            cmd_queue = context.Queue()
+            process = context.Process(
+                target=worker_main,
+                args=(config, cmd_queue, self._out_queue),
+                daemon=True,
+                name=f"repro-shard-{worker_id}",
+            )
+            self._cmd_queues.append(cmd_queue)
+            self._processes.append(process)
+        for process in self._processes:
+            process.start()
+        self._closed = False
+        self._atexit = atexit.register(self.close)
+        self._collect("ready")
+
+    @property
+    def num_workers(self) -> int:
+        """Number of worker processes (= shards)."""
+        return len(self._processes)
+
+    # -- stepping ---------------------------------------------------------
+
+    def step(self, buf: int, dt: float, sources: dict) -> StepTimings:
+        """Advance all shards one step: predict barrier, correct barrier.
+
+        Parameters
+        ----------
+        buf:
+            Index of the *input* state buffer (0 or 1); the corrected
+            states land in buffer ``1 - buf``.
+        dt:
+            Time step.
+        sources:
+            ``element id -> (projection, amplitude, derivatives)``
+            payload of the active point sources (already evaluated at
+            the step's start time).
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        for worker_id, queue in enumerate(self._cmd_queues):
+            shard_sources = {
+                int(e): sources[int(e)]
+                for e in self.plan.shards[worker_id]
+                if int(e) in sources
+            }
+            queue.put(("predict", buf, dt, shard_sources))
+        predict = self._collect("predict")
+        for queue in self._cmd_queues:
+            queue.put(("correct", buf))
+        correct = self._collect("correct")
+        return StepTimings(predict, correct)
+
+    def _collect(self, phase: str) -> dict[int, float]:
+        """Barrier: wait for every worker's phase reply; raise on error.
+
+        All replies are drained before raising so that one failing
+        worker does not leave siblings' replies queued to poison the
+        next phase.
+        """
+        timings: dict[int, float] = {}
+        errors: list[str] = []
+        while len(timings) + len(errors) < self.num_workers:
+            kind, worker_id, info, *rest = self._out_queue.get(timeout=self._timeout)
+            if kind == "error":
+                errors.append(f"worker {worker_id} failed during {phase}:\n{info}")
+                continue
+            if info != phase and kind != "ready":
+                errors.append(
+                    f"worker {worker_id}: expected {phase!r} reply, got {info!r}"
+                )
+                continue
+            timings[worker_id] = rest[0] if rest else 0.0
+        if errors:
+            raise RuntimeError("\n".join(errors))
+        return timings
+
+    # -- lifecycle --------------------------------------------------------
+
+    def close(self, join_timeout: float = 10.0) -> None:
+        """Stop all workers and join them; safe to call twice."""
+        if self._closed:
+            return
+        self._closed = True
+        atexit.unregister(self.close)
+        for queue in self._cmd_queues:
+            try:
+                queue.put(("stop",))
+            except Exception:  # pragma: no cover - queue already broken
+                pass
+        for process in self._processes:
+            process.join(timeout=join_timeout)
+            if process.is_alive():  # pragma: no cover - hung worker
+                process.terminate()
+                process.join(timeout=join_timeout)
+        for queue in self._cmd_queues:
+            queue.close()
+        self._out_queue.close()
+
+    def __enter__(self) -> "ShardWorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

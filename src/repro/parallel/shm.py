@@ -1,0 +1,158 @@
+"""Shared-memory numpy arrays for the sharded solver.
+
+The whole point of the persistent worker pool is that *no field data
+is ever pickled*: element states and predictor face traces live in
+``multiprocessing.shared_memory`` segments that the main process
+creates once and every worker maps into its address space.  Per time
+step only a tiny command tuple (dt, buffer index, point-source
+payload) crosses a queue.
+
+:class:`SharedArrayBundle` groups the named segments of one solver:
+create in the parent with :meth:`SharedArrayBundle.create`, ship the
+:meth:`handles` (names + shapes, plain picklable data) to workers, and
+re-open there with :meth:`SharedArrayBundle.attach`.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = ["SharedArraySpec", "SharedArrayBundle"]
+
+
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """Picklable handle of one shared array: segment name, shape, dtype."""
+
+    shm_name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the described array in bytes."""
+        return int(np.prod(self.shape)) * np.dtype(self.dtype).itemsize
+
+
+def _open_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without registering ownership.
+
+    On Python < 3.13 merely *attaching* registers the segment with the
+    resource tracker, so an exiting worker would unlink the parent's
+    data (cpython #82300; fixed by ``track=False`` in 3.13).  On older
+    interpreters we attach with registration suppressed -- unlike an
+    after-the-fact ``unregister``, this leaves a fork-shared tracker's
+    view untouched.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python <= 3.12
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+class SharedArrayBundle:
+    """A named set of float64 numpy arrays backed by shared memory.
+
+    Exactly one process -- the creator -- owns the segments and must
+    call :meth:`close` (which unlinks); attached processes call
+    :meth:`close` to drop their mappings only.
+    """
+
+    def __init__(
+        self,
+        segments: dict[str, shared_memory.SharedMemory],
+        specs: dict[str, SharedArraySpec],
+        owner: bool,
+    ):
+        self._segments = segments
+        self._specs = specs
+        self._owner = owner
+        self.arrays: dict[str, np.ndarray] = {
+            name: np.ndarray(
+                spec.shape, dtype=spec.dtype, buffer=segments[name].buf
+            )
+            for name, spec in specs.items()
+        }
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def create(cls, shapes: dict[str, tuple[int, ...]], dtype=np.float64) -> "SharedArrayBundle":
+        """Allocate one zero-initialized segment per named shape."""
+        token = secrets.token_hex(4)
+        segments: dict[str, shared_memory.SharedMemory] = {}
+        specs: dict[str, SharedArraySpec] = {}
+        try:
+            for name, shape in shapes.items():
+                shape = tuple(int(n) for n in shape)
+                nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
+                segment = shared_memory.SharedMemory(
+                    create=True, size=max(nbytes, 1), name=f"repro_{token}_{name}"
+                )
+                segments[name] = segment
+                specs[name] = SharedArraySpec(
+                    shm_name=segment.name, shape=shape, dtype=np.dtype(dtype).str
+                )
+        except Exception:
+            for segment in segments.values():
+                segment.close()
+                segment.unlink()
+            raise
+        bundle = cls(segments, specs, owner=True)
+        for array in bundle.arrays.values():
+            array[...] = 0.0
+        return bundle
+
+    @classmethod
+    def attach(cls, handles: dict[str, SharedArraySpec]) -> "SharedArrayBundle":
+        """Map an existing bundle from its pickled :meth:`handles`."""
+        segments = {name: _open_segment(spec.shm_name) for name, spec in handles.items()}
+        return cls(segments, dict(handles), owner=False)
+
+    # -- access -----------------------------------------------------------
+
+    def handles(self) -> dict[str, SharedArraySpec]:
+        """Picklable description of every segment, for worker attach."""
+        return dict(self._specs)
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.arrays[name]
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes across all segments (as described, not rounded up)."""
+        return sum(spec.nbytes for spec in self._specs.values())
+
+    # -- lifecycle --------------------------------------------------------
+
+    def close(self) -> None:
+        """Drop mappings; the owning process also unlinks the segments."""
+        self.arrays.clear()
+        for segment in self._segments.values():
+            try:
+                segment.close()
+            except Exception:  # pragma: no cover - already closed
+                pass
+            if self._owner:
+                try:
+                    segment.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    pass
+        self._segments.clear()
+
+    def __enter__(self) -> "SharedArrayBundle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

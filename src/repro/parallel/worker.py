@@ -1,0 +1,224 @@
+"""The per-shard worker process of the sharded solver.
+
+Each worker owns one contiguous SFC shard of elements for the whole
+solver lifetime.  Per time step it executes the same two phases as the
+serial :class:`~repro.engine.solver.ADERDGSolver` -- predictor, then
+Riemann + corrector -- on exactly its own elements, against the shared
+double-buffered state arrays:
+
+* **predict**: run the Space-Time Predictor (through the same
+  :class:`~repro.core.variants.BatchedSTP` driver the serial batched
+  path uses) on the shard's elements, write each element's six face
+  traces into the shared ``qface`` array, keep the volume outputs
+  (``qavg``/``vavg``/``savg``) process-local for phase two.
+* **correct**: after the pool's barrier guarantees every neighbor
+  trace is published, solve the Riemann problems of all six faces of
+  every owned element and apply the corrector, writing the new state
+  into the *output* buffer.
+
+Determinism: faces crossing shard boundaries are solved *redundantly*
+on both sides from bitwise-identical inputs (the communication-avoiding
+scheme of Charrier & Weinzierl, arXiv:1801.08682), and every element
+state is written by exactly one worker -- so the parallel step involves
+no reduction whose order could perturb the result.  The remaining
+difference against the serial path is only element-block composition
+inside the batched GEMMs, which the test-suite bounds at 1e-12.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.basis.operators import cached_operators
+from repro.core.corrector import _face_params, corrector_update
+from repro.core.spec import KernelSpec
+from repro.core.variants import BatchedSTP, ElementSource, make_kernel
+from repro.engine.boundary import ghost_state
+from repro.engine.riemann import SOLVERS
+from repro.mesh.grid import BOUNDARY, UniformGrid
+from repro.parallel.shm import SharedArrayBundle, SharedArraySpec
+from repro.pde.base import LinearPDE
+
+__all__ = ["WorkerConfig", "worker_main"]
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Everything a worker needs to rebuild its solver slice.
+
+    Shipped once at pool start-up (pickled under ``spawn``, inherited
+    under ``fork``); field data never travels this way.
+    """
+
+    worker_id: int
+    grid: UniformGrid
+    pde: LinearPDE
+    order: int
+    variant: str
+    arch: str
+    quadrature: str
+    riemann: str
+    boundary: str
+    batch_size: int | None
+    elements: np.ndarray
+    handles: dict[str, SharedArraySpec]
+
+
+class _ShardWorker:
+    """Process-local state of one worker: kernels, shard, shm views."""
+
+    def __init__(self, config: WorkerConfig):
+        self.config = config
+        self.grid = config.grid
+        self.pde = config.pde
+        self.h = config.grid.h
+        self.elements = np.asarray(config.elements, dtype=np.int64)
+        self.spec = KernelSpec(
+            order=config.order,
+            nvar=config.pde.nvar,
+            nparam=config.pde.nparam,
+            arch=config.arch,
+            quadrature=config.quadrature,
+        )
+        self.ops = cached_operators(config.order, config.quadrature)
+        self.riemann = SOLVERS[config.riemann]
+        self.boundary = config.boundary
+        if config.batch_size is not None:
+            self.driver = BatchedSTP(
+                config.variant, self.spec, config.pde, batch_size=config.batch_size
+            )
+            self.kernel = None
+        else:
+            self.driver = None
+            self.kernel = make_kernel(config.variant, self.spec, config.pde)
+        self.bundle = SharedArrayBundle.attach(config.handles)
+        self.states = (self.bundle["states0"], self.bundle["states1"])
+        self.qface = self.bundle["qface"]
+        #: element id -> STPResult of the current step's predictor
+        self.results: dict[int, object] = {}
+
+    # -- phase 1 ----------------------------------------------------------
+
+    def predict(self, buf: int, dt: float, sources: dict) -> None:
+        """Run the STP on the shard; publish face traces to shm."""
+        states_in = self.states[buf]
+
+        def source_of(e: int) -> ElementSource | None:
+            payload = sources.get(int(e))
+            if payload is None:
+                return None
+            return ElementSource(*payload)
+
+        if self.driver is not None:
+            self.results = self.driver.predictor_shard(
+                states_in, dt, self.h, self.elements,
+                qface_out=self.qface, source_fn=source_of,
+            )
+        else:
+            self.results = {}
+            for e in self.elements:
+                e = int(e)
+                result = self.kernel.predictor(
+                    states_in[e], dt, self.h, source=source_of(e)
+                )
+                self.results[e] = result
+                for d in range(3):
+                    for side in (0, 1):
+                        self.qface[e, d, side] = result.qface[(d, side)]
+
+    # -- phase 2 ----------------------------------------------------------
+
+    def correct(self, buf: int) -> None:
+        """Riemann-solve all own faces and write corrected states.
+
+        Reads the *input* buffer ``buf`` (states at ``t_n``) and the
+        shared face traces, writes the *output* buffer ``1 - buf``.
+        Cross-shard faces are recomputed from the same inputs the
+        neighbor's owner uses, so both sides obtain the identical flux.
+        """
+        grid, pde = self.grid, self.pde
+        states_in = self.states[buf]
+        states_out = self.states[1 - buf]
+        for e in self.elements:
+            e = int(e)
+            result = self.results[e]
+            fluxes = {}
+            for d in range(3):
+                # high face: this element is the left side
+                neighbor = grid.neighbor(e, d, 1)
+                q_left = result.qface[(d, 1)]
+                params_left = _face_params(states_in[e], d, 1, pde)
+                if neighbor == BOUNDARY:
+                    q_right = ghost_state(self.boundary, pde, q_left, d, 1)
+                    params_right = params_left
+                else:
+                    q_right = self.qface[neighbor, d, 0]
+                    params_right = _face_params(states_in[neighbor], d, 0, pde)
+                fluxes[(d, 1)] = self.riemann(
+                    pde, q_left, q_right, params_left, params_right, d
+                )
+                # low face: this element is the right side
+                neighbor = grid.neighbor(e, d, 0)
+                q_right = result.qface[(d, 0)]
+                params_right = _face_params(states_in[e], d, 0, pde)
+                if neighbor == BOUNDARY:
+                    q_left = ghost_state(self.boundary, pde, q_right, d, 0)
+                    params_left = params_right
+                else:
+                    q_left = self.qface[neighbor, d, 1]
+                    params_left = _face_params(states_in[neighbor], d, 1, pde)
+                fluxes[(d, 0)] = self.riemann(
+                    pde, q_left, q_right, params_left, params_right, d
+                )
+            states_out[e] = corrector_update(
+                states_in[e], result, fluxes, self.h, pde, self.ops
+            )
+
+    def close(self) -> None:
+        """Drop the shared-memory mappings."""
+        self.bundle.close()
+
+
+def worker_main(config: WorkerConfig, cmd_queue, out_queue) -> None:
+    """Entry point of one worker process: serve step commands until stop.
+
+    Protocol (all small, picklable tuples):
+
+    * in:  ``("predict", buf, dt, sources)`` / ``("correct", buf)`` /
+      ``("stop",)``
+    * out: ``("done", worker_id, phase, seconds)`` or
+      ``("error", worker_id, traceback_text)``
+    """
+    worker: _ShardWorker | None = None
+    try:
+        worker = _ShardWorker(config)
+        out_queue.put(("ready", config.worker_id, "", 0.0))
+        while True:
+            message = cmd_queue.get()
+            kind = message[0]
+            if kind == "stop":
+                break
+            try:
+                started = time.perf_counter()
+                if kind == "predict":
+                    _, buf, dt, sources = message
+                    worker.predict(buf, dt, sources)
+                elif kind == "correct":
+                    _, buf = message
+                    worker.correct(buf)
+                else:
+                    raise ValueError(f"unknown worker command {kind!r}")
+                out_queue.put(
+                    ("done", config.worker_id, kind, time.perf_counter() - started)
+                )
+            except Exception:
+                out_queue.put(("error", config.worker_id, traceback.format_exc()))
+    except Exception:  # pragma: no cover - start-up failure
+        out_queue.put(("error", config.worker_id, traceback.format_exc()))
+    finally:
+        if worker is not None:
+            worker.close()

@@ -31,6 +31,7 @@ class AdvectionPDE(LinearPDE):
 
     @property
     def dim(self) -> int:
+        """Spatial dimension, taken from the advection velocity."""
         return self.velocity.size
 
     def flux(self, q: np.ndarray, d: int) -> np.ndarray:

@@ -154,6 +154,7 @@ class LinearPDE(ABC):
         return 2 * self.nvar  # safe lower bound: one multiply-add per output
 
     def ncp_flops_per_node(self, d: int) -> int:
+        """FLOPs of one non-conservative-product evaluation per node."""
         del d
         return 2 * self.nvar if self.has_ncp else 0
 

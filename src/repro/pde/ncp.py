@@ -70,6 +70,7 @@ class NCPWrapperPDE(LinearPDE):
         return 0
 
     def ncp_flops_per_node(self, d: int) -> int:
+        """The wrapped flux cost: B(q) grad q replaces div F."""
         return self.inner.flux_flops_per_node(d)
 
     def example_parameters(self, shape: tuple[int, ...]) -> np.ndarray:

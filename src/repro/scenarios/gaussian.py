@@ -25,11 +25,18 @@ def gaussian_pulse_setup(
     width: float = 0.1,
     center=(0.5, 0.5, 0.5),
     cfl: float = 0.4,
+    **solver_kwargs,
 ) -> ADERDGSolver:
-    """Periodic box with a Gaussian pressure perturbation at ``center``."""
+    """Periodic box with a Gaussian pressure perturbation at ``center``.
+
+    Extra keyword arguments (``batch_size=``, ``num_workers=``, ...)
+    are forwarded to :class:`~repro.engine.solver.ADERDGSolver`.
+    """
     pde = AcousticPDE()
     grid = UniformGrid((elements,) * 3)
-    solver = ADERDGSolver(grid, pde, order=order, variant=variant, cfl=cfl)
+    solver = ADERDGSolver(
+        grid, pde, order=order, variant=variant, cfl=cfl, **solver_kwargs
+    )
     center_arr = np.asarray(center, dtype=float)
 
     def init(points):

@@ -57,6 +57,12 @@ class LOH1Scenario:
     curvilinear_amplitude:
         Amplitude of the sinusoidal boundary-fitted mesh perturbation;
         0 selects the identity transform.
+    batch_size, num_workers:
+        Execution knobs forwarded to
+        :class:`~repro.engine.solver.ADERDGSolver`: element-block
+        batching and multi-core sharded execution.  With
+        ``num_workers``, close the scenario (context manager or
+        :meth:`close`) to release the worker pool.
     """
 
     def __init__(
@@ -70,6 +76,7 @@ class LOH1Scenario:
         curvilinear_amplitude: float = 0.05,
         cfl: float = 0.4,
         batch_size: int | None = None,
+        num_workers: int | None = None,
     ):
         self.pde = CurvilinearElasticPDE()
         self.domain_km = domain_km
@@ -93,6 +100,7 @@ class LOH1Scenario:
             boundary="reflective",  # free-surface-like walls
             cfl=cfl,
             batch_size=batch_size,
+            num_workers=num_workers,
         )
         self.solver.set_initial_condition(self._initial_condition)
         surface_z = domain_km
@@ -145,9 +153,21 @@ class LOH1Scenario:
     # -- running ----------------------------------------------------------------
 
     def run(self, t_end: float = 0.5, max_steps: int = 10000) -> None:
+        """Advance the scenario to ``t_end`` with CFL-stable steps."""
         self.solver.run(t_end, max_steps=max_steps)
 
+    def close(self) -> None:
+        """Release the solver's worker pool / shared memory (if any)."""
+        self.solver.close()
+
+    def __enter__(self) -> "LOH1Scenario":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     def seismograms(self) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+        """Receiver label -> (times, samples) for every surface receiver."""
         return {r.label: r.seismogram() for r in self.receivers}
 
     def peak_surface_velocity(self) -> float:

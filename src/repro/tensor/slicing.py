@@ -76,6 +76,7 @@ class SliceBatch:
         return int(self.slice_offsets.size)
 
     def offsets(self) -> np.ndarray:
+        """Byte offsets of the slices (alias of ``slice_offsets``)."""
         return self.slice_offsets
 
     @property

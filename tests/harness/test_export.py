@@ -26,7 +26,12 @@ def test_export_all(tmp_path):
     assert names == {
         "fig4.csv", "fig6.csv", "fig9.csv", "fig10.csv",
         "footprint.csv", "batched.csv", "roofline.csv", "headlines.csv",
+        "parallel.csv",
     }
+    with (tmp_path / "parallel.csv").open() as fh:
+        parallel_rows = list(csv.DictReader(fh))
+    assert [int(r["workers"]) for r in parallel_rows] == [1, 2, 4]
+    assert all(float(r["sec_per_step"]) > 0 for r in parallel_rows)
     with (tmp_path / "fig10.csv").open() as fh:
         rows = list(csv.DictReader(fh))
     variants = {r["variant"] for r in rows}

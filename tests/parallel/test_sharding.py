@@ -1,0 +1,92 @@
+"""Shard-plan properties: partition, SFC contiguity, communication volume."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.grid import UniformGrid
+from repro.mesh.sfc import peano_order, peano_segments
+from repro.parallel.sharding import make_shard_plan
+
+
+def test_peano_segments_partition_the_curve():
+    shape = (9, 9, 9)
+    segments = peano_segments(shape, 7)
+    assert len(segments) == 7
+    joined = np.concatenate(segments)
+    np.testing.assert_array_equal(joined, peano_order(shape))
+    sizes = [s.size for s in segments]
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_peano_segments_validation():
+    with pytest.raises(ValueError):
+        peano_segments((3, 3, 3), 0)
+    with pytest.raises(ValueError):
+        peano_segments((3, 3, 3), 28)
+
+
+@pytest.mark.parametrize("num_shards", [1, 2, 4, 9])
+def test_shard_plan_is_a_partition(num_shards):
+    grid = UniformGrid((3, 3, 3))
+    plan = make_shard_plan(grid, num_shards)
+    all_elements = np.sort(np.concatenate(plan.shards))
+    np.testing.assert_array_equal(all_elements, np.arange(grid.n_elements))
+    for index, shard in enumerate(plan.shards):
+        assert (plan.owner[shard] == index).all()
+    assert plan.load_balance() < 1.5
+
+
+def test_shards_are_connected_chunks():
+    """Every shard is face-connected (the SFC locality property)."""
+    grid = UniformGrid((9, 9, 9))
+    plan = make_shard_plan(grid, 8)
+    for shard in plan.shards:
+        members = set(int(e) for e in shard)
+        # BFS over face neighbors inside the shard
+        seen = {int(shard[0])}
+        frontier = [int(shard[0])]
+        while frontier:
+            e = frontier.pop()
+            for d in range(3):
+                for side in (0, 1):
+                    nb = grid.neighbor(e, d, side)
+                    if nb in members and nb not in seen:
+                        seen.add(nb)
+                        frontier.append(nb)
+        assert seen == members
+
+
+def test_cut_faces_small_for_sfc_vs_strided():
+    """SFC sharding cuts far fewer faces than a worst-case partition."""
+    grid = UniformGrid((9, 9, 9))
+    sfc_plan = make_shard_plan(grid, 8)
+    # round-robin (strided) partition: nearly every face is cut
+    strided = tuple(
+        np.arange(grid.n_elements)[k::8] for k in range(8)
+    )
+    strided_plan = make_shard_plan(
+        grid, 8, traversal=np.concatenate(strided)
+    )
+    # rebuild owner for the strided layout by hand
+    owner = np.empty(grid.n_elements, dtype=np.int64)
+    for k, shard in enumerate(strided):
+        owner[shard] = k
+    object.__setattr__(strided_plan, "owner", owner)
+    assert sfc_plan.cut_faces() < 0.5 * strided_plan.cut_faces()
+    assert 0.0 < sfc_plan.cut_fraction() < 0.35
+
+
+def test_shard_plan_stats_and_validation():
+    grid = UniformGrid((3, 3, 3))
+    plan = make_shard_plan(grid, 4)
+    stats = plan.stats()
+    assert stats["elements"] == 27
+    assert stats["num_shards"] == 4
+    assert stats["cut_faces"] == plan.cut_faces()
+    assert stats["interior_faces"] == 81  # periodic: 3 faces per element
+    with pytest.raises(ValueError):
+        make_shard_plan(grid, 0)
+    with pytest.raises(ValueError):
+        make_shard_plan(grid, 28)
+    with pytest.raises(ValueError):
+        make_shard_plan(grid, 2, traversal=np.zeros(27, dtype=int))

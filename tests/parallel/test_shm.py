@@ -1,0 +1,67 @@
+"""Shared-memory bundle: create/attach round trip, cleanup semantics."""
+
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from repro.parallel.shm import SharedArrayBundle
+
+
+def test_create_zero_initialized_and_indexable():
+    with SharedArrayBundle.create({"a": (4, 5), "b": (2,)}) as bundle:
+        assert bundle["a"].shape == (4, 5)
+        assert (bundle["a"] == 0).all()
+        assert bundle.nbytes == (20 + 2) * 8
+        bundle["b"][...] = [1.0, 2.0]
+        assert bundle.arrays["b"][1] == 2.0
+
+
+def test_attach_sees_same_memory_in_process():
+    bundle = SharedArrayBundle.create({"x": (3, 3)})
+    try:
+        other = SharedArrayBundle.attach(bundle.handles())
+        bundle["x"][1, 1] = 7.5
+        assert other["x"][1, 1] == 7.5
+        other["x"][0, 0] = -1.0
+        assert bundle["x"][0, 0] == -1.0
+        other.close()  # non-owner close must not unlink
+        assert bundle["x"][1, 1] == 7.5
+    finally:
+        bundle.close()
+
+
+def _child_roundtrip(handles, queue):
+    bundle = SharedArrayBundle.attach(handles)
+    bundle["x"][...] *= 2.0
+    queue.put(float(bundle["x"].sum()))
+    bundle.close()
+
+
+@pytest.mark.parametrize("start_method", ["fork", "spawn"])
+def test_attach_across_processes(start_method):
+    if start_method not in mp.get_all_start_methods():
+        pytest.skip(f"{start_method} not available")
+    context = mp.get_context(start_method)
+    bundle = SharedArrayBundle.create({"x": (4,)})
+    try:
+        bundle["x"][...] = [1.0, 2.0, 3.0, 4.0]
+        queue = context.Queue()
+        process = context.Process(
+            target=_child_roundtrip, args=(bundle.handles(), queue)
+        )
+        process.start()
+        assert queue.get(timeout=60) == 20.0
+        process.join(timeout=60)
+        assert process.exitcode == 0
+        # the child's writes are visible and the segment survived its exit
+        np.testing.assert_array_equal(bundle["x"], [2.0, 4.0, 6.0, 8.0])
+    finally:
+        bundle.close()
+
+
+def test_close_is_idempotent():
+    bundle = SharedArrayBundle.create({"x": (2,)})
+    bundle.close()
+    bundle.close()
+    assert not bundle.arrays

@@ -1,0 +1,88 @@
+"""The docs tooling must keep docs/api.md fresh and the gate honest."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent.parent
+TOOLS = ROOT / "tools"
+
+sys.path.insert(0, str(TOOLS))
+
+import check_docstrings  # noqa: E402
+import gen_api_docs  # noqa: E402
+
+
+def test_api_md_is_up_to_date():
+    """CI gate: docs/api.md must match the current docstrings."""
+    assert (ROOT / "docs" / "api.md").read_text() == gen_api_docs.render()
+
+
+def test_render_covers_public_surface():
+    text = gen_api_docs.render()
+    for _, name in gen_api_docs.PUBLIC_API:
+        assert f"## `{name}`" in text
+    assert "ADERDGSolver" in text
+    assert "GENERATED FILE" in text
+
+
+def test_render_is_deterministic():
+    assert gen_api_docs.render() == gen_api_docs.render()
+
+
+def test_check_mode_detects_drift(tmp_path):
+    stale = tmp_path / "api.md"
+    stale.write_text("# stale\n")
+    code = gen_api_docs.main(["--check", "--output", str(stale)])
+    assert code == 1
+    code = gen_api_docs.main(["--output", str(stale)])
+    assert code == 0
+    assert gen_api_docs.main(["--check", "--output", str(stale)]) == 0
+
+
+def test_docstring_gate_passes_on_repo():
+    """The repo itself must clear the CI threshold."""
+    assert check_docstrings.main(["--fail-under", "90"]) == 0
+
+
+def test_docstring_gate_fails_on_undocumented_code(tmp_path):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "bad.py").write_text("def f():\n    return 1\n")
+    code = check_docstrings.main(["--root", str(pkg), "--fail-under", "90"])
+    assert code == 1
+
+
+def test_docstring_gate_counts_inherited_docs(tmp_path, monkeypatch):
+    pkg = tmp_path / "docpkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text('"""A package."""\n')
+    (pkg / "mod.py").write_text(
+        '"""A module."""\n\n'
+        "class Base:\n"
+        '    """Base."""\n\n'
+        "    def hook(self):\n"
+        '        """Documented contract."""\n\n'
+        "class Child(Base):\n"
+        '    """Child."""\n\n'
+        "    def hook(self):\n"
+        "        return 1\n"
+    )
+    code = check_docstrings.main(["--root", str(pkg), "--fail-under", "100"])
+    assert code == 0
+
+
+@pytest.mark.parametrize("tool", ["gen_api_docs.py", "check_docstrings.py"])
+def test_tools_run_as_scripts(tool):
+    """The CI invocation (subprocess, PYTHONPATH=src) must work."""
+    args = ["--check"] if tool == "gen_api_docs.py" else []
+    result = subprocess.run(
+        [sys.executable, str(TOOLS / tool), *args],
+        capture_output=True,
+        text=True,
+        cwd=ROOT,
+        env={"PYTHONPATH": str(ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert result.returncode == 0, result.stderr

@@ -1,0 +1,153 @@
+"""Generate ``docs/api.md`` from the docstrings of the public API.
+
+The public surface is the explicit list in :data:`PUBLIC_API` -- the
+objects the README tour and the examples use.  For each entry the
+generator emits the import path, the call signature and the docstring
+verbatim; for classes it additionally walks the public methods and
+properties that carry docstrings.
+
+Usage::
+
+    PYTHONPATH=src python tools/gen_api_docs.py           # rewrite docs/api.md
+    PYTHONPATH=src python tools/gen_api_docs.py --check   # fail on drift (CI)
+
+``--check`` regenerates the document in memory and exits non-zero if
+it differs from the file on disk, so docstring edits cannot silently
+drift away from the published API reference.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import inspect
+import sys
+from pathlib import Path
+
+#: (module path, object name) pairs, in the order they appear in the doc.
+PUBLIC_API = [
+    ("repro.core.spec", "KernelSpec"),
+    ("repro.core.variants", "make_kernel"),
+    ("repro.core.variants", "BatchedSTP"),
+    ("repro.engine.solver", "ADERDGSolver"),
+    ("repro.machine.profiler", "Profiler"),
+    ("repro.parallel", "make_shard_plan"),
+    ("repro.parallel", "ShardPlan"),
+    ("repro.parallel", "SharedArrayBundle"),
+    ("repro.parallel", "ShardWorkerPool"),
+]
+
+HEADER = """\
+# API reference
+
+<!-- GENERATED FILE - do not edit by hand.
+     Regenerate with: PYTHONPATH=src python tools/gen_api_docs.py -->
+
+This document is generated from the docstrings of the public API
+surface.  CI runs ``python tools/gen_api_docs.py --check`` and fails
+when the two drift apart, so what you read here is what the code says.
+"""
+
+
+def _signature(obj) -> str:
+    """Best-effort call signature; classes show their ``__init__``."""
+    try:
+        if inspect.isclass(obj):
+            return str(inspect.signature(obj.__init__)).replace("(self, ", "(").replace("(self)", "()")
+        return str(inspect.signature(obj))
+    except (TypeError, ValueError):
+        return "(...)"
+
+
+def _docstring(obj) -> str:
+    doc = inspect.getdoc(obj)
+    return doc.strip() if doc else "*(undocumented)*"
+
+
+def _public_members(cls) -> list[tuple[str, object, str]]:
+    """(name, member, kind) for documented public methods/properties."""
+    members = []
+    for name, member in sorted(vars(cls).items()):
+        if name.startswith("_"):
+            continue
+        if isinstance(member, property):
+            if member.fget is not None and inspect.getdoc(member):
+                members.append((name, member, "property"))
+        elif inspect.isfunction(member):
+            if inspect.getdoc(member):
+                members.append((name, member, "method"))
+        elif isinstance(member, classmethod):
+            inner = member.__func__
+            if inspect.getdoc(inner):
+                members.append((name, inner, "classmethod"))
+    return members
+
+
+def render_entry(module_name: str, obj_name: str) -> str:
+    """Render one public object as a markdown section."""
+    module = importlib.import_module(module_name)
+    obj = getattr(module, obj_name)
+    kind = "class" if inspect.isclass(obj) else "function"
+    lines = [f"## `{obj_name}`", ""]
+    lines.append(f"*{kind}* -- `from {module_name} import {obj_name}`")
+    lines.append("")
+    lines.append("```python")
+    lines.append(f"{obj_name}{_signature(obj)}")
+    lines.append("```")
+    lines.append("")
+    lines.append(_docstring(obj))
+    lines.append("")
+    if inspect.isclass(obj):
+        for name, member, member_kind in _public_members(obj):
+            lines.append(f"### `{obj_name}.{name}`")
+            lines.append("")
+            if member_kind == "property":
+                lines.append(f"*property* -- {_docstring(member)}")
+            else:
+                lines.append("```python")
+                lines.append(f"{name}{_signature(member)}")
+                lines.append("```")
+                lines.append("")
+                lines.append(_docstring(member))
+            lines.append("")
+    return "\n".join(lines)
+
+
+def render() -> str:
+    """Render the complete API document."""
+    sections = [HEADER]
+    for module_name, obj_name in PUBLIC_API:
+        sections.append(render_entry(module_name, obj_name))
+    return "\n".join(sections).rstrip() + "\n"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check", action="store_true",
+                        help="fail if docs/api.md is out of date")
+    parser.add_argument("--output", default=None,
+                        help="output path (default: docs/api.md next to the repo root)")
+    args = parser.parse_args(argv)
+
+    root = Path(__file__).resolve().parent.parent
+    output = Path(args.output) if args.output else root / "docs" / "api.md"
+    text = render()
+
+    if args.check:
+        on_disk = output.read_text() if output.exists() else ""
+        if on_disk != text:
+            print(f"{output} is out of date; regenerate with:\n"
+                  f"  PYTHONPATH=src python tools/gen_api_docs.py",
+                  file=sys.stderr)
+            return 1
+        print(f"{output} is up to date")
+        return 0
+
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(text)
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
