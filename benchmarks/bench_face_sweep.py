@@ -1,0 +1,144 @@
+"""Face-sweep vs. legacy Riemann/corrector phase breakdown on LOH1.
+
+PRs 1-2 batched the Space-Time Predictor, which left the per-face
+Riemann solves and the per-element corrector as the last pure-Python
+loops in the time step.  The face-sweep engine
+(:mod:`repro.engine.facesweep`) packs each direction's faces into one
+contiguous plane and solves them with a single vectorized flux call;
+the corrector runs over whole element blocks through the batched
+scratch arena.  This benchmark measures the per-phase time split
+(``solver.last_step_timings``) of both paths and gates the acceptance
+criterion: the Riemann+corrector phase must be >= 3x faster than the
+legacy loop at order 6 on a 6^3 LOH1 grid, with bitwise-identical
+states.
+
+Run styles:
+
+* ``PYTHONPATH=src python -m pytest benchmarks/bench_face_sweep.py``
+  -- pytest-benchmark timing of one face-sweep step;
+* ``PYTHONPATH=src python benchmarks/bench_face_sweep.py [--quick]``
+  -- phase-breakdown report with the speedup gate (``--quick`` shrinks
+  the grid/order for CI smoke and only requires no slowdown).
+"""
+
+import time
+
+import numpy as np
+
+from repro.scenarios import LOH1Scenario
+
+ORDER = 6
+ELEMENTS = 6
+BATCH = 16
+STEPS = 3
+#: acceptance gate: riemann+correct speedup of the full configuration
+GATE = 3.0
+
+
+def phase_times(face_sweep, *, elements=ELEMENTS, order=ORDER,
+                batch_size=BATCH, steps=STEPS):
+    """Accumulated per-phase seconds over ``steps`` LOH1 steps.
+
+    Returns ``(states, {"predict", "riemann", "correct"})`` -- one
+    warm-up step runs first so one-time buffer/connectivity setup does
+    not pollute the phase split.
+    """
+    scenario = LOH1Scenario(
+        elements=elements, order=order,
+        batch_size=batch_size, face_sweep=face_sweep,
+    )
+    solver = scenario.solver
+    dt = solver.stable_dt()
+    solver.step(dt)  # warm-up: builds connectivity, binds parameters
+    totals = {"predict": 0.0, "riemann": 0.0, "correct": 0.0}
+    for _ in range(steps):
+        solver.step(dt)
+        for phase, seconds in solver.last_step_timings.items():
+            totals[phase] += seconds
+    return np.array(solver.states), totals
+
+
+def test_face_sweep_step_wallclock(benchmark):
+    """pytest-benchmark entry: one face-sweep LOH1 step, small order."""
+    scenario = LOH1Scenario(elements=3, order=3, batch_size=4)
+    dt = scenario.solver.stable_dt()
+    benchmark(scenario.solver.step, dt)
+    assert np.isfinite(scenario.solver.states).all()
+
+
+def test_face_sweep_matches_legacy_at_bench_scale():
+    """The two paths must agree bitwise at benchmark configuration."""
+    legacy, _ = phase_times(False, elements=3, order=3, steps=1)
+    sweep, _ = phase_times(True, elements=3, order=3, steps=1)
+    np.testing.assert_array_equal(sweep, legacy)
+
+
+def breakdown_report(elements=ELEMENTS, order=ORDER, batch_size=BATCH,
+                     steps=STEPS):
+    """Phase seconds of both paths plus the riemann+correct speedup."""
+    legacy_states, legacy = phase_times(
+        False, elements=elements, order=order,
+        batch_size=batch_size, steps=steps,
+    )
+    sweep_states, sweep = phase_times(
+        True, elements=elements, order=order,
+        batch_size=batch_size, steps=steps,
+    )
+    identical = bool(np.array_equal(sweep_states, legacy_states))
+    hot_legacy = legacy["riemann"] + legacy["correct"]
+    hot_sweep = sweep["riemann"] + sweep["correct"]
+    return {
+        "legacy": legacy,
+        "sweep": sweep,
+        "speedup": hot_legacy / hot_sweep,
+        "identical": identical,
+    }
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: order 3 on a 3^3 grid, gate >= 1x")
+    parser.add_argument("--order", type=int, default=None)
+    parser.add_argument("--elements", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    order = args.order or (3 if args.quick else ORDER)
+    elements = args.elements or (3 if args.quick else ELEMENTS)
+    batch = 4 if args.quick else BATCH
+    steps = 2 if args.quick else STEPS
+    gate = 1.0 if args.quick else GATE
+
+    print(f"LOH1 {elements}^3 elements, order {order}, batch {batch}, "
+          f"{steps} timed steps per path")
+    started = time.perf_counter()
+    report = breakdown_report(elements=elements, order=order,
+                              batch_size=batch, steps=steps)
+    elapsed = time.perf_counter() - started
+
+    header = f"{'path':>12}{'predict':>10}{'riemann':>10}{'correct':>10}{'total':>10}"
+    print(header)
+    print("-" * len(header))
+    for path in ("legacy", "sweep"):
+        t = report[path]
+        total = sum(t.values())
+        print(f"{path:>12}{t['predict']:10.3f}{t['riemann']:10.3f}"
+              f"{t['correct']:10.3f}{total:10.3f}")
+    print(f"\nriemann+correct speedup: {report['speedup']:.2f}x "
+          f"(gate: >= {gate:.1f}x); states bitwise identical: "
+          f"{report['identical']}  [{elapsed:.1f}s]")
+
+    if not report["identical"]:
+        raise SystemExit("face-sweep states diverged from the legacy path")
+    if report["speedup"] < gate:
+        raise SystemExit(
+            f"acceptance: riemann+correct speedup only "
+            f"{report['speedup']:.2f}x (need >= {gate:.1f}x)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

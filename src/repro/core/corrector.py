@@ -29,7 +29,12 @@ from repro.core.variants.base import AXIS_OF_DIM, STPResult
 from repro.machine.isa import FlopCounts
 from repro.pde.base import LinearPDE
 
-__all__ = ["corrector_update", "record_corrector_plan"]
+__all__ = [
+    "corrector_update",
+    "corrector_all",
+    "element_face_params",
+    "record_corrector_plan",
+]
 
 
 def corrector_update(
@@ -83,6 +88,93 @@ def corrector_update(
             lifted = lift[side].reshape(shape) * np.expand_dims(jump, axis)
             qnew -= (sign / h) * lifted
     return qnew
+
+
+def corrector_all(
+    q: np.ndarray,
+    vavg: np.ndarray,
+    savg: dict,
+    qface: np.ndarray,
+    fstar: np.ndarray,
+    face_params: np.ndarray | None,
+    h: float,
+    pde: LinearPDE,
+    ops,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Apply the corrector to a whole element block at once (eq. 5).
+
+    The block twin of :func:`corrector_update`: the same operations in
+    the same order with a leading block axis, so results are bitwise
+    identical to the per-element loop.
+
+    Parameters
+    ----------
+    q:
+        Element states at ``t_n``, ``(b, N, N, N, m)``.
+    vavg:
+        Summed time-integrated volume contributions ``V qbar`` per
+        element, ``(b, N, N, N, m)``.
+    savg:
+        Sparse ``{block row: (N, N, N, m)}`` time-integrated source
+        terms -- only rows that actually carry a source (matching the
+        legacy path, which skips the add for sourceless elements).
+    qface:
+        Predictor face traces, ``(b, 3, 2, N, N, m)``.
+    fstar:
+        Numerical fluxes ``F*``, ``(b, 3, 2, N, N, m)`` (gathered from
+        the face sweep).
+    face_params:
+        Static face-node parameters ``(b, 3, 2, N, N, nparam)`` from
+        :func:`element_face_params`, or ``None`` for parameter-free
+        PDEs.
+    out:
+        Optional preallocated ``(b, N, N, N, m)`` output (a scratch
+        arena block); a new array is allocated when omitted.
+    """
+    n = q.shape[1]
+    nvar = pde.nvar
+    qnew = out if out is not None else np.empty_like(q)
+    np.add(q, vavg, out=qnew)
+    for row, savg_row in savg.items():
+        qnew[row] += savg_row
+    lift = {0: ops.lifting_left(), 1: ops.lifting_right()}
+
+    for d in range(3):
+        axis = 1 + AXIS_OF_DIM[d]  # leading block axis shifts by one
+        for side in (0, 1):
+            params = None if face_params is None else face_params[:, d, side]
+            fself = pde.flux(
+                pde.embed(qface[:, d, side, ..., :nvar], params), d
+            )
+            jump = fstar[:, d, side] - fself  # (b, N, N, m)
+            sign = 1.0 if side == 1 else -1.0
+            shape = [1, 1, 1, 1, 1]
+            shape[axis] = n
+            lifted = lift[side].reshape(shape) * np.expand_dims(jump, axis)
+            qnew -= (sign / h) * lifted
+    return qnew
+
+
+def element_face_params(states: np.ndarray, pde: LinearPDE) -> np.ndarray | None:
+    """Face-node parameters of every element, ``(E, 3, 2, N, N, nparam)``.
+
+    The vectorized form of :func:`_face_params` over the whole mesh:
+    six layer slices instead of ``6 E`` per-face slices.  Parameters
+    are static, so callers cache the result for the run.
+    """
+    if pde.nparam == 0:
+        return None
+    n_elements, n = states.shape[0], states.shape[1]
+    out = np.empty((n_elements, 3, 2, n, n, pde.nparam))
+    for d in range(3):
+        axis = 1 + AXIS_OF_DIM[d]
+        index = [slice(None)] * 5
+        index[axis] = 0
+        out[:, d, 0] = states[tuple(index)][..., pde.nvar :]
+        index[axis] = -1
+        out[:, d, 1] = states[tuple(index)][..., pde.nvar :]
+    return out
 
 
 def _face_params(q: np.ndarray, d: int, side: int, pde: LinearPDE) -> np.ndarray | None:

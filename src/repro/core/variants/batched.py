@@ -391,6 +391,50 @@ class BatchedSTP:
                             qface_out[e, d, side] = result.qface[(d, side)]
         return results
 
+    def predictor_sweep(
+        self,
+        states: np.ndarray,
+        dt: float,
+        h: float,
+        elements,
+        qface_out: np.ndarray,
+        vavg_out: np.ndarray,
+        source_fn=None,
+    ) -> dict:
+        """Run the STP over ``elements``, writing into sweep buffers.
+
+        The face-sweep driver's predictor: instead of materializing
+        per-element :class:`STPResult` objects it writes each block's
+        face traces straight into the global ``qface_out``
+        (``(E, 3, 2, N, N, m)``) and the summed volume contributions
+        ``V qbar`` into ``vavg_out`` (``(len(elements), N, N, N, m)``,
+        rows in traversal order).
+
+        Returns
+        -------
+        ``{element id: (N, N, N, m) savg}`` for exactly the
+        source-carrying elements.
+        """
+        elements = np.asarray(elements, dtype=np.int64)
+        savg_map: dict[int, np.ndarray] = {}
+        for start in range(0, elements.size, self.batch_size):
+            chunk = elements[start : start + self.batch_size]
+            sources = [
+                source_fn(int(e)) if source_fn is not None else None for e in chunk
+            ]
+            _, vavg_c, savg_c, faces = self._predict_raw(
+                states[chunk], dt, h, sources
+            )
+            vavg_out[start : start + chunk.size] = vavg_c.sum(axis=0)
+            for d in range(3):
+                for side in (0, 1):
+                    qface_out[chunk, d, side] = faces[(d, side)]
+            if savg_c is not None:
+                for i, e in enumerate(chunk):
+                    if sources[i] is not None:
+                        savg_map[int(e)] = savg_c[i].copy()
+        return savg_map
+
     def predictor_block(
         self,
         q: np.ndarray,
@@ -404,6 +448,21 @@ class BatchedSTP:
         :class:`ElementSource` (or ``None``); ``b`` may be any size up
         to ``batch_size``.
         """
+        if sources is None:
+            sources = [None] * np.asarray(q).shape[0]
+        qavg_c, vavg_c, savg_c, faces = self._predict_raw(q, dt, h, sources)
+        return self._collect_results(qavg_c, vavg_c, savg_c, sources, faces)
+
+    def _predict_raw(
+        self, q: np.ndarray, dt: float, h: float, sources: list
+    ) -> tuple:
+        """Validate one block and run the variant implementation.
+
+        Returns the raw canonical block outputs
+        ``(qavg_c, vavg_c, savg_c, faces)`` with ``vavg_c`` shaped
+        ``(3, b, N, N, N, m)`` and ``faces`` a ``(d, side) ->
+        (b, N, N, m)`` dict.
+        """
         q = np.asarray(q, dtype=np.float64)
         n, m = self.n, self.m
         if q.ndim != 5 or q.shape[1:] != (n, n, n, m):
@@ -413,8 +472,6 @@ class BatchedSTP:
         b = q.shape[0]
         if b < 1 or b > self.batch_size:
             raise ValueError(f"block size must be in 1..{self.batch_size}, got {b}")
-        if sources is None:
-            sources = [None] * b
         if len(sources) != b:
             raise ValueError("sources must match the block size")
         return self._impl(q, dt, h, sources)
@@ -526,7 +583,7 @@ class BatchedSTP:
         vavg_c = np.stack([layout.unpack_block(favg[d]) for d in range(3)])
         savg_c = None if savg is None else layout.unpack_block(savg)
         faces = self._project_faces_block(qavg_c)
-        return self._collect_results(qavg_c, vavg_c, savg_c, sources, faces)
+        return qavg_c, vavg_c, savg_c, faces
 
     def _block_aosoa(self, q: np.ndarray, dt: float, h: float, sources: list) -> list:
         n, m, b = self.n, self.m, q.shape[0]
@@ -603,7 +660,7 @@ class BatchedSTP:
         vavg_c = np.stack([layout.unpack_block(favg[d]) for d in range(3)])
         savg_c = None if savg is None else layout.unpack_block(savg)
         faces = self._project_faces_block(qavg_c)
-        return self._collect_results(qavg_c, vavg_c, savg_c, sources, faces)
+        return qavg_c, vavg_c, savg_c, faces
 
     def _block_log(self, q: np.ndarray, dt: float, h: float, sources: list) -> list:
         return self._block_spacetime(q, dt, h, sources, padded=True)
@@ -695,7 +752,7 @@ class BatchedSTP:
             vavg_c = favg.copy()
             savg_c = None if savg is None else savg.copy()
         faces = self._project_faces_block(qavg_c)
-        return self._collect_results(qavg_c, vavg_c, savg_c, sources, faces)
+        return qavg_c, vavg_c, savg_c, faces
 
     # -- footprint reporting (machine-model view) --------------------------
 

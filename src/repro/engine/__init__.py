@@ -10,14 +10,19 @@ space-filling-curve element ordering is kept in
 """
 
 from repro.engine.solver import ADERDGSolver
-from repro.engine.riemann import rusanov_flux, upwind_flux
+from repro.engine.facesweep import FaceSweep, direction_faces, face_sweep_plan
+from repro.engine.riemann import rusanov_flux, upwind_flux, upwind_flux_sweep
 from repro.engine.source import GaussianDerivativeWavelet, PointSource, RickerWavelet
 from repro.engine.receivers import Receiver
 
 __all__ = [
     "ADERDGSolver",
+    "FaceSweep",
+    "direction_faces",
+    "face_sweep_plan",
     "rusanov_flux",
     "upwind_flux",
+    "upwind_flux_sweep",
     "PointSource",
     "GaussianDerivativeWavelet",
     "RickerWavelet",

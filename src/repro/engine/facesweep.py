@@ -1,0 +1,342 @@
+"""Vectorized face-sweep execution of the Riemann phase.
+
+The legacy solver walks a Python ``dict[(element, d, side)]`` and
+calls the Riemann solver once per face -- thousands of tiny NumPy
+invocations per step.  This module applies the paper's batching idea
+(Sec. III-V: turn per-entity loops into wide array sweeps) to the face
+phase, the way whole-field DG codes (hedge, dolfin_dg) assemble their
+face terms:
+
+* **connectivity once** -- :func:`direction_faces` enumerates, per PDE
+  direction, every face as a row of contiguous index arrays (left
+  element, right element, ghost masks, per-element face ids), handling
+  periodic wrap, physical boundaries and shard subsets;
+* **face planes** -- :class:`FaceSweep` gathers all ``qface`` traces of
+  one direction into packed ``(n_faces, N, N, m)`` buffers, fills the
+  ghost sides through the boundary condition, and issues **one**
+  Riemann call per direction (the flux kernels broadcast over the
+  leading face axis bitwise-identically to per-face calls);
+* **static parameters cached** -- material face parameters never change
+  during a run, so they are gathered once
+  (:meth:`FaceSweep.bind_parameters`) instead of re-sliced per face per
+  step.
+
+Interior faces are owned by their *left* (low-coordinate) element;
+with periodic wrap every interior face has a unique left element, so
+each face is enumerated and solved exactly once.  Shard subsets keep
+cross-shard faces in the plane (solved redundantly on both owning
+shards from identical shared inputs), preserving the parallel solver's
+bitwise-identical-to-serial guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.corrector import element_face_params
+from repro.engine.boundary import ghost_state
+from repro.engine.riemann import SWEEP_SOLVERS
+from repro.mesh.grid import BOUNDARY, UniformGrid
+from repro.pde.base import LinearPDE
+
+__all__ = [
+    "DirectionFaces",
+    "direction_faces",
+    "FaceSweep",
+    "record_face_sweep_ops",
+    "face_sweep_plan",
+]
+
+
+@dataclass(frozen=True)
+class DirectionFaces:
+    """Face connectivity of one PDE direction as flat index arrays.
+
+    Every face is one row of the packed face plane.  ``left`` /
+    ``right`` hold the adjacent element ids (``-1`` marks a ghost side
+    at a physical boundary -- never both sides at once).  ``lo_face`` /
+    ``hi_face`` map an element id to the plane row of its low / high
+    face (``-1`` for elements outside the enumerated subset).  The
+    remaining arrays are the precomputed gather/scatter index lists the
+    sweep uses every step.
+    """
+
+    d: int
+    left: np.ndarray  # (F,) element left of each face, -1 = ghost
+    right: np.ndarray  # (F,) element right of each face, -1 = ghost
+    lo_face: np.ndarray  # (E,) plane row of each element's low face
+    hi_face: np.ndarray  # (E,) plane row of each element's high face
+    interior_left: np.ndarray  # rows with a real left element
+    interior_right: np.ndarray  # rows with a real right element
+    ghost_left: np.ndarray  # rows whose left side is a boundary ghost
+    ghost_right: np.ndarray  # rows whose right side is a boundary ghost
+
+    @property
+    def n_faces(self) -> int:
+        """Number of faces in the plane."""
+        return int(self.left.shape[0])
+
+
+def direction_faces(
+    grid: UniformGrid, d: int, elements=None
+) -> DirectionFaces:
+    """Enumerate the faces of direction ``d`` touching ``elements``.
+
+    ``elements`` defaults to the whole grid.  Interior faces are keyed
+    by their left element, so a face shared by two listed elements
+    appears exactly once; a periodic 1-element direction degenerates to
+    ``lo_face[e] == hi_face[e]``, matching the legacy loop's shared
+    flux.  For shard subsets the plane also contains the cross-shard
+    faces of the listed elements (their outside neighbor is recorded
+    even when it is not in ``elements``).
+    """
+    if elements is None:
+        elements = range(grid.n_elements)
+    face_of: dict[tuple, int] = {}
+    left_list: list[int] = []
+    right_list: list[int] = []
+    lo_face = np.full(grid.n_elements, -1, dtype=np.int64)
+    hi_face = np.full(grid.n_elements, -1, dtype=np.int64)
+
+    def add(key: tuple, left: int, right: int) -> int:
+        row = face_of.get(key)
+        if row is None:
+            row = len(left_list)
+            face_of[key] = row
+            left_list.append(left)
+            right_list.append(right)
+        return row
+
+    for e in elements:
+        e = int(e)
+        neighbor = grid.neighbor(e, d, 1)
+        if neighbor == BOUNDARY:
+            hi_face[e] = add(("hi", e), e, -1)
+        else:
+            hi_face[e] = add(("in", e), e, neighbor)
+        neighbor = grid.neighbor(e, d, 0)
+        if neighbor == BOUNDARY:
+            lo_face[e] = add(("lo", e), -1, e)
+        else:
+            # the low neighbor is this face's left element
+            lo_face[e] = add(("in", neighbor), neighbor, e)
+
+    left = np.asarray(left_list, dtype=np.int64)
+    right = np.asarray(right_list, dtype=np.int64)
+    return DirectionFaces(
+        d=d,
+        left=left,
+        right=right,
+        lo_face=lo_face,
+        hi_face=hi_face,
+        interior_left=np.nonzero(left >= 0)[0],
+        interior_right=np.nonzero(right >= 0)[0],
+        ghost_left=np.nonzero(left < 0)[0],
+        ghost_right=np.nonzero(right < 0)[0],
+    )
+
+
+class FaceSweep:
+    """Vectorized Riemann phase over packed per-direction face planes.
+
+    Parameters
+    ----------
+    grid, pde, order:
+        Mesh, PDE system and scheme order ``N``.
+    riemann, boundary:
+        Numerical flux (:data:`~repro.engine.riemann.SWEEP_SOLVERS`)
+        and boundary-condition names, as on the solver.
+    elements:
+        Optional element subset (a parallel shard); defaults to the
+        whole grid.  The plane then contains all faces touching the
+        subset, cross-shard ones included.
+    """
+
+    def __init__(
+        self,
+        grid: UniformGrid,
+        pde: LinearPDE,
+        order: int,
+        riemann: str = "rusanov",
+        boundary: str = "absorbing",
+        elements=None,
+    ):
+        self.grid = grid
+        self.pde = pde
+        self.order = order
+        self.riemann_name = riemann
+        self.riemann = SWEEP_SOLVERS[riemann]
+        self.boundary = boundary
+        self.faces = tuple(direction_faces(grid, d, elements) for d in range(3))
+        n, m = order, pde.nquantities
+        self._q_left = [np.zeros((df.n_faces, n, n, m)) for df in self.faces]
+        self._q_right = [np.zeros((df.n_faces, n, n, m)) for df in self.faces]
+        #: per-direction ``(n_faces, N, N, m)`` numerical fluxes of the
+        #: last :meth:`sweep` call
+        self.fluxes: list[np.ndarray | None] = [None, None, None]
+        #: cached ``(E, 3, 2, N, N, nparam)`` face-node material
+        #: parameters (``None`` until bound / for parameter-free PDEs)
+        self.element_face_params: np.ndarray | None = None
+        self._face_params: list | None = None
+
+    @property
+    def n_faces(self) -> int:
+        """Total face count over all three directions."""
+        return sum(df.n_faces for df in self.faces)
+
+    # -- static parameter cache -------------------------------------------
+
+    def bind_parameters(self, states: np.ndarray) -> None:
+        """Gather the static material face parameters from ``states``.
+
+        Called lazily on the first :meth:`sweep`; parameters carry no
+        flux, so they stay bitwise constant over the run and the gather
+        never needs repeating (until :meth:`invalidate_parameters`).
+        Ghost sides copy the interior side, exactly like the legacy
+        per-face path.
+        """
+        if self.pde.nparam == 0:
+            self.element_face_params = None
+            self._face_params = [(None, None)] * 3
+            return
+        efp = element_face_params(states, self.pde)
+        self.element_face_params = efp
+        n, npar = self.order, self.pde.nparam
+        params = []
+        for df in self.faces:
+            pl = np.empty((df.n_faces, n, n, npar))
+            pr = np.empty((df.n_faces, n, n, npar))
+            pl[df.interior_left] = efp[df.left[df.interior_left], df.d, 1]
+            pr[df.interior_right] = efp[df.right[df.interior_right], df.d, 0]
+            pr[df.ghost_right] = pl[df.ghost_right]
+            pl[df.ghost_left] = pr[df.ghost_left]
+            params.append((pl, pr))
+        self._face_params = params
+
+    def invalidate_parameters(self) -> None:
+        """Drop the parameter cache (after a new initial condition)."""
+        self.element_face_params = None
+        self._face_params = None
+
+    # -- the sweep ---------------------------------------------------------
+
+    def sweep(self, states: np.ndarray, qface_all: np.ndarray) -> None:
+        """Solve every face's Riemann problem, one call per direction.
+
+        ``qface_all`` is the global ``(E, 3, 2, N, N, m)`` trace array
+        the predictor filled; ``states`` supplies the material
+        parameters on first use.  Results land in :attr:`fluxes`.
+        """
+        if self._face_params is None:
+            self.bind_parameters(states)
+        pde, boundary = self.pde, self.boundary
+        for df, q_left, q_right, (pl, pr) in zip(
+            self.faces, self._q_left, self._q_right, self._face_params
+        ):
+            d = df.d
+            q_left[df.interior_left] = qface_all[df.left[df.interior_left], d, 1]
+            q_right[df.interior_right] = qface_all[
+                df.right[df.interior_right], d, 0
+            ]
+            if df.ghost_right.size:
+                q_right[df.ghost_right] = ghost_state(
+                    boundary, pde, q_left[df.ghost_right], d, 1
+                )
+            if df.ghost_left.size:
+                q_left[df.ghost_left] = ghost_state(
+                    boundary, pde, q_right[df.ghost_left], d, 0
+                )
+            self.fluxes[d] = self.riemann(pde, q_left, q_right, pl, pr, d)
+
+    def gather_fstar(self, elements: np.ndarray, out: np.ndarray) -> None:
+        """Scatter the swept fluxes back to per-element face order.
+
+        Fills ``out`` (``(len(elements), 3, 2, N, N, m)``) with the six
+        numerical fluxes of each listed element -- the corrector's
+        ``F*`` input.
+        """
+        for d, df in enumerate(self.faces):
+            flux = self.fluxes[d]
+            out[:, d, 0] = flux[df.lo_face[elements]]
+            out[:, d, 1] = flux[df.hi_face[elements]]
+
+
+# ---------------------------------------------------------------------------
+# machine-model recording
+# ---------------------------------------------------------------------------
+
+
+def record_face_sweep_ops(
+    recorder, n: int, pde: LinearPDE, n_faces: int, n_elements: int
+) -> None:
+    """Record the face-sweep + block-corrector cost at grid scale.
+
+    Mirrors :func:`repro.core.corrector.record_corrector_ops` but over
+    the whole grid's packed face planes: one gather, one wide Riemann
+    sweep, one scatter, then the block corrector's volume and lifting
+    updates.
+    """
+    from repro.codegen.plan import BufferAccess
+    from repro.machine.isa import FlopCounts
+
+    m = pde.nquantities
+    plane_bytes = 8.0 * n_faces * n**2 * m
+    param_bytes = 8.0 * 2 * n_faces * n**2 * pde.nparam
+    el_bytes = 8.0 * n_elements * n**3 * m
+    recorder.phase("riemann")
+    recorder.transpose("face_gather", "qface", "face_planes", 2 * plane_bytes)
+    # two flux evaluations plus the penalty per face node, as in the
+    # per-element corrector recording -- only the sweep width changed.
+    riemann_per_node = 2 * pde.flux_flops_per_node(0) + 4 * m
+    recorder.pointwise(
+        "riemann_sweep",
+        FlopCounts.at_width(float(n_faces) * n**2 * riemann_per_node, 64),
+        (
+            BufferAccess("face_planes", read_bytes=2 * plane_bytes),
+            BufferAccess("face_params", read_bytes=param_bytes),
+            BufferAccess("fstar_planes", write_bytes=plane_bytes),
+        ),
+    )
+    recorder.phase("correct")
+    recorder.transpose(
+        "fstar_scatter", "fstar_planes", "fstar_elements", 2 * plane_bytes
+    )
+    recorder.pointwise(
+        "corrector_volume",
+        FlopCounts.at_width(2.0 * n_elements * n**3 * m, 64),
+        (
+            BufferAccess("Q", read_bytes=el_bytes, write_bytes=el_bytes),
+            BufferAccess("vavg", read_bytes=el_bytes),
+        ),
+    )
+    recorder.pointwise(
+        "surface_lift",
+        FlopCounts.at_width(6.0 * 2 * n_elements * n**3 * m, 64),
+        (
+            BufferAccess("fstar_elements", read_bytes=2 * plane_bytes),
+            BufferAccess("Q", read_bytes=el_bytes, write_bytes=el_bytes),
+        ),
+    )
+
+
+def face_sweep_plan(spec, pde: LinearPDE, grid: UniformGrid):
+    """Recorded grid-level plan of the face-sweep Riemann + corrector."""
+    from repro.codegen.plan import PlanRecorder
+
+    rec = PlanRecorder("face_sweep", spec)
+    n, m = spec.order, spec.nquantities
+    n_faces = sum(direction_faces(grid, d).n_faces for d in range(3))
+    n_elements = grid.n_elements
+    plane_bytes = 8 * n_faces * n**2 * m
+    el_bytes = 8 * n_elements * n**3 * m
+    rec.buffer("qface", 8 * n_elements * 6 * n**2 * m, "input")
+    rec.buffer("face_planes", 2 * plane_bytes, "temp")
+    rec.buffer("face_params", 2 * 8 * n_faces * n**2 * pde.nparam, "const")
+    rec.buffer("fstar_planes", plane_bytes, "temp")
+    rec.buffer("fstar_elements", 8 * n_elements * 6 * n**2 * m, "temp")
+    rec.buffer("vavg", el_bytes, "input")
+    rec.buffer("Q", el_bytes, "output")
+    record_face_sweep_ops(rec, n, pde, n_faces, n_elements)
+    return rec.finish()

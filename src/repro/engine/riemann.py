@@ -15,6 +15,13 @@ what lets the corrector work directly on time-averaged quantities
 
 All functions operate on face arrays ``(..., m)``; parameter slots of
 the returned flux are zero (parameters carry no flux).
+
+The face-sweep engine (:mod:`repro.engine.facesweep`) calls the same
+solvers over *packed face planes* ``(n_faces, N, N, m)``.  Rusanov is
+purely elementwise and broadcasts as-is; the upwind solver needs one
+eigendecomposition per face material, so :func:`upwind_flux_sweep`
+groups the plane's faces by their (face-constant) parameter rows and
+issues one stacked matmul per material group.
 """
 
 from __future__ import annotations
@@ -23,7 +30,13 @@ import numpy as np
 
 from repro.pde.base import LinearPDE
 
-__all__ = ["rusanov_flux", "upwind_flux", "SOLVERS"]
+__all__ = [
+    "rusanov_flux",
+    "upwind_flux",
+    "upwind_flux_sweep",
+    "SOLVERS",
+    "SWEEP_SOLVERS",
+]
 
 
 def rusanov_flux(
@@ -53,6 +66,21 @@ def rusanov_flux(
     return out
 
 
+def _characteristic_matrices(
+    pde: LinearPDE, params_row: np.ndarray, d: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(A+, A-)`` of the normal flux matrix for one material row."""
+    nvar = pde.nvar
+    a = pde.flux_matrix(params_row, d)[:nvar, :nvar]
+    eigvals, r = np.linalg.eig(a)
+    eigvals = np.real(eigvals)
+    r = np.real(r)
+    r_inv = np.linalg.inv(r)
+    a_plus = r @ np.diag(np.maximum(eigvals, 0.0)) @ r_inv
+    a_minus = r @ np.diag(np.minimum(eigvals, 0.0)) @ r_inv
+    return a_plus, a_minus
+
+
 def upwind_flux(
     pde: LinearPDE,
     q_left: np.ndarray,
@@ -74,13 +102,7 @@ def upwind_flux(
     first = flat_params[0] if pde.nparam else np.zeros(0)
     if pde.nparam and not np.allclose(flat_params, flat_params[0]):
         raise ValueError("upwind_flux expects face-constant parameters")
-    a = pde.flux_matrix(first, d)[:nvar, :nvar]
-    eigvals, r = np.linalg.eig(a)
-    eigvals = np.real(eigvals)
-    r = np.real(r)
-    r_inv = np.linalg.inv(r)
-    a_plus = r @ np.diag(np.maximum(eigvals, 0.0)) @ r_inv
-    a_minus = r @ np.diag(np.minimum(eigvals, 0.0)) @ r_inv
+    a_plus, a_minus = _characteristic_matrices(pde, first, d)
     out = np.zeros_like(q_left)
     out[..., :nvar] = (
         q_left[..., :nvar] @ a_plus.T + q_right[..., :nvar] @ a_minus.T
@@ -88,4 +110,47 @@ def upwind_flux(
     return out
 
 
+def upwind_flux_sweep(
+    pde: LinearPDE,
+    q_left: np.ndarray,
+    q_right: np.ndarray,
+    params_left: np.ndarray | None,
+    params_right: np.ndarray | None,
+    d: int,
+) -> np.ndarray:
+    """:func:`upwind_flux` over a packed face plane, grouped by material.
+
+    The leading axis of ``q_left`` / ``q_right`` enumerates faces; each
+    face must carry node-constant parameters (same requirement as the
+    per-face solver).  Faces sharing a material row share one
+    eigendecomposition and one stacked matmul, so the result is
+    bitwise identical to calling :func:`upwind_flux` per face.
+    """
+    nvar = pde.nvar
+    out = np.zeros_like(q_left)
+    if pde.nparam == 0:
+        a_plus, a_minus = _characteristic_matrices(pde, np.zeros(0), d)
+        out[..., :nvar] = (
+            q_left[..., :nvar] @ a_plus.T + q_right[..., :nvar] @ a_minus.T
+        )
+        return out
+    params = 0.5 * (np.asarray(params_left) + np.asarray(params_right))
+    rows = params.reshape(params.shape[0], -1, params.shape[-1])
+    if not np.allclose(rows, rows[:, :1]):
+        raise ValueError("upwind_flux expects face-constant parameters")
+    unique, inverse = np.unique(rows[:, 0], axis=0, return_inverse=True)
+    for g in range(unique.shape[0]):
+        a_plus, a_minus = _characteristic_matrices(pde, unique[g], d)
+        mask = inverse == g
+        out[mask, ..., :nvar] = (
+            q_left[mask, ..., :nvar] @ a_plus.T
+            + q_right[mask, ..., :nvar] @ a_minus.T
+        )
+    return out
+
+
 SOLVERS = {"rusanov": rusanov_flux, "upwind": upwind_flux}
+
+#: face-plane variants used by the sweep engine: same numerics, one
+#: call per direction (rusanov broadcasts unchanged)
+SWEEP_SOLVERS = {"rusanov": rusanov_flux, "upwind": upwind_flux_sweep}

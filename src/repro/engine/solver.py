@@ -24,14 +24,18 @@ Execution modes (orthogonal, freely composable):
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.basis.operators import cached_operators
-from repro.core.corrector import _face_params, corrector_update
+from repro.core.corrector import _face_params, corrector_all, corrector_update
 from repro.core.spec import KernelSpec
 from repro.core.variants import BatchedSTP, ElementSource, make_kernel
+from repro.core.variants.batched import ScratchArena
 from repro.engine.boundary import ghost_state
-from repro.engine.cfl import global_timestep
+from repro.engine.cfl import global_timestep, stable_timestep
+from repro.engine.facesweep import FaceSweep
 from repro.engine.riemann import SOLVERS
 from repro.engine.source import PointSource
 from repro.mesh.grid import BOUNDARY, UniformGrid
@@ -63,6 +67,12 @@ class ADERDGSolver:
     start_method:
         ``multiprocessing`` start method for the pool; default
         ``fork`` where available, else ``spawn``.
+    face_sweep:
+        Run the Riemann + corrector phases as vectorized sweeps over
+        packed face planes and element blocks
+        (:mod:`repro.engine.facesweep`); ``False`` keeps the legacy
+        per-face / per-element loop (bitwise-identical results -- the
+        escape hatch exists for the conformance tests).
     """
 
     def __init__(
@@ -79,6 +89,7 @@ class ADERDGSolver:
         batch_size: int | None = None,
         num_workers: int | None = None,
         start_method: str | None = None,
+        face_sweep: bool = True,
     ):
         self.grid = grid
         self.pde = pde
@@ -113,7 +124,16 @@ class ADERDGSolver:
         self._pool = None
         self._shared = None
         self._shard_plan = None
-        #: per-worker phase timings of the last parallel step
+        self.face_sweep = face_sweep
+        self._sweep = None
+        self._qface_all = None
+        self._vavg_all = None
+        self._arena = None
+        #: cached global wave speed (static-parameter PDEs only)
+        self._wave_speed = None
+        #: per-phase timings of the last step: a ``{"predict", "riemann",
+        #: "correct"}`` seconds dict when serial, the pool's
+        #: :class:`~repro.parallel.pool.StepTimings` when parallel
         self.last_step_timings = None
         if self.num_workers > 1:
             from repro.parallel.shm import SharedArrayBundle
@@ -143,6 +163,12 @@ class ADERDGSolver:
         for e in range(self.grid.n_elements):
             pts = self.grid.node_coordinates(e, self.ops)
             self.states[e] = fn(pts)
+        # new states mean new material parameters and wave speeds
+        self._wave_speed = None
+        if self._sweep is not None:
+            self._sweep.invalidate_parameters()
+        if self._pool is not None:
+            self._pool.invalidate_caches()
 
     def add_point_source(self, source: PointSource) -> None:
         """Register a point source (element-located, projection precomputed)."""
@@ -160,9 +186,21 @@ class ADERDGSolver:
     # -- stepping ---------------------------------------------------------------
 
     def stable_dt(self) -> float:
-        """CFL-stable global time step for the current state."""
-        return global_timestep(
-            self.states, self.pde, self.grid.h, self.spec.order, self.cfl
+        """CFL-stable global time step for the current state.
+
+        For PDEs whose wave speed depends only on the static parameters
+        (``pde.wave_speed_is_static``) the full mesh scan runs once and
+        the maximum is cached until :meth:`set_initial_condition`;
+        nonlinear systems (Burgers) rescan every call.
+        """
+        if not getattr(self.pde, "wave_speed_is_static", False):
+            return global_timestep(
+                self.states, self.pde, self.grid.h, self.spec.order, self.cfl
+            )
+        if self._wave_speed is None:
+            self._wave_speed = float(np.max(self.pde.max_wave_speed(self.states)))
+        return stable_timestep(
+            self.grid.h, self.spec.order, self._wave_speed, self.cfl
         )
 
     def _element_source(self, e: int, dt: float) -> ElementSource | None:
@@ -205,6 +243,7 @@ class ADERDGSolver:
                 boundary=self.boundary,
                 batch_size=self.batch_size,
                 start_method=self._start_method,
+                face_sweep=self.face_sweep,
             )
         return self._pool
 
@@ -257,15 +296,116 @@ class ADERDGSolver:
         dt = self.stable_dt() if dt is None else float(dt)
         if self.num_workers > 1:
             self._step_parallel(dt)
-            self.t += dt
-            self.step_count += 1
-            for receiver in self.receivers:
-                receiver.record(self.t, self.states[receiver.element])
-            return dt
+        elif self.face_sweep:
+            self._step_serial_sweep(dt)
+        else:
+            self._step_serial_legacy(dt)
+        self.t += dt
+        self.step_count += 1
+        for receiver in self.receivers:
+            receiver.record(self.t, self.states[receiver.element])
+        return dt
+
+    def _ensure_sweep(self) -> FaceSweep:
+        """Build the face-sweep engine and its buffers on first use."""
+        if self._sweep is None:
+            grid, n, m = self.grid, self.spec.order, self.pde.nquantities
+            # honor a post-construction `solver.riemann = ...` override
+            # (the stability tests swap the flux function directly)
+            name = self.riemann_name
+            for key, fn in SOLVERS.items():
+                if fn is self.riemann:
+                    name = key
+                    break
+            self._sweep = FaceSweep(
+                grid,
+                self.pde,
+                n,
+                riemann=name,
+                boundary=self.boundary,
+            )
+            self._qface_all = np.zeros((grid.n_elements, 3, 2, n, n, m))
+            self._vavg_all = np.zeros((grid.n_elements, n, n, n, m))
+            self._arena = (
+                self.batched.arena if self.batched is not None else ScratchArena()
+            )
+        return self._sweep
+
+    def _step_serial_sweep(self, dt: float) -> None:
+        """One step through the vectorized face-sweep engine."""
         grid, pde, h = self.grid, self.pde, self.grid.h
-        nvar = pde.nvar
+        n, m = self.spec.order, pde.nquantities
+        sweep = self._ensure_sweep()
+
+        # 1. predictor, writing straight into the sweep buffers
+        t0 = time.perf_counter()
+        if self.batched is not None:
+            savg_map = self.batched.predictor_sweep(
+                self.states, dt, h,
+                self.traversal,
+                qface_out=self._qface_all,
+                vavg_out=self._vavg_all,
+                source_fn=lambda e: self._element_source(e, dt),
+            )
+        else:
+            savg_map = {}
+            for pos, e in enumerate(self.traversal):
+                result = self.kernel.predictor(
+                    self.states[e], dt, h, source=self._element_source(e, dt)
+                )
+                for d in range(3):
+                    for side in (0, 1):
+                        self._qface_all[e, d, side] = result.qface[(d, side)]
+                self._vavg_all[pos] = result.vavg_total
+                if result.savg is not None:
+                    savg_map[int(e)] = result.savg
+
+        # 2. one Riemann sweep per direction over the packed face planes
+        t1 = time.perf_counter()
+        sweep.sweep(self.states, self._qface_all)
+
+        # 3. corrector over whole element blocks
+        t2 = time.perf_counter()
+        block = self.batch_size or grid.n_elements
+        fstar = self._arena.get("fstar_block", (block, 3, 2, n, n, m))
+        qnew = self._arena.get("corrector_out", (block, n, n, n, m))
+        efp = sweep.element_face_params
+        traversal = self.traversal
+        for start in range(0, len(traversal), block):
+            chunk = np.asarray(traversal[start : start + block], dtype=np.int64)
+            b = chunk.size
+            sweep.gather_fstar(chunk, fstar[:b])
+            savg_rows = {
+                i: savg_map[int(e)]
+                for i, e in enumerate(chunk)
+                if int(e) in savg_map
+            }
+            corrector_all(
+                self.states[chunk],
+                self._vavg_all[start : start + b],
+                savg_rows,
+                self._qface_all[chunk],
+                fstar[:b],
+                None if efp is None else efp[chunk],
+                h,
+                pde,
+                self.ops,
+                out=qnew[:b],
+            )
+            self.states[chunk] = qnew[:b]
+        t3 = time.perf_counter()
+        self.last_step_timings = {
+            "predict": t1 - t0,
+            "riemann": t2 - t1,
+            "correct": t3 - t2,
+        }
+
+    def _step_serial_legacy(self, dt: float) -> None:
+        """One step through the per-face / per-element reference loops."""
+        grid, pde, h = self.grid, self.pde, self.grid.h
 
         # 1. predictor on every element (Peano traversal order)
+        t0 = time.perf_counter()
         if self.batched is not None:
             results = self.batched.predictor_all(
                 self.states, dt, h,
@@ -280,6 +420,7 @@ class ADERDGSolver:
                 )
 
         # 2. Riemann solve per face (shared between the two sides)
+        t1 = time.perf_counter()
         fluxes: dict[tuple[int, int, int], np.ndarray] = {}
         for e in range(grid.n_elements):
             for d in range(3):
@@ -314,6 +455,7 @@ class ADERDGSolver:
                 # a left element, so nothing else to do here.
 
         # 3. corrector on every element
+        t2 = time.perf_counter()
         for e in self.traversal:
             numerical = {
                 (d, side): fluxes[(e, d, side)] for d in range(3) for side in (0, 1)
@@ -321,12 +463,12 @@ class ADERDGSolver:
             self.states[e] = corrector_update(
                 self.states[e], results[e], numerical, h, pde, self.ops
             )
-
-        self.t += dt
-        self.step_count += 1
-        for receiver in self.receivers:
-            receiver.record(self.t, self.states[receiver.element])
-        return dt
+        t3 = time.perf_counter()
+        self.last_step_timings = {
+            "predict": t1 - t0,
+            "riemann": t2 - t1,
+            "correct": t3 - t2,
+        }
 
     def run(self, t_end: float, max_steps: int = 100000) -> None:
         """Advance until ``t_end`` (last step clipped to land exactly)."""

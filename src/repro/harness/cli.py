@@ -13,6 +13,7 @@ EXPERIMENTS = {
     "fig9": report.render_fig9,
     "fig10": report.render_fig10,
     "batched": report.render_batched,
+    "facesweep": report.render_facesweep,
     "footprint": report.render_footprint,
     "headlines": report.render_headlines,
     "parallel": report.render_parallel,

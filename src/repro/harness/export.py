@@ -14,6 +14,7 @@ from repro.harness.figures import (
     footprint_table,
     headline_metrics,
     parallel_scaling_table,
+    phase_breakdown_table,
     roofline_table,
 )
 
@@ -48,6 +49,7 @@ def export_all(directory: str | Path) -> list[Path]:
         write_rows(directory / "batched.csv", batched_footprint_table()),
         write_rows(directory / "roofline.csv", roofline_table()),
         write_rows(directory / "parallel.csv", parallel_scaling_table()),
+        write_rows(directory / "facesweep.csv", phase_breakdown_table()),
     ]
     headline_rows = [
         {

@@ -23,6 +23,7 @@ __all__ = [
     "footprint_table",
     "headline_metrics",
     "parallel_scaling_table",
+    "phase_breakdown_table",
     "roofline_table",
 ]
 
@@ -196,6 +197,51 @@ def parallel_scaling_table(
                 "sec_per_step": per_step,
                 "speedup": speedup,
                 "efficiency": speedup / actual_workers,
+            }
+        )
+    return rows
+
+
+def phase_breakdown_table(
+    elements: int = 3,
+    order: int = 4,
+    steps: int = 3,
+    batch_size: int | None = 4,
+) -> list[dict]:
+    """Per-phase step time of the legacy vs face-sweep paths (measured).
+
+    Steps the LOH1 scenario with both Riemann/corrector execution paths
+    and reports the ``predict`` / ``riemann`` / ``correct`` seconds
+    from ``solver.last_step_timings``, the total, and each phase's
+    share of the step -- the live twin of the benchmark's acceptance
+    gate (the tested invariant: identical states, faster faces).
+    """
+    from repro.scenarios import LOH1Scenario
+
+    rows = []
+    for face_sweep in (False, True):
+        scenario = LOH1Scenario(
+            elements=elements, order=order,
+            batch_size=batch_size, face_sweep=face_sweep,
+        )
+        solver = scenario.solver
+        dt = solver.stable_dt()
+        solver.step(dt)  # warm-up (connectivity + parameter binding)
+        totals = {"predict": 0.0, "riemann": 0.0, "correct": 0.0}
+        for _ in range(steps):
+            solver.step(dt)
+            for phase, seconds in solver.last_step_timings.items():
+                totals[phase] += seconds
+        total = sum(totals.values())
+        rows.append(
+            {
+                "path": "face_sweep" if face_sweep else "legacy",
+                "predict": totals["predict"] / steps,
+                "riemann": totals["riemann"] / steps,
+                "correct": totals["correct"] / steps,
+                "total": total / steps,
+                "riemann_pct": 100.0 * totals["riemann"] / total,
+                "correct_pct": 100.0 * totals["correct"] / total,
             }
         )
     return rows

@@ -11,6 +11,7 @@ from repro.harness.figures import (
     footprint_table,
     headline_metrics,
     parallel_scaling_table,
+    phase_breakdown_table,
     roofline_table,
 )
 
@@ -21,6 +22,7 @@ __all__ = [
     "render_fig9",
     "render_fig10",
     "render_batched",
+    "render_facesweep",
     "render_footprint",
     "render_headlines",
     "render_parallel",
@@ -146,6 +148,24 @@ def render_parallel() -> str:
             f"{row['workers']:>8}{shard:>10}{row['cut_fraction']:10.3f}"
             f"{row['imbalance']:8.2f}{row['sec_per_step']:10.4f}"
             f"{row['speedup']:9.2f}{row['efficiency']:7.2f}"
+        )
+    return "\n".join(lines)
+
+
+def render_facesweep() -> str:
+    """Render the measured legacy vs face-sweep phase breakdown."""
+    rows = phase_breakdown_table()
+    title = "Step phase breakdown -- legacy loops vs face-sweep (measured)"
+    lines = [title, "=" * len(title), ""]
+    lines.append(
+        f"{'path':<12}{'predict s':>11}{'riemann s':>11}{'correct s':>11}"
+        f"{'total s':>10}{'riemann %':>11}{'correct %':>11}"
+    )
+    for row in rows:
+        lines.append(
+            f"{row['path']:<12}{row['predict']:11.4f}{row['riemann']:11.4f}"
+            f"{row['correct']:11.4f}{row['total']:10.4f}"
+            f"{row['riemann_pct']:11.1f}{row['correct_pct']:11.1f}"
         )
     return "\n".join(lines)
 

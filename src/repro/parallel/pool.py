@@ -34,11 +34,23 @@ def default_start_method() -> str:
 
 
 class StepTimings:
-    """Per-worker phase timings of one parallel step."""
+    """Per-worker phase timings of one parallel step.
 
-    def __init__(self, predict: dict[int, float], correct: dict[int, float]):
+    ``riemann`` / ``corrector`` split the correct phase per worker when
+    the face-sweep path ran (``None`` on the legacy loop).
+    """
+
+    def __init__(
+        self,
+        predict: dict[int, float],
+        correct: dict[int, float],
+        riemann: dict[int, float] | None = None,
+        corrector: dict[int, float] | None = None,
+    ):
         self.predict = predict
         self.correct = correct
+        self.riemann = riemann
+        self.corrector = corrector
 
     @property
     def wall_predict(self) -> float:
@@ -56,6 +68,25 @@ class StepTimings:
             [self.predict[w] + self.correct[w] for w in sorted(self.predict)]
         )
         return float(totals.max() / totals.mean()) if totals.size else 1.0
+
+    def phase_walls(self) -> dict[str, float]:
+        """Critical-path seconds per phase, keyed like the serial dict.
+
+        Matches the serial solver's ``last_step_timings`` keys
+        (``predict`` / ``riemann`` / ``correct``); without the
+        face-sweep split the whole correct phase counts as ``correct``.
+        """
+        if self.riemann and self.corrector:
+            return {
+                "predict": self.wall_predict,
+                "riemann": max(self.riemann.values()),
+                "correct": max(self.corrector.values()),
+            }
+        return {
+            "predict": self.wall_predict,
+            "riemann": 0.0,
+            "correct": self.wall_correct,
+        }
 
 
 class ShardWorkerPool:
@@ -76,6 +107,7 @@ class ShardWorkerPool:
         batch_size: int | None,
         start_method: str | None = None,
         start_timeout: float = 120.0,
+        face_sweep: bool = True,
     ):
         self.plan = plan
         self.shared = shared
@@ -99,6 +131,7 @@ class ShardWorkerPool:
                 batch_size=batch_size,
                 elements=np.asarray(shard, dtype=np.int64),
                 handles=handles,
+                face_sweep=face_sweep,
             )
             cmd_queue = context.Queue()
             process = context.Process(
@@ -146,20 +179,42 @@ class ShardWorkerPool:
                 if int(e) in sources
             }
             queue.put(("predict", buf, dt, shard_sources))
-        predict = self._collect("predict")
+        predict, _ = self._collect("predict")
         for queue in self._cmd_queues:
             queue.put(("correct", buf))
-        correct = self._collect("correct")
+        correct, details = self._collect("correct")
+        if details and all(isinstance(d, dict) for d in details.values()):
+            return StepTimings(
+                predict,
+                correct,
+                riemann={w: d["riemann"] for w, d in details.items()},
+                corrector={w: d["correct"] for w, d in details.items()},
+            )
         return StepTimings(predict, correct)
 
-    def _collect(self, phase: str) -> dict[int, float]:
+    def invalidate_caches(self) -> None:
+        """Tell every worker to drop its static-parameter caches.
+
+        Called after a new initial condition is written into the shared
+        state buffers (the face sweep re-gathers material face
+        parameters on the next step).
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        for queue in self._cmd_queues:
+            queue.put(("invalidate",))
+        self._collect("invalidate")
+
+    def _collect(self, phase: str) -> tuple[dict[int, float], dict[int, object]]:
         """Barrier: wait for every worker's phase reply; raise on error.
 
         All replies are drained before raising so that one failing
         worker does not leave siblings' replies queued to poison the
-        next phase.
+        next phase.  Returns per-worker ``(seconds, detail)`` maps --
+        ``detail`` is the phase's sub-timing payload (or ``None``).
         """
         timings: dict[int, float] = {}
+        details: dict[int, object] = {}
         errors: list[str] = []
         while len(timings) + len(errors) < self.num_workers:
             kind, worker_id, info, *rest = self._out_queue.get(timeout=self._timeout)
@@ -172,9 +227,10 @@ class ShardWorkerPool:
                 )
                 continue
             timings[worker_id] = rest[0] if rest else 0.0
+            details[worker_id] = rest[1] if len(rest) > 1 else None
         if errors:
             raise RuntimeError("\n".join(errors))
-        return timings
+        return timings, details
 
     # -- lifecycle --------------------------------------------------------
 

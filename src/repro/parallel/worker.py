@@ -34,10 +34,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.basis.operators import cached_operators
-from repro.core.corrector import _face_params, corrector_update
+from repro.core.corrector import _face_params, corrector_all, corrector_update
 from repro.core.spec import KernelSpec
 from repro.core.variants import BatchedSTP, ElementSource, make_kernel
+from repro.core.variants.batched import ScratchArena
 from repro.engine.boundary import ghost_state
+from repro.engine.facesweep import FaceSweep
 from repro.engine.riemann import SOLVERS
 from repro.mesh.grid import BOUNDARY, UniformGrid
 from repro.parallel.shm import SharedArrayBundle, SharedArraySpec
@@ -66,6 +68,9 @@ class WorkerConfig:
     batch_size: int | None
     elements: np.ndarray
     handles: dict[str, SharedArraySpec]
+    #: vectorized face-sweep Riemann + block corrector (default); the
+    #: legacy per-element loop stays for the conformance tests
+    face_sweep: bool = True
 
 
 class _ShardWorker:
@@ -99,7 +104,28 @@ class _ShardWorker:
         self.states = (self.bundle["states0"], self.bundle["states1"])
         self.qface = self.bundle["qface"]
         #: element id -> STPResult of the current step's predictor
+        #: (legacy path only)
         self.results: dict[int, object] = {}
+        self.sweep = None
+        self._vavg = None
+        #: element id -> time-integrated source of the current step
+        self._savg: dict[int, np.ndarray] = {}
+        if config.face_sweep:
+            n, m = config.order, config.pde.nquantities
+            # the shard's face planes include cross-shard faces, solved
+            # redundantly from the shared traces (see module docstring)
+            self.sweep = FaceSweep(
+                config.grid,
+                config.pde,
+                config.order,
+                riemann=config.riemann,
+                boundary=config.boundary,
+                elements=self.elements,
+            )
+            self._vavg = np.zeros((self.elements.size, n, n, n, m))
+            self._arena = (
+                self.driver.arena if self.driver is not None else ScratchArena()
+            )
 
     # -- phase 1 ----------------------------------------------------------
 
@@ -113,6 +139,27 @@ class _ShardWorker:
                 return None
             return ElementSource(*payload)
 
+        if self.sweep is not None:
+            if self.driver is not None:
+                self._savg = self.driver.predictor_sweep(
+                    states_in, dt, self.h, self.elements,
+                    qface_out=self.qface, vavg_out=self._vavg,
+                    source_fn=source_of,
+                )
+            else:
+                self._savg = {}
+                for pos, e in enumerate(self.elements):
+                    e = int(e)
+                    result = self.kernel.predictor(
+                        states_in[e], dt, self.h, source=source_of(e)
+                    )
+                    for d in range(3):
+                        for side in (0, 1):
+                            self.qface[e, d, side] = result.qface[(d, side)]
+                    self._vavg[pos] = result.vavg_total
+                    if result.savg is not None:
+                        self._savg[e] = result.savg
+            return
         if self.driver is not None:
             self.results = self.driver.predictor_shard(
                 states_in, dt, self.h, self.elements,
@@ -132,14 +179,20 @@ class _ShardWorker:
 
     # -- phase 2 ----------------------------------------------------------
 
-    def correct(self, buf: int) -> None:
+    def correct(self, buf: int) -> dict | None:
         """Riemann-solve all own faces and write corrected states.
 
         Reads the *input* buffer ``buf`` (states at ``t_n``) and the
         shared face traces, writes the *output* buffer ``1 - buf``.
         Cross-shard faces are recomputed from the same inputs the
         neighbor's owner uses, so both sides obtain the identical flux.
+
+        In face-sweep mode the return value splits the phase into its
+        ``{"riemann", "correct"}`` second counts (``None`` on the
+        legacy path).
         """
+        if self.sweep is not None:
+            return self._correct_sweep(buf)
         grid, pde = self.grid, self.pde
         states_in = self.states[buf]
         states_out = self.states[1 - buf]
@@ -177,6 +230,49 @@ class _ShardWorker:
             states_out[e] = corrector_update(
                 states_in[e], result, fluxes, self.h, pde, self.ops
             )
+        return None
+
+    def _correct_sweep(self, buf: int) -> dict:
+        """Face-sweep Riemann + block corrector over the shard."""
+        states_in = self.states[buf]
+        states_out = self.states[1 - buf]
+        t0 = time.perf_counter()
+        self.sweep.sweep(states_in, self.qface)
+        t1 = time.perf_counter()
+        n, m = self.config.order, self.pde.nquantities
+        block = self.config.batch_size or self.elements.size
+        fstar = self._arena.get("fstar_block", (block, 3, 2, n, n, m))
+        qnew = self._arena.get("corrector_out", (block, n, n, n, m))
+        efp = self.sweep.element_face_params
+        for start in range(0, self.elements.size, block):
+            chunk = self.elements[start : start + block]
+            b = chunk.size
+            self.sweep.gather_fstar(chunk, fstar[:b])
+            savg_rows = {
+                i: self._savg[int(e)]
+                for i, e in enumerate(chunk)
+                if int(e) in self._savg
+            }
+            corrector_all(
+                states_in[chunk],
+                self._vavg[start : start + b],
+                savg_rows,
+                self.qface[chunk],
+                fstar[:b],
+                None if efp is None else efp[chunk],
+                self.h,
+                self.pde,
+                self.ops,
+                out=qnew[:b],
+            )
+            states_out[chunk] = qnew[:b]
+        t2 = time.perf_counter()
+        return {"riemann": t1 - t0, "correct": t2 - t1}
+
+    def invalidate(self) -> None:
+        """Drop cached material parameters (new initial condition)."""
+        if self.sweep is not None:
+            self.sweep.invalidate_parameters()
 
     def close(self) -> None:
         """Drop the shared-memory mappings."""
@@ -189,9 +285,10 @@ def worker_main(config: WorkerConfig, cmd_queue, out_queue) -> None:
     Protocol (all small, picklable tuples):
 
     * in:  ``("predict", buf, dt, sources)`` / ``("correct", buf)`` /
-      ``("stop",)``
-    * out: ``("done", worker_id, phase, seconds)`` or
-      ``("error", worker_id, traceback_text)``
+      ``("invalidate",)`` / ``("stop",)``
+    * out: ``("done", worker_id, phase, seconds, detail)`` or
+      ``("error", worker_id, traceback_text)``; ``detail`` is the
+      phase's sub-timing dict (face-sweep correct) or ``None``
     """
     worker: _ShardWorker | None = None
     try:
@@ -204,16 +301,25 @@ def worker_main(config: WorkerConfig, cmd_queue, out_queue) -> None:
                 break
             try:
                 started = time.perf_counter()
+                detail = None
                 if kind == "predict":
                     _, buf, dt, sources = message
-                    worker.predict(buf, dt, sources)
+                    detail = worker.predict(buf, dt, sources)
                 elif kind == "correct":
                     _, buf = message
-                    worker.correct(buf)
+                    detail = worker.correct(buf)
+                elif kind == "invalidate":
+                    worker.invalidate()
                 else:
                     raise ValueError(f"unknown worker command {kind!r}")
                 out_queue.put(
-                    ("done", config.worker_id, kind, time.perf_counter() - started)
+                    (
+                        "done",
+                        config.worker_id,
+                        kind,
+                        time.perf_counter() - started,
+                        detail,
+                    )
                 )
             except Exception:
                 out_queue.put(("error", config.worker_id, traceback.format_exc()))

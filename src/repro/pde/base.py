@@ -42,6 +42,10 @@ class LinearPDE(ABC):
     #: nonlinear systems (e.g. Burgers) override this and are only
     #: accepted by the Picard predictor.
     is_linear: bool = True
+    #: the largest wave speed depends only on the static parameters, so
+    #: a solver may scan the mesh once and cache the result; nonlinear
+    #: systems whose speed depends on the evolved state override this.
+    wave_speed_is_static: bool = True
     #: short identifier used in reports
     name: str = "pde"
 

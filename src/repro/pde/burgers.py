@@ -33,6 +33,7 @@ class BurgersPDE(LinearPDE):
     nvar = 1
     nparam = 0
     is_linear = False  # checked by the linear kernels
+    wave_speed_is_static = False  # |q| enters the speed, so no dt caching
 
     def __init__(self, direction=(1.0, 0.5, 0.25)):
         self.direction = np.asarray(direction, dtype=float)

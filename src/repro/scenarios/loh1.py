@@ -63,6 +63,9 @@ class LOH1Scenario:
         batching and multi-core sharded execution.  With
         ``num_workers``, close the scenario (context manager or
         :meth:`close`) to release the worker pool.
+    face_sweep:
+        Forwarded to the solver: vectorized Riemann/corrector sweeps
+        (default) vs. the legacy per-element loops.
     """
 
     def __init__(
@@ -77,6 +80,7 @@ class LOH1Scenario:
         cfl: float = 0.4,
         batch_size: int | None = None,
         num_workers: int | None = None,
+        face_sweep: bool = True,
     ):
         self.pde = CurvilinearElasticPDE()
         self.domain_km = domain_km
@@ -101,6 +105,7 @@ class LOH1Scenario:
             cfl=cfl,
             batch_size=batch_size,
             num_workers=num_workers,
+            face_sweep=face_sweep,
         )
         self.solver.set_initial_condition(self._initial_condition)
         surface_z = domain_km

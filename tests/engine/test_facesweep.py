@@ -1,0 +1,300 @@
+"""Conformance tests for the vectorized face-sweep engine.
+
+The face-sweep path replaces the legacy per-face Riemann loop and the
+per-element corrector with packed-plane sweeps; every test here pins
+the replacement down to *bitwise* identity against the legacy loop
+(``face_sweep=False``), across flux solvers, boundary kinds and
+execution modes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.spec import KernelSpec
+from repro.engine.cfl import global_timestep
+from repro.engine.facesweep import FaceSweep, direction_faces, face_sweep_plan
+from repro.engine.solver import ADERDGSolver
+from repro.mesh.grid import BOUNDARY, UniformGrid
+from repro.pde import AcousticPDE
+from repro.pde.burgers import BurgersPDE
+from repro.scenarios.gaussian import gaussian_pulse_setup
+from repro.scenarios.loh1 import LOH1Scenario
+
+NON_PERIODIC = (False, False, False)
+
+
+def _two_layer_ic(pde):
+    """Acoustic IC with a sharp sound-speed jump at z = 0.5."""
+
+    def init(points):
+        r2 = ((points - 0.5) ** 2).sum(axis=-1)
+        variables = np.zeros(points.shape[:-1] + (4,))
+        variables[..., 0] = np.exp(-r2 / 0.02)
+        params = np.empty(points.shape[:-1] + (2,))
+        params[..., 0] = 1.0
+        params[..., 1] = np.where(points[..., 2] > 0.5, 2.0, 1.0)
+        return pde.embed(variables, params)
+
+    return init
+
+
+def _pair(riemann, periodic, steps=3, **kwargs):
+    """Step a legacy and a face-sweep solver in lockstep; return both."""
+    solvers = []
+    for face_sweep in (False, True):
+        if periodic:
+            solver = gaussian_pulse_setup(
+                elements=3, order=3, riemann=riemann,
+                face_sweep=face_sweep, **kwargs,
+            )
+        else:
+            pde = AcousticPDE()
+            grid = UniformGrid((3, 3, 3), periodic=NON_PERIODIC)
+            solver = ADERDGSolver(
+                grid, pde, order=3, riemann=riemann, boundary="absorbing",
+                face_sweep=face_sweep, **kwargs,
+            )
+            solver.set_initial_condition(_two_layer_ic(pde))
+        for _ in range(steps):
+            solver.step()
+        solvers.append(solver)
+    return solvers
+
+
+# ---------------------------------------------------------------------------
+# serial conformance: {rusanov, upwind} x {periodic, absorbing}
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("riemann", ["rusanov", "upwind"])
+@pytest.mark.parametrize("periodic", [True, False])
+def test_face_sweep_matches_legacy_serial(riemann, periodic):
+    if riemann == "upwind" and not periodic:
+        pytest.skip("upwind requires face-constant parameters")
+    legacy, sweep = _pair(riemann, periodic)
+    np.testing.assert_array_equal(sweep.states, legacy.states)
+    assert set(sweep.last_step_timings) == {"predict", "riemann", "correct"}
+    assert set(legacy.last_step_timings) == {"predict", "riemann", "correct"}
+
+
+def test_face_sweep_matches_legacy_batched():
+    legacy, sweep = _pair("rusanov", True, batch_size=4)
+    np.testing.assert_array_equal(sweep.states, legacy.states)
+
+
+def test_upwind_sweep_groups_materials():
+    """Two-layer medium: multiple eigendecomposition groups per plane."""
+    pde = AcousticPDE()
+    solvers = []
+    for face_sweep in (False, True):
+        grid = UniformGrid((2, 2, 2), periodic=NON_PERIODIC)
+        solver = ADERDGSolver(
+            grid, pde, order=3, riemann="upwind", boundary="absorbing",
+            face_sweep=face_sweep,
+        )
+        solver.set_initial_condition(_two_layer_ic(pde))
+        for _ in range(3):
+            solver.step()
+        solvers.append(solver)
+    np.testing.assert_array_equal(solvers[1].states, solvers[0].states)
+
+
+def test_loh1_sweep_matches_legacy():
+    """Heterogeneous material, reflective walls, point source, receivers."""
+    legacy = LOH1Scenario(elements=2, order=3, face_sweep=False)
+    sweep = LOH1Scenario(elements=2, order=3, face_sweep=True)
+    legacy.run(0.06)
+    sweep.run(0.06)
+    np.testing.assert_array_equal(sweep.solver.states, legacy.solver.states)
+    for label, (_, samples) in legacy.seismograms().items():
+        np.testing.assert_array_equal(sweep.seismograms()[label][1], samples)
+
+
+# ---------------------------------------------------------------------------
+# parallel conformance
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("batch_size", [None, 4])
+def test_face_sweep_matches_legacy_parallel(batch_size):
+    kwargs = dict(elements=3, order=3, num_workers=2, batch_size=batch_size)
+    with gaussian_pulse_setup(face_sweep=False, **kwargs) as legacy:
+        with gaussian_pulse_setup(face_sweep=True, **kwargs) as sweep:
+            for _ in range(3):
+                legacy.step()
+                sweep.step()
+            np.testing.assert_array_equal(sweep.states, legacy.states)
+            walls = sweep.last_step_timings.phase_walls()
+            assert set(walls) == {"predict", "riemann", "correct"}
+            assert walls["riemann"] > 0.0
+
+
+def test_parallel_reset_invalidates_parameter_cache():
+    """A new initial condition mid-run must re-gather face parameters."""
+    kwargs = dict(elements=2, order=3, num_workers=2)
+    with gaussian_pulse_setup(c=1.0, face_sweep=True, **kwargs) as sweep:
+        with gaussian_pulse_setup(c=1.0, face_sweep=False, **kwargs) as legacy:
+            sweep.step()
+            legacy.step()
+            pde = sweep.pde
+
+            def faster(points):
+                variables = np.zeros(points.shape[:-1] + (4,))
+                variables[..., 0] = points[..., 0]
+                params = np.broadcast_to([1.0, 2.0], points.shape[:-1] + (2,))
+                return pde.embed(variables, params)
+
+            sweep.set_initial_condition(faster)
+            legacy.set_initial_condition(faster)
+            for _ in range(2):
+                sweep.step()
+                legacy.step()
+            np.testing.assert_array_equal(sweep.states, legacy.states)
+
+
+def test_serial_reset_invalidates_parameter_cache():
+    sweep = gaussian_pulse_setup(elements=2, order=3, c=1.0, face_sweep=True)
+    legacy = gaussian_pulse_setup(elements=2, order=3, c=1.0, face_sweep=False)
+    sweep.step()
+    legacy.step()
+    pde = sweep.pde
+
+    def faster(points):
+        variables = np.zeros(points.shape[:-1] + (4,))
+        variables[..., 0] = points[..., 1]
+        params = np.broadcast_to([1.0, 3.0], points.shape[:-1] + (2,))
+        return pde.embed(variables, params)
+
+    sweep.set_initial_condition(faster)
+    legacy.set_initial_condition(faster)
+    for _ in range(2):
+        sweep.step()
+        legacy.step()
+    np.testing.assert_array_equal(sweep.states, legacy.states)
+
+
+# ---------------------------------------------------------------------------
+# connectivity
+# ---------------------------------------------------------------------------
+
+
+def test_direction_faces_counts_periodic_and_walled():
+    periodic = UniformGrid((3, 3, 3))
+    walled = UniformGrid((3, 3, 3), periodic=NON_PERIODIC)
+    for d in range(3):
+        # periodic: every element owns exactly one face per direction
+        assert direction_faces(periodic, d).n_faces == 27
+        # walled: nd+1 face layers of 3x3 faces each
+        assert direction_faces(walled, d).n_faces == 4 * 9
+
+
+def test_direction_faces_matches_grid_neighbors():
+    grid = UniformGrid((3, 2, 2), extent=(3.0, 2.0, 2.0))
+    for d in range(3):
+        df = direction_faces(grid, d)
+        for e in range(grid.n_elements):
+            hi = df.hi_face[e]
+            assert df.left[hi] == e
+            assert df.right[hi] == grid.neighbor(e, d, 1)
+            lo = df.lo_face[e]
+            assert df.right[lo] == e
+            assert df.left[lo] == grid.neighbor(e, d, 0)
+
+
+def test_direction_faces_self_periodic_degenerates():
+    """A periodic 1-element direction shares one face for both sides."""
+    grid = UniformGrid((1, 2, 2), extent=(1.0, 2.0, 2.0))
+    df = direction_faces(grid, 0)
+    assert df.n_faces == grid.n_elements
+    np.testing.assert_array_equal(df.lo_face, df.hi_face)
+
+
+def test_direction_faces_shard_subset_keeps_cross_faces():
+    """A shard's plane covers all six faces of every owned element."""
+    grid = UniformGrid((3, 3, 3))
+    shard = [0, 1, 2, 9]
+    for d in range(3):
+        df = direction_faces(grid, d, elements=shard)
+        for e in shard:
+            assert df.lo_face[e] >= 0 and df.hi_face[e] >= 0
+            assert df.right[df.hi_face[e]] == grid.neighbor(e, d, 1)
+            assert df.left[df.lo_face[e]] == grid.neighbor(e, d, 0)
+
+
+def test_boundary_faces_never_ghost_on_both_sides():
+    grid = UniformGrid((2, 2, 2), periodic=NON_PERIODIC)
+    for d in range(3):
+        df = direction_faces(grid, d)
+        assert not np.intersect1d(df.ghost_left, df.ghost_right).size
+        assert np.all((df.left >= 0) | (df.right >= 0))
+        assert df.left[df.ghost_left].tolist() == [BOUNDARY] * df.ghost_left.size
+
+
+# ---------------------------------------------------------------------------
+# stable_dt caching
+# ---------------------------------------------------------------------------
+
+
+def test_stable_dt_cache_matches_full_scan_on_loh1():
+    """LOH1's per-element material variation still sees the true max."""
+    scenario = LOH1Scenario(elements=2, order=3)
+    solver = scenario.solver
+    assert solver.pde.wave_speed_is_static
+    assert solver.stable_dt() == global_timestep(
+        solver.states, solver.pde, solver.grid.h, solver.spec.order, solver.cfl
+    )
+
+
+def test_stable_dt_cached_until_new_initial_condition():
+    solver = gaussian_pulse_setup(elements=2, order=3, c=1.0)
+    dt0 = solver.stable_dt()
+    # mutating states does NOT rescan (parameters are static by contract)
+    solver.states[..., 5] *= 2.0
+    assert solver.stable_dt() == dt0
+    # a new initial condition does
+    pde = solver.pde
+
+    def doubled(points):
+        variables = np.zeros(points.shape[:-1] + (4,))
+        params = np.broadcast_to([1.0, 2.0], points.shape[:-1] + (2,))
+        return pde.embed(variables, params)
+
+    solver.set_initial_condition(doubled)
+    assert solver.stable_dt() == pytest.approx(dt0 / 2.0)
+
+
+def test_burgers_wave_speed_is_not_static():
+    assert BurgersPDE.wave_speed_is_static is False
+
+
+# ---------------------------------------------------------------------------
+# machine-model recording
+# ---------------------------------------------------------------------------
+
+
+def test_face_sweep_plan_records_grid_level_ops():
+    pde = AcousticPDE()
+    grid = UniformGrid((2, 2, 2))
+    spec = KernelSpec(order=3, nvar=pde.nvar, nparam=pde.nparam)
+    plan = face_sweep_plan(spec, pde, grid)
+    names = [op.name for op in plan.ops]
+    for expected in (
+        "face_gather", "riemann_sweep", "fstar_scatter",
+        "corrector_volume", "surface_lift",
+    ):
+        assert expected in names
+    assert plan.flop_counts().total > 0
+    assert plan.phases() == ["riemann", "correct"]
+    assert {"qface", "face_planes", "face_params", "fstar_planes"} <= set(
+        plan.buffers
+    )
+
+
+def test_face_sweep_static_parameters_bound_once():
+    solver = gaussian_pulse_setup(elements=2, order=3, face_sweep=True)
+    solver.step()
+    sweep = solver._sweep
+    assert isinstance(sweep, FaceSweep)
+    bound = sweep._face_params
+    solver.step()
+    assert solver._sweep._face_params is bound  # no re-gather per step

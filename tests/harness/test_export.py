@@ -26,8 +26,12 @@ def test_export_all(tmp_path):
     assert names == {
         "fig4.csv", "fig6.csv", "fig9.csv", "fig10.csv",
         "footprint.csv", "batched.csv", "roofline.csv", "headlines.csv",
-        "parallel.csv",
+        "parallel.csv", "facesweep.csv",
     }
+    with (tmp_path / "facesweep.csv").open() as fh:
+        facesweep_rows = list(csv.DictReader(fh))
+    assert [r["path"] for r in facesweep_rows] == ["legacy", "face_sweep"]
+    assert all(float(r["total"]) > 0 for r in facesweep_rows)
     with (tmp_path / "parallel.csv").open() as fh:
         parallel_rows = list(csv.DictReader(fh))
     assert [int(r["workers"]) for r in parallel_rows] == [1, 2, 4]
