@@ -116,18 +116,21 @@ class PicardSTP:
         p = np.broadcast_to(q, (n,) + q.shape).copy()
         source_slices = None
         if source is not None:
-            # s(t) interpolated at the time nodes via its Taylor series
+            # s(t) interpolated at the time nodes via its Taylor series;
+            # co-located sources (MultiElementSource) superpose linearly
             taus = self.ops.nodes * dt
-            derivs = source.derivatives
-            svals = np.zeros(n)
-            for j, tau in enumerate(taus):
-                svals[j] = sum(
-                    derivs[o] * tau**o / factorial(o)
-                    for o in range(len(derivs))
-                )
-            source_slices = (
-                source.projection[..., None] * source.amplitude
-            )[None, ...] * svals[:, None, None, None, None]
+            source_slices = 0.0
+            for part in source.parts:
+                derivs = part.derivatives
+                svals = np.zeros(n)
+                for j, tau in enumerate(taus):
+                    svals[j] = sum(
+                        derivs[o] * tau**o / factorial(o)
+                        for o in range(len(derivs))
+                    )
+                source_slices = source_slices + (
+                    part.projection[..., None] * part.amplitude
+                )[None, ...] * svals[:, None, None, None, None]
 
         rhs = np.empty_like(p)
         for iteration in range(self.max_iterations):

@@ -20,7 +20,13 @@ over element blocks with cached operators and a preallocated scratch
 arena (an execution driver, not a separate variant).
 """
 
-from repro.core.variants.base import ElementSource, STPKernel, STPResult
+from repro.core.variants.base import (
+    ElementSource,
+    MultiElementSource,
+    STPKernel,
+    STPResult,
+    combine_sources,
+)
 from repro.core.variants.batched import BatchedSTP, OperatorSet, ScratchArena, operator_set
 from repro.core.variants.generic import GenericSTP
 from repro.core.variants.log_kernel import LoGSTP
@@ -32,6 +38,8 @@ __all__ = [
     "STPKernel",
     "STPResult",
     "ElementSource",
+    "MultiElementSource",
+    "combine_sources",
     "GenericSTP",
     "LoGSTP",
     "SplitCKSTP",

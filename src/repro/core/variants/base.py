@@ -30,7 +30,14 @@ from repro.core.spec import KernelSpec
 from repro.gemm.registry import GemmRegistry
 from repro.pde.base import LinearPDE
 
-__all__ = ["STPKernel", "STPResult", "ElementSource", "AXIS_OF_DIM"]
+__all__ = [
+    "STPKernel",
+    "STPResult",
+    "ElementSource",
+    "MultiElementSource",
+    "combine_sources",
+    "AXIS_OF_DIM",
+]
 
 #: canonical array axis of each PDE direction (arrays are (z, y, x, m))
 AXIS_OF_DIM = {0: 2, 1: 1, 2: 0}
@@ -65,6 +72,61 @@ class ElementSource:
             * self.amplitude
             * float(self.derivatives[o])
         )
+
+    @property
+    def parts(self) -> tuple["ElementSource", ...]:
+        """The rank-1 constituents; a single source is its own part."""
+        return (self,)
+
+
+@dataclass(frozen=True)
+class MultiElementSource:
+    """Several point sources located in the same element, summed.
+
+    The scheme is linear in the source term, so co-located sources
+    superpose exactly: every consumer only ever needs the summed
+    per-degree contribution :meth:`term`, which is the sum of the
+    parts' rank-1 terms.  Kernels that inspect the constituents (the
+    Picard predictor, the plan recorder) iterate :attr:`parts`.
+    """
+
+    #: the co-located sources being summed (at least two)
+    parts: tuple[ElementSource, ...]
+
+    def __post_init__(self):
+        if len(self.parts) < 2:
+            raise ValueError("MultiElementSource needs at least two parts")
+
+    def term(self, o: int) -> np.ndarray:
+        """Summed contribution to ``p^(o+1)`` over all parts."""
+        total = self.parts[0].term(o)
+        for part in self.parts[1:]:
+            total = total + part.term(o)
+        return total
+
+    @property
+    def projection(self) -> np.ndarray:
+        """Stacked nodal projections ``(k, N, N, N)`` of all parts.
+
+        Exposed so the plan recorder's buffer accounting sees the
+        combined footprint; the numerics go through :meth:`term`.
+        """
+        return np.stack([part.projection for part in self.parts])
+
+
+def combine_sources(parts) -> "ElementSource | MultiElementSource | None":
+    """Combine the point sources of one element into a single term.
+
+    Returns ``None`` for an empty list, the source itself for one, and
+    a :class:`MultiElementSource` summing the contributions otherwise
+    (sound because the predictor is linear in the source term).
+    """
+    parts = list(parts)
+    if not parts:
+        return None
+    if len(parts) == 1:
+        return parts[0]
+    return MultiElementSource(tuple(parts))
 
 
 @dataclass

@@ -31,7 +31,7 @@ import numpy as np
 from repro.basis.operators import cached_operators
 from repro.core.corrector import _face_params, corrector_all, corrector_update
 from repro.core.spec import KernelSpec
-from repro.core.variants import BatchedSTP, ElementSource, make_kernel
+from repro.core.variants import BatchedSTP, ElementSource, combine_sources, make_kernel
 from repro.core.variants.batched import ScratchArena
 from repro.engine.boundary import ghost_state
 from repro.engine.cfl import global_timestep, stable_timestep
@@ -40,6 +40,7 @@ from repro.engine.riemann import SOLVERS
 from repro.engine.source import PointSource
 from repro.mesh.grid import BOUNDARY, UniformGrid
 from repro.mesh.sfc import peano_order
+from repro.parallel.telemetry import StepRecord
 from repro.pde.base import LinearPDE
 
 __all__ = ["ADERDGSolver"]
@@ -67,6 +68,16 @@ class ADERDGSolver:
     start_method:
         ``multiprocessing`` start method for the pool; default
         ``fork`` where available, else ``spawn``.
+    on_worker_failure:
+        Policy when a worker process dies mid-step (``num_workers >
+        1``; see ``docs/parallel.md``): ``"raise"`` (default)
+        propagates a
+        :class:`~repro.parallel.pool.WorkerCrashError`, ``"respawn"``
+        restarts the dead worker and replays the phase (bounded retry
+        budget, exponential backoff), ``"serial"`` tears the pool down
+        and finishes the run -- including the interrupted step -- on
+        the in-process path.  Both recovery modes produce states
+        bitwise identical to an undisturbed run.
     face_sweep:
         Run the Riemann + corrector phases as vectorized sweeps over
         packed face planes and element blocks
@@ -90,6 +101,7 @@ class ADERDGSolver:
         num_workers: int | None = None,
         start_method: str | None = None,
         face_sweep: bool = True,
+        on_worker_failure: str = "raise",
     ):
         self.grid = grid
         self.pde = pde
@@ -121,9 +133,21 @@ class ADERDGSolver:
             raise ValueError("num_workers must be >= 1")
         self.num_workers = min(num_workers or 1, grid.n_elements)
         self._start_method = start_method
+        if on_worker_failure not in ("raise", "respawn", "serial"):
+            raise ValueError(
+                "on_worker_failure must be one of ('raise', 'respawn', "
+                f"'serial'), got {on_worker_failure!r}"
+            )
+        self.on_worker_failure = on_worker_failure
         self._pool = None
         self._shared = None
         self._shard_plan = None
+        self._closed = False
+        #: one :class:`~repro.parallel.telemetry.StepRecord` per step
+        self.step_records = []
+        #: the :class:`~repro.parallel.pool.WorkerCrashError` that
+        #: triggered the serial degradation (``None`` while healthy)
+        self.last_failure = None
         self.face_sweep = face_sweep
         self._sweep = None
         self._qface_all = None
@@ -150,6 +174,8 @@ class ADERDGSolver:
             self._cur = 0
             self.states = self._buffers[0]
         else:
+            self._buffers = None
+            self._cur = 0
             self.states = np.zeros((grid.n_elements, n, n, n, m))
         self.t = 0.0
         self.step_count = 0
@@ -164,6 +190,20 @@ class ADERDGSolver:
             pts = self.grid.node_coordinates(e, self.ops)
             self.states[e] = fn(pts)
         # new states mean new material parameters and wave speeds
+        self.invalidate_state_caches()
+
+    def invalidate_state_caches(self) -> None:
+        """Drop every cache derived from ``states``; call after mutating it.
+
+        The solver caches state-derived data between steps: the global
+        wave speed of :meth:`stable_dt` (static-parameter PDEs), the
+        face sweep's material face parameters, and -- when parallel --
+        the per-worker copies of both.  Those caches only reset
+        automatically in :meth:`set_initial_condition`; code that
+        writes ``solver.states`` *in place* (restarts, perturbation
+        studies, checkpoint loads) must call this afterwards or keep
+        stepping against stale material data (see ``docs/parallel.md``).
+        """
         self._wave_speed = None
         if self._sweep is not None:
             self._sweep.invalidate_parameters()
@@ -203,13 +243,24 @@ class ADERDGSolver:
             self.grid.h, self.spec.order, self._wave_speed, self.cfl
         )
 
-    def _element_source(self, e: int, dt: float) -> ElementSource | None:
+    def _element_source(self, e: int, dt: float):
+        """Combined source term of element ``e`` at the current time.
+
+        All point sources registered in the element contribute -- the
+        scheme is linear in the source term, so co-located sources sum
+        exactly (:func:`~repro.core.variants.combine_sources`).
+        """
         del dt
-        for element, projection, amplitude, source in self.sources:
-            if element == e:
-                derivs = source.wavelet.derivatives(self.t, self.spec.order)
-                return ElementSource(projection, amplitude, derivs)
-        return None
+        parts = [
+            ElementSource(
+                projection,
+                amplitude,
+                source.wavelet.derivatives(self.t, self.spec.order),
+            )
+            for element, projection, amplitude, source in self.sources
+            if element == e
+        ]
+        return combine_sources(parts)
 
     # -- parallel execution ------------------------------------------------
 
@@ -226,11 +277,33 @@ class ADERDGSolver:
             )
         return self._shard_plan
 
+    def _resolve_riemann_name(self) -> str:
+        """Registry name of the *current* ``self.riemann`` function.
+
+        Honors a post-construction ``solver.riemann = ...`` override
+        (the stability tests swap the flux function directly) -- but
+        only for functions registered in
+        :data:`~repro.engine.riemann.SOLVERS`: the face-sweep and
+        parallel paths dispatch by name, so an unknown function would
+        silently compute with the stale flux.  Raise instead.
+        """
+        for key, fn in SOLVERS.items():
+            if fn is self.riemann:
+                return key
+        raise ValueError(
+            f"solver.riemann was replaced with {self.riemann!r}, which is "
+            "not a registered Riemann solver; the face-sweep and parallel "
+            "paths dispatch by SOLVERS name -- register the function in "
+            "repro.engine.riemann.SOLVERS or run with face_sweep=False, "
+            "num_workers=1"
+        )
+
     def _ensure_pool(self):
         """Spawn the persistent worker pool on first use."""
         if self._pool is None:
             from repro.parallel.pool import ShardWorkerPool
 
+            self.riemann_name = self._resolve_riemann_name()
             self._pool = ShardWorkerPool(
                 self.shard_plan,
                 self._shared,
@@ -244,21 +317,25 @@ class ADERDGSolver:
                 batch_size=self.batch_size,
                 start_method=self._start_method,
                 face_sweep=self.face_sweep,
+                on_worker_failure=self.on_worker_failure,
             )
         return self._pool
 
     def _source_payload(self) -> dict:
         """Per-element point-source data for this step's start time.
 
-        Mirrors :meth:`_element_source`: first registered source per
-        element wins; derivatives are evaluated at the current ``t``.
+        Mirrors :meth:`_element_source` exactly: *every* source
+        registered in an element contributes one ``(projection,
+        amplitude, derivatives)`` triple (the worker sums co-located
+        triples just like the serial path); derivatives are evaluated
+        at the current ``t``.
         """
-        payload: dict[int, tuple] = {}
+        payload: dict[int, list[tuple]] = {}
         for element, projection, amplitude, source in self.sources:
-            if element in payload:
-                continue
             derivs = source.wavelet.derivatives(self.t, self.spec.order)
-            payload[element] = (projection, amplitude, derivs)
+            payload.setdefault(element, []).append(
+                (projection, amplitude, derivs)
+            )
         return payload
 
     def _step_parallel(self, dt: float) -> float:
@@ -269,13 +346,23 @@ class ADERDGSolver:
         self.states = self._buffers[self._cur]
         return dt
 
-    def close(self) -> None:
-        """Shut down the worker pool and release shared memory (idempotent).
+    def _degrade_to_serial(self, crash) -> None:
+        """Tear down the failed pool and continue in-process.
 
-        After closing, the solver still holds a private copy of the
-        final states, so diagnostics keep working; further parallel
-        steps are not possible.
+        The ``on_worker_failure="serial"`` recovery: the input state
+        buffer is intact (the crashed step never committed -- the
+        output buffer swap happens only after a successful barrier), so
+        the solver detaches a private copy of it, releases the pool and
+        shared memory, and reruns the interrupted step serially.
         """
+        self.last_failure = crash
+        self._fallback_events = (
+            dict(self._pool.last_step_events) if self._pool is not None else {}
+        )
+        self._teardown_parallel()
+
+    def _teardown_parallel(self) -> None:
+        """Release the pool and shared memory, detaching the states."""
         if self._pool is not None:
             self._pool.close()
             self._pool = None
@@ -283,7 +370,19 @@ class ADERDGSolver:
             self.states = np.array(self.states)  # detach from shm
             self._shared.close()
             self._shared = None
+            self._buffers = None
+            self._cur = 0
             self.num_workers = 1
+
+    def close(self) -> None:
+        """Shut down the worker pool and release shared memory (idempotent).
+
+        After closing, the solver still holds a private copy of the
+        final states, so diagnostics keep working; :meth:`step` raises
+        a clear error instead of touching released buffers.
+        """
+        self._teardown_parallel()
+        self._closed = True
 
     def __enter__(self) -> "ADERDGSolver":
         return self
@@ -292,36 +391,96 @@ class ADERDGSolver:
         self.close()
 
     def step(self, dt: float | None = None) -> float:
-        """Advance the full mesh by one time step; returns the dt used."""
+        """Advance the full mesh by one time step; returns the dt used.
+
+        Appends one :class:`~repro.parallel.telemetry.StepRecord` to
+        :attr:`step_records` (phase walls, per-worker busy times and
+        the pool's retry/respawn/crash counters).
+        """
+        if self._closed:
+            raise RuntimeError(
+                "solver is closed; its buffers are released -- build a new "
+                "solver to continue stepping"
+            )
         dt = self.stable_dt() if dt is None else float(dt)
+        wall_start = time.perf_counter()
+        mode = "serial"
         if self.num_workers > 1:
-            self._step_parallel(dt)
+            from repro.parallel.pool import WorkerCrashError
+
+            mode = "parallel"
+            try:
+                self._step_parallel(dt)
+            except WorkerCrashError as crash:
+                if self.on_worker_failure != "serial":
+                    raise
+                mode = "serial-fallback"
+                self._degrade_to_serial(crash)
+                if self.face_sweep:
+                    self._step_serial_sweep(dt)
+                else:
+                    self._step_serial_legacy(dt)
         elif self.face_sweep:
             self._step_serial_sweep(dt)
         else:
             self._step_serial_legacy(dt)
+        wall = time.perf_counter() - wall_start
         self.t += dt
         self.step_count += 1
+        record = StepRecord(
+            step=self.step_count - 1,
+            t=self.t,
+            dt=dt,
+            mode=mode,
+            wall=wall,
+            phase_walls=self._phase_walls(),
+            worker_busy=self._worker_busy(),
+        )
+        events = None
+        if mode == "parallel" and self._pool is not None:
+            events = self._pool.last_step_events
+        elif mode == "serial-fallback":
+            events = self._fallback_events
+        if events:
+            record.retries = events.get("retries", 0)
+            record.respawns = events.get("respawns", 0)
+            record.crashes = list(events.get("crashes", []))
+            record.queue_depth = events.get("queue_depth", 0)
+        self.step_records.append(record)
         for receiver in self.receivers:
             receiver.record(self.t, self.states[receiver.element])
         return dt
+
+    def _phase_walls(self) -> dict:
+        """Per-phase seconds of the last step as a plain dict."""
+        timings = self.last_step_timings
+        if timings is None:
+            return {}
+        if isinstance(timings, dict):
+            return dict(timings)
+        return timings.phase_walls()
+
+    def _worker_busy(self) -> dict:
+        """Per-worker busy seconds of the last step ({} when serial)."""
+        timings = self.last_step_timings
+        if timings is None or isinstance(timings, dict):
+            return {}
+        return timings.busy()
 
     def _ensure_sweep(self) -> FaceSweep:
         """Build the face-sweep engine and its buffers on first use."""
         if self._sweep is None:
             grid, n, m = self.grid, self.spec.order, self.pde.nquantities
             # honor a post-construction `solver.riemann = ...` override
-            # (the stability tests swap the flux function directly)
-            name = self.riemann_name
-            for key, fn in SOLVERS.items():
-                if fn is self.riemann:
-                    name = key
-                    break
+            # (the stability tests swap the flux function directly);
+            # an unregistered function raises rather than silently
+            # sweeping with the stale riemann_name
+            self.riemann_name = self._resolve_riemann_name()
             self._sweep = FaceSweep(
                 grid,
                 self.pde,
                 n,
-                riemann=name,
+                riemann=self.riemann_name,
                 boundary=self.boundary,
             )
             self._qface_all = np.zeros((grid.n_elements, 3, 2, n, n, m))

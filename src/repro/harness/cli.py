@@ -18,6 +18,7 @@ EXPERIMENTS = {
     "headlines": report.render_headlines,
     "parallel": report.render_parallel,
     "roofline": report.render_roofline,
+    "steps": report.render_steps,
 }
 
 

@@ -1,4 +1,4 @@
-"""CSV export of the experiment data (for external plotting)."""
+"""CSV / JSONL export of the experiment data (for external plotting)."""
 
 from __future__ import annotations
 
@@ -16,7 +16,9 @@ from repro.harness.figures import (
     parallel_scaling_table,
     phase_breakdown_table,
     roofline_table,
+    step_records_table,
 )
+from repro.parallel.telemetry import write_jsonl
 
 __all__ = ["export_all", "write_rows"]
 
@@ -38,7 +40,7 @@ def _flatten_series(series: dict[str, list[dict]]) -> list[dict]:
 
 
 def export_all(directory: str | Path) -> list[Path]:
-    """Write every figure's data as CSV into ``directory``."""
+    """Write every figure's data as CSV (plus ``steps.jsonl``) into ``directory``."""
     directory = Path(directory)
     written = [
         write_rows(directory / "fig4.csv", _flatten_series(figure4())),
@@ -61,4 +63,5 @@ def export_all(directory: str | Path) -> list[Path]:
         for name, entry in headline_metrics().items()
     ]
     written.append(write_rows(directory / "headlines.csv", headline_rows))
+    written.append(write_jsonl(step_records_table(), directory / "steps.jsonl"))
     return written

@@ -25,6 +25,7 @@ __all__ = [
     "parallel_scaling_table",
     "phase_breakdown_table",
     "roofline_table",
+    "step_records_table",
 ]
 
 #: 1 MiB of L2 per core -- the Sec. IV-A bottleneck
@@ -154,8 +155,11 @@ def parallel_scaling_table(
     ``elements^3`` periodic grid and reports the shard layout (size
     spread, cut-face fraction from the SFC split) plus measured wall
     time per step, speedup over one worker and parallel efficiency.
-    Per-shard predictor/corrector times give the load-balance column
-    ``imbalance`` (max busy time over mean, 1.0 = perfect).
+    The load-balance column ``imbalance`` (max busy time over mean,
+    1.0 = perfect) and the failure counters come from the same
+    :class:`~repro.parallel.telemetry.StepRecord` stream that
+    ``steps.jsonl`` exports -- one data path for scaling, balance and
+    fault telemetry.
 
     On a single-core container the speedup column is honest about the
     hardware: expect values at or below 1.
@@ -176,12 +180,13 @@ def parallel_scaling_table(
             n_elements = solver.grid.n_elements
             plan = make_shard_plan(solver.grid, actual_workers)
             start = time.perf_counter()
-            imbalance = 1.0
             for _ in range(steps):
                 solver.step()
-                if actual_workers > 1:
-                    imbalance = solver.last_step_timings.imbalance()
             per_step = (time.perf_counter() - start) / steps
+            records = solver.step_records
+            imbalance = records[-1].imbalance() if records else 1.0
+            retries = sum(record.retries for record in records)
+            respawns = sum(record.respawns for record in records)
         if base_time is None:
             base_time = per_step
         speedup = base_time / per_step
@@ -194,12 +199,41 @@ def parallel_scaling_table(
                 "shard_max": int(max(sizes)),
                 "cut_fraction": plan.cut_fraction(),
                 "imbalance": imbalance,
+                "retries": retries,
+                "respawns": respawns,
                 "sec_per_step": per_step,
                 "speedup": speedup,
                 "efficiency": speedup / actual_workers,
             }
         )
     return rows
+
+
+def step_records_table(
+    elements: int = 3,
+    order: int = 3,
+    steps: int = 3,
+    num_workers: int = 2,
+    batch_size: int | None = 4,
+) -> list[dict]:
+    """Per-step execution telemetry of a short parallel run (measured).
+
+    Steps a Gaussian acoustic pulse under the fault-tolerant pool and
+    returns each step's :class:`~repro.parallel.telemetry.StepRecord`
+    as a plain dict: mode, wall seconds, per-phase critical paths,
+    per-worker busy seconds plus the retry / respawn / crash counters
+    of the recovery machinery (all zero on an undisturbed run).  The
+    same rows serialize to ``steps.jsonl`` under ``--csv``.
+    """
+    from repro.scenarios import gaussian_pulse_setup
+
+    with gaussian_pulse_setup(
+        elements=elements, order=order, num_workers=num_workers,
+        batch_size=batch_size,
+    ) as solver:
+        for _ in range(steps):
+            solver.step()
+        return [record.to_dict() for record in solver.step_records]
 
 
 def phase_breakdown_table(

@@ -13,6 +13,7 @@ from repro.harness.figures import (
     parallel_scaling_table,
     phase_breakdown_table,
     roofline_table,
+    step_records_table,
 )
 
 __all__ = [
@@ -27,6 +28,7 @@ __all__ = [
     "render_headlines",
     "render_parallel",
     "render_roofline",
+    "render_steps",
 ]
 
 
@@ -140,14 +142,35 @@ def render_parallel() -> str:
     lines.append("")
     lines.append(
         f"{'workers':>8}{'shard sz':>10}{'cut frac':>10}{'imbal':>8}"
-        f"{'s/step':>10}{'speedup':>9}{'eff':>7}"
+        f"{'retry':>7}{'spawn':>7}{'s/step':>10}{'speedup':>9}{'eff':>7}"
     )
     for row in rows:
         shard = f"{row['shard_min']}-{row['shard_max']}"
         lines.append(
             f"{row['workers']:>8}{shard:>10}{row['cut_fraction']:10.3f}"
-            f"{row['imbalance']:8.2f}{row['sec_per_step']:10.4f}"
+            f"{row['imbalance']:8.2f}{row['retries']:>7}{row['respawns']:>7}"
+            f"{row['sec_per_step']:10.4f}"
             f"{row['speedup']:9.2f}{row['efficiency']:7.2f}"
+        )
+    return "\n".join(lines)
+
+
+def render_steps() -> str:
+    """Render the per-step telemetry records of a short parallel run."""
+    rows = step_records_table()
+    title = "Per-step execution telemetry (fault-tolerant pool; measured)"
+    lines = [title, "=" * len(title), ""]
+    lines.append(
+        f"{'step':>5} {'mode':<16}{'wall s':>9}{'predict':>9}{'riemann':>9}"
+        f"{'correct':>9}{'imbal':>7}{'retry':>7}{'spawn':>7}{'crash':>7}"
+    )
+    for row in rows:
+        walls = row["phase_walls"]
+        lines.append(
+            f"{row['step']:>5} {row['mode']:<16}{row['wall']:9.4f}"
+            f"{walls.get('predict', 0.0):9.4f}{walls.get('riemann', 0.0):9.4f}"
+            f"{walls.get('correct', 0.0):9.4f}{row['imbalance']:7.2f}"
+            f"{row['retries']:>7}{row['respawns']:>7}{len(row['crashes']):>7}"
         )
     return "\n".join(lines)
 

@@ -10,17 +10,26 @@ in a persistent worker process, with all field data in shared memory
 * :mod:`repro.parallel.shm` -- shared-memory numpy arrays,
 * :mod:`repro.parallel.worker` -- the per-shard predictor/corrector
   worker,
-* :mod:`repro.parallel.pool` -- the persistent process pool and its
-  two-phase step barrier.
+* :mod:`repro.parallel.pool` -- the persistent process pool, its
+  two-phase step barrier, and the crash watchdog / recovery policies,
+* :mod:`repro.parallel.telemetry` -- structured per-step records
+  (phase walls, busy times, retry/respawn counters) and their
+  ``steps.jsonl`` export.
 
 Users normally never touch these directly: pass ``num_workers=K`` to
 :class:`~repro.engine.solver.ADERDGSolver` (composes with
 ``batch_size=``) and the solver drives the pool.
 """
 
-from repro.parallel.pool import ShardWorkerPool, StepTimings, default_start_method
+from repro.parallel.pool import (
+    ShardWorkerPool,
+    StepTimings,
+    WorkerCrashError,
+    default_start_method,
+)
 from repro.parallel.sharding import ShardPlan, make_shard_plan
 from repro.parallel.shm import SharedArrayBundle, SharedArraySpec
+from repro.parallel.telemetry import StepRecord, write_jsonl
 
 __all__ = [
     "ShardPlan",
@@ -29,5 +38,8 @@ __all__ = [
     "SharedArraySpec",
     "ShardWorkerPool",
     "StepTimings",
+    "StepRecord",
+    "WorkerCrashError",
+    "write_jsonl",
     "default_start_method",
 ]

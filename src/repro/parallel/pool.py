@@ -11,12 +11,33 @@ A step is two globally-barriered phases (predict, then correct); the
 barrier is what makes every neighbor's face trace visible before any
 Riemann solve reads it.  The pool also collects per-worker phase
 timings, which the harness turns into the load-balance report.
+
+Failure semantics (see ``docs/parallel.md``): the barrier polls worker
+liveness instead of blocking on the reply queue, so a crashed or
+OOM-killed worker surfaces within a poll interval as a
+:class:`WorkerCrashError` carrying worker id, shard range, phase and
+exit code.  The ``on_worker_failure`` policy then decides: ``"raise"``
+propagates, ``"respawn"`` restarts the dead worker from its
+:class:`~repro.parallel.worker.WorkerConfig` and replays the phase
+(exactly reproducible because shared-memory state has one writer per
+element and commits only at the barrier), and ``"serial"`` lets the
+solver degrade the rest of the run to the in-process path.
+
+Every worker replies on its *own* queue.  A single shared reply queue
+would couple the workers' fates through its write lock: a worker
+SIGKILLed while holding it (mid-heartbeat, say) leaves the lock
+acquired forever and silences every surviving worker.  With per-worker
+queues a kill can only ever wedge the dead worker's own channel, which
+the watchdog abandons anyway.
 """
 
 from __future__ import annotations
 
 import atexit
+import itertools
 import multiprocessing as mp
+import queue as queue_module
+import time
 
 import numpy as np
 
@@ -24,7 +45,15 @@ from repro.parallel.sharding import ShardPlan
 from repro.parallel.shm import SharedArrayBundle
 from repro.parallel.worker import WorkerConfig, worker_main
 
-__all__ = ["ShardWorkerPool", "StepTimings", "default_start_method"]
+__all__ = [
+    "ShardWorkerPool",
+    "StepTimings",
+    "WorkerCrashError",
+    "default_start_method",
+]
+
+#: valid ``on_worker_failure`` policies
+FAILURE_POLICIES = ("raise", "respawn", "serial")
 
 
 def default_start_method() -> str:
@@ -33,11 +62,51 @@ def default_start_method() -> str:
     return "fork" if "fork" in methods else "spawn"
 
 
+class WorkerCrashError(RuntimeError):
+    """A worker process died (or start-up failed) during a pool phase.
+
+    Raised by the liveness watchdog of the barrier instead of the bare
+    ``queue.Empty`` a blocking read would produce.  Attributes identify
+    the failure precisely; with several simultaneous deaths the scalar
+    attributes describe the first one and :attr:`crashes` lists all.
+
+    Attributes
+    ----------
+    worker_id:
+        Id of the (first) dead worker.
+    shard:
+        ``(lo, hi)`` element-id range of that worker's shard.
+    phase:
+        Pool phase whose barrier detected the death.
+    exitcode:
+        ``Process.exitcode`` (negative = killed by that signal).
+    crashes:
+        One diagnostic dict per dead worker
+        (``worker_id`` / ``shard`` / ``phase`` / ``exitcode``).
+    """
+
+    def __init__(self, message: str, crashes: list[dict]):
+        super().__init__(message)
+        self.crashes = crashes
+        first = crashes[0] if crashes else {}
+        self.worker_id = first.get("worker_id")
+        self.shard = first.get("shard")
+        self.phase = first.get("phase")
+        self.exitcode = first.get("exitcode")
+
+    @property
+    def worker_ids(self) -> list[int]:
+        """Ids of every worker that died."""
+        return [crash["worker_id"] for crash in self.crashes]
+
+
 class StepTimings:
     """Per-worker phase timings of one parallel step.
 
     ``riemann`` / ``corrector`` split the correct phase per worker when
-    the face-sweep path ran (``None`` on the legacy loop).
+    the face-sweep path ran (``None`` on the legacy loop).  All
+    aggregates degrade gracefully on empty timing dicts (a step that
+    never completed) instead of raising.
     """
 
     def __init__(
@@ -55,19 +124,26 @@ class StepTimings:
     @property
     def wall_predict(self) -> float:
         """Slowest worker's predictor time -- the phase's critical path."""
-        return max(self.predict.values())
+        return max(self.predict.values(), default=0.0)
 
     @property
     def wall_correct(self) -> float:
         """Slowest worker's corrector time."""
-        return max(self.correct.values())
+        return max(self.correct.values(), default=0.0)
+
+    def busy(self) -> dict[int, float]:
+        """Per-worker predict + correct seconds."""
+        return {
+            worker: self.predict.get(worker, 0.0) + self.correct.get(worker, 0.0)
+            for worker in sorted(set(self.predict) | set(self.correct))
+        }
 
     def imbalance(self) -> float:
         """max/mean of the summed per-worker busy time (1.0 = balanced)."""
-        totals = np.array(
-            [self.predict[w] + self.correct[w] for w in sorted(self.predict)]
-        )
-        return float(totals.max() / totals.mean()) if totals.size else 1.0
+        totals = np.array(list(self.busy().values()))
+        if not totals.size or float(totals.mean()) == 0.0:
+            return 1.0
+        return float(totals.max() / totals.mean())
 
     def phase_walls(self) -> dict[str, float]:
         """Critical-path seconds per phase, keyed like the serial dict.
@@ -79,8 +155,8 @@ class StepTimings:
         if self.riemann and self.corrector:
             return {
                 "predict": self.wall_predict,
-                "riemann": max(self.riemann.values()),
-                "correct": max(self.corrector.values()),
+                "riemann": max(self.riemann.values(), default=0.0),
+                "correct": max(self.corrector.values(), default=0.0),
             }
         return {
             "predict": self.wall_predict,
@@ -90,7 +166,23 @@ class StepTimings:
 
 
 class ShardWorkerPool:
-    """One persistent process per shard, stepped in lockstep phases."""
+    """One persistent process per shard, stepped in lockstep phases.
+
+    Parameters (beyond the kernel configuration forwarded to
+    :class:`~repro.parallel.worker.WorkerConfig`):
+
+    ``on_worker_failure``
+        ``"raise"`` (default) propagates a :class:`WorkerCrashError`;
+        ``"respawn"`` restarts dead workers (retry budget
+        ``max_respawns``, exponential backoff ``respawn_backoff``) and
+        replays the interrupted phase; ``"serial"`` raises like
+        ``"raise"`` and signals the solver to degrade in-process.
+    ``poll_interval``
+        Seconds between liveness checks while waiting at a barrier.
+    ``start_timeout``
+        Hard deadline for a barrier with all workers alive (hang
+        protection; crash detection does not wait for it).
+    """
 
     def __init__(
         self,
@@ -108,14 +200,32 @@ class ShardWorkerPool:
         start_method: str | None = None,
         start_timeout: float = 120.0,
         face_sweep: bool = True,
+        on_worker_failure: str = "raise",
+        max_respawns: int = 3,
+        respawn_backoff: float = 0.25,
+        poll_interval: float = 0.05,
     ):
+        if on_worker_failure not in FAILURE_POLICIES:
+            raise ValueError(
+                f"on_worker_failure must be one of {FAILURE_POLICIES}, "
+                f"got {on_worker_failure!r}"
+            )
         self.plan = plan
         self.shared = shared
+        self.on_worker_failure = on_worker_failure
+        self.max_respawns = max_respawns
+        self.respawn_backoff = respawn_backoff
         self._timeout = start_timeout
-        context = mp.get_context(start_method or default_start_method())
-        self._out_queue = context.Queue()
+        self._poll = poll_interval
+        self._context = mp.get_context(start_method or default_start_method())
+        self._out_queues = []
         self._cmd_queues = []
         self._processes = []
+        self._configs: list[WorkerConfig] = []
+        self._last_heartbeat: dict[int, float] = {}
+        self._total_respawns = 0
+        #: failure/telemetry counters of the most recent :meth:`step`
+        self.last_step_events: dict = self._fresh_events()
         handles = shared.handles()
         for worker_id, shard in enumerate(plan.shards):
             config = WorkerConfig(
@@ -133,25 +243,41 @@ class ShardWorkerPool:
                 handles=handles,
                 face_sweep=face_sweep,
             )
-            cmd_queue = context.Queue()
-            process = context.Process(
-                target=worker_main,
-                args=(config, cmd_queue, self._out_queue),
-                daemon=True,
-                name=f"repro-shard-{worker_id}",
-            )
+            self._configs.append(config)
+            cmd_queue = self._context.Queue()
+            out_queue = self._context.Queue()
+            process = self._spawn_process(config, cmd_queue, out_queue)
             self._cmd_queues.append(cmd_queue)
+            self._out_queues.append(out_queue)
             self._processes.append(process)
         for process in self._processes:
             process.start()
         self._closed = False
         self._atexit = atexit.register(self.close)
-        self._collect("ready")
+        self._collect("ready", set(range(self.num_workers)), {}, {})
+
+    def _spawn_process(self, config: WorkerConfig, cmd_queue, out_queue):
+        """Build (not start) one worker process for ``config``."""
+        return self._context.Process(
+            target=worker_main,
+            args=(config, cmd_queue, out_queue),
+            daemon=True,
+            name=f"repro-shard-{config.worker_id}",
+        )
+
+    @staticmethod
+    def _fresh_events() -> dict:
+        return {"retries": 0, "respawns": 0, "crashes": [], "queue_depth": 0}
 
     @property
     def num_workers(self) -> int:
         """Number of worker processes (= shards)."""
         return len(self._processes)
+
+    def _shard_range(self, worker_id: int) -> tuple[int, int]:
+        """``(lo, hi)`` element-id range of a worker's shard."""
+        shard = self.plan.shards[worker_id]
+        return (int(shard.min()), int(shard.max()))
 
     # -- stepping ---------------------------------------------------------
 
@@ -166,23 +292,86 @@ class ShardWorkerPool:
         dt:
             Time step.
         sources:
-            ``element id -> (projection, amplitude, derivatives)``
+            ``element id -> [(projection, amplitude, derivatives), ...]``
             payload of the active point sources (already evaluated at
             the step's start time).
+
+        Under ``on_worker_failure="respawn"`` a worker that dies during
+        either phase is restarted from its config and the phase is
+        replayed for exactly that shard: the input buffer and the other
+        shards' face traces are untouched (single-writer arrays, output
+        commits only at the barrier), so the recovered step is bitwise
+        identical to an undisturbed one.  A worker respawned during the
+        correct phase replays its predict first to rebuild the
+        process-local volume contributions.
         """
         if self._closed:
             raise RuntimeError("pool is closed")
-        for worker_id, queue in enumerate(self._cmd_queues):
-            shard_sources = {
+        events = self._fresh_events()
+        self.last_step_events = events
+        all_workers = set(range(self.num_workers))
+        shard_sources = [
+            {
                 int(e): sources[int(e)]
                 for e in self.plan.shards[worker_id]
                 if int(e) in sources
             }
-            queue.put(("predict", buf, dt, shard_sources))
-        predict, _ = self._collect("predict")
-        for queue in self._cmd_queues:
-            queue.put(("correct", buf))
-        correct, details = self._collect("correct")
+            for worker_id in range(self.num_workers)
+        ]
+
+        def send_predict(workers):
+            for worker_id in sorted(workers):
+                self._cmd_queues[worker_id].put(
+                    ("predict", buf, dt, shard_sources[worker_id])
+                )
+
+        def send_correct(workers):
+            for worker_id in sorted(workers):
+                self._cmd_queues[worker_id].put(("correct", buf))
+
+        predict: dict[int, float] = {}
+        correct: dict[int, float] = {}
+        details: dict[int, object] = {}
+
+        # phase 1: predict barrier (with crash recovery)
+        pending = set(all_workers)
+        send_predict(pending)
+        while pending:
+            try:
+                self._collect("predict", pending, predict, {})
+            except WorkerCrashError as crash:
+                respawned = self._handle_crash(crash, events)
+                send_predict(respawned)
+                pending |= respawned
+
+        # phase 2: correct barrier; a respawned worker replays predict
+        # first (its process-local predictor outputs died with it)
+        pending = set(all_workers)
+        need_predict: set[int] = set()
+        need_correct: set[int] = set()
+        workers: set[int] = set()
+        send_correct(pending)
+        while pending or need_predict or need_correct:
+            try:
+                if need_correct:
+                    resume, need_correct = need_correct, set()
+                    send_correct(resume)
+                    pending |= resume
+                if need_predict:
+                    workers, need_predict = need_predict, set()
+                    send_predict(workers)
+                    self._collect("predict", set(workers), predict, {})
+                    need_correct |= workers
+                    continue
+                self._collect("correct", pending, correct, details)
+            except WorkerCrashError as crash:
+                respawned = self._handle_crash(crash, events)
+                if crash.phase == "predict":
+                    # survivors of the replay barrier finished their
+                    # predict before the crash was raised
+                    need_correct |= workers - respawned
+                need_predict |= respawned
+
         if details and all(isinstance(d, dict) for d in details.values()):
             return StepTimings(
                 predict,
@@ -203,39 +392,207 @@ class ShardWorkerPool:
             raise RuntimeError("pool is closed")
         for queue in self._cmd_queues:
             queue.put(("invalidate",))
-        self._collect("invalidate")
+        self._collect("invalidate", set(range(self.num_workers)), {}, {})
 
-    def _collect(self, phase: str) -> tuple[dict[int, float], dict[int, object]]:
-        """Barrier: wait for every worker's phase reply; raise on error.
+    # -- barrier ----------------------------------------------------------
 
-        All replies are drained before raising so that one failing
-        worker does not leave siblings' replies queued to poison the
-        next phase.  Returns per-worker ``(seconds, detail)`` maps --
-        ``detail`` is the phase's sub-timing payload (or ``None``).
+    def _collect(
+        self,
+        phase: str,
+        pending: set[int],
+        timings: dict[int, float],
+        details: dict[int, object],
+    ) -> None:
+        """Barrier: wait for every pending worker's phase reply.
+
+        Drains each pending worker's own reply queue without blocking
+        and checks ``Process.is_alive()`` whenever no reply is
+        available, so a dead worker surfaces as a
+        :class:`WorkerCrashError` within ~``poll_interval`` rather than
+        hanging until ``start_timeout``.  A crash is only declared once
+        the worker's queue is empty *and* the process is gone -- a
+        final reply sent just before death is still honored.  Replies
+        are matched *exactly* against the expected ``(kind, phase)``
+        pair: a stale reply from an earlier phase is recorded as a
+        protocol error while the worker's real reply is still awaited,
+        so one bad message cannot poison the next barrier.  ``pending``
+        is mutated in place (workers are removed as they reply or die);
+        ``timings`` and ``details`` accumulate the per-worker results.
         """
-        timings: dict[int, float] = {}
-        details: dict[int, object] = {}
+        expected_kind = {"ready": "ready", "stop": "stopped"}.get(phase, "done")
+        crashes: list[dict] = []
         errors: list[str] = []
-        while len(timings) + len(errors) < self.num_workers:
-            kind, worker_id, info, *rest = self._out_queue.get(timeout=self._timeout)
+        deadline = time.monotonic() + self._timeout
+        while pending:
+            reply = None
+            for worker_id in sorted(pending):
+                try:
+                    reply = self._out_queues[worker_id].get_nowait()
+                    break
+                except queue_module.Empty:
+                    continue
+            if reply is None:
+                for worker_id in sorted(pending):
+                    process = self._processes[worker_id]
+                    if not process.is_alive():
+                        crashes.append(
+                            {
+                                "worker_id": worker_id,
+                                "shard": self._shard_range(worker_id),
+                                "phase": phase,
+                                "exitcode": process.exitcode,
+                            }
+                        )
+                        pending.discard(worker_id)
+                if pending and time.monotonic() > deadline:
+                    ages = {
+                        worker: time.monotonic() - seen
+                        for worker, seen in self._last_heartbeat.items()
+                        if worker in pending
+                    }
+                    message = (
+                        f"workers {sorted(pending)} sent no {phase!r} reply "
+                        f"within {self._timeout:.0f}s (alive but unresponsive; "
+                        f"seconds since last heartbeat: {ages})"
+                    )
+                    if crashes:
+                        # don't swallow an already-detected death behind
+                        # a hang report
+                        raise WorkerCrashError(
+                            message + "; additionally "
+                            + self._crash_summary(crashes),
+                            crashes,
+                        )
+                    raise RuntimeError(message)
+                if pending:
+                    time.sleep(self._poll)
+                continue
+            kind, worker_id, info, *rest = reply
+            self._note_queue_depth()
+            if kind == "heartbeat":
+                self._last_heartbeat[worker_id] = time.monotonic()
+                continue
             if kind == "error":
                 errors.append(f"worker {worker_id} failed during {phase}:\n{info}")
+                pending.discard(worker_id)
                 continue
-            if info != phase and kind != "ready":
+            if kind != expected_kind or info != phase:
+                # stale reply from an earlier phase: record, but keep
+                # waiting for this worker's *real* reply
                 errors.append(
-                    f"worker {worker_id}: expected {phase!r} reply, got {info!r}"
+                    f"worker {worker_id}: expected {phase!r} reply, "
+                    f"got ({kind!r}, {info!r})"
                 )
                 continue
             timings[worker_id] = rest[0] if rest else 0.0
             details[worker_id] = rest[1] if len(rest) > 1 else None
+            pending.discard(worker_id)
+        if crashes:
+            summary = self._crash_summary(crashes)
+            if errors:
+                summary += "; additionally: " + "; ".join(errors)
+            raise WorkerCrashError(summary, crashes)
         if errors:
             raise RuntimeError("\n".join(errors))
-        return timings, details
+
+    @staticmethod
+    def _crash_summary(crashes: list[dict]) -> str:
+        """One-line description of every detected worker death."""
+        return "; ".join(
+            f"worker {c['worker_id']} (elements {c['shard'][0]}.."
+            f"{c['shard'][1]}) died during {c['phase']} "
+            f"(exit code {c['exitcode']})"
+            for c in crashes
+        )
+
+    def _note_queue_depth(self) -> None:
+        """Track the largest observed reply-queue backlog (telemetry)."""
+        try:
+            depth = max(queue.qsize() for queue in self._out_queues)
+        except NotImplementedError:  # pragma: no cover - macOS
+            return
+        if depth > self.last_step_events["queue_depth"]:
+            self.last_step_events["queue_depth"] = depth
+
+    # -- recovery ---------------------------------------------------------
+
+    def _handle_crash(self, crash: WorkerCrashError, events: dict) -> set[int]:
+        """Apply the failure policy to a detected crash.
+
+        Returns the set of respawned worker ids (whose phase must be
+        replayed) under ``"respawn"``; re-raises under ``"raise"`` and
+        ``"serial"`` (the solver implements the serial degradation).
+        """
+        events["crashes"].extend(crash.crashes)
+        if self.on_worker_failure != "respawn":
+            raise crash
+        events["retries"] += 1
+        for worker_id in crash.worker_ids:
+            self._respawn_worker(worker_id, events)
+        return set(crash.worker_ids)
+
+    def _respawn_worker(self, worker_id: int, events: dict) -> None:
+        """Restart one dead worker from its config (budget + backoff).
+
+        The retry budget is pool-global: once ``max_respawns`` restarts
+        have been spent, further crashes raise.  Each attempt backs off
+        exponentially (``respawn_backoff * 2**attempt`` seconds) to
+        avoid hammering a host that is killing workers (e.g. the OOM
+        killer).
+        """
+        for attempt in itertools.count():
+            if self._total_respawns >= self.max_respawns:
+                raise WorkerCrashError(
+                    f"worker {worker_id} (elements "
+                    f"{self._shard_range(worker_id)[0]}.."
+                    f"{self._shard_range(worker_id)[1]}) is dead and the "
+                    f"respawn budget ({self.max_respawns}) is exhausted",
+                    [
+                        {
+                            "worker_id": worker_id,
+                            "shard": self._shard_range(worker_id),
+                            "phase": "respawn",
+                            "exitcode": self._processes[worker_id].exitcode,
+                        }
+                    ],
+                )
+            self._total_respawns += 1
+            events["respawns"] += 1
+            time.sleep(self.respawn_backoff * (2**attempt))
+            old = self._processes[worker_id]
+            if old.is_alive():  # pragma: no cover - defensive
+                old.terminate()
+            old.join(timeout=5.0)
+            # fresh queues: the dead worker may have left a
+            # half-consumed command, stale replies, or -- killed
+            # mid-write -- a permanently held queue lock behind; none
+            # of that may leak into the replacement
+            cmd_queue = self._context.Queue()
+            out_queue = self._context.Queue()
+            process = self._spawn_process(
+                self._configs[worker_id], cmd_queue, out_queue
+            )
+            self._cmd_queues[worker_id] = cmd_queue
+            self._out_queues[worker_id] = out_queue
+            self._processes[worker_id] = process
+            process.start()
+            try:
+                self._collect("ready", {worker_id}, {}, {})
+                return
+            except WorkerCrashError as crash:
+                events["crashes"].extend(crash.crashes)
+                continue
 
     # -- lifecycle --------------------------------------------------------
 
     def close(self, join_timeout: float = 10.0) -> None:
-        """Stop all workers and join them; safe to call twice."""
+        """Stop all workers and join them; safe to call twice.
+
+        Sends ``("stop",)`` to every worker and waits (briefly, best
+        effort) for the clean ``stopped`` acknowledgements before
+        joining, so an orderly shutdown is distinguishable from a
+        worker that had to be terminated.
+        """
         if self._closed:
             return
         self._closed = True
@@ -245,14 +602,46 @@ class ShardWorkerPool:
                 queue.put(("stop",))
             except Exception:  # pragma: no cover - queue already broken
                 pass
+        self._drain_stop_acks(deadline=time.monotonic() + join_timeout)
         for process in self._processes:
             process.join(timeout=join_timeout)
             if process.is_alive():  # pragma: no cover - hung worker
                 process.terminate()
                 process.join(timeout=join_timeout)
-        for queue in self._cmd_queues:
+        for queue in self._cmd_queues + self._out_queues:
             queue.close()
-        self._out_queue.close()
+
+    def _drain_stop_acks(self, deadline: float) -> None:
+        """Consume ``stopped`` acks (and stragglers) until the deadline.
+
+        Lenient by design -- close() must succeed even with dead
+        workers or junk left on the queues, so everything that is not
+        an ack from a live worker is simply discarded.
+        """
+        waiting = {
+            worker_id
+            for worker_id in range(self.num_workers)
+            if self._processes[worker_id].is_alive()
+        }
+        while waiting and time.monotonic() < deadline:
+            progressed = False
+            for worker_id in sorted(waiting):
+                try:
+                    reply = self._out_queues[worker_id].get_nowait()
+                except queue_module.Empty:
+                    continue
+                except Exception:  # pragma: no cover - queue torn down
+                    return
+                progressed = True
+                if reply[0] == "stopped":
+                    waiting.discard(worker_id)
+            if not progressed:
+                waiting = {
+                    worker_id
+                    for worker_id in waiting
+                    if self._processes[worker_id].is_alive()
+                }
+                time.sleep(self._poll)
 
     def __enter__(self) -> "ShardWorkerPool":
         return self

@@ -1,0 +1,94 @@
+"""Structured per-step telemetry of the solver's execution layer.
+
+Every :meth:`~repro.engine.solver.ADERDGSolver.step` appends one
+:class:`StepRecord` to ``solver.step_records`` -- serial, parallel and
+degraded (serial-fallback) steps alike -- so the load-balance report,
+the strong-scaling table and the failure counters of the fault-tolerant
+pool all read from one data path.  :func:`write_jsonl` serializes a
+record list as ``steps.jsonl`` (one JSON object per line), the format
+``repro.harness --csv`` exports next to the CSV tables.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+__all__ = ["StepRecord", "write_jsonl"]
+
+
+@dataclass
+class StepRecord:
+    """One time step's structured execution telemetry.
+
+    Attributes
+    ----------
+    step:
+        Zero-based step index.
+    t:
+        Simulation time *after* the step.
+    dt:
+        Time step taken.
+    mode:
+        ``"serial"``, ``"parallel"`` or ``"serial-fallback"`` (a
+        parallel step that degraded to the in-process path after a
+        worker crash under ``on_worker_failure="serial"``).
+    wall:
+        Wall-clock seconds of the whole step.
+    phase_walls:
+        Critical-path seconds per phase
+        (``predict`` / ``riemann`` / ``correct``).
+    worker_busy:
+        Per-worker busy seconds (predict + correct); empty when serial.
+    retries:
+        Barrier retries of the step (one per crash-recovery round).
+    respawns:
+        Worker processes restarted during the step.
+    crashes:
+        One diagnostic dict per detected worker death
+        (``worker_id`` / ``shard`` / ``phase`` / ``exitcode``).
+    queue_depth:
+        Largest reply-queue backlog observed while collecting the
+        step's barriers (0 when serial or unsupported by the OS).
+    """
+
+    step: int
+    t: float
+    dt: float
+    mode: str
+    wall: float
+    phase_walls: dict = field(default_factory=dict)
+    worker_busy: dict = field(default_factory=dict)
+    retries: int = 0
+    respawns: int = 0
+    crashes: list = field(default_factory=list)
+    queue_depth: int = 0
+
+    def imbalance(self) -> float:
+        """max/mean of the per-worker busy seconds (1.0 = balanced)."""
+        busy = list(self.worker_busy.values())
+        if not busy:
+            return 1.0
+        mean = sum(busy) / len(busy)
+        return max(busy) / mean if mean > 0.0 else 1.0
+
+    def to_dict(self) -> dict:
+        """JSON-ready plain dict (worker ids become string keys)."""
+        data = asdict(self)
+        data["worker_busy"] = {
+            str(worker): seconds for worker, seconds in self.worker_busy.items()
+        }
+        data["imbalance"] = self.imbalance()
+        return data
+
+
+def write_jsonl(records, path) -> Path:
+    """Write records (:class:`StepRecord` or plain dicts) as JSON lines."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        for record in records:
+            data = record.to_dict() if isinstance(record, StepRecord) else record
+            fh.write(json.dumps(data) + "\n")
+    return path

@@ -27,6 +27,7 @@ inside the batched GEMMs, which the test-suite bounds at 1e-12.
 
 from __future__ import annotations
 
+import threading
 import time
 import traceback
 from dataclasses import dataclass
@@ -36,7 +37,7 @@ import numpy as np
 from repro.basis.operators import cached_operators
 from repro.core.corrector import _face_params, corrector_all, corrector_update
 from repro.core.spec import KernelSpec
-from repro.core.variants import BatchedSTP, ElementSource, make_kernel
+from repro.core.variants import BatchedSTP, ElementSource, combine_sources, make_kernel
 from repro.core.variants.batched import ScratchArena
 from repro.engine.boundary import ghost_state
 from repro.engine.facesweep import FaceSweep
@@ -45,7 +46,10 @@ from repro.mesh.grid import BOUNDARY, UniformGrid
 from repro.parallel.shm import SharedArrayBundle, SharedArraySpec
 from repro.pde.base import LinearPDE
 
-__all__ = ["WorkerConfig", "worker_main"]
+__all__ = ["WorkerConfig", "worker_main", "HEARTBEAT_INTERVAL"]
+
+#: seconds between liveness heartbeats a worker emits while serving
+HEARTBEAT_INTERVAL = 0.5
 
 
 @dataclass(frozen=True)
@@ -137,7 +141,10 @@ class _ShardWorker:
             payload = sources.get(int(e))
             if payload is None:
                 return None
-            return ElementSource(*payload)
+            # one (projection, amplitude, derivatives) triple per
+            # registered source; co-located sources are summed exactly
+            # like the serial path's _element_source
+            return combine_sources([ElementSource(*part) for part in payload])
 
         if self.sweep is not None:
             if self.driver is not None:
@@ -279,6 +286,26 @@ class _ShardWorker:
         self.bundle.close()
 
 
+def _start_heartbeat(worker_id: int, out_queue) -> threading.Event:
+    """Emit ``("heartbeat", id, "", wall time)`` until the event is set.
+
+    The pool uses the heartbeats as hang diagnostics only (liveness is
+    detected via ``Process.is_alive()``): a barrier timeout reports how
+    long each unresponsive worker has been silent.
+    """
+    stop = threading.Event()
+
+    def beat() -> None:
+        while not stop.wait(HEARTBEAT_INTERVAL):
+            try:
+                out_queue.put(("heartbeat", worker_id, "", time.time()))
+            except Exception:  # pragma: no cover - queue torn down
+                return
+
+    threading.Thread(target=beat, daemon=True, name="repro-heartbeat").start()
+    return stop
+
+
 def worker_main(config: WorkerConfig, cmd_queue, out_queue) -> None:
     """Entry point of one worker process: serve step commands until stop.
 
@@ -286,18 +313,32 @@ def worker_main(config: WorkerConfig, cmd_queue, out_queue) -> None:
 
     * in:  ``("predict", buf, dt, sources)`` / ``("correct", buf)`` /
       ``("invalidate",)`` / ``("stop",)``
-    * out: ``("done", worker_id, phase, seconds, detail)`` or
+    * out: ``("ready", worker_id, "ready", 0.0)`` once after start-up,
+      ``("done", worker_id, phase, seconds, detail)`` per served
+      command, ``("stopped", worker_id, "stop", 0.0)`` as the clean
+      shutdown acknowledgement, ``("heartbeat", worker_id, "", wall)``
+      periodically from a background thread, or
       ``("error", worker_id, traceback_text)``; ``detail`` is the
-      phase's sub-timing dict (face-sweep correct) or ``None``
+      phase's sub-timing dict (face-sweep correct) or ``None``.
+
+    Every reply carries the phase it answers so the pool can match
+    replies against the expected barrier exactly (a stale reply is a
+    protocol error, not a silent success).  ``out_queue`` is private to
+    this worker: the pool reads one reply queue per worker, so a worker
+    killed while holding its queue's write lock cannot silence the
+    survivors.
     """
     worker: _ShardWorker | None = None
+    heartbeat: threading.Event | None = None
     try:
         worker = _ShardWorker(config)
-        out_queue.put(("ready", config.worker_id, "", 0.0))
+        heartbeat = _start_heartbeat(config.worker_id, out_queue)
+        out_queue.put(("ready", config.worker_id, "ready", 0.0))
         while True:
             message = cmd_queue.get()
             kind = message[0]
             if kind == "stop":
+                out_queue.put(("stopped", config.worker_id, "stop", 0.0))
                 break
             try:
                 started = time.perf_counter()
@@ -326,5 +367,7 @@ def worker_main(config: WorkerConfig, cmd_queue, out_queue) -> None:
     except Exception:  # pragma: no cover - start-up failure
         out_queue.put(("error", config.worker_id, traceback.format_exc()))
     finally:
+        if heartbeat is not None:
+            heartbeat.set()
         if worker is not None:
             worker.close()

@@ -263,3 +263,30 @@ def test_variant_equivalence_property(seed, order):
     for r in results[1:]:
         np.testing.assert_allclose(r.qavg, results[0].qavg, atol=1e-11)
         np.testing.assert_allclose(r.vavg, results[0].vavg, atol=1e-11)
+
+
+def test_combine_sources_sums_colocated_terms():
+    from repro.core.variants import MultiElementSource, combine_sources
+
+    rng = np.random.default_rng(7)
+    n, m = 3, 4
+
+    def part(scale):
+        return ElementSource(
+            projection=rng.standard_normal((n, n, n)),
+            amplitude=scale * np.array([1.0, 0.5, 0.0, 0.0]),
+            derivatives=rng.standard_normal(n),
+        )
+
+    a, b = part(1.0), part(0.25)
+    assert combine_sources([]) is None
+    assert combine_sources([a]) is a
+    assert a.parts == (a,)
+    combined = combine_sources([a, b])
+    assert isinstance(combined, MultiElementSource)
+    assert combined.parts == (a, b)
+    for o in range(n):
+        np.testing.assert_array_equal(combined.term(o), a.term(o) + b.term(o))
+    assert combined.projection.shape == (2, n, n, n)
+    with pytest.raises(ValueError):
+        MultiElementSource(parts=(a,))

@@ -172,3 +172,31 @@ def test_receiver_records_each_step():
     times, samples = recv.seismogram()
     assert len(times) == 3
     assert samples.shape[1] == 6
+
+
+def test_riemann_override_must_be_registered():
+    from repro.engine.riemann import SOLVERS
+
+    solver, _ = acoustic_plane_wave_setup(elements=2, order=2)
+    # swapping in a registered function (by identity) keeps working
+    solver.riemann = SOLVERS["rusanov"]
+    solver.step()
+    # an unknown function must raise, not silently keep the stale flux
+    solver.riemann = lambda pde, ql, qr, pl, pr, d: 0.0
+    solver._sweep = None  # force re-resolution like a fresh sweep build
+    with pytest.raises(ValueError, match="not a registered Riemann solver"):
+        solver.step()
+
+
+def test_invalidate_state_caches_refreshes_wave_speed():
+    solver, _ = acoustic_plane_wave_setup(elements=2, order=3)
+    pde = solver.pde
+    dt0 = solver.stable_dt()
+    # writing states in place does not reset the cache by itself ...
+    solver.states[..., pde.C] *= 2.0
+    assert solver.stable_dt() == dt0
+    # ... invalidate_state_caches() does
+    solver.invalidate_state_caches()
+    assert solver.stable_dt() == pytest.approx(dt0 / 2.0)
+    solver.step()
+    assert np.isfinite(solver.states).all()

@@ -1,6 +1,7 @@
 """Tests for the CSV export and the extended CLI."""
 
 import csv
+import json
 
 import pytest
 
@@ -26,7 +27,7 @@ def test_export_all(tmp_path):
     assert names == {
         "fig4.csv", "fig6.csv", "fig9.csv", "fig10.csv",
         "footprint.csv", "batched.csv", "roofline.csv", "headlines.csv",
-        "parallel.csv", "facesweep.csv",
+        "parallel.csv", "facesweep.csv", "steps.jsonl",
     }
     with (tmp_path / "facesweep.csv").open() as fh:
         facesweep_rows = list(csv.DictReader(fh))
@@ -36,6 +37,15 @@ def test_export_all(tmp_path):
         parallel_rows = list(csv.DictReader(fh))
     assert [int(r["workers"]) for r in parallel_rows] == [1, 2, 4]
     assert all(float(r["sec_per_step"]) > 0 for r in parallel_rows)
+    assert all(int(r["retries"]) == 0 for r in parallel_rows)
+    assert all(int(r["respawns"]) == 0 for r in parallel_rows)
+    with (tmp_path / "steps.jsonl").open() as fh:
+        records = [json.loads(line) for line in fh]
+    assert records
+    for record in records:
+        assert set(record["phase_walls"]) == {"predict", "riemann", "correct"}
+        assert record["worker_busy"]
+        assert record["retries"] == 0 and record["respawns"] == 0
     with (tmp_path / "fig10.csv").open() as fh:
         rows = list(csv.DictReader(fh))
     variants = {r["variant"] for r in rows}

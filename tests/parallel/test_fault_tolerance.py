@@ -1,0 +1,136 @@
+"""Fault injection against the worker pool: SIGKILL a shard mid-run.
+
+The contract under test (see ``docs/parallel.md``): a dead worker
+surfaces as a diagnostic :class:`WorkerCrashError` within the poll
+interval -- never a raw ``queue.Empty``, never the 120 s barrier
+timeout -- and the ``respawn`` / ``serial`` recovery policies finish
+the run with states bitwise-identical to the serial solver (possible
+by construction: one writer per element, commits only at the barrier).
+"""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.parallel.pool import WorkerCrashError
+from repro.scenarios import gaussian_pulse_setup
+
+STEPS = 2 if os.environ.get("REPRO_QUICK") else 3
+
+
+def _kill_worker(solver, worker_id: int) -> None:
+    os.kill(solver._pool._processes[worker_id].pid, signal.SIGKILL)
+
+
+@pytest.fixture(scope="module")
+def serial_run():
+    solver = gaussian_pulse_setup(elements=3, order=3)
+    dt = solver.stable_dt()
+    for _ in range(STEPS):
+        solver.step(dt)
+    return dt, np.array(solver.states)
+
+
+def test_sigkill_surfaces_crash_error_quickly(serial_run):
+    dt, _ = serial_run
+    with gaussian_pulse_setup(elements=3, order=3, num_workers=2) as solver:
+        solver.step(dt)
+        _kill_worker(solver, 0)
+        start = time.monotonic()
+        with pytest.raises(WorkerCrashError, match="died during"):
+            solver.step(dt)
+        assert time.monotonic() - start < 5.0
+        crash = solver._pool.last_step_events["crashes"][0]
+        assert crash["worker_id"] == 0
+        assert crash["phase"] == "predict"
+        assert crash["exitcode"] == -signal.SIGKILL
+        lo, hi = crash["shard"]
+        assert 0 <= lo <= hi < solver.grid.n_elements
+
+
+def test_crash_error_carries_diagnostics():
+    with gaussian_pulse_setup(elements=3, order=3, num_workers=2) as solver:
+        solver.step()
+        _kill_worker(solver, 1)
+        with pytest.raises(WorkerCrashError) as excinfo:
+            solver.step()
+        crash = excinfo.value
+        assert crash.worker_id == 1
+        assert crash.phase == "predict"
+        assert crash.exitcode == -signal.SIGKILL
+        assert crash.worker_ids == [1]
+        assert crash.shard == solver._pool._shard_range(1)
+
+
+def test_respawn_recovers_bitwise_identical(serial_run):
+    dt, serial_states = serial_run
+    with gaussian_pulse_setup(
+        elements=3, order=3, num_workers=2, on_worker_failure="respawn"
+    ) as solver:
+        solver.step(dt)
+        _kill_worker(solver, 1)
+        for _ in range(STEPS - 1):
+            solver.step(dt)
+        np.testing.assert_array_equal(solver.states, serial_states)
+        record = solver.step_records[1]
+        assert record.mode == "parallel"
+        assert record.respawns == 1
+        assert record.retries == 1
+        assert record.crashes[0]["worker_id"] == 1
+        # the pool is fully healed: further steps don't respawn
+        assert solver.step_records[-1].respawns == 0
+
+
+def test_serial_fallback_identical(serial_run):
+    dt, serial_states = serial_run
+    with gaussian_pulse_setup(
+        elements=3, order=3, num_workers=2, on_worker_failure="serial"
+    ) as solver:
+        solver.step(dt)
+        _kill_worker(solver, 0)
+        for _ in range(STEPS - 1):
+            solver.step(dt)
+        np.testing.assert_array_equal(solver.states, serial_states)
+        assert solver.num_workers == 1
+        assert solver.step_records[1].mode == "serial-fallback"
+        assert solver.step_records[1].crashes
+        assert isinstance(solver.last_failure, WorkerCrashError)
+        # later steps are plain serial
+        assert solver.step_records[-1].mode == "serial"
+
+
+def test_respawn_budget_exhausted():
+    with gaussian_pulse_setup(
+        elements=3, order=3, num_workers=2, on_worker_failure="respawn"
+    ) as solver:
+        solver.step()
+        solver._pool.max_respawns = 0
+        _kill_worker(solver, 0)
+        with pytest.raises(WorkerCrashError, match="respawn budget"):
+            solver.step()
+
+
+def test_stale_reply_is_a_protocol_error():
+    with gaussian_pulse_setup(elements=3, order=3, num_workers=2) as solver:
+        pool = solver._ensure_pool()
+        pool._out_queues[0].put(("ready", 0, "ready", 0.0))
+        with pytest.raises(RuntimeError, match="expected 'predict' reply"):
+            solver.step()
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2, reason="fault smoke needs >= 2 cores"
+)
+def test_quick_fault_smoke():
+    """Cheap CI smoke: kill + respawn on the smallest viable setup."""
+    with gaussian_pulse_setup(
+        elements=2, order=2, num_workers=2, on_worker_failure="respawn"
+    ) as solver:
+        solver.step()
+        _kill_worker(solver, 0)
+        solver.step()
+        assert solver.step_records[-1].respawns == 1
+        assert np.isfinite(solver.states).all()

@@ -102,7 +102,7 @@ def test_worker_error_propagates():
         for queue in pool._cmd_queues:
             queue.put(("no-such-command",))
         with pytest.raises(RuntimeError, match="worker .* failed"):
-            pool._collect("no-such-command")
+            pool._collect("no-such-command", {0, 1}, {}, {})
         # the pool survives a failed command and can still step
         par.step(dt=1e-3)
         assert np.isfinite(par.states).all()
@@ -115,3 +115,68 @@ def test_stepping_after_close_raises():
     par.close()
     with pytest.raises(RuntimeError):
         pool.step(0, 1e-3, {})
+
+
+def test_colocated_sources_parallel_matches_serial():
+    from repro.engine.source import GaussianDerivativeWavelet, PointSource
+
+    def build(num_workers):
+        pde = AcousticPDE()
+        grid = UniformGrid((3, 3, 3))
+        solver = ADERDGSolver(
+            grid, pde, order=3, num_workers=num_workers, cfl=0.4
+        )
+
+        def init(points):
+            v = np.zeros(points.shape[:-1] + (4,))
+            return pde.embed(
+                v, np.broadcast_to([1.0, 1.0], points.shape[:-1] + (2,))
+            )
+
+        solver.set_initial_condition(init)
+        for scale in (1.0, 0.5):
+            solver.add_point_source(
+                PointSource(
+                    position=np.array([0.5, 0.5, 0.5]),
+                    amplitude=np.array([scale, 0.0, 0.0, 0.0]),
+                    wavelet=GaussianDerivativeWavelet(k=0, t0=0.05, sigma=0.02),
+                )
+            )
+        return solver
+
+    serial = build(1)
+    dt = serial.stable_dt()
+    for _ in range(STEPS):
+        serial.step(dt)
+    assert serial.max_abs() > 0.0
+    with build(2) as par:
+        for _ in range(STEPS):
+            par.step(dt)
+        np.testing.assert_array_equal(par.states, serial.states)
+
+
+def test_solver_close_clears_buffers_and_step_raises():
+    par = gaussian_pulse_setup(elements=3, order=3, num_workers=2)
+    par.step()
+    par.close()
+    assert par._buffers is None
+    assert par._cur == 0
+    assert par._shared is None
+    assert par._pool is None
+    with pytest.raises(RuntimeError, match="solver is closed"):
+        par.step()
+
+
+def test_step_timings_degrade_on_empty_dicts():
+    from repro.parallel.pool import StepTimings
+
+    empty = StepTimings({}, {})
+    assert empty.wall_predict == 0.0
+    assert empty.wall_correct == 0.0
+    assert empty.busy() == {}
+    assert empty.imbalance() == 1.0
+    assert empty.phase_walls() == {
+        "predict": 0.0, "riemann": 0.0, "correct": 0.0,
+    }
+    zero = StepTimings({0: 0.0}, {0: 0.0})
+    assert zero.imbalance() == 1.0

@@ -35,6 +35,8 @@ PUBLIC_API = [
     ("repro.parallel", "ShardPlan"),
     ("repro.parallel", "SharedArrayBundle"),
     ("repro.parallel", "ShardWorkerPool"),
+    ("repro.parallel", "WorkerCrashError"),
+    ("repro.parallel", "StepRecord"),
 ]
 
 HEADER = """\
