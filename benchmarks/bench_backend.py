@@ -1,0 +1,198 @@
+"""Wall-clock comparison: compiled kernel backend vs the NumPy executor.
+
+The compiled backend lowers each variant's :class:`KernelPlan` to
+fixed-shape kernels (see ``docs/backends.md``) and runs them jitted
+through Numba.  This benchmark measures that win on the paper's m = 21
+curvilinear elastic workload -- the order-6 space-time predictor is the
+acceptance phase -- and verifies the two executors agree to round-off:
+the speedup must come purely from execution, never from numerics.
+
+Run styles:
+
+* ``PYTHONPATH=src python benchmarks/bench_backend.py [--quick]``
+  -- speedup report.  With Numba installed the full run *gates*:
+  the compiled order-6 STP must beat the NumPy executor by >= 2x.
+  Without Numba the same generated kernels execute as plain Python
+  (backend ``"generated"``), the numerics check still runs, and the
+  speedup gate is skipped (exit 0).
+* ``PYTHONPATH=src python -m pytest benchmarks/bench_backend.py``
+  -- pytest-benchmark timings of both executors.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.codegen.executor import numba_available, resolve_executor
+from repro.core.spec import KernelSpec
+from repro.core.variants import BatchedSTP
+from repro.pde import CurvilinearElasticPDE
+
+PDE = CurvilinearElasticPDE()
+ORDER = 6
+BATCH = 16
+ELEMENTS = 32
+
+
+def element_block(order, elements=ELEMENTS):
+    rng = np.random.default_rng(0)
+    states = np.empty((elements, order, order, order, PDE.nquantities))
+    for e in range(elements):
+        states[e] = PDE.example_state((order,) * 3, rng)
+    return states
+
+
+def paper_spec(order):
+    return KernelSpec(order=order, nvar=9, nparam=12, arch="skx")
+
+
+def compiled_backend() -> str:
+    """The compiled backend to measure: jitted if possible, else plain."""
+    return "numba" if numba_available() else "generated"
+
+
+def _time(fn, *args, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _driver(variant, order, batch_size, backend):
+    return BatchedSTP(
+        variant, paper_spec(order), PDE, batch_size=batch_size,
+        backend=resolve_executor(backend),
+    )
+
+
+def _max_diff(got, ref) -> float:
+    return max(
+        max(
+            float(np.max(np.abs(g.qavg - r.qavg))),
+            float(np.max(np.abs(g.vavg - r.vavg))),
+        )
+        for g, r in zip(got, ref)
+    )
+
+
+def speedup_report(order=ORDER, elements=ELEMENTS, batch_size=BATCH,
+                   variants=("splitck", "log"), repeats=3):
+    """Time the STP phase on both executors; verify they agree."""
+    states = element_block(order, elements)
+    dt, h = 1e-3, 0.5
+    backend = compiled_backend()
+    rows = []
+    for variant in variants:
+        numpy_driver = _driver(variant, order, batch_size, "numpy")
+        compiled_driver = _driver(variant, order, batch_size, backend)
+        ref = numpy_driver.predictor_all(states, dt, h)
+        got = compiled_driver.predictor_all(states, dt, h)  # warm/compile
+        max_diff = _max_diff(got, ref)
+        compile_s = compiled_driver.executor.stats.drain_compile_s()
+        t_numpy = _time(numpy_driver.predictor_all, states, dt, h,
+                        repeats=repeats)
+        t_compiled = _time(compiled_driver.predictor_all, states, dt, h,
+                           repeats=repeats)
+        rows.append(
+            {
+                "variant": variant,
+                "backend": backend,
+                "order": order,
+                "elements": elements,
+                "t_numpy_ms": 1e3 * t_numpy,
+                "t_compiled_ms": 1e3 * t_compiled,
+                "compile_s": compile_s,
+                "speedup": t_numpy / t_compiled,
+                "max_diff": max_diff,
+                "fallbacks": dict(compiled_driver.executor.stats.fallbacks),
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", ["numpy", "compiled"])
+def test_backend_stp_wallclock(benchmark, backend):
+    order = 4  # keep the pytest leg quick; the CLI gates at order 6
+    name = "numpy" if backend == "numpy" else compiled_backend()
+    driver = _driver("splitck", order, 8, name)
+    states = element_block(order, 8)
+    driver.predictor_all(states, 1e-3, 0.5)  # warm/compile outside timing
+    results = benchmark(driver.predictor_all, states, 1e-3, 0.5)
+    assert len(results) == 8
+
+
+# ---------------------------------------------------------------------------
+# CLI report + acceptance gate
+# ---------------------------------------------------------------------------
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller sweep (CI smoke): lower order, no gate")
+    parser.add_argument("--order", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    order = args.order or (4 if args.quick else ORDER)
+    elements = 8 if args.quick else ELEMENTS
+    batch = 4 if args.quick else BATCH
+    repeats = 1 if args.quick else 3
+    rows = speedup_report(order=order, elements=elements, batch_size=batch,
+                          repeats=repeats)
+
+    numba_note = (
+        "available" if numba_available()
+        else "NOT installed; generated kernels run as plain Python"
+    )
+    print(f"compiled backend: {compiled_backend()} (numba {numba_note})")
+    header = (f"{'variant':<10}{'order':>6}{'elems':>7}"
+              f"{'numpy ms':>10}{'compiled ms':>13}{'compile s':>11}"
+              f"{'speedup':>9}{'max|diff|':>11}")
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(f"{row['variant']:<10}{row['order']:>6}{row['elements']:>7}"
+              f"{row['t_numpy_ms']:10.1f}{row['t_compiled_ms']:13.1f}"
+              f"{row['compile_s']:11.2f}{row['speedup']:9.2f}"
+              f"{row['max_diff']:11.1e}")
+        if row["fallbacks"]:
+            raise SystemExit(
+                f"compiled/{row['variant']} fell back to NumPy: "
+                f"{row['fallbacks']}"
+            )
+        if row["max_diff"] > 1e-10:
+            raise SystemExit(
+                f"compiled/{row['variant']} diverged from the NumPy "
+                f"executor: max|diff| = {row['max_diff']:.3e}"
+            )
+
+    if not numba_available():
+        print("\nspeedup gate skipped: numba not installed "
+              "(plain-Python execution of generated kernels)")
+        return 0
+    if args.quick:
+        print("\nspeedup gate skipped: --quick")
+        return 0
+    worst = min(rows, key=lambda r: r["speedup"])
+    if worst["speedup"] < 2.0:
+        raise SystemExit(
+            f"acceptance: compiled {worst['variant']} at order {order} only "
+            f"reached {worst['speedup']:.2f}x over numpy (need >= 2x)"
+        )
+    print(f"\nacceptance: compiled >= 2x over numpy at order {order} "
+          f"(worst: {worst['variant']} {worst['speedup']:.2f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

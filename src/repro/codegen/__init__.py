@@ -18,10 +18,33 @@ the numbers, the machine model can never drift from the numerics.
   plan for a (spec, variant, PDE) triple.
 * :mod:`repro.codegen.render` -- renders a plan as C-like source for
   inspection, the analog of the generated kernel files.
+* :mod:`repro.codegen.lowering` -- lowers a plan to executable Python
+  kernel source (the compiled backend's input).
+* :mod:`repro.codegen.executor` -- the pluggable ``Executor`` protocol
+  (NumPy reference backend, backend resolution and fallback).
+* :mod:`repro.codegen.compiled` -- the compiled executor and the
+  process-wide plan registry caching lowered programs.
 """
 
 from repro.codegen.plan import Buffer, BufferAccess, GemmOp, KernelPlan, PlanRecorder, PointwiseOp, TransposeOp
 from repro.codegen.controller import template_variables
+from repro.codegen.executor import (
+    BACKEND_NAMES,
+    Executor,
+    ExecutorStats,
+    ExecutorUnavailable,
+    NumpyExecutor,
+    available_backends,
+    numba_available,
+    resolve_executor,
+)
+from repro.codegen.compiled import (
+    CompiledExecutor,
+    NumbaExecutor,
+    PlanRegistry,
+    clear_plan_registry,
+    plan_registry,
+)
 from repro.codegen.generator import KernelGenerator
 
 __all__ = [
@@ -34,4 +57,17 @@ __all__ = [
     "PlanRecorder",
     "KernelGenerator",
     "template_variables",
+    "BACKEND_NAMES",
+    "Executor",
+    "ExecutorStats",
+    "ExecutorUnavailable",
+    "NumpyExecutor",
+    "CompiledExecutor",
+    "NumbaExecutor",
+    "PlanRegistry",
+    "plan_registry",
+    "clear_plan_registry",
+    "available_backends",
+    "numba_available",
+    "resolve_executor",
 ]

@@ -1,0 +1,260 @@
+"""Pluggable execution backends for the solver's hot phases.
+
+The repo's kernels have two faces: the *recorded* one (a
+:class:`~repro.codegen.plan.KernelPlan` feeding the machine model) and
+the *executed* one (NumPy array programs).  This module makes the
+executed face pluggable: an :class:`Executor` carries the three hot
+phases of a solver step -- the batched space-time predictor, the
+face-sweep Riemann solve and the block corrector -- and a solver (or
+worker process) holds exactly one executor instance.
+
+Backends
+--------
+``numpy``
+    :class:`NumpyExecutor` -- the seed path, verbatim.  Every call
+    delegates to the existing NumPy implementations, so results are
+    *bitwise identical* to a solver without any executor plumbing.
+``numba``
+    :class:`~repro.codegen.compiled.NumbaExecutor` -- generated
+    fixed-shape kernels (see :mod:`repro.codegen.lowering`) jitted with
+    Numba and cached in a process-wide plan registry.
+``auto``
+    ``numba`` when importable, else ``numpy``.
+
+Selection goes through :func:`resolve_executor`, which never raises on
+a missing accelerator: requesting ``"numba"`` on a machine without
+Numba returns a :class:`NumpyExecutor` whose ``fallback_reason``
+records why (the conformance suite runs either way).  Only unknown
+backend *names* are an error.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import time
+import warnings
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "Executor",
+    "ExecutorStats",
+    "ExecutorUnavailable",
+    "NumpyExecutor",
+    "BACKEND_NAMES",
+    "numba_available",
+    "available_backends",
+    "resolve_executor",
+]
+
+#: backend names accepted by ``ADERDGSolver(backend=...)``
+BACKEND_NAMES = ("auto", "numpy", "numba")
+
+
+class ExecutorUnavailable(RuntimeError):
+    """A compiled backend cannot run here (missing JIT, bad toolchain)."""
+
+
+@dataclass
+class ExecutorStats:
+    """Wall-clock bookkeeping of one executor instance.
+
+    ``compile_s``/``execute_s`` map phase names (``"predict"``,
+    ``"riemann"``, ``"correct"``) to accumulated seconds; compiled
+    executors attribute each kernel's first call (where lazy native
+    compilation happens) to ``compile_s``.  ``fallbacks`` records why a
+    phase ran on NumPy instead of compiled code, keyed by a short
+    context string -- one entry per distinct reason, not per call.
+    """
+
+    compile_s: dict[str, float] = field(default_factory=dict)
+    execute_s: dict[str, float] = field(default_factory=dict)
+    fallbacks: dict[str, str] = field(default_factory=dict)
+
+    def add_compile(self, phase: str, seconds: float) -> None:
+        """Accumulate compile seconds against ``phase``."""
+        self.compile_s[phase] = self.compile_s.get(phase, 0.0) + seconds
+
+    def add_execute(self, phase: str, seconds: float) -> None:
+        """Accumulate execute seconds against ``phase``."""
+        self.execute_s[phase] = self.execute_s.get(phase, 0.0) + seconds
+
+    def note_fallback(self, context: str, reason: str) -> None:
+        """Record (once) that ``context`` fell back to NumPy."""
+        self.fallbacks.setdefault(context, reason)
+
+    @property
+    def total_compile_s(self) -> float:
+        """Compile seconds summed over all phases."""
+        return sum(self.compile_s.values())
+
+    def drain_compile_s(self) -> float:
+        """Return and reset the accumulated compile seconds.
+
+        The solver calls this once per step to report *new* compilation
+        work in ``last_step_timings`` without double-counting.
+        """
+        total = self.total_compile_s
+        self.compile_s.clear()
+        return total
+
+
+class Executor:
+    """Execution backend interface (and NumPy reference implementation).
+
+    The three phase methods mirror the call sites they replace; the
+    base class implements each by delegating to the seed NumPy code, so
+    a subclass overrides only what it accelerates and inherits a
+    correct fallback for the rest.  Imports inside the methods keep
+    :mod:`repro.codegen` free of import cycles with the engine layer.
+    """
+
+    #: backend name reported in telemetry
+    name = "base"
+    #: whether this executor runs generated (compiled) kernels
+    is_compiled = False
+
+    def __init__(self) -> None:
+        self.stats = ExecutorStats()
+        #: why a requested compiled backend resolved to this executor
+        #: (set by :func:`resolve_executor` on fallback), else ``None``
+        self.fallback_reason: str | None = None
+
+    # -- phases ----------------------------------------------------------
+
+    def predict_block(self, driver, q, dt: float, h: float, sources: list):
+        """Run the STP on one canonical element block.
+
+        ``driver`` is the owning
+        :class:`~repro.core.variants.batched.BatchedSTP`; returns the
+        raw block outputs ``(qavg_c, vavg_c, savg_c, faces)`` exactly
+        like ``BatchedSTP._predict_raw``.
+        """
+        started = time.perf_counter()
+        result = driver._run_numpy(q, dt, h, sources)
+        self.stats.add_execute("predict", time.perf_counter() - started)
+        return result
+
+    def riemann_sweep(self, pde, solver_name: str, q_left, q_right,
+                      params_left, params_right, d: int):
+        """Solve the Riemann problems of one packed face plane.
+
+        Arguments match the :data:`repro.engine.riemann.SWEEP_SOLVERS`
+        signature; returns the ``(n_faces, N, N, m)`` numerical fluxes.
+        """
+        from repro.engine.riemann import SWEEP_SOLVERS
+
+        started = time.perf_counter()
+        result = SWEEP_SOLVERS[solver_name](
+            pde, q_left, q_right, params_left, params_right, d
+        )
+        self.stats.add_execute("riemann", time.perf_counter() - started)
+        return result
+
+    def corrector_block(self, q, vavg, savg, qface, fstar, face_params,
+                        h: float, pde, ops, out=None):
+        """Apply the corrector to a whole element block.
+
+        Arguments match :func:`repro.core.corrector.corrector_all`.
+        """
+        from repro.core.corrector import corrector_all
+
+        started = time.perf_counter()
+        result = corrector_all(
+            q, vavg, savg, qface, fstar, face_params, h, pde, ops, out=out
+        )
+        self.stats.add_execute("correct", time.perf_counter() - started)
+        return result
+
+    # -- introspection ---------------------------------------------------
+
+    def describe(self) -> dict:
+        """Telemetry summary: name, compiled flag, fallbacks seen."""
+        return {
+            "backend": self.name,
+            "compiled": self.is_compiled,
+            "fallback_reason": self.fallback_reason,
+            "fallbacks": dict(self.stats.fallbacks),
+        }
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class NumpyExecutor(Executor):
+    """The seed NumPy path, unchanged -- the conformance reference.
+
+    Every phase delegates to the exact code the solver ran before
+    executors existed, so a ``backend="numpy"`` solver is bitwise
+    identical to the seed across serial/parallel and face-sweep modes.
+    """
+
+    name = "numpy"
+    is_compiled = False
+
+
+def numba_available() -> bool:
+    """Whether the ``numba`` package is importable in this process."""
+    return importlib.util.find_spec("numba") is not None
+
+
+def available_backends() -> dict[str, bool]:
+    """Availability of each concrete backend name on this machine."""
+    return {"numpy": True, "numba": numba_available()}
+
+
+def resolve_executor(backend="auto") -> Executor:
+    """Resolve a backend request into an :class:`Executor` instance.
+
+    ``backend`` may be a name from :data:`BACKEND_NAMES` or an already
+    constructed :class:`Executor` (returned as-is).  ``"auto"`` picks
+    the compiled backend when Numba is importable and NumPy otherwise,
+    unless the ``REPRO_BACKEND`` environment variable pins a concrete
+    name; an explicit ``"numba"`` on a machine without Numba *warns and
+    falls back* rather than raising, so scripts stay portable.  Unknown
+    names raise ``ValueError``.
+    """
+    if isinstance(backend, Executor):
+        return backend
+    if backend == "auto":
+        # environment override: pin the default backend fleet-wide
+        # (the test-suite sets REPRO_BACKEND=numpy so bitwise-identity
+        # tests stay deterministic on machines with Numba installed)
+        backend = os.environ.get("REPRO_BACKEND", "auto") or "auto"
+    if backend == "generated":
+        # undocumented testing backend: the generated kernels executed
+        # as plain Python (no JIT), used by the conformance suite to
+        # exercise the compiled code path on machines without Numba
+        from repro.codegen.compiled import CompiledExecutor
+
+        return CompiledExecutor()
+    if backend not in BACKEND_NAMES:
+        raise ValueError(
+            f"unknown backend {backend!r}; available: {sorted(BACKEND_NAMES)}"
+        )
+    if backend == "numpy":
+        return NumpyExecutor()
+    if backend == "auto" and not numba_available():
+        return NumpyExecutor()
+    # backend == "numba", or "auto" with numba importable
+    from repro.codegen.compiled import NumbaExecutor
+
+    try:
+        return NumbaExecutor()
+    except ExecutorUnavailable as exc:
+        if backend == "numba":
+            warnings.warn(
+                f"backend 'numba' unavailable ({exc}); falling back to numpy",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        fallback = NumpyExecutor()
+        fallback.fallback_reason = str(exc)
+        return fallback
+
+
+def _as_float_array(x) -> np.ndarray:
+    """Contiguous float64 view/copy of ``x`` (compiled-kernel input)."""
+    return np.ascontiguousarray(np.asarray(x, dtype=np.float64))

@@ -48,6 +48,30 @@ class KernelGenerator:
         """Render a C-like source listing of the generated kernel."""
         return render_plan(self.plan(variant), self.spec)
 
-    def plans(self) -> dict[str, KernelPlan]:
-        """Plans for all four variants (harness convenience)."""
-        return {v: self.plan(v) for v in VARIANTS}
+    def lower(self, variant: str) -> str:
+        """Generated executable kernel source for the variant's plan.
+
+        The compiled backend's view of the same plan :meth:`render`
+        shows as a C-like listing; see :mod:`repro.codegen.lowering`.
+        """
+        from repro.codegen.lowering import lower_plan
+
+        return lower_plan(self.plan(variant), self.pde)
+
+    def plans(self, variants=None) -> dict[str, KernelPlan]:
+        """Plans for the requested variants (default: the paper's four).
+
+        Unknown variant names raise ``ValueError`` up front -- before
+        any plan is recorded -- naming the offender and the available
+        registry.
+        """
+        from repro.core.variants import KERNEL_CLASSES
+
+        selected = tuple(VARIANTS if variants is None else variants)
+        unknown = [v for v in selected if v not in KERNEL_CLASSES]
+        if unknown:
+            raise ValueError(
+                f"unknown variant names {unknown!r}; available: "
+                f"{sorted(KERNEL_CLASSES)}"
+            )
+        return {v: self.plan(v) for v in selected}

@@ -1,0 +1,620 @@
+"""Lower kernel plans to compiled-backend source (the native-kernel view).
+
+:mod:`repro.codegen.render` shows a recorded :class:`~repro.codegen.plan.
+KernelPlan` as a *C-like listing* for inspection; this module goes one
+step further and emits **executable** kernel source for the same
+operation stream: plain Python functions over contiguous ``float64``
+arrays, written so that ``numba.njit`` compiles every loop nest to
+native code (the Loop-over-GEMM contractions, the PDE user functions,
+the Rusanov face sweep and the corrector's surface lifting).
+
+Two properties make the generated source the conformance anchor of the
+compiled backend:
+
+* it is **valid Python** -- the test-suite executes it *without* Numba
+  on tiny problems and checks round-off-level agreement against the
+  NumPy executor, so the generated numerics are verified even on
+  machines where Numba is absent;
+* it is **deterministic** -- equal ``(family, spec, PDE)`` inputs yield
+  byte-identical source (enforced by a regression test), so the
+  process-wide plan registry can key compiled artifacts structurally.
+
+Only PDEs with a registered flux template can be lowered
+(:func:`supports_pde`); everything else falls back to the NumPy
+executor at run time.  Non-conservative products are not lowered --
+the NCP systems stay on the NumPy path.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.pde.base import LinearPDE
+from repro.pde.elastic import _NORMAL, _SHEAR, _SHEAR_V, VX
+
+__all__ = [
+    "FAMILY_OF_VARIANT",
+    "variant_family",
+    "supports_pde",
+    "unsupported_reason",
+    "pde_token",
+    "generate_module_source",
+    "compile_module",
+    "lower_plan",
+]
+
+#: kernel-loop family of each STP variant: the SplitCK single-time-level
+#: recurrence (Sec. IV) or the full space-time storage loop (Fig. 1 /
+#: Sec. III).  The compiled backend lowers one loop nest per family on
+#: the canonical ``(b, N, N, N, m)`` layout -- layout games (AoS
+#: padding, AoSoA) are a NumPy-executor concern; compiled loops are
+#: already vectorized by the compiler.
+FAMILY_OF_VARIANT = {
+    "splitck": "splitck",
+    "transpose_uf": "splitck",
+    "aosoa": "splitck",
+    "log": "spacetime",
+    "generic": "spacetime",
+}
+
+
+def variant_family(variant: str) -> str:
+    """Loop family of ``variant``; raises ``ValueError`` when unknown."""
+    try:
+        return FAMILY_OF_VARIANT[variant]
+    except KeyError:
+        raise ValueError(
+            f"unknown variant {variant!r}; available: {sorted(FAMILY_OF_VARIANT)}"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# per-PDE user-function templates
+# ---------------------------------------------------------------------------
+
+
+def _advection_flux(pde, d: int) -> list[str]:
+    v = repr(float(pde.velocity[d]))
+    return [
+        "for s in range(M):",
+        f"    f[k, s] = {v} * q[k, s]",
+    ]
+
+
+def _advection_wave(pde) -> list[str]:
+    import numpy as np
+
+    speed = repr(float(np.max(np.abs(pde.velocity))))
+    return [f"ws = {speed}"]
+
+
+def _acoustic_flux(pde, d: int) -> list[str]:
+    del pde
+    return [
+        "rho = q[k, 4]",
+        "c = q[k, 5]",
+        "for s in range(M):",
+        "    f[k, s] = 0.0",
+        f"f[k, 0] = rho * c * c * q[k, {1 + d}]",
+        f"f[k, {1 + d}] = q[k, 0] / rho",
+    ]
+
+
+def _acoustic_wave(pde) -> list[str]:
+    del pde
+    return ["ws = abs(q[k, 5])"]
+
+
+def _elastic_material_lines(nvar: int) -> list[str]:
+    return [
+        f"rho = q[k, {nvar + 0}]",
+        f"cp = q[k, {nvar + 1}]",
+        f"cs = q[k, {nvar + 2}]",
+        "mu = rho * cs * cs",
+        "lam = rho * (cp * cp - 2.0 * cs * cs)",
+        "inv_rho = 1.0 / rho",
+    ]
+
+
+def _cartesian_elastic_components(b: int) -> dict[int, str]:
+    """Nonzero Cartesian elastic flux components of direction ``b``.
+
+    Expression strings in terms of ``q[k, j]`` and the material locals
+    of :func:`_elastic_material_lines`; mirrors
+    :meth:`repro.pde.elastic.ElasticPDE.flux` statement by statement.
+    """
+    comp: dict[int, str] = {}
+    comp[VX + b] = f"-q[k, {_NORMAL[b]}] * inv_rho"
+    for shear_idx, v_idx in zip(_SHEAR[b], _SHEAR_V[b]):
+        comp[v_idx] = f"-q[k, {shear_idx}] * inv_rho"
+    for a, idx in enumerate(_NORMAL):
+        coeff = "(lam + 2.0 * mu)" if a == b else "lam"
+        comp[idx] = f"-{coeff} * q[k, {VX + b}]"
+    for shear_idx, v_idx in zip(_SHEAR[b], _SHEAR_V[b]):
+        comp[shear_idx] = f"-mu * q[k, {v_idx}]"
+    return comp
+
+
+def _elastic_flux(pde, d: int) -> list[str]:
+    del pde
+    lines = _elastic_material_lines(9)
+    lines += ["for s in range(M):", "    f[k, s] = 0.0"]
+    for j, expr in sorted(_cartesian_elastic_components(d).items()):
+        lines.append(f"f[k, {j}] = {expr}")
+    return lines
+
+
+def _elastic_wave(pde) -> list[str]:
+    del pde
+    return ["ws = abs(q[k, 10])"]
+
+
+def _curvilinear_flux(pde, d: int) -> list[str]:
+    del pde
+    lines = _elastic_material_lines(9)
+    for b in range(3):
+        lines.append(f"g{b} = q[k, {12 + 3 * d + b}]")
+    lines += ["for s in range(M):", "    f[k, s] = 0.0"]
+    comps = [_cartesian_elastic_components(b) for b in range(3)]
+    for j in range(9):
+        terms = [
+            f"g{b} * ({comps[b][j]})" for b in range(3) if j in comps[b]
+        ]
+        lines.append(f"f[k, {j}] = " + " + ".join(terms))
+    return lines
+
+
+def _curvilinear_wave(pde) -> list[str]:
+    del pde
+    lines = []
+    for row in range(3):
+        g = [f"q[k, {12 + 3 * row + col}]" for col in range(3)]
+        lines.append(
+            f"rn{row} = np.sqrt({g[0]} * {g[0]} + {g[1]} * {g[1]} + "
+            f"{g[2]} * {g[2]})"
+        )
+    lines.append("ws = abs(q[k, 10]) * max(max(rn0, rn1), rn2)")
+    return lines
+
+
+#: PDE name -> (flux template, wave-speed template).  Flux templates
+#: emit statements assigning every quantity slot of ``f[k, :]`` from
+#: ``q[k, :]`` for a generation-time direction ``d``; wave templates
+#: set the local ``ws``.
+_PDE_TEMPLATES = {
+    "advection": (_advection_flux, _advection_wave),
+    "acoustic": (_acoustic_flux, _acoustic_wave),
+    "elastic": (_elastic_flux, _elastic_wave),
+    "curvilinear_elastic": (_curvilinear_flux, _curvilinear_wave),
+}
+
+
+def unsupported_reason(pde: LinearPDE) -> str | None:
+    """Why ``pde`` cannot be lowered (``None`` when it can)."""
+    if getattr(pde, "has_ncp", False):
+        return f"{pde.name}: non-conservative products are not lowered"
+    if not getattr(pde, "is_linear", True):
+        return f"{pde.name}: only linear systems are lowered"
+    if pde.name not in _PDE_TEMPLATES:
+        return (
+            f"no flux template registered for PDE {pde.name!r}; "
+            f"available: {sorted(_PDE_TEMPLATES)}"
+        )
+    return None
+
+
+def supports_pde(pde: LinearPDE) -> bool:
+    """Whether the compiled backend can lower this PDE's user functions."""
+    return unsupported_reason(pde) is None
+
+
+def pde_token(pde: LinearPDE) -> tuple:
+    """Hashable generation key of a PDE (name, sizes, flux constants)."""
+    extra: tuple = ()
+    if pde.name == "advection":
+        extra = tuple(float(v) for v in pde.velocity)
+    return (pde.name, pde.nvar, pde.nparam, extra)
+
+
+# ---------------------------------------------------------------------------
+# source emission
+# ---------------------------------------------------------------------------
+
+
+def _emit_def(out: list[str], header: str, body: list[str]) -> None:
+    out.append(f"def {header}:")
+    for line in body:
+        out.append("    " + line)
+    out.append("")
+    out.append("")
+
+
+def _flux_fn(pde: LinearPDE, d: int) -> list[str]:
+    flux_tpl, _ = _PDE_TEMPLATES[pde.name]
+    body = [
+        f'"""Generated {pde.name} flux, direction {d}, on (K, M) nodes."""',
+        "for k in range(q.shape[0]):",
+    ]
+    body += ["    " + line for line in flux_tpl(pde, d)]
+    return body
+
+
+def _wave_fn(pde: LinearPDE) -> list[str]:
+    _, wave_tpl = _PDE_TEMPLATES[pde.name]
+    body = [
+        f'"""Generated {pde.name} max wave speed on (K, M) nodes."""',
+        "for k in range(q.shape[0]):",
+    ]
+    body += ["    " + line for line in wave_tpl(pde)]
+    body += ["    out[k] = ws"]
+    return body
+
+
+_HELPERS = """\
+def _fill(a, v):
+    \"\"\"Set every entry of the flat array ``a`` to ``v``.\"\"\"
+    for i in range(a.shape[0]):
+        a[i] = v
+
+
+def _copy(dst, src):
+    \"\"\"Copy the flat array ``src`` into ``dst``.\"\"\"
+    for i in range(dst.shape[0]):
+        dst[i] = src[i]
+
+
+def _axpy(dst, c, src):
+    \"\"\"Accumulate ``dst += c * src`` over flat arrays.\"\"\"
+    for i in range(dst.shape[0]):
+        dst[i] += c * src[i]
+
+
+def _set_params(dst, src):
+    \"\"\"Copy the static parameter slots of ``src`` into ``dst`` (K, M).\"\"\"
+    for k in range(dst.shape[0]):
+        for s in range(NVAR, M):
+            dst[k, s] = src[k, s]
+
+
+def _scale_params(dst, src, c):
+    \"\"\"Write ``c`` times the parameter slots of ``src`` into ``dst``.\"\"\"
+    for k in range(dst.shape[0]):
+        for s in range(NVAR, M):
+            dst[k, s] = c * src[k, s]
+"""
+
+#: per-direction contraction loop nests: the canonical-axis twin of
+#: :func:`repro.tensor.contraction.block_contract_axis` (d -> axis map
+#: is AXIS_OF_DIM shifted by the block axis; always accumulating).
+_CONTRACT = """\
+def contract_d0(mat, src, dst):
+    \"\"\"dst[e,z,y,l,s] += mat[l,j] src[e,z,y,j,s] (x-derivative LoG).\"\"\"
+    for e in range(src.shape[0]):
+        for z in range(N):
+            for y in range(N):
+                for l in range(N):
+                    for j in range(N):
+                        w = mat[l, j]
+                        for s in range(M):
+                            dst[e, z, y, l, s] += w * src[e, z, y, j, s]
+
+
+def contract_d1(mat, src, dst):
+    \"\"\"dst[e,z,l,x,s] += mat[l,j] src[e,z,j,x,s] (y-derivative LoG).\"\"\"
+    for e in range(src.shape[0]):
+        for z in range(N):
+            for l in range(N):
+                for j in range(N):
+                    w = mat[l, j]
+                    for x in range(N):
+                        for s in range(M):
+                            dst[e, z, l, x, s] += w * src[e, z, j, x, s]
+
+
+def contract_d2(mat, src, dst):
+    \"\"\"dst[e,l,y,x,s] += mat[l,j] src[e,j,y,x,s] (z-derivative LoG).\"\"\"
+    for e in range(src.shape[0]):
+        for l in range(N):
+            for j in range(N):
+                w = mat[l, j]
+                for y in range(N):
+                    for x in range(N):
+                        for s in range(M):
+                            dst[e, l, y, x, s] += w * src[e, j, y, x, s]
+"""
+
+_STP_SPLITCK = """\
+def stp_splitck(q, dt, coef, nderiv, src, src_mask, p, pnext, flx, qavg, favg0, favg1, favg2, savg):
+    \"\"\"SplitCK recurrence (Sec. IV) on a canonical (b, N, N, N, M) block.
+
+    Mirrors ``BatchedSTP._block_splitck`` statement by statement on the
+    unpadded layout: Taylor accumulation, three flux + LoG-derivative
+    stages per degree, source injection, parameter refresh, then the
+    ``favg_d = V_d qavg`` recomputation.  All outputs are written in
+    place; ``src``/``src_mask`` carry the per-element point-source
+    terms (``src`` is only read where the mask is set).
+    \"\"\"
+    b = q.shape[0]
+    _copy(p.reshape(-1), q.reshape(-1))
+    _fill(qavg.reshape(-1), 0.0)
+    _fill(savg.reshape(-1), 0.0)
+    for o in range(N):
+        c = coef[o]
+        _axpy(qavg.reshape(-1), c, p.reshape(-1))
+        _fill(pnext.reshape(-1), 0.0)
+        flux_d0(p.reshape(-1, M), flx.reshape(-1, M))
+        contract_d0(nderiv, flx, pnext)
+        flux_d1(p.reshape(-1, M), flx.reshape(-1, M))
+        contract_d1(nderiv, flx, pnext)
+        flux_d2(p.reshape(-1, M), flx.reshape(-1, M))
+        contract_d2(nderiv, flx, pnext)
+        for e in range(b):
+            if src_mask[e]:
+                _axpy(pnext[e].reshape(-1), 1.0, src[e, o].reshape(-1))
+                _axpy(savg[e].reshape(-1), c, src[e, o].reshape(-1))
+        _set_params(pnext.reshape(-1, M), q.reshape(-1, M))
+        swap = p
+        p = pnext
+        pnext = swap
+    _set_params(qavg.reshape(-1, M), q.reshape(-1, M))
+    _fill(favg0.reshape(-1), 0.0)
+    _fill(favg1.reshape(-1), 0.0)
+    _fill(favg2.reshape(-1), 0.0)
+    flux_d0(qavg.reshape(-1, M), flx.reshape(-1, M))
+    contract_d0(nderiv, flx, favg0)
+    flux_d1(qavg.reshape(-1, M), flx.reshape(-1, M))
+    contract_d1(nderiv, flx, favg1)
+    flux_d2(qavg.reshape(-1, M), flx.reshape(-1, M))
+    contract_d2(nderiv, flx, favg2)
+    _scale_params(qavg.reshape(-1, M), q.reshape(-1, M), dt)
+"""
+
+_STP_SPACETIME = """\
+def stp_spacetime(q, dt, coef, nderiv, src, src_mask, pst, dfst, flx, qavg, favg0, favg1, favg2, savg):
+    \"\"\"Full space-time-storage CK loop (Fig. 1) on a canonical block.
+
+    Mirrors ``BatchedSTP._block_spacetime``: every Taylor degree keeps
+    its own ``p`` level (``pst``, ``(N+1, b, N, N, N, M)``) and
+    directional derivative (``dfst``, ``(N, 3, b, N, N, N, M)``); the
+    time-averaged outputs are Taylor-weighted sums over the stored
+    levels.
+    \"\"\"
+    b = q.shape[0]
+    _fill(pst.reshape(-1), 0.0)
+    _copy(pst[0].reshape(-1), q.reshape(-1))
+    for o in range(N):
+        flux_d0(pst[o].reshape(-1, M), flx.reshape(-1, M))
+        _fill(dfst[o, 0].reshape(-1), 0.0)
+        contract_d0(nderiv, flx, dfst[o, 0])
+        flux_d1(pst[o].reshape(-1, M), flx.reshape(-1, M))
+        _fill(dfst[o, 1].reshape(-1), 0.0)
+        contract_d1(nderiv, flx, dfst[o, 1])
+        flux_d2(pst[o].reshape(-1, M), flx.reshape(-1, M))
+        _fill(dfst[o, 2].reshape(-1), 0.0)
+        contract_d2(nderiv, flx, dfst[o, 2])
+        nxt = pst[o + 1]
+        _axpy(nxt.reshape(-1), 1.0, dfst[o, 0].reshape(-1))
+        _axpy(nxt.reshape(-1), 1.0, dfst[o, 1].reshape(-1))
+        _axpy(nxt.reshape(-1), 1.0, dfst[o, 2].reshape(-1))
+        for e in range(b):
+            if src_mask[e]:
+                _axpy(nxt[e].reshape(-1), 1.0, src[e, o].reshape(-1))
+        _set_params(nxt.reshape(-1, M), q.reshape(-1, M))
+    _fill(qavg.reshape(-1), 0.0)
+    _fill(savg.reshape(-1), 0.0)
+    for o in range(N):
+        _axpy(qavg.reshape(-1), coef[o], pst[o].reshape(-1))
+    _fill(favg0.reshape(-1), 0.0)
+    _fill(favg1.reshape(-1), 0.0)
+    _fill(favg2.reshape(-1), 0.0)
+    for o in range(N):
+        _axpy(favg0.reshape(-1), coef[o], dfst[o, 0].reshape(-1))
+    for o in range(N):
+        _axpy(favg1.reshape(-1), coef[o], dfst[o, 1].reshape(-1))
+    for o in range(N):
+        _axpy(favg2.reshape(-1), coef[o], dfst[o, 2].reshape(-1))
+    for e in range(b):
+        if src_mask[e]:
+            for o in range(N):
+                _axpy(savg[e].reshape(-1), coef[o], src[e, o].reshape(-1))
+    _scale_params(qavg.reshape(-1, M), q.reshape(-1, M), dt)
+"""
+
+
+def _riemann_fn(d: int) -> list[str]:
+    return [
+        f'"""Rusanov flux over flattened face nodes, direction {d}.',
+        "",
+        "``ql`` / ``qr`` are parameter-embedded (K, M) face states;",
+        "scratch ``fl``/``fr``/``sl``/``sr`` and the output are caller",
+        "buffers.  Mirrors :func:`repro.engine.riemann.rusanov_flux`.",
+        '"""',
+        f"flux_d{d}(ql, fl)",
+        f"flux_d{d}(qr, fr)",
+        "wave_speed(ql, sl)",
+        "wave_speed(qr, sr)",
+        "for k in range(ql.shape[0]):",
+        "    smax = sl[k] if sl[k] > sr[k] else sr[k]",
+        "    for s in range(M):",
+        "        out[k, s] = 0.5 * (fl[k, s] + fr[k, s])",
+        "    for s in range(NVAR):",
+        "        out[k, s] -= 0.5 * smax * (qr[k, s] - ql[k, s])",
+    ]
+
+
+_CORRECTOR = """\
+def corrector_apply(q, vavg, sterm, jumps, lift_l, lift_r, inv_h, out):
+    \"\"\"Corrector volume update + six surface lifts (paper eq. 5).
+
+    ``jumps`` holds the precomputed ``F* - F(qface)`` per element face,
+    ``(b, 3, 2, N, N, M)``; ``sterm`` the dense time-integrated source
+    block (zero where no source).  Mirrors
+    :func:`repro.core.corrector.corrector_all` in update order.
+    \"\"\"
+    b = q.shape[0]
+    qf = q.reshape(-1)
+    vf = vavg.reshape(-1)
+    sf = sterm.reshape(-1)
+    of = out.reshape(-1)
+    for i in range(qf.shape[0]):
+        of[i] = qf[i] + vf[i] + sf[i]
+    for e in range(b):
+        for z in range(N):
+            for y in range(N):
+                for x in range(N):
+                    for s in range(M):
+                        out[e, z, y, x, s] += inv_h * lift_l[x] * jumps[e, 0, 0, z, y, s]
+        for z in range(N):
+            for y in range(N):
+                for x in range(N):
+                    for s in range(M):
+                        out[e, z, y, x, s] -= inv_h * lift_r[x] * jumps[e, 0, 1, z, y, s]
+        for z in range(N):
+            for y in range(N):
+                for x in range(N):
+                    for s in range(M):
+                        out[e, z, y, x, s] += inv_h * lift_l[y] * jumps[e, 1, 0, z, x, s]
+        for z in range(N):
+            for y in range(N):
+                for x in range(N):
+                    for s in range(M):
+                        out[e, z, y, x, s] -= inv_h * lift_r[y] * jumps[e, 1, 1, z, x, s]
+        for z in range(N):
+            for y in range(N):
+                for x in range(N):
+                    for s in range(M):
+                        out[e, z, y, x, s] += inv_h * lift_l[z] * jumps[e, 2, 0, y, x, s]
+        for z in range(N):
+            for y in range(N):
+                for x in range(N):
+                    for s in range(M):
+                        out[e, z, y, x, s] -= inv_h * lift_r[z] * jumps[e, 2, 1, y, x, s]
+"""
+
+
+def generate_module_source(
+    family: str, n: int, pde: LinearPDE, header: str = ""
+) -> str:
+    """Emit the kernel-module source of one ``(family, order, PDE)`` triple.
+
+    The module contains the family's STP loop, the three per-direction
+    flux sweeps, the wave-speed sweep, the per-direction Rusanov face
+    kernels and the block corrector -- everything a whole solver step
+    needs.  ``header`` is an optional comment block (the plan summary
+    :func:`lower_plan` prepends).
+    """
+    if family not in ("splitck", "spacetime"):
+        raise ValueError(f"unknown kernel family {family!r}")
+    reason = unsupported_reason(pde)
+    if reason is not None:
+        raise ValueError(f"cannot lower {pde.name}: {reason}")
+    m, nvar = pde.nquantities, pde.nvar
+    out: list[str] = []
+    out.append(
+        f'"""Generated kernels: family={family}, pde={pde.name}, '
+        f'N={n}, M={m}."""'
+    )
+    if header:
+        out.extend(header.rstrip().splitlines())
+    out += [
+        "import numpy as np",
+        "",
+        f"N = {n}",
+        f"M = {m}",
+        f"NVAR = {nvar}",
+        "",
+        "",
+    ]
+    out.extend(_HELPERS.splitlines())
+    out += ["", ""]
+    for d in range(3):
+        _emit_def(out, f"flux_d{d}(q, f)", _flux_fn(pde, d))
+    _emit_def(out, "wave_speed(q, out)", _wave_fn(pde))
+    out.extend(_CONTRACT.splitlines())
+    out += ["", ""]
+    if family == "splitck":
+        out.extend(_STP_SPLITCK.splitlines())
+    else:
+        out.extend(_STP_SPACETIME.splitlines())
+    out += ["", ""]
+    for d in range(3):
+        _emit_def(
+            out,
+            f"riemann_rusanov_d{d}(ql, qr, fl, fr, sl, sr, out)",
+            _riemann_fn(d),
+        )
+    out.extend(_CORRECTOR.splitlines())
+    return "\n".join(out).rstrip() + "\n"
+
+
+#: names of the generated functions that get jit-wrapped, in dependency
+#: order (callees first, so callers resolve the wrapped versions).
+KERNEL_NAMES = (
+    "_fill",
+    "_copy",
+    "_axpy",
+    "_set_params",
+    "_scale_params",
+    "flux_d0",
+    "flux_d1",
+    "flux_d2",
+    "wave_speed",
+    "contract_d0",
+    "contract_d1",
+    "contract_d2",
+    "stp_splitck",
+    "stp_spacetime",
+    "riemann_rusanov_d0",
+    "riemann_rusanov_d1",
+    "riemann_rusanov_d2",
+    "corrector_apply",
+)
+
+
+def compile_module(source: str, jit=None, tag: str = "generated") -> tuple[dict, float]:
+    """Execute generated source, optionally jit-wrapping every kernel.
+
+    ``jit`` is a decorator (e.g. ``numba.njit``) applied to each
+    generated function; ``None`` leaves them as plain Python (the
+    conformance-test mode).  Returns ``(namespace, seconds)`` where
+    ``seconds`` is the wall time of the exec + wrap step (actual native
+    compilation is lazy and surfaces in the first-call timing).
+    """
+    started = time.perf_counter()
+    namespace: dict = {}
+    code = compile(source, f"<{tag}>", "exec")
+    exec(code, namespace)
+    if jit is not None:
+        for name in KERNEL_NAMES:
+            if name in namespace:
+                namespace[name] = jit(namespace[name])
+    return namespace, time.perf_counter() - started
+
+
+def lower_plan(plan, pde: LinearPDE) -> str:
+    """Lower a recorded :class:`~repro.codegen.plan.KernelPlan` to source.
+
+    The plan contributes the variant (hence loop family) and a summary
+    header -- its GEMM schedule and temporary footprint -- embedded as
+    comments, so the generated module documents the operation stream it
+    replaces.  The plan's op kinds are validated: a plan containing an
+    unknown operation type cannot be lowered.
+    """
+    from repro.codegen.plan import GemmOp, PointwiseOp, TransposeOp
+
+    for op in plan.ops:
+        if not isinstance(op, (GemmOp, PointwiseOp, TransposeOp)):
+            raise ValueError(f"plan contains un-lowerable op {op!r}")
+    family = variant_family(plan.variant)
+    gemms = ", ".join(
+        f"{mm}x{nn}x{kk}x{batch}" for mm, nn, kk, batch in plan.gemm_shapes()
+    )
+    header = "\n".join(
+        [
+            f"# lowered from plan: variant={plan.variant}",
+            f"# gemm schedule: {gemms or 'none'}",
+            f"# temp footprint: {plan.temp_footprint_bytes} bytes",
+        ]
+    )
+    n = plan.spec.order
+    return generate_module_source(family, n, pde, header=header)

@@ -36,6 +36,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.basis.operators import DGOperators, cached_operators
+from repro.codegen.executor import resolve_executor
 from repro.core.layouts import Layout, TensorLayout
 from repro.core.spec import KernelSpec
 from repro.core.variants.base import (
@@ -214,6 +215,12 @@ class BatchedSTP:
         arena is sized for ``B`` at construction; meshes whose element
         count is not a multiple of ``B`` are handled with partial-block
         views (no reallocation).
+    backend:
+        Execution backend for the block predictor: a name accepted by
+        :func:`repro.codegen.executor.resolve_executor` (``"numpy"``,
+        ``"numba"``, ``"auto"``) or an
+        :class:`~repro.codegen.executor.Executor` instance to share
+        with other phases.  Defaults to the NumPy reference path.
     """
 
     def __init__(
@@ -222,6 +229,7 @@ class BatchedSTP:
         spec: KernelSpec,
         pde: LinearPDE,
         batch_size: int = 8,
+        backend="numpy",
     ):
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -244,6 +252,7 @@ class BatchedSTP:
         self.oset = operator_set(variant, spec, pde)
         self.registry = GemmRegistry(spec.architecture.vector_doubles)
         self.arena = ScratchArena()
+        self.executor = resolve_executor(backend)
         self._impl = {
             "generic": self._block_generic,
             "log": self._block_log,
@@ -474,6 +483,10 @@ class BatchedSTP:
             raise ValueError(f"block size must be in 1..{self.batch_size}, got {b}")
         if len(sources) != b:
             raise ValueError("sources must match the block size")
+        return self.executor.predict_block(self, q, dt, h, sources)
+
+    def _run_numpy(self, q: np.ndarray, dt: float, h: float, sources: list) -> tuple:
+        """The variant's NumPy implementation (the executors' fallback)."""
         return self._impl(q, dt, h, sources)
 
     # -- shared pieces ----------------------------------------------------

@@ -152,6 +152,9 @@ class FaceSweep:
         Optional element subset (a parallel shard); defaults to the
         whole grid.  The plane then contains all faces touching the
         subset, cross-shard ones included.
+    executor:
+        Optional :class:`~repro.codegen.executor.Executor` running the
+        per-direction Riemann calls (default: the NumPy executor).
     """
 
     def __init__(
@@ -162,6 +165,7 @@ class FaceSweep:
         riemann: str = "rusanov",
         boundary: str = "absorbing",
         elements=None,
+        executor=None,
     ):
         self.grid = grid
         self.pde = pde
@@ -169,6 +173,11 @@ class FaceSweep:
         self.riemann_name = riemann
         self.riemann = SWEEP_SOLVERS[riemann]
         self.boundary = boundary
+        if executor is None:
+            from repro.codegen.executor import NumpyExecutor
+
+            executor = NumpyExecutor()
+        self.executor = executor
         self.faces = tuple(direction_faces(grid, d, elements) for d in range(3))
         n, m = order, pde.nquantities
         self._q_left = [np.zeros((df.n_faces, n, n, m)) for df in self.faces]
@@ -248,7 +257,9 @@ class FaceSweep:
                 q_left[df.ghost_left] = ghost_state(
                     boundary, pde, q_right[df.ghost_left], d, 0
                 )
-            self.fluxes[d] = self.riemann(pde, q_left, q_right, pl, pr, d)
+            self.fluxes[d] = self.executor.riemann_sweep(
+                pde, self.riemann_name, q_left, q_right, pl, pr, d
+            )
 
     def gather_fstar(self, elements: np.ndarray, out: np.ndarray) -> None:
         """Scatter the swept fluxes back to per-element face order.

@@ -29,7 +29,8 @@ import time
 import numpy as np
 
 from repro.basis.operators import cached_operators
-from repro.core.corrector import _face_params, corrector_all, corrector_update
+from repro.codegen.executor import BACKEND_NAMES, Executor, resolve_executor
+from repro.core.corrector import _face_params, corrector_update
 from repro.core.spec import KernelSpec
 from repro.core.variants import BatchedSTP, ElementSource, combine_sources, make_kernel
 from repro.core.variants.batched import ScratchArena
@@ -84,6 +85,16 @@ class ADERDGSolver:
         (:mod:`repro.engine.facesweep`); ``False`` keeps the legacy
         per-face / per-element loop (bitwise-identical results -- the
         escape hatch exists for the conformance tests).
+    backend:
+        Execution backend for the hot phases (see ``docs/backends.md``):
+        ``"numpy"`` (the seed path, bitwise identical), ``"numba"``
+        (generated compiled kernels, NumPy fallback when Numba is
+        missing) or ``"auto"`` (the default: numba when importable).
+        An :class:`~repro.codegen.executor.Executor` instance is also
+        accepted.  A compiled backend implies block execution: when
+        ``batch_size`` is ``None`` the predictor runs batched with a
+        default block of 8 (the legacy per-element loop has no compiled
+        form).  Parallel workers resolve their own backend per process.
     """
 
     def __init__(
@@ -102,6 +113,7 @@ class ADERDGSolver:
         start_method: str | None = None,
         face_sweep: bool = True,
         on_worker_failure: str = "raise",
+        backend="auto",
     ):
         self.grid = grid
         self.pde = pde
@@ -114,13 +126,26 @@ class ADERDGSolver:
         )
         self.variant = variant
         self.kernel = make_kernel(variant, self.spec, pde)
+        #: the backend request as given (a name or an Executor instance)
+        self.backend_requested = backend
+        #: the resolved per-process :class:`~repro.codegen.executor.Executor`
+        self.executor = resolve_executor(backend)
+        #: resolved backend name ("numpy" / "numba" / a custom executor's)
+        self.backend = self.executor.name
         # Optional batched execution: fuse the predictor over element
-        # blocks of this size (None keeps the per-element loop).
+        # blocks of this size.  None keeps the per-element loop on the
+        # NumPy backend; compiled backends have no per-element form, so
+        # they default to blocks of 8.
+        if batch_size is None and self.executor.is_compiled:
+            batch_size = 8
         self.batch_size = batch_size
         self.batched = (
             None
             if batch_size is None
-            else BatchedSTP(variant, self.spec, pde, batch_size=batch_size)
+            else BatchedSTP(
+                variant, self.spec, pde, batch_size=batch_size,
+                backend=self.executor,
+            )
         )
         self.ops = cached_operators(order, quadrature)
         self.riemann_name = riemann
@@ -298,6 +323,20 @@ class ADERDGSolver:
             "num_workers=1"
         )
 
+    def _worker_backend(self) -> str:
+        """Backend *name* forwarded to worker processes.
+
+        Executor instances hold process-local state (compiled programs,
+        scratch arenas) and cannot be shipped across processes, so
+        workers re-resolve the backend by name; a custom executor whose
+        name is not a registered backend degrades to ``"numpy"``.
+        """
+        request = self.backend_requested
+        if isinstance(request, Executor):
+            resolvable = BACKEND_NAMES + ("generated",)
+            return request.name if request.name in resolvable else "numpy"
+        return request
+
     def _ensure_pool(self):
         """Spawn the persistent worker pool on first use."""
         if self._pool is None:
@@ -318,6 +357,7 @@ class ADERDGSolver:
                 start_method=self._start_method,
                 face_sweep=self.face_sweep,
                 on_worker_failure=self.on_worker_failure,
+                backend=self._worker_backend(),
             )
         return self._pool
 
@@ -435,7 +475,9 @@ class ADERDGSolver:
             wall=wall,
             phase_walls=self._phase_walls(),
             worker_busy=self._worker_busy(),
+            backend=self.backend,
         )
+        record.compile_s = record.phase_walls.get("compile", 0.0)
         events = None
         if mode == "parallel" and self._pool is not None:
             events = self._pool.last_step_events
@@ -482,6 +524,7 @@ class ADERDGSolver:
                 n,
                 riemann=self.riemann_name,
                 boundary=self.boundary,
+                executor=self.executor,
             )
             self._qface_all = np.zeros((grid.n_elements, 3, 2, n, n, m))
             self._vavg_all = np.zeros((grid.n_elements, n, n, n, m))
@@ -539,7 +582,7 @@ class ADERDGSolver:
                 for i, e in enumerate(chunk)
                 if int(e) in savg_map
             }
-            corrector_all(
+            self.executor.corrector_block(
                 self.states[chunk],
                 self._vavg_all[start : start + b],
                 savg_rows,
@@ -558,6 +601,12 @@ class ADERDGSolver:
             "riemann": t2 - t1,
             "correct": t3 - t2,
         }
+        # surface *new* compilation work (first step of a compiled
+        # backend); the numpy executor never accrues compile time, so
+        # the timing dict keeps its three-key shape on the seed path
+        compile_s = self.executor.stats.drain_compile_s()
+        if compile_s > 0.0:
+            self.last_step_timings["compile"] = compile_s
 
     def _step_serial_legacy(self, dt: float) -> None:
         """One step through the per-face / per-element reference loops."""

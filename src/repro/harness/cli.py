@@ -8,6 +8,7 @@ import sys
 from repro.harness import report
 
 EXPERIMENTS = {
+    "backend": report.render_backend,
     "fig4": report.render_fig4,
     "fig6": report.render_fig6,
     "fig9": report.render_fig9,

@@ -6,6 +6,7 @@ import csv
 from pathlib import Path
 
 from repro.harness.figures import (
+    backend_table,
     batched_footprint_table,
     figure10,
     figure4,
@@ -52,6 +53,7 @@ def export_all(directory: str | Path) -> list[Path]:
         write_rows(directory / "roofline.csv", roofline_table()),
         write_rows(directory / "parallel.csv", parallel_scaling_table()),
         write_rows(directory / "facesweep.csv", phase_breakdown_table()),
+        write_rows(directory / "backend.csv", backend_table()),
     ]
     headline_rows = [
         {

@@ -19,6 +19,7 @@ __all__ = [
     "figure6",
     "figure9",
     "figure10",
+    "backend_table",
     "batched_footprint_table",
     "footprint_table",
     "headline_metrics",
@@ -265,7 +266,8 @@ def phase_breakdown_table(
         for _ in range(steps):
             solver.step(dt)
             for phase, seconds in solver.last_step_timings.items():
-                totals[phase] += seconds
+                if phase in totals:  # a compiled backend may add "compile"
+                    totals[phase] += seconds
         total = sum(totals.values())
         rows.append(
             {
@@ -276,6 +278,53 @@ def phase_breakdown_table(
                 "total": total / steps,
                 "riemann_pct": 100.0 * totals["riemann"] / total,
                 "correct_pct": 100.0 * totals["correct"] / total,
+            }
+        )
+    return rows
+
+
+def backend_table(
+    elements: int = 3,
+    order: int = 4,
+    steps: int = 3,
+    batch_size: int | None = 4,
+) -> list[dict]:
+    """Per-phase step time of the NumPy vs compiled executor (measured).
+
+    Steps the Gaussian acoustic pulse once per available backend (the
+    plain-Python ``"generated"`` executor stands in for Numba when it
+    is not installed) and reports the per-phase seconds from
+    ``solver.last_step_timings`` plus the one-time compile seconds of
+    the warm-up step -- the live twin of
+    ``benchmarks/bench_backend.py`` (see ``docs/backends.md``).
+    """
+    from repro.codegen.executor import numba_available
+    from repro.scenarios import gaussian_pulse_setup
+
+    backends = ["numpy", "numba" if numba_available() else "generated"]
+    rows = []
+    for backend in backends:
+        solver = gaussian_pulse_setup(
+            elements=elements, order=order,
+            batch_size=batch_size, backend=backend,
+        )
+        dt = solver.stable_dt()
+        solver.step(dt)  # warm-up: compiles + binds parameters
+        compile_s = solver.step_records[-1].compile_s
+        totals = {"predict": 0.0, "riemann": 0.0, "correct": 0.0}
+        for _ in range(steps):
+            solver.step(dt)
+            for phase in totals:
+                totals[phase] += solver.last_step_timings.get(phase, 0.0)
+        rows.append(
+            {
+                "backend": solver.backend,
+                "order": order,
+                "predict": totals["predict"] / steps,
+                "riemann": totals["riemann"] / steps,
+                "correct": totals["correct"] / steps,
+                "total": sum(totals.values()) / steps,
+                "compile_s": compile_s,
             }
         )
     return rows

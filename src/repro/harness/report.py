@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.harness.figures import (
+    backend_table,
     batched_footprint_table,
     figure10,
     figure4,
@@ -18,6 +19,7 @@ from repro.harness.figures import (
 
 __all__ = [
     "render_two_panel",
+    "render_backend",
     "render_fig4",
     "render_fig6",
     "render_fig9",
@@ -189,6 +191,24 @@ def render_facesweep() -> str:
             f"{row['path']:<12}{row['predict']:11.4f}{row['riemann']:11.4f}"
             f"{row['correct']:11.4f}{row['total']:10.4f}"
             f"{row['riemann_pct']:11.1f}{row['correct_pct']:11.1f}"
+        )
+    return "\n".join(lines)
+
+
+def render_backend() -> str:
+    """Render the measured NumPy vs compiled-backend phase breakdown."""
+    rows = backend_table()
+    title = "Execution backend phase breakdown (measured; see docs/backends.md)"
+    lines = [title, "=" * len(title), ""]
+    lines.append(
+        f"{'backend':<12}{'order':>6}{'predict s':>11}{'riemann s':>11}"
+        f"{'correct s':>11}{'total s':>10}{'compile s':>11}"
+    )
+    for row in rows:
+        lines.append(
+            f"{row['backend']:<12}{row['order']:>6}{row['predict']:11.4f}"
+            f"{row['riemann']:11.4f}{row['correct']:11.4f}"
+            f"{row['total']:10.4f}{row['compile_s']:11.4f}"
         )
     return "\n".join(lines)
 

@@ -197,6 +197,7 @@ class ShardWorkerPool:
         riemann: str,
         boundary: str,
         batch_size: int | None,
+        backend: str = "numpy",
         start_method: str | None = None,
         start_timeout: float = 120.0,
         face_sweep: bool = True,
@@ -242,6 +243,7 @@ class ShardWorkerPool:
                 elements=np.asarray(shard, dtype=np.int64),
                 handles=handles,
                 face_sweep=face_sweep,
+                backend=backend,
             )
             self._configs.append(config)
             cmd_queue = self._context.Queue()

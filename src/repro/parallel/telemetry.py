@@ -51,6 +51,13 @@ class StepRecord:
     queue_depth:
         Largest reply-queue backlog observed while collecting the
         step's barriers (0 when serial or unsupported by the OS).
+    backend:
+        Executor that ran the step's kernels (``"numpy"`` or
+        ``"numba"``; a compiled backend that fell back reports the
+        backend it actually ran with).
+    compile_s:
+        Seconds of kernel compilation attributed to this step (0.0
+        after warm-up and always 0.0 on the NumPy backend).
     """
 
     step: int
@@ -64,6 +71,8 @@ class StepRecord:
     respawns: int = 0
     crashes: list = field(default_factory=list)
     queue_depth: int = 0
+    backend: str = "numpy"
+    compile_s: float = 0.0
 
     def imbalance(self) -> float:
         """max/mean of the per-worker busy seconds (1.0 = balanced)."""

@@ -35,7 +35,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.basis.operators import cached_operators
-from repro.core.corrector import _face_params, corrector_all, corrector_update
+from repro.codegen.executor import resolve_executor
+from repro.core.corrector import _face_params, corrector_update
 from repro.core.spec import KernelSpec
 from repro.core.variants import BatchedSTP, ElementSource, combine_sources, make_kernel
 from repro.core.variants.batched import ScratchArena
@@ -75,6 +76,10 @@ class WorkerConfig:
     #: vectorized face-sweep Riemann + block corrector (default); the
     #: legacy per-element loop stays for the conformance tests
     face_sweep: bool = True
+    #: kernel executor backend name; each worker process resolves its
+    #: own executor (executors hold process-local compiled state and
+    #: never travel through the config pickle)
+    backend: str = "numpy"
 
 
 class _ShardWorker:
@@ -96,9 +101,16 @@ class _ShardWorker:
         self.ops = cached_operators(config.order, config.quadrature)
         self.riemann = SOLVERS[config.riemann]
         self.boundary = config.boundary
+        # resolved in-process: compiled executors keep per-process plan
+        # registries and jitted namespaces that cannot be pickled
+        self.executor = resolve_executor(config.backend)
         if config.batch_size is not None:
             self.driver = BatchedSTP(
-                config.variant, self.spec, config.pde, batch_size=config.batch_size
+                config.variant,
+                self.spec,
+                config.pde,
+                batch_size=config.batch_size,
+                backend=self.executor,
             )
             self.kernel = None
         else:
@@ -125,6 +137,7 @@ class _ShardWorker:
                 riemann=config.riemann,
                 boundary=config.boundary,
                 elements=self.elements,
+                executor=self.executor,
             )
             self._vavg = np.zeros((self.elements.size, n, n, n, m))
             self._arena = (
@@ -260,7 +273,7 @@ class _ShardWorker:
                 for i, e in enumerate(chunk)
                 if int(e) in self._savg
             }
-            corrector_all(
+            self.executor.corrector_block(
                 states_in[chunk],
                 self._vavg[start : start + b],
                 savg_rows,

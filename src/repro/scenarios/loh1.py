@@ -66,6 +66,10 @@ class LOH1Scenario:
     face_sweep:
         Forwarded to the solver: vectorized Riemann/corrector sweeps
         (default) vs. the legacy per-element loops.
+    backend:
+        Kernel executor backend forwarded to the solver
+        (``"auto"`` / ``"numpy"`` / ``"numba"``; see
+        ``docs/backends.md``).
     """
 
     def __init__(
@@ -81,6 +85,7 @@ class LOH1Scenario:
         batch_size: int | None = None,
         num_workers: int | None = None,
         face_sweep: bool = True,
+        backend: str = "auto",
     ):
         self.pde = CurvilinearElasticPDE()
         self.domain_km = domain_km
@@ -106,6 +111,7 @@ class LOH1Scenario:
             batch_size=batch_size,
             num_workers=num_workers,
             face_sweep=face_sweep,
+            backend=backend,
         )
         self.solver.set_initial_condition(self._initial_condition)
         surface_z = domain_km

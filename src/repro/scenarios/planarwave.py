@@ -25,13 +25,19 @@ def acoustic_plane_wave_setup(
     c: float = 1.0,
     k=(2 * np.pi, 0.0, 0.0),
     cfl: float = 0.4,
+    **solver_kwargs,
 ):
-    """Periodic acoustic plane wave; returns ``(solver, exact_solution)``."""
+    """Periodic acoustic plane wave; returns ``(solver, exact_solution)``.
+
+    Extra keyword arguments (``backend=``, ``batch_size=``, ...) are
+    forwarded to :class:`~repro.engine.solver.ADERDGSolver`.
+    """
     pde = AcousticPDE()
     wave = AcousticPDE.plane_wave(np.asarray(k, dtype=float), rho, c)
     grid = UniformGrid((elements,) * 3)
     solver = ADERDGSolver(
-        grid, pde, order=order, variant=variant, riemann="upwind", cfl=cfl
+        grid, pde, order=order, variant=variant, riemann="upwind", cfl=cfl,
+        **solver_kwargs,
     )
 
     def init(points):
@@ -52,13 +58,19 @@ def elastic_plane_wave_setup(
     mode: str = "p",
     k=(2 * np.pi, 0.0, 0.0),
     cfl: float = 0.4,
+    **solver_kwargs,
 ):
-    """Periodic elastic P- or S-wave; returns ``(solver, exact_solution)``."""
+    """Periodic elastic P- or S-wave; returns ``(solver, exact_solution)``.
+
+    Extra keyword arguments (``backend=``, ``batch_size=``, ...) are
+    forwarded to :class:`~repro.engine.solver.ADERDGSolver`.
+    """
     pde = ElasticPDE()
     wave = ElasticPDE.plane_wave(np.asarray(k, dtype=float), rho, cp, cs, mode=mode)
     grid = UniformGrid((elements,) * 3)
     solver = ADERDGSolver(
-        grid, pde, order=order, variant=variant, riemann="upwind", cfl=cfl
+        grid, pde, order=order, variant=variant, riemann="upwind", cfl=cfl,
+        **solver_kwargs,
     )
 
     def init(points):

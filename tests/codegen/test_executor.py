@@ -1,0 +1,265 @@
+"""Unit tests of the executor protocol, resolution and plan registry.
+
+Complements ``test_backend_conformance.py`` (which checks numerics
+through whole solver steps): here the plumbing itself is pinned --
+backend resolution and fallback rules, the process-wide plan registry's
+caching and error behavior, the lowering's fallback taxonomy, and the
+determinism of generated kernel source.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codegen.compiled import (
+    CompiledExecutor,
+    NumbaExecutor,
+    PlanRegistry,
+    clear_plan_registry,
+    plan_registry,
+)
+from repro.codegen.executor import (
+    BACKEND_NAMES,
+    Executor,
+    ExecutorStats,
+    ExecutorUnavailable,
+    NumpyExecutor,
+    available_backends,
+    numba_available,
+    resolve_executor,
+)
+from repro.codegen.generator import KernelGenerator
+from repro.codegen.lowering import (
+    generate_module_source,
+    pde_token,
+    unsupported_reason,
+    variant_family,
+)
+from repro.core.spec import KernelSpec
+from repro.pde import AcousticPDE, ElasticPDE
+from repro.pde.burgers import BurgersPDE
+
+
+def _spec(order=3, pde=None):
+    pde = pde or AcousticPDE()
+    return KernelSpec(order=order, nvar=pde.nvar, nparam=pde.nparam)
+
+
+# ---------------------------------------------------------------------------
+# resolution and fallback
+# ---------------------------------------------------------------------------
+
+
+def test_resolve_numpy():
+    executor = resolve_executor("numpy")
+    assert isinstance(executor, NumpyExecutor)
+    assert executor.name == "numpy" and not executor.is_compiled
+
+
+def test_resolve_unknown_name_raises():
+    with pytest.raises(ValueError, match="unknown backend"):
+        resolve_executor("fortran")
+
+
+def test_resolve_instance_passthrough():
+    executor = NumpyExecutor()
+    assert resolve_executor(executor) is executor
+
+
+def test_resolve_auto_matches_availability(monkeypatch):
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+    executor = resolve_executor("auto")
+    if numba_available():
+        assert executor.name == "numba"
+    else:
+        assert isinstance(executor, NumpyExecutor)
+
+
+def test_auto_honors_environment_override(monkeypatch):
+    monkeypatch.setenv("REPRO_BACKEND", "numpy")
+    assert isinstance(resolve_executor("auto"), NumpyExecutor)
+    monkeypatch.setenv("REPRO_BACKEND", "generated")
+    assert isinstance(resolve_executor("auto"), CompiledExecutor)
+    monkeypatch.setenv("REPRO_BACKEND", "bogus")
+    with pytest.raises(ValueError, match="unknown backend"):
+        resolve_executor("auto")
+
+
+def test_resolve_generated_testing_backend():
+    executor = resolve_executor("generated")
+    assert isinstance(executor, CompiledExecutor)
+    assert executor.is_compiled and executor._jit is None
+
+
+@pytest.mark.skipif(numba_available(), reason="requires numba to be absent")
+def test_explicit_numba_falls_back_with_warning():
+    with pytest.warns(RuntimeWarning, match="falling back to numpy"):
+        executor = resolve_executor("numba")
+    assert isinstance(executor, NumpyExecutor)
+    assert "numba" in executor.fallback_reason
+
+
+@pytest.mark.skipif(numba_available(), reason="requires numba to be absent")
+def test_numba_executor_unavailable_raises():
+    with pytest.raises(ExecutorUnavailable):
+        NumbaExecutor()
+
+
+def test_available_backends_shape():
+    availability = available_backends()
+    assert availability["numpy"] is True
+    assert set(availability) == {"numpy", "numba"}
+    assert set(BACKEND_NAMES) == {"auto", "numpy", "numba"}
+
+
+def test_describe_reports_fallbacks():
+    executor = CompiledExecutor()
+    executor.stats.note_fallback("predict:burgers", "nonlinear")
+    info = executor.describe()
+    assert info["backend"] == "generated" and info["compiled"]
+    assert info["fallbacks"] == {"predict:burgers": "nonlinear"}
+
+
+def test_stats_drain_compile():
+    stats = ExecutorStats()
+    stats.add_compile("predict", 0.25)
+    stats.add_compile("riemann", 0.5)
+    assert stats.total_compile_s == pytest.approx(0.75)
+    assert stats.drain_compile_s() == pytest.approx(0.75)
+    assert stats.drain_compile_s() == 0.0
+
+
+# ---------------------------------------------------------------------------
+# unknown variant names raise ValueError (regression; satellite fix)
+# ---------------------------------------------------------------------------
+
+
+def test_generator_plans_rejects_unknown_variants():
+    gen = KernelGenerator(_spec(), AcousticPDE())
+    with pytest.raises(ValueError, match="unknown variant names \\['warp'\\]"):
+        gen.plans(["splitck", "warp"])
+    # the error names the available registry, not a bare KeyError
+    with pytest.raises(ValueError, match="available:"):
+        gen.plans(["warp"])
+
+
+def test_plan_registry_rejects_unknown_variant():
+    with pytest.raises(ValueError, match="unknown .*variant"):
+        plan_registry().get("warp", _spec(), AcousticPDE())
+
+
+def test_variant_family_rejects_unknown_variant():
+    with pytest.raises(ValueError, match="warp"):
+        variant_family("warp")
+
+
+def test_executor_propagates_unknown_variant():
+    executor = CompiledExecutor()
+    with pytest.raises(ValueError):
+        executor._program("warp", _spec(), AcousticPDE(), "predict")
+
+
+# ---------------------------------------------------------------------------
+# plan registry caching
+# ---------------------------------------------------------------------------
+
+
+def test_registry_caches_programs():
+    registry = PlanRegistry()
+    pde = AcousticPDE()
+    first = registry.get("splitck", _spec(), pde)
+    again = registry.get("splitck", _spec(), pde)
+    assert first is again
+
+
+def test_registry_shares_namespace_within_family():
+    """Same loop family + order + PDE -> one executed module."""
+    registry = PlanRegistry()
+    pde = AcousticPDE()
+    splitck = registry.get("splitck", _spec(), pde)
+    aosoa = registry.get("aosoa", _spec(), pde)
+    log = registry.get("log", _spec(), pde)
+    assert splitck.namespace is aosoa.namespace
+    assert splitck.namespace is not log.namespace
+    assert splitck.family == "splitck" and log.family == "spacetime"
+    # plan-derived sources still differ per variant
+    assert splitck.source != aosoa.source
+
+
+def test_registry_separates_orders_and_pdes():
+    registry = PlanRegistry()
+    acoustic = AcousticPDE()
+    elastic = ElasticPDE()
+    a3 = registry.get("splitck", _spec(3), acoustic)
+    a4 = registry.get("splitck", _spec(4), acoustic)
+    e3 = registry.get("splitck", _spec(3, elastic), elastic)
+    assert a3.namespace is not a4.namespace
+    assert a3.namespace is not e3.namespace
+
+
+def test_module_registry_clear():
+    clear_plan_registry()
+    registry = plan_registry()
+    program = registry.get("splitck", _spec(), AcousticPDE())
+    assert registry.get("splitck", _spec(), AcousticPDE()) is program
+    clear_plan_registry()
+    assert plan_registry().get("splitck", _spec(), AcousticPDE()) is not program
+
+
+# ---------------------------------------------------------------------------
+# lowering: fallback taxonomy and determinism
+# ---------------------------------------------------------------------------
+
+
+def test_unsupported_pde_reasons():
+    assert unsupported_reason(AcousticPDE()) is None
+    reason = unsupported_reason(BurgersPDE())
+    assert "linear" in reason
+
+
+def test_compiled_executor_falls_back_on_unsupported_pde():
+    executor = CompiledExecutor()
+    pde = BurgersPDE()
+    spec = KernelSpec(order=3, nvar=pde.nvar, nparam=pde.nparam)
+    assert executor._program("splitck", spec, pde, "predict") is None
+    assert any("linear" in r for r in executor.stats.fallbacks.values())
+
+
+def test_compiled_riemann_falls_back_on_non_rusanov():
+    """Upwind has no generated kernel: results equal the NumPy sweep."""
+    from repro.engine.riemann import SWEEP_SOLVERS
+
+    rng = np.random.default_rng(7)
+    pde = AcousticPDE()
+    n = 3
+    ql = rng.normal(size=(4, n, n, pde.nquantities))
+    qr = rng.normal(size=(4, n, n, pde.nquantities))
+    ql[..., 4:] = qr[..., 4:] = 1.0
+    pl = np.ones((4, n, n, pde.nparam))
+    executor = CompiledExecutor()
+    got = executor.riemann_sweep(pde, "upwind", ql, qr, pl, pl, 0)
+    want = SWEEP_SOLVERS["upwind"](pde, ql, qr, pl, pl, 0)
+    np.testing.assert_array_equal(got, want)
+    assert any("upwind" in r for r in executor.stats.fallbacks.values())
+
+
+def test_generated_source_is_deterministic():
+    pde = AcousticPDE()
+    assert generate_module_source("splitck", 4, pde) == generate_module_source(
+        "splitck", 4, pde
+    )
+    token = pde_token(pde)
+    assert token == pde_token(AcousticPDE())
+    assert token != pde_token(ElasticPDE())
+
+
+def test_lowered_source_embeds_plan_header():
+    source = KernelGenerator(_spec(), AcousticPDE()).lower("splitck")
+    assert "lowered from plan: variant=splitck" in source
+    assert "gemm schedule:" in source
+    assert "temp footprint:" in source
+
+
+def test_base_executor_contract():
+    executor = Executor()
+    assert executor.name == "base"
+    assert repr(NumpyExecutor()) == "NumpyExecutor(name='numpy')"

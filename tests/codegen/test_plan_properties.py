@@ -1,0 +1,158 @@
+"""Property-based invariants of KernelPlan (hypothesis; optional skip).
+
+Two layers of properties:
+
+* **synthetic plans** built op-by-op through :class:`PlanRecorder` with
+  hypothesis-drawn byte volumes -- cheap, so hundreds of examples pin
+  the aggregation algebra (non-negativity, additivity over ops, scope
+  accounting, undeclared-buffer rejection);
+* **real plans** recorded from actual kernel runs over drawn
+  ``(order, variant)`` pairs -- fewer examples, but the invariants hold
+  on the plans the machine model actually consumes, and rendering plus
+  lowering are deterministic functions of the spec.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.codegen.generator import KernelGenerator  # noqa: E402
+from repro.codegen.plan import (  # noqa: E402
+    BufferAccess,
+    GemmOp,
+    PlanRecorder,
+    PointwiseOp,
+    TransposeOp,
+)
+from repro.core.spec import VARIANTS, KernelSpec  # noqa: E402
+from repro.machine.isa import FlopCounts  # noqa: E402
+from repro.pde import AcousticPDE  # noqa: E402
+
+# ---------------------------------------------------------------------------
+# synthetic plans: the aggregation algebra
+# ---------------------------------------------------------------------------
+
+_SCOPES = st.sampled_from(["input", "output", "temp", "const"])
+_BYTES = st.integers(min_value=0, max_value=1 << 30)
+_VOLUME = st.floats(min_value=0.0, max_value=1e12, allow_nan=False)
+_NAMES = st.lists(
+    st.text(alphabet="abcdefgh", min_size=1, max_size=6),
+    min_size=1, max_size=6, unique=True,
+)
+
+
+@st.composite
+def recorded_plans(draw):
+    """A PlanRecorder fed random buffers and pointwise/transpose ops."""
+    spec = KernelSpec(order=4, nvar=5, nparam=0)
+    rec = PlanRecorder("synthetic", spec)
+    names = draw(_NAMES)
+    for name in names:
+        rec.buffer(name, draw(_BYTES), draw(_SCOPES))
+    n_ops = draw(st.integers(min_value=0, max_value=8))
+    for i in range(n_ops):
+        kind = draw(st.sampled_from(["pointwise", "transpose"]))
+        if kind == "pointwise":
+            accesses = tuple(
+                BufferAccess(name, read_bytes=draw(_VOLUME),
+                             write_bytes=draw(_VOLUME))
+                for name in draw(
+                    st.lists(st.sampled_from(names), min_size=1,
+                             max_size=3, unique=True)
+                )
+            )
+            rec.pointwise(f"op{i}", FlopCounts(scalar=draw(_VOLUME)), accesses)
+        else:
+            rec.transpose(
+                f"op{i}", draw(st.sampled_from(names)),
+                draw(st.sampled_from(names)), draw(_VOLUME),
+            )
+    return rec.finish()
+
+
+@given(recorded_plans())
+@settings(max_examples=100, deadline=None)
+def test_aggregates_nonnegative_and_additive(plan):
+    flops = plan.flop_counts()
+    traffic = plan.traffic()
+    for width in (flops.scalar, flops.v128, flops.v256, flops.v512):
+        assert width >= 0.0
+    assert traffic.read_bytes >= 0.0 and traffic.write_bytes >= 0.0
+    # plan totals are exactly the op-by-op sums
+    assert flops == sum((op.flops() for op in plan.ops), FlopCounts())
+    assert traffic.read_bytes == sum(op.traffic().read_bytes for op in plan.ops)
+    assert traffic.write_bytes == sum(op.traffic().write_bytes for op in plan.ops)
+
+
+@given(recorded_plans())
+@settings(max_examples=100, deadline=None)
+def test_scope_accounting_partitions_footprint(plan):
+    scoped = {s: plan.bytes_in_scope(s) for s in ("input", "output", "temp", "const")}
+    assert all(nbytes >= 0 for nbytes in scoped.values())
+    assert plan.temp_footprint_bytes == scoped["temp"]
+    assert plan.total_footprint_bytes == sum(scoped.values())
+
+
+@given(
+    recorded_plans(),
+    st.text(alphabet="xyz", min_size=1, max_size=4),
+    st.sampled_from(["pointwise", "transpose", "check"]),
+)
+@settings(max_examples=60, deadline=None)
+def test_undeclared_buffers_rejected(plan, rogue, op_kind):
+    rec = PlanRecorder("synthetic", plan.spec)
+    for buf in plan.buffers.values():
+        rec.buffer(buf.name, buf.nbytes, buf.scope)
+    hypothesis.assume(rogue not in plan.buffers)
+    with pytest.raises(ValueError, match="unregistered buffer"):
+        if op_kind == "pointwise":
+            rec.pointwise("bad", FlopCounts(), (BufferAccess(rogue, 8.0),))
+        elif op_kind == "transpose":
+            rec.transpose("bad", rogue, rogue, 8.0)
+        else:
+            rec._check_buffers(rogue)
+
+
+# ---------------------------------------------------------------------------
+# real plans: recorded kernels and deterministic rendering/lowering
+# ---------------------------------------------------------------------------
+
+_REAL = st.tuples(
+    st.integers(min_value=2, max_value=4), st.sampled_from(VARIANTS)
+)
+
+
+def _generator(order: int) -> KernelGenerator:
+    pde = AcousticPDE()
+    spec = KernelSpec(order=order, nvar=pde.nvar, nparam=pde.nparam)
+    return KernelGenerator(spec, pde)
+
+
+@given(_REAL)
+@settings(max_examples=8, deadline=None)
+def test_recorded_plan_invariants(params):
+    order, variant = params
+    plan = _generator(order).plan(variant)
+    flops = plan.flop_counts()
+    for width in (flops.scalar, flops.v128, flops.v256, flops.v512):
+        assert width >= 0.0
+    assert plan.traffic().total_bytes > 0.0
+    assert plan.temp_footprint_bytes >= 0
+    assert plan.total_footprint_bytes >= plan.temp_footprint_bytes
+    for op in plan.ops:
+        assert isinstance(op, (GemmOp, PointwiseOp, TransposeOp))
+        for access in op.accesses():
+            assert access.buffer in plan.buffers
+    for m, n, k, batch in plan.gemm_shapes():
+        assert m > 0 and n > 0 and k > 0 and batch > 0
+
+
+@given(_REAL)
+@settings(max_examples=6, deadline=None)
+def test_render_and_lowering_deterministic(params):
+    order, variant = params
+    first, second = _generator(order), _generator(order)
+    assert first.render(variant) == second.render(variant)
+    assert first.lower(variant) == second.lower(variant)

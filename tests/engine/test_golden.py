@@ -1,0 +1,76 @@
+"""Golden regression: every backend must reproduce committed snapshots.
+
+The fixtures in ``tests/data/golden/`` are final-state snapshots of
+three small deterministic runs, produced by the NumPy reference path
+(see ``tools/regen_golden.py``).  Replaying them here on every
+available backend pins the whole solver stack -- predictor, Riemann
+phase, corrector, sources, boundaries -- against an absolute baseline:
+a conformance test can only say backends agree *with each other*; the
+golden files catch the case where all of them drift together.
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.codegen.executor import numba_available
+
+ROOT = Path(__file__).resolve().parent.parent.parent
+sys.path.insert(0, str(ROOT / "tools"))
+
+import regen_golden  # noqa: E402
+
+#: golden comparison tolerance: loose enough for cross-machine BLAS
+#: differences and generated-kernel reassociation, tight enough that
+#: any real numerics change trips it
+RTOL, ATOL = 1e-9, 1e-12
+
+BACKENDS = ["numpy", "generated", "numba"]
+
+
+def _fixture(name: str) -> dict:
+    path = regen_golden.golden_dir() / f"{name}.npz"
+    if not path.exists():
+        pytest.fail(
+            f"missing golden fixture {path}; regenerate with "
+            f"PYTHONPATH=src python tools/regen_golden.py"
+        )
+    with np.load(path) as data:
+        return {key: data[key] for key in data.files}
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("name", sorted(regen_golden.SCENARIOS))
+def test_backend_reproduces_golden(name, backend):
+    if backend == "numba" and not numba_available():
+        pytest.skip("numba not installed")
+    snapshot = _fixture(name)
+    fresh = regen_golden.run_scenario(name, backend=backend)
+    assert fresh["steps"] == snapshot["steps"]
+    assert fresh["dt"] == snapshot["dt"]
+    np.testing.assert_allclose(fresh["t"], snapshot["t"], rtol=1e-12)
+    scale = float(np.max(np.abs(snapshot["states"]))) or 1.0
+    np.testing.assert_allclose(
+        fresh["states"], snapshot["states"], rtol=RTOL, atol=ATOL * scale,
+        err_msg=(
+            f"backend {backend!r} drifted from golden scenario {name!r}; "
+            f"if the numerics change is intended, regenerate with "
+            f"PYTHONPATH=src python tools/regen_golden.py"
+        ),
+    )
+
+
+def test_fixtures_carry_schema_version():
+    for name in regen_golden.SCENARIOS:
+        assert _fixture(name)["version"] == regen_golden.GOLDEN_VERSION
+
+
+def test_regen_check_mode_passes_on_fresh_fixtures():
+    """`--check` agrees with the committed fixtures (CI smoke)."""
+    assert regen_golden.main(["--check", "gaussian_acoustic_o3"]) == 0
+
+
+def test_regen_rejects_unknown_scenario():
+    assert regen_golden.main(["--check", "no_such_scenario"]) == 2

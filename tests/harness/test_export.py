@@ -27,8 +27,13 @@ def test_export_all(tmp_path):
     assert names == {
         "fig4.csv", "fig6.csv", "fig9.csv", "fig10.csv",
         "footprint.csv", "batched.csv", "roofline.csv", "headlines.csv",
-        "parallel.csv", "facesweep.csv", "steps.jsonl",
+        "parallel.csv", "facesweep.csv", "backend.csv", "steps.jsonl",
     }
+    with (tmp_path / "backend.csv").open() as fh:
+        backend_rows = list(csv.DictReader(fh))
+    assert backend_rows[0]["backend"] == "numpy"
+    assert backend_rows[1]["backend"] in {"generated", "numba"}
+    assert all(float(r["total"]) > 0 for r in backend_rows)
     with (tmp_path / "facesweep.csv").open() as fh:
         facesweep_rows = list(csv.DictReader(fh))
     assert [r["path"] for r in facesweep_rows] == ["legacy", "face_sweep"]

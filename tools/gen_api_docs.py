@@ -30,6 +30,14 @@ PUBLIC_API = [
     ("repro.core.variants", "make_kernel"),
     ("repro.core.variants", "BatchedSTP"),
     ("repro.engine.solver", "ADERDGSolver"),
+    ("repro.codegen", "KernelGenerator"),
+    ("repro.codegen", "resolve_executor"),
+    ("repro.codegen", "available_backends"),
+    ("repro.codegen", "Executor"),
+    ("repro.codegen", "NumpyExecutor"),
+    ("repro.codegen", "CompiledExecutor"),
+    ("repro.codegen", "NumbaExecutor"),
+    ("repro.codegen", "PlanRegistry"),
     ("repro.machine.profiler", "Profiler"),
     ("repro.parallel", "make_shard_plan"),
     ("repro.parallel", "ShardPlan"),

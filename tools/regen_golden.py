@@ -1,0 +1,135 @@
+"""Regenerate the golden regression fixtures in ``tests/data/golden/``.
+
+Each fixture is one small, fully deterministic solver run on the NumPy
+reference backend: a scenario, a *fixed* time step and a fixed step
+count, with the final state array and the run metadata stored in one
+``.npz`` file.  ``tests/engine/test_golden.py`` replays every scenario
+on every available backend and compares against these snapshots, so
+any change to the numerics -- intended or not -- shows up as a golden
+diff instead of sliding in silently.
+
+Usage::
+
+    PYTHONPATH=src python tools/regen_golden.py            # rewrite fixtures
+    PYTHONPATH=src python tools/regen_golden.py --check    # fail on drift
+
+Regenerate (and commit the diff) only when a numerics change is
+*intended*; the fixtures are the regression baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+#: fixture schema version, stored in every file; bump on layout changes
+GOLDEN_VERSION = 1
+
+
+def _gaussian(backend):
+    from repro.scenarios.gaussian import gaussian_pulse_setup
+
+    solver = gaussian_pulse_setup(
+        elements=2, order=3, variant="splitck", backend=backend
+    )
+    return solver, 2.0e-3, 3
+
+
+def _elastic_pwave(backend):
+    from repro.scenarios.planarwave import elastic_plane_wave_setup
+
+    solver, _ = elastic_plane_wave_setup(
+        elements=2, order=4, variant="generic", backend=backend
+    )
+    return solver, 1.0e-3, 3
+
+
+def _loh1(backend):
+    from repro.scenarios.loh1 import LOH1Scenario
+
+    scenario = LOH1Scenario(elements=2, order=3, backend=backend)
+    return scenario.solver, 2.0e-3, 2
+
+
+#: name -> builder(backend) -> (solver, dt, steps); the builders pin
+#: every knob (mesh, order, variant, dt, steps) so runs are repeatable
+SCENARIOS = {
+    "gaussian_acoustic_o3": _gaussian,
+    "elastic_pwave_o4": _elastic_pwave,
+    "loh1_curvilinear_o3": _loh1,
+}
+
+
+def golden_dir() -> Path:
+    """Location of the committed fixtures."""
+    root = Path(__file__).resolve().parent.parent
+    return root / "tests" / "data" / "golden"
+
+
+def run_scenario(name: str, backend="numpy") -> dict:
+    """Run one golden scenario; returns the payload to snapshot."""
+    builder = SCENARIOS[name]
+    solver, dt, steps = builder(backend)
+    with solver:
+        for _ in range(steps):
+            solver.step(dt)
+        return {
+            "states": solver.states.copy(),
+            "t": np.float64(solver.t),
+            "dt": np.float64(dt),
+            "steps": np.int64(steps),
+            "version": np.int64(GOLDEN_VERSION),
+        }
+
+
+def write_fixture(name: str, directory: Path | None = None) -> Path:
+    """Run ``name`` on the NumPy backend and write its ``.npz``."""
+    directory = golden_dir() if directory is None else Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{name}.npz"
+    np.savez_compressed(path, **run_scenario(name, backend="numpy"))
+    return path
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check", action="store_true",
+                        help="fail if any fixture differs from a fresh run")
+    parser.add_argument("names", nargs="*", default=None,
+                        help="scenario subset (default: all)")
+    args = parser.parse_args(argv)
+    names = args.names or sorted(SCENARIOS)
+
+    unknown = [n for n in names if n not in SCENARIOS]
+    if unknown:
+        print(f"unknown scenarios {unknown}; available: {sorted(SCENARIOS)}",
+              file=sys.stderr)
+        return 2
+
+    status = 0
+    for name in names:
+        path = golden_dir() / f"{name}.npz"
+        if args.check:
+            if not path.exists():
+                print(f"MISSING  {path}", file=sys.stderr)
+                status = 1
+                continue
+            fresh = run_scenario(name, backend="numpy")
+            with np.load(path) as snapshot:
+                same = np.allclose(
+                    snapshot["states"], fresh["states"],
+                    rtol=1e-10, atol=1e-13,
+                )
+            print(("ok       " if same else "DRIFTED  ") + str(path))
+            if not same:
+                status = 1
+        else:
+            print(f"wrote {write_fixture(name)}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
