@@ -1,0 +1,22 @@
+# Developer entry points.  `make verify` is the shared static gate CI
+# and humans run identically: golden-fixture freshness plus the
+# repro.analysis static-analysis gate (kernel audit, race proof,
+# hot-path lint vs the checked-in baseline).
+
+PY := PYTHONPATH=src python
+
+.PHONY: test verify docs baseline
+
+test:
+	$(PY) -m pytest -x -q
+
+verify:
+	$(PY) tools/regen_golden.py --check
+	$(PY) tools/check_analysis.py --check
+
+docs:
+	$(PY) tools/gen_api_docs.py
+	$(PY) tools/check_docstrings.py --fail-under 90
+
+baseline:
+	$(PY) tools/check_analysis.py --write-baseline

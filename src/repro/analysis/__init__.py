@@ -1,0 +1,163 @@
+"""Static verification layer: prove invariants without running the solver.
+
+The repo's correctness story so far is *dynamic* -- bitwise conformance
+matrices, golden snapshots, fault-injection runs.  This package adds
+the static half: three analyzers that check the structure those tests
+exercise, sharing one rule/finding framework
+(:mod:`repro.analysis.findings`):
+
+* :mod:`repro.analysis.kernel_audit` -- parses every lowered kernel
+  from :mod:`repro.codegen.lowering` and verifies the allocation-free,
+  statically-bounded loop structure plus plan-header consistency
+  (rules ``KA001-KA006``);
+* :mod:`repro.analysis.race_prover` -- proves per-phase write
+  disjointness of :class:`~repro.parallel.sharding.ShardPlan` access
+  sets and reports the redundant cross-shard Riemann set as telemetry
+  (rules ``RP001-RP004``);
+* :mod:`repro.analysis.hotpath` -- lints ``src/repro`` for per-step
+  allocations, unjustified broad excepts and mutable defaults (rules
+  ``HP001-HP003``).
+
+Run it as ``python -m repro.analysis`` (see :mod:`repro.analysis.
+__main__`) or through the CI gate ``tools/check_analysis.py``; the
+rule catalog, pragma syntax and baseline workflow are documented in
+``docs/analysis.md``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.findings import (
+    ERROR,
+    RULES,
+    WARNING,
+    Finding,
+    apply_baseline,
+    findings_to_json,
+    format_findings,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.hotpath import HOT_PATTERNS, lint_source, lint_tree
+from repro.analysis.kernel_audit import (
+    audit_generated_kernels,
+    audit_kernel_source,
+    default_kernel_corpus,
+)
+from repro.analysis.race_prover import (
+    PhaseAccess,
+    RaceReport,
+    prove_shard_plan,
+    shard_plan_accesses,
+)
+
+__all__ = [
+    "Finding",
+    "RULES",
+    "ERROR",
+    "WARNING",
+    "format_findings",
+    "findings_to_json",
+    "load_baseline",
+    "apply_baseline",
+    "write_baseline",
+    "audit_kernel_source",
+    "audit_generated_kernels",
+    "default_kernel_corpus",
+    "prove_shard_plan",
+    "shard_plan_accesses",
+    "PhaseAccess",
+    "RaceReport",
+    "lint_source",
+    "lint_tree",
+    "HOT_PATTERNS",
+    "ANALYZERS",
+    "default_shard_plans",
+    "run_analysis",
+]
+
+#: analyzer names accepted by :func:`run_analysis` / the CLI
+ANALYZERS = ("kernels", "races", "hotpaths")
+
+#: default ``src/repro`` root the hot-path lint scans
+SOURCE_ROOT = Path(__file__).resolve().parent.parent
+
+
+def default_shard_plans() -> list:
+    """The shard plans the repo-wide race proof covers.
+
+    Mirrors every ``(grid shape, worker count)`` combination the
+    ``tests/parallel/`` suite runs the sharded solver with, so a green
+    analysis run certifies exactly the configurations the dynamic
+    conformance tests exercise.
+    """
+    from repro.mesh.grid import UniformGrid
+    from repro.parallel.sharding import make_shard_plan
+
+    combos = [
+        ((2, 1, 1), (2,)),
+        ((3, 3, 3), (1, 2, 3, 4, 8)),
+        ((9, 9, 9), (8, 28)),
+    ]
+    plans = []
+    for shape, worker_counts in combos:
+        grid = UniformGrid(shape, extent=tuple(float(n) for n in shape))
+        for workers in worker_counts:
+            plans.append(make_shard_plan(grid, workers))
+    return plans
+
+
+def run_analysis(
+    analyzers=ANALYZERS,
+    rules=None,
+    root: str | Path = SOURCE_ROOT,
+    orders=(2, 3),
+) -> tuple[list[Finding], dict]:
+    """Run the selected analyzers over the repo; returns (findings, telemetry).
+
+    ``analyzers`` selects from :data:`ANALYZERS`; ``rules`` optionally
+    restricts findings to the given rule ids (exact ids like
+    ``"HP002"`` or family prefixes like ``"KA"``).  Baseline handling
+    is the caller's business (:func:`apply_baseline`) -- this function
+    reports everything it sees.
+    """
+    unknown = [a for a in analyzers if a not in ANALYZERS]
+    if unknown:
+        raise ValueError(
+            f"unknown analyzers {unknown!r}; available: {sorted(ANALYZERS)}"
+        )
+    findings: list[Finding] = []
+    telemetry: dict = {}
+    if "kernels" in analyzers:
+        kernel_findings = audit_generated_kernels(orders=orders)
+        findings.extend(kernel_findings)
+        telemetry["kernels"] = {
+            "audited": len(default_kernel_corpus(orders)),
+            "findings": len(kernel_findings),
+        }
+    if "races" in analyzers:
+        race_telemetry = []
+        for plan in default_shard_plans():
+            shape = "x".join(str(n) for n in plan.grid.shape)
+            label = f"shard_plan:{shape}/w{plan.num_shards}"
+            report = prove_shard_plan(plan, location=label)
+            findings.extend(report.findings)
+            race_telemetry.append({"plan": label, **report.telemetry})
+        telemetry["races"] = race_telemetry
+    if "hotpaths" in analyzers:
+        lint_findings = lint_tree(root)
+        findings.extend(lint_findings)
+        telemetry["hotpaths"] = {
+            "root": str(root),
+            "findings": len(lint_findings),
+        }
+    if rules:
+        selected = tuple(rules)
+        findings = [
+            f
+            for f in findings
+            if f.rule in selected
+            or any(f.rule.startswith(r) for r in selected)
+        ]
+    return findings, telemetry

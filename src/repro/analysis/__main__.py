@@ -1,0 +1,121 @@
+"""Command-line front end of the static-analysis layer.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.analysis                  # all analyzers
+    PYTHONPATH=src python -m repro.analysis --format json
+    PYTHONPATH=src python -m repro.analysis --rules HP002,KA
+    PYTHONPATH=src python -m repro.analysis --analyzers races
+    PYTHONPATH=src python -m repro.analysis --no-baseline    # raw findings
+
+Exit status is ``0`` when no *new* error findings remain after pragma
+suppression and the checked-in baseline (``tools/analysis_baseline.json``
+by default), ``1`` otherwise.  ``--rules help`` prints the catalog.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis import (
+    ANALYZERS,
+    ERROR,
+    RULES,
+    SOURCE_ROOT,
+    apply_baseline,
+    findings_to_json,
+    format_findings,
+    load_baseline,
+    run_analysis,
+)
+
+#: default checked-in baseline location, relative to the repo root
+DEFAULT_BASELINE = SOURCE_ROOT.parent.parent / "tools" / "analysis_baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for the test-suite)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument(
+        "--analyzers",
+        default=",".join(ANALYZERS),
+        help=f"comma-separated subset of {', '.join(ANALYZERS)} (default: all)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="restrict to rule ids or prefixes (e.g. HP002,KA); "
+        "'help' prints the catalog",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="report format (default: human)",
+    )
+    parser.add_argument(
+        "--root",
+        default=str(SOURCE_ROOT),
+        help="tree the hot-path lint scans (default: src/repro)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=str(DEFAULT_BASELINE),
+        help="baseline JSON of accepted findings "
+        "(default: tools/analysis_baseline.json)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline and report every finding",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    """Run the CLI; returns the process exit status."""
+    args = build_parser().parse_args(argv)
+    if args.rules == "help":
+        for rule in sorted(RULES):
+            print(f"{rule}  {RULES[rule]}")
+        return 0
+    rules = None if args.rules is None else [
+        r.strip() for r in args.rules.split(",") if r.strip()
+    ]
+    analyzers = tuple(
+        a.strip() for a in args.analyzers.split(",") if a.strip()
+    )
+    findings, telemetry = run_analysis(
+        analyzers=analyzers, rules=rules, root=args.root
+    )
+    stale: list[str] = []
+    baseline_path = Path(args.baseline)
+    if not args.no_baseline and baseline_path.exists():
+        baseline = load_baseline(baseline_path)
+        findings, stale = apply_baseline(findings, baseline)
+    if args.format == "json":
+        print(findings_to_json(findings, telemetry))
+    else:
+        print(format_findings(findings))
+        for race in telemetry.get("races", []):
+            print(
+                f"telemetry: {race['plan']} redundant riemann faces = "
+                f"{race['redundant_riemann_faces']}"
+            )
+        if stale:
+            print(
+                f"note: {len(stale)} stale baseline entr"
+                f"{'y' if len(stale) == 1 else 'ies'} "
+                "(re-run tools/check_analysis.py --write-baseline)"
+            )
+    errors = [f for f in findings if f.severity == ERROR]
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,220 @@
+"""The shared rule/finding framework of the static-analysis layer.
+
+Every analyzer in :mod:`repro.analysis` reports through the same
+currency: a :class:`Finding` carries a rule id (``KA*`` kernel audit,
+``RP*`` race prover, ``HP*`` hot-path lint), a severity, a location and
+a fix hint, so one reporter, one suppression mechanism and one baseline
+workflow serve all three analyzers.
+
+Suppression happens at two levels:
+
+* **pragmas** -- a source comment ``# pragma: allow(RULE): reason`` on
+  the offending line (or the line directly above it) acknowledges a
+  finding where it happens; the justification text is mandatory.
+* **baseline** -- a checked-in JSON file recording the accepted
+  residue of findings (keyed by rule + location + enclosing context,
+  *not* line numbers, so unrelated edits do not invalidate it).  CI
+  fails only on findings beyond the baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "Finding",
+    "RULES",
+    "ERROR",
+    "WARNING",
+    "pragma_allows",
+    "filter_pragmas",
+    "format_findings",
+    "findings_to_json",
+    "load_baseline",
+    "apply_baseline",
+    "write_baseline",
+]
+
+#: severity levels, in increasing order of badness
+WARNING = "warning"
+ERROR = "error"
+
+#: rule id -> one-line description (the catalog ``docs/analysis.md``
+#: documents in full; the CLI prints this for ``--rules help``)
+RULES = {
+    "KA001": "allocation call inside a generated kernel loop body",
+    "KA002": "non-whitelisted attribute access inside a kernel loop body",
+    "KA003": "kernel loop bound not derived from N/M/NVAR or an array shape",
+    "KA004": "constant quantity subscript out of the declared [0, M) range",
+    "KA005": "kernel header inconsistent with its KernelPlan / PDE token",
+    "KA006": "call outside the loop family's whitelist",
+    "RP001": "two workers write the same element in the same phase",
+    "RP002": "a worker reads an array another worker writes in the same phase",
+    "RP003": "phase write-set does not cover every element exactly once",
+    "RP004": "halo read of a face trace no predict phase published",
+    "HP001": "allocation inside a step-loop (hot-path) function",
+    "HP002": "bare or over-broad except without a justifying pragma",
+    "HP003": "mutable default argument",
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation (or accepted observation) at one location.
+
+    Attributes
+    ----------
+    rule:
+        Rule id from :data:`RULES` (e.g. ``"HP001"``).
+    severity:
+        :data:`ERROR` or :data:`WARNING`.
+    location:
+        File path (relative to the scanned root) or a virtual unit like
+        ``"kernel:splitck/acoustic/N3"`` for generated sources.
+    line:
+        1-based source line, ``0`` when the finding has no line (e.g.
+        a shard-plan-level race).
+    message:
+        Human-readable statement of the violation.
+    context:
+        Enclosing function / phase label -- part of the baseline key,
+        so findings survive unrelated line drift.
+    fix_hint:
+        One-line suggestion of how to resolve the finding.
+    """
+
+    rule: str
+    severity: str
+    location: str
+    line: int
+    message: str
+    context: str = ""
+    fix_hint: str = ""
+
+    def key(self) -> str:
+        """Line-drift-robust identity used by the baseline file."""
+        return f"{self.rule}|{self.location}|{self.context}"
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for the JSON reporter."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "location": self.location,
+            "line": self.line,
+            "message": self.message,
+            "context": self.context,
+            "fix_hint": self.fix_hint,
+        }
+
+
+# ---------------------------------------------------------------------------
+# pragma suppression
+# ---------------------------------------------------------------------------
+
+_PRAGMA = re.compile(r"#\s*pragma:\s*allow\(([A-Z]{2}\d{3})\)\s*:\s*(\S.*)")
+
+
+def pragma_allows(source_lines: list[str], line: int, rule: str) -> bool:
+    """Whether ``rule`` is pragma-suppressed at 1-based ``line``.
+
+    A pragma counts when it sits on the flagged line itself or on the
+    line directly above it, and carries a non-empty justification:
+    ``# pragma: allow(HP002): traceback must cross the process gap``.
+    """
+    for idx in (line - 1, line - 2):
+        if 0 <= idx < len(source_lines):
+            match = _PRAGMA.search(source_lines[idx])
+            if match and match.group(1) == rule:
+                return True
+    return False
+
+
+def filter_pragmas(findings: list[Finding], source_lines: list[str]) -> list[Finding]:
+    """Drop findings suppressed by a pragma in their source unit."""
+    return [
+        f
+        for f in findings
+        if not (f.line and pragma_allows(source_lines, f.line, f.rule))
+    ]
+
+
+# ---------------------------------------------------------------------------
+# reporters
+# ---------------------------------------------------------------------------
+
+
+def format_findings(findings: list[Finding]) -> str:
+    """Human reporter: one ``location:line rule severity message`` row each."""
+    if not findings:
+        return "no findings"
+    rows = []
+    for f in sorted(findings, key=lambda f: (f.location, f.line, f.rule)):
+        where = f.location if not f.line else f"{f.location}:{f.line}"
+        row = f"{where}  {f.rule} [{f.severity}] {f.message}"
+        if f.fix_hint:
+            row += f"\n{'':4}hint: {f.fix_hint}"
+        rows.append(row)
+    return "\n".join(rows)
+
+
+def findings_to_json(findings: list[Finding], telemetry: dict | None = None) -> str:
+    """JSON reporter: ``{"findings": [...], "telemetry": {...}}``."""
+    payload = {
+        "findings": [f.to_dict() for f in findings],
+        "telemetry": telemetry or {},
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# baseline workflow
+# ---------------------------------------------------------------------------
+
+
+def load_baseline(path: str | Path) -> dict[str, int]:
+    """Read a baseline file into its ``key -> accepted count`` map."""
+    data = json.loads(Path(path).read_text())
+    if data.get("version") != 1:
+        raise ValueError(f"unsupported baseline version in {path}")
+    return {str(k): int(v) for k, v in data["entries"].items()}
+
+
+def apply_baseline(
+    findings: list[Finding], baseline: dict[str, int]
+) -> tuple[list[Finding], list[str]]:
+    """Split findings into (new beyond baseline, stale baseline keys).
+
+    For each baseline key the first ``count`` matching findings are
+    accepted; anything beyond surfaces as new.  Keys whose accepted
+    count exceeds what the analyzers still report are *stale* -- the
+    caller prints them as a nudge to re-run ``--write-baseline``.
+    """
+    remaining = Counter(baseline)
+    new: list[Finding] = []
+    for f in findings:
+        if remaining.get(f.key(), 0) > 0:
+            remaining[f.key()] -= 1
+        else:
+            new.append(f)
+    stale = sorted(k for k, v in remaining.items() if v > 0)
+    return new, stale
+
+
+def write_baseline(findings: list[Finding], path: str | Path) -> None:
+    """Write the accepted-residue baseline for ``findings`` to ``path``."""
+    counts = Counter(f.key() for f in findings)
+    payload = {
+        "version": 1,
+        "comment": (
+            "Accepted static-analysis findings (repro.analysis). "
+            "Regenerate with: PYTHONPATH=src python tools/check_analysis.py "
+            "--write-baseline"
+        ),
+        "entries": {k: counts[k] for k in sorted(counts)},
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")

@@ -1,0 +1,195 @@
+"""Hot-path allocation & hygiene lint over ``src/repro`` (``HP001-HP003``).
+
+The paper's footprint argument (Sec. IV) is that the solver's steady
+state should run out of *preallocated* buffers -- the scratch arena,
+the face planes, the shm segments -- with no per-step allocation.  The
+repo enforces that discipline by review only; this lint makes it a
+rule:
+
+* ``HP001`` -- an allocation call (``np.zeros/empty/ones/full/
+  *_like/array/concatenate/stack``, or a ``.copy()``) inside a
+  *step-loop function*: the per-step methods of
+  :class:`~repro.engine.solver.ADERDGSolver`,
+  :class:`~repro.core.variants.batched.BatchedSTP`,
+  :class:`~repro.engine.facesweep.FaceSweep`, the block corrector and
+  the worker's phase methods (:data:`HOT_PATTERNS`; one-time setup
+  like ``__init__``/``bind_parameters`` is explicitly cold).
+* ``HP002`` -- a bare ``except:`` or ``except Exception/BaseException``
+  anywhere in the tree without a ``# pragma: allow(HP002): reason``
+  justification.
+* ``HP003`` -- a mutable default argument.
+
+Accepted residue lives in the checked-in baseline
+(``tools/analysis_baseline.json``) so the gate only fails on *new*
+findings; see :mod:`repro.analysis.findings` for the workflow.
+"""
+
+from __future__ import annotations
+
+import ast
+from fnmatch import fnmatch
+from pathlib import Path
+
+from repro.analysis.findings import ERROR, Finding, filter_pragmas
+
+__all__ = ["HOT_PATTERNS", "COLD_EXCEPTIONS", "lint_source", "lint_tree"]
+
+#: qualname patterns of step-loop (per-step) functions; allocations
+#: inside any match are HP001 findings
+HOT_PATTERNS = (
+    "ADERDGSolver.step",
+    "ADERDGSolver._step_*",
+    "BatchedSTP.*",
+    "FaceSweep.*",
+    "_ShardWorker.predict",
+    "_ShardWorker.correct",
+    "_ShardWorker._correct_sweep",
+    "corrector_all",
+    "corrector_update",
+    "rusanov_flux",
+    "upwind_flux_sweep",
+    "ghost_state",
+)
+
+#: qualnames matched by :data:`HOT_PATTERNS` that are *not* hot: they
+#: run once per solver/run, not once per step
+COLD_EXCEPTIONS = (
+    "BatchedSTP.__init__",
+    "BatchedSTP.build_plan",
+    "BatchedSTP.footprint_report",
+    "FaceSweep.__init__",
+    "FaceSweep.bind_parameters",
+    "FaceSweep.invalidate_parameters",
+)
+
+#: numpy constructors (and the ``.copy`` method) that allocate
+_ALLOCATORS = {
+    "zeros", "empty", "ones", "full", "zeros_like", "empty_like",
+    "ones_like", "full_like", "array", "concatenate", "stack",
+    "vstack", "hstack", "tile", "repeat", "copy",
+}
+
+
+def _is_hot(qualname: str) -> bool:
+    """Whether ``qualname`` names a step-loop function."""
+    if qualname in COLD_EXCEPTIONS:
+        return False
+    return any(fnmatch(qualname, pattern) for pattern in HOT_PATTERNS)
+
+
+def _broad_handler(handler: ast.ExceptHandler) -> str | None:
+    """The over-broad type an except handler catches, or ``None``."""
+    node = handler.type
+    if node is None:
+        return "bare except"
+    names = [node] if not isinstance(node, ast.Tuple) else list(node.elts)
+    for name in names:
+        if isinstance(name, ast.Name) and name.id in ("Exception", "BaseException"):
+            return name.id
+    return None
+
+
+class _LintVisitor(ast.NodeVisitor):
+    """AST pass collecting HP001-HP003 for one module."""
+
+    def __init__(self, location: str):
+        self.location = location
+        self.findings: list[Finding] = []
+        self._stack: list[str] = []
+
+    def _qualname(self) -> str:
+        return ".".join(self._stack)
+
+    def _flag(self, rule: str, node: ast.AST, message: str, hint: str) -> None:
+        self.findings.append(
+            Finding(
+                rule=rule,
+                severity=ERROR,
+                location=self.location,
+                line=getattr(node, "lineno", 0),
+                message=message,
+                context=self._qualname(),
+                fix_hint=hint,
+            )
+        )
+
+    def _check_defaults(self, node) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in ("list", "dict", "set")
+            )
+            if mutable:
+                self._flag(
+                    "HP003",
+                    default,
+                    f"mutable default argument in {self._qualname()}",
+                    "default to None and construct inside the body",
+                )
+
+    def _visit_scope(self, node, name: str) -> None:
+        self._stack.append(name)
+        self.generic_visit(node)
+        self._stack.pop()
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._visit_scope(node, node.name)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self._visit_scope(node, node.name)
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        name = None
+        if isinstance(func, ast.Attribute):
+            name = func.attr
+        elif isinstance(func, ast.Name):
+            name = func.id
+        if name in _ALLOCATORS and _is_hot(self._qualname()):
+            self._flag(
+                "HP001",
+                node,
+                f"allocation `{name}` in step-loop function "
+                f"{self._qualname()}",
+                "hoist into the scratch arena or a preallocated buffer",
+            )
+        self.generic_visit(node)
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        broad = _broad_handler(node)
+        if broad is not None:
+            self._flag(
+                "HP002",
+                node,
+                f"{broad} caught without a justifying pragma"
+                + (f" in {self._qualname()}" if self._stack else ""),
+                "narrow the exception type or add "
+                "`# pragma: allow(HP002): <why>`",
+            )
+        self.generic_visit(node)
+
+
+def lint_source(source: str, location: str) -> list[Finding]:
+    """Lint one module's source; pragma-suppressed findings are dropped."""
+    tree = ast.parse(source)
+    visitor = _LintVisitor(location)
+    visitor.visit(tree)
+    return filter_pragmas(visitor.findings, source.splitlines())
+
+
+def lint_tree(root: str | Path) -> list[Finding]:
+    """Lint every ``*.py`` file under ``root`` (paths become locations)."""
+    root = Path(root)
+    findings: list[Finding] = []
+    for path in sorted(root.rglob("*.py")):
+        findings.extend(
+            lint_source(path.read_text(), path.relative_to(root).as_posix())
+        )
+    return findings

@@ -1,0 +1,436 @@
+"""Static auditor of the lowered kernel sources (rules ``KA001-KA006``).
+
+:mod:`repro.codegen.lowering` emits executable Python whose whole value
+is what it *doesn't* do: no allocation inside loop nests, no dynamic
+attribute chasing, loop bounds fixed by the ``(N, M, NVAR)`` module
+constants, and a comment header that restates the
+:class:`~repro.codegen.plan.KernelPlan` it was lowered from.  Those
+invariants are what lets Numba compile every function to allocation-free
+native loops (paper Sec. IV-V) -- but nothing *checked* them until now:
+a template edit that slipped an ``np.zeros`` into a loop body or drifted
+the header away from the plan would only surface as a slow or subtly
+wrong compiled backend.
+
+This auditor parses each generated module with :mod:`ast` and verifies
+the invariants directly on the source, with the plan (when provided) as
+the ground truth for the header:
+
+* ``KA001`` -- allocation calls (``np.zeros/empty/ones/full/
+  concatenate/stack/array``) inside any loop body;
+* ``KA002`` -- attribute access inside loop bodies beyond the
+  whitelisted ``.reshape``/``.shape``/``np.sqrt`` trio;
+* ``KA003`` -- a ``for`` loop not of the form ``for i in range(...)``
+  with bounds built from integer constants, the module constants
+  ``N/M/NVAR``, simple local names, or ``x.shape[k]``;
+* ``KA004`` -- a constant quantity subscript ``q[k, c]``/``f[k, c]``
+  outside ``[0, M)`` in the PDE user functions;
+* ``KA005`` -- header/plan inconsistency: variant family, gemm
+  schedule, temp footprint, the ``N/M/NVAR`` constants and the
+  docstring's ``pde=`` field against :func:`repro.codegen.lowering.
+  pde_token`;
+* ``KA006`` -- a call outside the per-function whitelist (helpers call
+  nothing, STP entry points call only helpers/flux/contract, the
+  direction-``d`` Riemann kernel calls only ``flux_d{d}`` and
+  ``wave_speed``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.analysis.findings import ERROR, Finding, filter_pragmas
+
+__all__ = [
+    "audit_kernel_source",
+    "audit_generated_kernels",
+    "default_kernel_corpus",
+]
+
+#: call names that allocate (rule KA001) when seen inside a loop body
+_ALLOCATORS = {
+    "zeros", "empty", "ones", "full", "zeros_like", "empty_like",
+    "ones_like", "full_like", "array", "concatenate", "stack", "copy",
+}
+
+#: attribute names a generated loop body may touch (rule KA002):
+#: ``.reshape`` / ``.shape`` are free views, ``np.sqrt`` is the scalar
+#: intrinsic the curvilinear wave-speed template emits
+_ATTR_WHITELIST = {"reshape", "shape", "sqrt"}
+
+#: names usable in loop bounds besides int constants and ``x.shape[k]``
+_BOUND_NAMES = {"N", "M", "NVAR", "b", "o", "nderiv"}
+
+#: builtins / free view methods any generated function may call
+#: (``.reshape`` is allocation-free on contiguous inputs; the attribute
+#: rule KA002 already polices everything else)
+_COMMON_CALLS = {"range", "abs", "max", "min", "reshape"}
+
+#: regexes for the three plan-header comment lines ``lower_plan`` emits
+_HDR_VARIANT = re.compile(r"^# lowered from plan: variant=(\S+)$")
+_HDR_GEMM = re.compile(r"^# gemm schedule: (.+)$")
+_HDR_TEMP = re.compile(r"^# temp footprint: (\d+) bytes$")
+_DOCSTRING = re.compile(
+    r"family=(\w+), pde=(\w+), N=(\d+), M=(\d+)"
+)
+
+
+def _call_whitelists(family: str) -> dict[str, set[str]]:
+    """Per-function callable whitelist of one loop family (rule KA006)."""
+    helpers = {"_fill", "_copy", "_axpy", "_set_params", "_scale_params"}
+    flux = {f"flux_d{d}" for d in range(3)}
+    contract = {f"contract_d{d}" for d in range(3)}
+    table: dict[str, set[str]] = {}
+    for name in helpers:
+        table[name] = set()
+    for name in flux | {"wave_speed"}:
+        table[name] = {"sqrt"}
+    for name in contract:
+        table[name] = set()
+    table[f"stp_{family}"] = helpers | flux | contract
+    for d in range(3):
+        table[f"riemann_rusanov_d{d}"] = {f"flux_d{d}", "wave_speed"}
+    table["corrector_apply"] = set()
+    return table
+
+
+def _called_name(call: ast.Call) -> str | None:
+    """The bare / attribute name a call targets (``np.sqrt`` -> ``sqrt``)."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _is_valid_bound(node: ast.expr) -> bool:
+    """Whether a ``range`` argument is statically shaped (rule KA003)."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, int)
+    if isinstance(node, ast.Name):
+        return node.id in _BOUND_NAMES
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.Add, ast.Sub, ast.Mult)
+    ):
+        return _is_valid_bound(node.left) and _is_valid_bound(node.right)
+    if (
+        isinstance(node, ast.Subscript)
+        and isinstance(node.value, ast.Attribute)
+        and node.value.attr == "shape"
+        and isinstance(node.slice, ast.Constant)
+    ):
+        return True
+    return False
+
+
+def _parse_header(source: str) -> dict:
+    """Extract the plan-header comments and docstring fields of a module."""
+    info: dict = {}
+    for line in source.splitlines()[:8]:
+        for key, rx in (
+            ("variant", _HDR_VARIANT),
+            ("gemms", _HDR_GEMM),
+            ("temp_bytes", _HDR_TEMP),
+        ):
+            match = rx.match(line)
+            if match:
+                info[key] = match.group(1)
+    match = _DOCSTRING.search(source.splitlines()[0])
+    if match:
+        info["family"] = match.group(1)
+        info["pde"] = match.group(2)
+        info["doc_n"] = int(match.group(3))
+        info["doc_m"] = int(match.group(4))
+    return info
+
+
+class _KernelVisitor(ast.NodeVisitor):
+    """One pass over a generated module collecting KA001-KA004/KA006."""
+
+    def __init__(self, location: str, module_m: int | None, family: str):
+        self.location = location
+        self.module_m = module_m
+        self.whitelists = _call_whitelists(family)
+        self.findings: list[Finding] = []
+        self._func = ""
+        self._loop_depth = 0
+
+    def _flag(self, rule: str, node: ast.AST, message: str, hint: str) -> None:
+        self.findings.append(
+            Finding(
+                rule=rule,
+                severity=ERROR,
+                location=self.location,
+                line=getattr(node, "lineno", 0),
+                message=message,
+                context=self._func,
+                fix_hint=hint,
+            )
+        )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        outer, self._func = self._func, node.name
+        self.generic_visit(node)
+        self._func = outer
+
+    def visit_For(self, node: ast.For) -> None:
+        iterator = node.iter
+        ok = (
+            isinstance(iterator, ast.Call)
+            and isinstance(iterator.func, ast.Name)
+            and iterator.func.id == "range"
+            and all(_is_valid_bound(arg) for arg in iterator.args)
+        )
+        if not ok:
+            self._flag(
+                "KA003",
+                node,
+                f"loop in {self._func} not bounded by N/M/NVAR or a shape",
+                "generated loops must be `for i in range(<static bound>)`",
+            )
+        # the range() call itself belongs to the loop header, not the
+        # body -- visit bounds outside the loop-depth bump
+        self.visit(node.target)
+        self.visit(iterator)
+        self._loop_depth += 1
+        for stmt in node.body:
+            self.visit(stmt)
+        self._loop_depth -= 1
+        for stmt in node.orelse:
+            self.visit(stmt)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _called_name(node)
+        if self._loop_depth > 0 and name in _ALLOCATORS:
+            self._flag(
+                "KA001",
+                node,
+                f"allocation `{name}` inside a loop body of {self._func}",
+                "hoist the buffer to a caller-owned argument",
+            )
+        if (
+            self._func
+            and name is not None
+            and name not in _COMMON_CALLS
+            and self._func in self.whitelists
+            and name not in self.whitelists[self._func]
+        ):
+            self._flag(
+                "KA006",
+                node,
+                f"{self._func} calls `{name}`, outside its family whitelist",
+                "generated kernels may only call their declared helpers",
+            )
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if self._loop_depth > 0 and node.attr not in _ATTR_WHITELIST:
+            self._flag(
+                "KA002",
+                node,
+                f"attribute `.{node.attr}` inside a loop body of {self._func}",
+                "only .reshape/.shape views and np.sqrt are loop-safe",
+            )
+        self.generic_visit(node)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        # KA004: `q[k, c]` / `f[k, c]` constant quantity subscripts in
+        # the PDE user functions must stay inside the declared [0, M)
+        if (
+            self.module_m is not None
+            and (self._func.startswith("flux_d") or self._func == "wave_speed")
+            and isinstance(node.value, ast.Name)
+            and node.value.id in ("q", "f")
+            and isinstance(node.slice, ast.Tuple)
+            and len(node.slice.elts) == 2
+            and isinstance(node.slice.elts[1], ast.Constant)
+            and isinstance(node.slice.elts[1].value, int)
+        ):
+            index = node.slice.elts[1].value
+            if not 0 <= index < self.module_m:
+                self._flag(
+                    "KA004",
+                    node,
+                    f"{self._func} subscripts quantity {index} but M="
+                    f"{self.module_m}",
+                    "the quantity axis has exactly M slots",
+                )
+        self.generic_visit(node)
+
+
+def _audit_header(
+    source: str, tree: ast.Module, location: str, plan=None, pde=None
+) -> list[Finding]:
+    """Check the plan header / module constants / docstring (KA005)."""
+    from repro.codegen.lowering import FAMILY_OF_VARIANT, pde_token
+
+    findings: list[Finding] = []
+
+    def flag(message: str, hint: str) -> None:
+        findings.append(
+            Finding("KA005", ERROR, location, 1, message, "header", hint)
+        )
+
+    info = _parse_header(source)
+    constants = {
+        node.targets[0].id: node.value.value
+        for node in tree.body
+        if isinstance(node, ast.Assign)
+        and len(node.targets) == 1
+        and isinstance(node.targets[0], ast.Name)
+        and isinstance(node.value, ast.Constant)
+    }
+    if "family" not in info:
+        flag("module docstring lacks the family/pde/N/M summary",
+             "regenerate via lower_plan")
+        return findings
+    for name in ("N", "M", "NVAR"):
+        if name not in constants:
+            flag(f"module constant {name} missing",
+                 "regenerate via lower_plan")
+            return findings
+    if constants["N"] != info["doc_n"] or constants["M"] != info["doc_m"]:
+        flag(
+            f"constants N={constants['N']}, M={constants['M']} disagree with "
+            f"docstring N={info['doc_n']}, M={info['doc_m']}",
+            "docstring and constants are emitted from the same spec",
+        )
+    if info.get("variant") is not None:
+        family = FAMILY_OF_VARIANT.get(info["variant"])
+        if family != info["family"]:
+            flag(
+                f"header variant {info['variant']!r} lowers to family "
+                f"{family!r}, docstring says {info['family']!r}",
+                "variant and family must agree via FAMILY_OF_VARIANT",
+            )
+    stp_defs = {
+        node.name
+        for node in tree.body
+        if isinstance(node, ast.FunctionDef) and node.name.startswith("stp_")
+    }
+    if stp_defs != {f"stp_{info['family']}"}:
+        flag(
+            f"family {info['family']} module defines STP entry points "
+            f"{sorted(stp_defs)}",
+            "exactly one family loop per module",
+        )
+    if plan is not None:
+        gemms = ", ".join(
+            f"{mm}x{nn}x{kk}x{batch}"
+            for mm, nn, kk, batch in plan.gemm_shapes()
+        ) or "none"
+        if info.get("gemms") != gemms:
+            flag(
+                f"header gemm schedule {info.get('gemms')!r} != plan "
+                f"schedule {gemms!r}",
+                "re-lower the plan; the header is part of the contract",
+            )
+        if info.get("temp_bytes") is None or int(
+            info["temp_bytes"]
+        ) != plan.temp_footprint_bytes:
+            flag(
+                f"header temp footprint {info.get('temp_bytes')!r} != plan "
+                f"footprint {plan.temp_footprint_bytes}",
+                "re-lower the plan; the header is part of the contract",
+            )
+        if info.get("variant") != plan.variant:
+            flag(
+                f"header variant {info.get('variant')!r} != plan variant "
+                f"{plan.variant!r}",
+                "re-lower the plan; the header is part of the contract",
+            )
+        if constants["N"] != plan.spec.order:
+            flag(
+                f"module N={constants['N']} != plan order {plan.spec.order}",
+                "the lowered loop bounds must match the recorded spec",
+            )
+    if pde is not None:
+        token = pde_token(pde)
+        if info["pde"] != token[0]:
+            flag(
+                f"docstring pde={info['pde']!r} != pde_token name {token[0]!r}",
+                "the source must be generated from the same PDE",
+            )
+        if constants["M"] != pde.nquantities or constants["NVAR"] != token[1]:
+            flag(
+                f"constants M={constants['M']}, NVAR={constants['NVAR']} "
+                f"disagree with PDE sizes m={pde.nquantities}, "
+                f"nvar={token[1]}",
+                "the source must be generated from the same PDE",
+            )
+    return findings
+
+
+def audit_kernel_source(
+    source: str, location: str, plan=None, pde=None
+) -> list[Finding]:
+    """Audit one lowered kernel module; returns its findings.
+
+    ``plan`` and ``pde`` enable the KA005 cross-checks against the
+    recorded :class:`~repro.codegen.plan.KernelPlan` and the PDE token;
+    without them the header is only checked for internal consistency.
+    Pragma comments in the source suppress findings as everywhere else
+    (generated sources carry none, so every hit is real).
+    """
+    tree = ast.parse(source)
+    info = _parse_header(source)
+    family = info.get("family", "splitck")
+    module_m = info.get("doc_m")
+    visitor = _KernelVisitor(location, module_m, family)
+    visitor.visit(tree)
+    findings = visitor.findings + _audit_header(
+        source, tree, location, plan=plan, pde=pde
+    )
+    return filter_pragmas(findings, source.splitlines())
+
+
+def default_kernel_corpus(orders=(2, 3)) -> list[tuple[str, object, object]]:
+    """The ``(location, plan, pde)`` corpus the repo-wide audit lowers.
+
+    One representative variant per loop family (``splitck`` and
+    ``generic``/spacetime) crossed with every PDE the lowering supports,
+    at small orders -- identical source structure to the production
+    orders, a fraction of the generation cost.
+    """
+    from repro.codegen.generator import KernelGenerator
+    from repro.core.spec import KernelSpec
+    from repro.pde.acoustic import AcousticPDE
+    from repro.pde.advection import AdvectionPDE
+    from repro.pde.curvilinear import CurvilinearElasticPDE
+    from repro.pde.elastic import ElasticPDE
+
+    pdes = [
+        AdvectionPDE(velocity=(1.0, 0.5, 0.25), nvar=1),
+        AcousticPDE(),
+        ElasticPDE(),
+        CurvilinearElasticPDE(),
+    ]
+    corpus = []
+    for pde in pdes:
+        for order in orders:
+            spec = KernelSpec(order=order, nvar=pde.nvar, nparam=pde.nparam)
+            gen = KernelGenerator(spec, pde)
+            for variant in ("splitck", "generic"):
+                location = f"kernel:{variant}/{pde.name}/N{order}"
+                corpus.append((location, gen.plan(variant), pde))
+    return corpus
+
+
+def audit_generated_kernels(orders=(2, 3)) -> list[Finding]:
+    """Lower and audit the whole default kernel corpus.
+
+    This is the entry point ``python -m repro.analysis`` and the CI
+    gate run: every supported ``(family, PDE, order)`` combination is
+    lowered exactly as the compiled backend would and pushed through
+    :func:`audit_kernel_source` with its plan attached.
+    """
+    from repro.codegen.lowering import lower_plan
+
+    findings: list[Finding] = []
+    for location, plan, pde in default_kernel_corpus(orders):
+        source = lower_plan(plan, pde)
+        findings.extend(
+            audit_kernel_source(source, location, plan=plan, pde=pde)
+        )
+    return findings

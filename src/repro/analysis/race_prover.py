@@ -1,0 +1,265 @@
+"""Shard-plan race prover (rules ``RP001-RP004``).
+
+The sharded solver's determinism argument (``docs/parallel.md``) rests
+on a *data-access* claim, not on locks: per phase, every shared-memory
+element is written by exactly one worker, cross-worker reads only touch
+data published before the phase barrier, and the two state buffers
+alternate roles so a phase never reads the array it writes.  Until now
+that claim was enforced empirically (bitwise-vs-serial conformance
+runs); this module *proves* it per :class:`~repro.parallel.sharding.
+ShardPlan`, the way Charrier & Weinzierl derive safety for their
+communication-avoiding ADER-DG from per-cell access disjointness.
+
+The model mirrors ``repro.parallel.worker`` exactly:
+
+* **predict** -- worker ``w`` reads ``states_in[own_w]`` and writes
+  ``qface[own_w]``; a barrier follows.
+* **correct** -- ``w`` reads ``states_in`` and ``qface`` on
+  ``own_w ∪ halo_w`` (the halo comes from the shard's face planes,
+  built with the same :func:`~repro.engine.facesweep.direction_faces`
+  connectivity the worker uses) and writes ``states_out[own_w]``;
+  ``states_in``/``states_out`` are the double-buffered segment pair of
+  :class:`~repro.parallel.shm.SharedArrayBundle`.
+
+Checks:
+
+* ``RP001`` -- per phase and array, worker write-sets are pairwise
+  disjoint (a hard error: two owners of one element);
+* ``RP002`` -- no worker reads an array that another worker writes in
+  the same phase (the barrier discipline);
+* ``RP003`` -- each phase's writes cover every element exactly once
+  (with RP001, "exactly once" splits into disjointness + coverage);
+* ``RP004`` -- every halo read of ``qface`` in the correct phase was
+  published by some worker's predict phase.
+
+The prover also reports the **redundant cross-shard Riemann set** --
+the faces both adjacent shards solve from identical shared inputs --
+as telemetry for the ROADMAP's barrier-free stepping work, where those
+recomputations become exchanged face traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.findings import ERROR, Finding
+
+__all__ = ["PhaseAccess", "RaceReport", "shard_plan_accesses", "prove_shard_plan"]
+
+
+@dataclass(frozen=True)
+class PhaseAccess:
+    """The element sets one worker touches in one phase of one array."""
+
+    phase: str
+    worker: int
+    array: str
+    reads: np.ndarray
+    writes: np.ndarray
+
+
+@dataclass
+class RaceReport:
+    """Outcome of proving one shard plan: findings plus telemetry.
+
+    ``telemetry`` carries the communication picture even when the proof
+    succeeds: the redundant cross-shard Riemann face count (each such
+    face is solved by both owning shards), the plan's cut-face count
+    for cross-checking, and the per-phase arrays proven disjoint.
+    """
+
+    plan: object
+    findings: list[Finding] = field(default_factory=list)
+    telemetry: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the plan is race-free (no error findings)."""
+        return not any(f.severity == ERROR for f in self.findings)
+
+
+def _sample(ids: np.ndarray, limit: int = 8) -> str:
+    """Short printable sample of an element-id array."""
+    shown = ", ".join(str(int(e)) for e in ids[:limit])
+    more = "" if ids.size <= limit else f", ... ({ids.size} total)"
+    return f"[{shown}{more}]"
+
+
+def _halo_elements(grid, own: np.ndarray) -> np.ndarray:
+    """Elements a shard's face planes read that it does not own.
+
+    Built from the same :func:`~repro.engine.facesweep.direction_faces`
+    connectivity the worker's :class:`~repro.engine.facesweep.FaceSweep`
+    uses, so the modeled read set is the executed read set.
+    """
+    from repro.engine.facesweep import direction_faces
+
+    touched: list[np.ndarray] = []
+    for d in range(3):
+        df = direction_faces(grid, d, own)
+        touched.append(df.left[df.interior_left])
+        touched.append(df.right[df.interior_right])
+    all_touched = np.unique(np.concatenate(touched))
+    return np.setdiff1d(all_touched, own, assume_unique=True)
+
+
+def shard_plan_accesses(plan) -> list[PhaseAccess]:
+    """The per-phase access model of every worker in ``plan``.
+
+    Derived from ``plan.shards`` directly (not the ``owner`` map, which
+    a malformed plan may contradict) plus the face-plane halo of each
+    shard; see the module docstring for the phase structure.
+    """
+    accesses: list[PhaseAccess] = []
+    empty = np.empty(0, dtype=np.int64)
+    for w, shard in enumerate(plan.shards):
+        own = np.unique(np.asarray(shard, dtype=np.int64))
+        halo = _halo_elements(plan.grid, own)
+        own_and_halo = np.union1d(own, halo)
+        accesses.append(PhaseAccess("predict", w, "states_in", own, empty))
+        accesses.append(PhaseAccess("predict", w, "qface", empty, own))
+        accesses.append(
+            PhaseAccess("correct", w, "states_in", own_and_halo, empty)
+        )
+        accesses.append(PhaseAccess("correct", w, "qface", own_and_halo, empty))
+        accesses.append(PhaseAccess("correct", w, "states_out", empty, own))
+    return accesses
+
+
+def _redundant_riemann_faces(plan) -> int:
+    """Faces solved by more than one shard (the cross-shard recompute set).
+
+    Every interior face whose two elements live in different shards
+    appears in both shards' face planes and is Riemann-solved twice
+    from identical shared inputs -- the communication-avoiding trade.
+    Equals ``plan.cut_faces()`` for well-formed plans, but is computed
+    from the shards directly so it stays meaningful on synthetic plans.
+    """
+    owner = {}
+    for w, shard in enumerate(plan.shards):
+        for e in np.asarray(shard).ravel():
+            owner.setdefault(int(e), w)
+    from repro.mesh.grid import BOUNDARY
+
+    redundant = 0
+    grid = plan.grid
+    for e in range(grid.n_elements):
+        for d in range(3):
+            neighbor = grid.neighbor(e, d, 1)
+            if neighbor == BOUNDARY:
+                continue
+            if owner.get(e) is not None and owner.get(int(neighbor)) is not None \
+                    and owner[e] != owner[int(neighbor)]:
+                redundant += 1
+    return redundant
+
+
+def prove_shard_plan(plan, location: str = "shard_plan") -> RaceReport:
+    """Prove (or refute) per-phase write disjointness of ``plan``.
+
+    Returns a :class:`RaceReport`; ``report.ok`` is the proof verdict
+    and ``report.findings`` name every violated rule with the offending
+    workers and a sample of the contested element ids.  Overlapping
+    writes (``RP001``) are hard errors -- the sharded solver must never
+    run such a plan.
+    """
+    report = RaceReport(plan=plan)
+    n_elements = plan.grid.n_elements
+    accesses = shard_plan_accesses(plan)
+    phases = sorted({a.phase for a in accesses})
+    arrays = sorted({a.array for a in accesses})
+
+    def flag(rule: str, message: str, context: str, hint: str) -> None:
+        report.findings.append(
+            Finding(rule, ERROR, location, 0, message, context, hint)
+        )
+
+    proven: list[str] = []
+    for phase in phases:
+        for array in arrays:
+            group = [a for a in accesses if a.phase == phase and a.array == array]
+            write_count = np.zeros(n_elements, dtype=np.int64)
+            read_count = np.zeros(n_elements, dtype=np.int64)
+            writers = np.full(n_elements, -1, dtype=np.int64)
+            for a in group:
+                if a.writes.size:
+                    write_count[a.writes] += 1
+                    writers[a.writes] = a.worker
+                if a.reads.size:
+                    read_count[a.reads] += 1
+            total_writes = int(write_count.sum())
+            if total_writes == 0:
+                continue
+            context = f"{phase}/{array}"
+            overlap = np.nonzero(write_count > 1)[0]
+            if overlap.size:
+                flag(
+                    "RP001",
+                    f"{overlap.size} element(s) written by multiple workers "
+                    f"in {context}: {_sample(overlap)}",
+                    context,
+                    "shards must partition the element set",
+                )
+            uncovered = np.nonzero(write_count == 0)[0]
+            if uncovered.size:
+                flag(
+                    "RP003",
+                    f"{uncovered.size} element(s) never written in "
+                    f"{context}: {_sample(uncovered)}",
+                    context,
+                    "every element needs exactly one owner per phase",
+                )
+            # RP002: a read by worker A of an element worker B != A
+            # writes in the same phase crosses the barrier discipline
+            conflict_ids = []
+            for a in group:
+                if not a.reads.size:
+                    continue
+                hit = a.reads[
+                    (writers[a.reads] >= 0) & (writers[a.reads] != a.worker)
+                ]
+                if hit.size:
+                    conflict_ids.append(hit)
+            if conflict_ids:
+                conflicts = np.unique(np.concatenate(conflict_ids))
+                flag(
+                    "RP002",
+                    f"cross-worker read/write overlap on {conflicts.size} "
+                    f"element(s) in {context}: {_sample(conflicts)}",
+                    context,
+                    "reads of another worker's output belong after the "
+                    "phase barrier (double-buffer discipline)",
+                )
+            if not overlap.size and not uncovered.size and not conflict_ids:
+                proven.append(context)
+
+    # RP004: halo qface reads in `correct` must be covered by predict
+    # writes -- the traces a worker consumes were published before the
+    # barrier it just crossed
+    published = np.zeros(n_elements, dtype=bool)
+    for a in accesses:
+        if a.phase == "predict" and a.array == "qface" and a.writes.size:
+            published[a.writes] = True
+    for a in accesses:
+        if a.phase == "correct" and a.array == "qface" and a.reads.size:
+            missing = a.reads[~published[a.reads]]
+            if missing.size:
+                flag(
+                    "RP004",
+                    f"worker {a.worker} reads unpublished face traces of "
+                    f"{missing.size} element(s): {_sample(missing)}",
+                    "correct/qface",
+                    "every halo element needs a predict-phase owner",
+                )
+
+    redundant = _redundant_riemann_faces(plan)
+    report.telemetry = {
+        "num_shards": plan.num_shards,
+        "elements": int(n_elements),
+        "redundant_riemann_faces": redundant,
+        "redundant_riemann_solves": redundant,
+        "phases_proven_disjoint": proven,
+    }
+    return report

@@ -154,16 +154,18 @@ class Executor:
         return result
 
     def corrector_block(self, q, vavg, savg, qface, fstar, face_params,
-                        h: float, pde, ops, out=None):
+                        h: float, pde, ops, out=None, arena=None):
         """Apply the corrector to a whole element block.
 
-        Arguments match :func:`repro.core.corrector.corrector_all`.
+        Arguments match :func:`repro.core.corrector.corrector_all`;
+        ``arena`` optionally supplies the block's scratch temporaries.
         """
         from repro.core.corrector import corrector_all
 
         started = time.perf_counter()
         result = corrector_all(
-            q, vavg, savg, qface, fstar, face_params, h, pde, ops, out=out
+            q, vavg, savg, qface, fstar, face_params, h, pde, ops, out=out,
+            arena=arena,
         )
         self.stats.add_execute("correct", time.perf_counter() - started)
         return result
@@ -222,7 +224,17 @@ def resolve_executor(backend="auto") -> Executor:
         # environment override: pin the default backend fleet-wide
         # (the test-suite sets REPRO_BACKEND=numpy so bitwise-identity
         # tests stay deterministic on machines with Numba installed)
-        backend = os.environ.get("REPRO_BACKEND", "auto") or "auto"
+        env = os.environ.get("REPRO_BACKEND", "auto") or "auto"
+        if env != "generated" and env not in BACKEND_NAMES:
+            # reject typos up front with the source named: a bad env
+            # value silently resolving to some default would make every
+            # conformance run lie about what it measured
+            raise ValueError(
+                f"unknown backend {env!r} set via the REPRO_BACKEND "
+                "environment variable; available: "
+                f"{sorted(BACKEND_NAMES + ('generated',))}"
+            )
+        backend = env
     if backend == "generated":
         # undocumented testing backend: the generated kernels executed
         # as plain Python (no JIT), used by the conformance suite to

@@ -101,6 +101,7 @@ def corrector_all(
     pde: LinearPDE,
     ops,
     out: np.ndarray | None = None,
+    arena=None,
 ) -> np.ndarray:
     """Apply the corrector to a whole element block at once (eq. 5).
 
@@ -131,14 +132,30 @@ def corrector_all(
     out:
         Optional preallocated ``(b, N, N, N, m)`` output (a scratch
         arena block); a new array is allocated when omitted.
+    arena:
+        Optional :class:`~repro.core.variants.batched.ScratchArena`
+        supplying the ``jump``/``lifted`` temporaries, so the six-face
+        loop allocates nothing in steady state.  Results are bitwise
+        independent of whether an arena is passed (same operations,
+        same order, only the buffer ownership changes).
     """
     n = q.shape[1]
     nvar = pde.nvar
+    b, m = q.shape[0], q.shape[-1]
+    # pragma: allow(HP001): documented fallback when no out/arena given
     qnew = out if out is not None else np.empty_like(q)
     np.add(q, vavg, out=qnew)
     for row, savg_row in savg.items():
         qnew[row] += savg_row
     lift = {0: ops.lifting_left(), 1: ops.lifting_right()}
+    if arena is not None:
+        jump = arena.take("corrector_jump", (b, n, n, m))
+        lifted = arena.take("corrector_lifted", (b, n, n, n, m))
+    else:
+        # pragma: allow(HP001): documented fallback when no arena given
+        jump = np.empty((b, n, n, m))
+        # pragma: allow(HP001): documented fallback when no arena given
+        lifted = np.empty((b, n, n, n, m))
 
     for d in range(3):
         axis = 1 + AXIS_OF_DIM[d]  # leading block axis shifts by one
@@ -147,12 +164,18 @@ def corrector_all(
             fself = pde.flux(
                 pde.embed(qface[:, d, side, ..., :nvar], params), d
             )
-            jump = fstar[:, d, side] - fself  # (b, N, N, m)
+            np.subtract(fstar[:, d, side], fself, out=jump)  # (b, N, N, m)
             sign = 1.0 if side == 1 else -1.0
             shape = [1, 1, 1, 1, 1]
             shape[axis] = n
-            lifted = lift[side].reshape(shape) * np.expand_dims(jump, axis)
-            qnew -= (sign / h) * lifted
+            np.multiply(
+                lift[side].reshape(shape), np.expand_dims(jump, axis),
+                out=lifted,
+            )
+            # scalar multiplication commutes bitwise, so scaling the
+            # lifted term in place matches `qnew -= (sign/h) * lifted`
+            np.multiply(lifted, sign / h, out=lifted)
+            np.subtract(qnew, lifted, out=qnew)
     return qnew
 
 

@@ -179,6 +179,22 @@ class ScratchArena:
             self._arrays[name] = arr
         return arr
 
+    def take(self, name: str, shape: tuple[int, ...]) -> np.ndarray:
+        """A ``shape``-d view of the named growable flat buffer.
+
+        Unlike :meth:`get`, the backing storage only ever *grows*: a
+        request smaller than the current capacity returns a reshaped
+        view of the existing buffer, so callers alternating between a
+        full block and a partial tail block (the corrector's chunk
+        loop) never reallocate in steady state.
+        """
+        size = int(np.prod(shape))
+        flat = self._arrays.get(name)
+        if flat is None or flat.ndim != 1 or flat.size < size:
+            flat = np.zeros(max(size, 1))
+            self._arrays[name] = flat
+        return flat[:size].reshape(shape)
+
     def __contains__(self, name: str) -> bool:
         return name in self._arrays
 

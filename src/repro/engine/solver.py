@@ -593,6 +593,7 @@ class ADERDGSolver:
                 pde,
                 self.ops,
                 out=qnew[:b],
+                arena=self._arena,
             )
             self.states[chunk] = qnew[:b]
         t3 = time.perf_counter()

@@ -602,7 +602,8 @@ class ShardWorkerPool:
         for queue in self._cmd_queues:
             try:
                 queue.put(("stop",))
-            except Exception:  # pragma: no cover - queue already broken
+            except (OSError, ValueError, EOFError):
+                # pragma: no cover - queue already broken
                 pass
         self._drain_stop_acks(deadline=time.monotonic() + join_timeout)
         for process in self._processes:
@@ -632,7 +633,8 @@ class ShardWorkerPool:
                     reply = self._out_queues[worker_id].get_nowait()
                 except queue_module.Empty:
                     continue
-                except Exception:  # pragma: no cover - queue torn down
+                except (OSError, ValueError, EOFError):
+                    # pragma: no cover - queue torn down
                     return
                 progressed = True
                 if reply[0] == "stopped":

@@ -104,6 +104,9 @@ class SharedArrayBundle:
                 specs[name] = SharedArraySpec(
                     shm_name=segment.name, shape=shape, dtype=np.dtype(dtype).str
                 )
+        # cleanup-and-reraise: every partially created segment must be
+        # unlinked whatever the failure was
+        # pragma: allow(HP002): unlink partial segments, then re-raise
         except Exception:
             for segment in segments.values():
                 segment.close()
@@ -142,7 +145,8 @@ class SharedArrayBundle:
         for segment in self._segments.values():
             try:
                 segment.close()
-            except Exception:  # pragma: no cover - already closed
+            except (OSError, BufferError):
+                # pragma: no cover - already closed / exported views alive
                 pass
             if self._owner:
                 try:

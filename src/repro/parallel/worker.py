@@ -284,6 +284,7 @@ class _ShardWorker:
                 self.pde,
                 self.ops,
                 out=qnew[:b],
+                arena=self._arena,
             )
             states_out[chunk] = qnew[:b]
         t2 = time.perf_counter()
@@ -312,7 +313,8 @@ def _start_heartbeat(worker_id: int, out_queue) -> threading.Event:
         while not stop.wait(HEARTBEAT_INTERVAL):
             try:
                 out_queue.put(("heartbeat", worker_id, "", time.time()))
-            except Exception:  # pragma: no cover - queue torn down
+            except (OSError, ValueError, EOFError):
+                # pragma: no cover - queue torn down mid-shutdown
                 return
 
     threading.Thread(target=beat, daemon=True, name="repro-heartbeat").start()
@@ -375,8 +377,13 @@ def worker_main(config: WorkerConfig, cmd_queue, out_queue) -> None:
                         detail,
                     )
                 )
+            # any phase failure must reach the pool as an ("error", ...)
+            # reply -- re-raising would kill the process before the
+            # traceback crosses the process boundary
+            # pragma: allow(HP002): traceback must cross the process gap
             except Exception:
                 out_queue.put(("error", config.worker_id, traceback.format_exc()))
+    # pragma: allow(HP002): ship start-up failures to the pool, not stderr
     except Exception:  # pragma: no cover - start-up failure
         out_queue.put(("error", config.worker_id, traceback.format_exc()))
     finally:

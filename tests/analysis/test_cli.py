@@ -1,0 +1,96 @@
+"""CLI (`python -m repro.analysis`) and check_analysis gate tests."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import load_baseline, run_analysis
+from repro.analysis.__main__ import DEFAULT_BASELINE, main
+
+ROOT = Path(__file__).resolve().parent.parent.parent
+TOOLS = ROOT / "tools"
+sys.path.insert(0, str(TOOLS))
+
+import check_analysis  # noqa: E402  (path bootstrap above)
+
+
+@pytest.fixture
+def bad_tree(tmp_path):
+    """A source tree with one seeded hot-path allocation."""
+    (tmp_path / "mod.py").write_text(
+        "import numpy as np\n\n"
+        "def corrector_all(q):\n"
+        "    return np.zeros(q.shape)\n"
+    )
+    return tmp_path
+
+
+def test_run_analysis_rejects_unknown_analyzer():
+    with pytest.raises(ValueError, match="unknown analyzers"):
+        run_analysis(analyzers=("kernels", "bogus"))
+
+
+def test_run_analysis_rule_filter(bad_tree):
+    findings, _ = run_analysis(analyzers=("hotpaths",), root=bad_tree)
+    assert [f.rule for f in findings] == ["HP001"]
+    filtered, _ = run_analysis(
+        analyzers=("hotpaths",), rules=["KA"], root=bad_tree
+    )
+    assert filtered == []
+    prefixed, _ = run_analysis(
+        analyzers=("hotpaths",), rules=["HP"], root=bad_tree
+    )
+    assert [f.rule for f in prefixed] == ["HP001"]
+
+
+def test_cli_rules_help_prints_catalog(capsys):
+    assert main(["--rules", "help"]) == 0
+    out = capsys.readouterr().out
+    assert "KA001" in out and "RP001" in out and "HP003" in out
+
+
+def test_cli_races_pass_with_telemetry(capsys):
+    assert main(["--analyzers", "races"]) == 0
+    out = capsys.readouterr().out
+    assert "no findings" in out
+    assert "telemetry: shard_plan:3x3x3/w2 redundant riemann faces" in out
+
+
+def test_cli_json_format(capsys):
+    assert main(["--analyzers", "races", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["findings"] == []
+    plans = [race["plan"] for race in payload["telemetry"]["races"]]
+    assert "shard_plan:9x9x9/w28" in plans
+
+
+def test_cli_fails_on_seeded_finding(bad_tree, capsys):
+    code = main(
+        ["--analyzers", "hotpaths", "--root", str(bad_tree), "--no-baseline"]
+    )
+    assert code == 1
+    assert "HP001" in capsys.readouterr().out
+
+
+def test_default_baseline_points_at_tools():
+    assert DEFAULT_BASELINE == ROOT / "tools" / "analysis_baseline.json"
+    assert DEFAULT_BASELINE.exists()
+
+
+def test_gate_passes_against_checked_in_baseline(capsys):
+    assert check_analysis.main(["--check"]) == 0
+    out = capsys.readouterr().out
+    assert "0 new error(s)" in out
+    assert "kernels audited" in out
+
+
+def test_gate_write_baseline_round_trip(tmp_path, capsys):
+    path = tmp_path / "baseline.json"
+    assert check_analysis.main(["--write-baseline", "--baseline", str(path)]) == 0
+    capsys.readouterr()
+    written = load_baseline(path)
+    committed = load_baseline(DEFAULT_BASELINE)
+    assert written == committed  # the checked-in baseline is fresh
+    assert check_analysis.main(["--check", "--baseline", str(path)]) == 0

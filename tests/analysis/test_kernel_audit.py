@@ -1,0 +1,125 @@
+"""Kernel-source auditor tests: clean corpus, seeded mutations flagged."""
+
+import pytest
+
+from repro.analysis import (
+    audit_generated_kernels,
+    audit_kernel_source,
+    default_kernel_corpus,
+)
+from repro.codegen.lowering import lower_plan
+from repro.pde.acoustic import AcousticPDE
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return default_kernel_corpus(orders=(2,))
+
+
+@pytest.fixture(scope="module")
+def acoustic_unit(corpus):
+    """(source, plan, pde) of the splitck/acoustic/N2 corpus entry."""
+    for location, plan, pde in corpus:
+        if location == "kernel:splitck/acoustic/N2":
+            return lower_plan(plan, pde), plan, pde
+    raise AssertionError("acoustic corpus entry missing")
+
+
+def test_default_corpus_shape(corpus):
+    locations = [loc for loc, _, _ in corpus]
+    assert len(corpus) == 8  # 4 PDEs x 1 order x 2 variants
+    assert "kernel:generic/curvilinear_elastic/N2" in locations
+    assert all(loc.startswith("kernel:") for loc in locations)
+
+
+def test_generated_corpus_audits_clean():
+    assert audit_generated_kernels(orders=(2, 3)) == []
+
+
+def test_audit_without_plan_checks_internal_consistency(acoustic_unit):
+    source, _, _ = acoustic_unit
+    assert audit_kernel_source(source, "unit") == []
+
+
+def test_mutated_loop_allocation_flagged(acoustic_unit):
+    source, plan, pde = acoustic_unit
+    # seed an allocation + foreign attribute into the STP loop body
+    needle = "for k in range(q.shape[0]):"
+    assert needle in source
+    mutated = source.replace(
+        needle, needle + "\n        tmp = np.zeros((N, M))", 1
+    )
+    rules = {
+        f.rule
+        for f in audit_kernel_source(mutated, "unit", plan=plan, pde=pde)
+    }
+    assert "KA001" in rules  # allocation in a loop body
+    assert "KA006" in rules  # zeros is outside every call whitelist
+
+
+def test_mutated_attribute_in_loop_flagged(acoustic_unit):
+    source, plan, pde = acoustic_unit
+    needle = "for k in range(q.shape[0]):"
+    mutated = source.replace(
+        needle, needle + "\n        tmp = q.astype(float)", 1
+    )
+    rules = {
+        f.rule
+        for f in audit_kernel_source(mutated, "unit", plan=plan, pde=pde)
+    }
+    assert "KA002" in rules
+
+
+def test_dynamic_loop_bound_flagged(acoustic_unit):
+    source, plan, pde = acoustic_unit
+    needle = "for k in range(q.shape[0]):"
+    mutated = source.replace(needle, "for k in range(len(q)):", 1)
+    rules = {
+        f.rule
+        for f in audit_kernel_source(mutated, "unit", plan=plan, pde=pde)
+    }
+    assert "KA003" in rules
+
+
+def test_out_of_range_quantity_subscript_flagged(acoustic_unit):
+    source, plan, pde = acoustic_unit
+    assert "q[k, 3]" in source  # acoustic quantities live in [0, M=6)
+    mutated = source.replace("q[k, 3]", "q[k, 99]")
+    findings = audit_kernel_source(mutated, "unit", plan=plan, pde=pde)
+    ka004 = [f for f in findings if f.rule == "KA004"]
+    assert ka004 and "99" in ka004[0].message
+
+
+def test_tampered_header_flagged(acoustic_unit):
+    source, plan, pde = acoustic_unit
+    assert "# temp footprint:" in source
+    mutated = "\n".join(
+        "# temp footprint: 1 bytes" if line.startswith("# temp footprint:")
+        else line
+        for line in source.splitlines()
+    )
+    findings = audit_kernel_source(mutated, "unit", plan=plan, pde=pde)
+    assert any(
+        f.rule == "KA005" and "footprint" in f.message for f in findings
+    )
+
+
+def test_wrong_pde_token_flagged(acoustic_unit):
+    source, plan, _ = acoustic_unit
+    findings = audit_kernel_source(
+        source, "unit", plan=plan, pde=AcousticPDE()
+    )
+    assert findings == []  # the right PDE: clean
+    mutated = source.replace("pde=acoustic", "pde=elastic", 1)
+    findings = audit_kernel_source(
+        mutated, "unit", plan=plan, pde=AcousticPDE()
+    )
+    assert any(f.rule == "KA005" and "pde" in f.message for f in findings)
+
+
+def test_extra_stp_entry_point_flagged(acoustic_unit):
+    source, _, _ = acoustic_unit
+    mutated = source + "\n\ndef stp_spacetime(q):\n    return q\n"
+    findings = audit_kernel_source(mutated, "unit")
+    assert any(f.rule == "KA005" and "entry points" in f.message
+               for f in findings)

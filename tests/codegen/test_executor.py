@@ -263,3 +263,17 @@ def test_base_executor_contract():
     executor = Executor()
     assert executor.name == "base"
     assert repr(NumpyExecutor()) == "NumpyExecutor(name='numpy')"
+
+
+def test_environment_override_rejects_unknown_name(monkeypatch):
+    """Regression: a bad REPRO_BACKEND value must fail and name its source."""
+    monkeypatch.setenv("REPRO_BACKEND", "cuda")
+    with pytest.raises(ValueError, match="REPRO_BACKEND"):
+        resolve_executor("auto")
+    # the error lists every name the environment variable accepts
+    monkeypatch.setenv("REPRO_BACKEND", "nmba")
+    with pytest.raises(ValueError, match="generated"):
+        resolve_executor("auto")
+    # explicit backend requests never consult the environment
+    monkeypatch.setenv("REPRO_BACKEND", "bogus")
+    assert isinstance(resolve_executor("numpy"), NumpyExecutor)

@@ -1,0 +1,107 @@
+"""Static-analysis gate for CI (the :mod:`repro.analysis` front door).
+
+Runs all three analyzers -- the generated-kernel auditor, the
+shard-plan race prover and the hot-path lint -- and fails when any
+*new* error finding appears beyond the checked-in baseline
+(``tools/analysis_baseline.json``).  Mirrors ``check_docstrings.py``:
+no dependencies beyond the repo itself, plain exit codes, human rows.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_analysis.py            # gate (CI)
+    PYTHONPATH=src python tools/check_analysis.py --check    # same, explicit
+    PYTHONPATH=src python tools/check_analysis.py --write-baseline
+    PYTHONPATH=src python tools/check_analysis.py --verbose  # show accepted
+
+``--write-baseline`` records the current findings as the accepted
+residue; run it after deliberately accepting a finding (and justify
+the acceptance in the commit message).  A *stale* baseline -- entries
+no analyzer reports anymore -- is flagged as a warning so fixed
+findings do not stay silently acceptable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "analysis_baseline.json"
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis import (  # noqa: E402  (path bootstrap above)
+    ERROR,
+    apply_baseline,
+    format_findings,
+    load_baseline,
+    run_analysis,
+    write_baseline,
+)
+
+
+def main(argv=None) -> int:
+    """Run the gate; returns the process exit status."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check", action="store_true",
+                        help="gate mode (the default; flag kept for CI symmetry)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="accept the current findings as the baseline")
+    parser.add_argument("--baseline", default=str(DEFAULT_BASELINE),
+                        help="baseline file (default: tools/analysis_baseline.json)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="also list baseline-accepted findings")
+    args = parser.parse_args(argv)
+
+    findings, telemetry = run_analysis()
+    kernels = telemetry.get("kernels", {})
+    races = telemetry.get("races", [])
+    print(
+        f"analyzers: {kernels.get('audited', 0)} kernels audited, "
+        f"{len(races)} shard plans proven, hot-path lint over src/repro"
+    )
+    for race in races:
+        print(
+            f"  {race['plan']}: redundant riemann faces = "
+            f"{race['redundant_riemann_faces']}"
+        )
+
+    baseline_path = Path(args.baseline)
+    if args.write_baseline:
+        write_baseline(findings, baseline_path)
+        print(f"baseline written: {baseline_path} ({len(findings)} findings)")
+        return 0
+
+    if args.verbose and findings:
+        print("all findings (before baseline):")
+        print(format_findings(findings))
+
+    stale: list[str] = []
+    accepted = 0
+    if baseline_path.exists():
+        baseline = load_baseline(baseline_path)
+        total = len(findings)
+        findings, stale = apply_baseline(findings, baseline)
+        accepted = total - len(findings)
+
+    errors = [f for f in findings if f.severity == ERROR]
+    print(
+        f"\nfindings: {len(errors)} new error(s), "
+        f"{len(findings) - len(errors)} new warning(s), "
+        f"{accepted} baseline-accepted"
+    )
+    if findings:
+        print(format_findings(findings))
+    for key in stale:
+        print(f"warning: stale baseline entry {key!r} "
+              "(re-run --write-baseline)")
+    if errors:
+        print("FAILED: new static-analysis errors (see above); fix them, "
+              "add a pragma, or re-baseline deliberately", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -45,6 +45,13 @@ PUBLIC_API = [
     ("repro.parallel", "ShardWorkerPool"),
     ("repro.parallel", "WorkerCrashError"),
     ("repro.parallel", "StepRecord"),
+    ("repro.analysis", "Finding"),
+    ("repro.analysis", "run_analysis"),
+    ("repro.analysis", "audit_kernel_source"),
+    ("repro.analysis", "audit_generated_kernels"),
+    ("repro.analysis", "prove_shard_plan"),
+    ("repro.analysis", "RaceReport"),
+    ("repro.analysis", "lint_tree"),
 ]
 
 HEADER = """\
