@@ -1,7 +1,8 @@
 # Developer entry points.  `make verify` is the shared static gate CI
-# and humans run identically: golden-fixture freshness plus the
+# and humans run identically: golden-fixture freshness, the
 # repro.analysis static-analysis gate (kernel audit, race proof,
-# hot-path lint vs the checked-in baseline).
+# hot-path lint vs the checked-in baseline) and the docs consistency
+# gate (dead links, stale repro.* references, stale CLI flags).
 
 PY := PYTHONPATH=src python
 
@@ -13,6 +14,7 @@ test:
 verify:
 	$(PY) tools/regen_golden.py --check
 	$(PY) tools/check_analysis.py --check
+	$(PY) tools/check_docs.py --check
 
 docs:
 	$(PY) tools/gen_api_docs.py

@@ -18,10 +18,16 @@ Run styles:
   (LOH1, order 6, ``log`` variant, ``num_workers=4``,
   ``batch_size=16``); ``--quick`` shrinks it for CI smoke.
 
-The >= 2x speedup acceptance gate only makes sense with real cores to
-scale onto, so it is asserted when ``os.cpu_count() >= 4`` and
-otherwise reported without failing (a single-core container cannot
-speed anything up by adding processes).
+After the scaling sweep, the report compares the two step protocols
+(``stepping="barrier"`` vs ``"async"``, see ``docs/stepping.md``) at
+one worker count: mean per-step worker-wait seconds out of the step
+telemetry, with both protocols conformance-checked against serial.
+
+The >= 2x speedup acceptance gate -- and the async-wait-beats-barrier
+gate -- only make sense with real cores to scale onto, so they are
+asserted when ``os.cpu_count() >= 4`` and otherwise reported without
+failing (a single-core container cannot speed anything up by adding
+processes).
 """
 
 import os
@@ -40,7 +46,8 @@ WORKERS = 4
 STEPS = 3
 
 
-def _run(order, elements, variant, num_workers, batch_size, steps):
+def _run(order, elements, variant, num_workers, batch_size, steps,
+         stepping="barrier"):
     """Step LOH1 ``steps`` times; return (states, seconds_per_step)."""
     with LOH1Scenario(
         elements=elements,
@@ -48,6 +55,7 @@ def _run(order, elements, variant, num_workers, batch_size, steps):
         variant=variant,
         num_workers=num_workers,
         batch_size=batch_size,
+        stepping=stepping,
     ) as scenario:
         dt = scenario.solver.stable_dt()
         start = time.perf_counter()
@@ -56,6 +64,28 @@ def _run(order, elements, variant, num_workers, batch_size, steps):
         elapsed = time.perf_counter() - start
         states = np.array(scenario.solver.states)
     return states, elapsed / steps
+
+
+def _run_with_wait(order, elements, variant, num_workers, batch_size,
+                   steps, stepping):
+    """``run()`` (so async pipelining engages); return states + timings."""
+    with LOH1Scenario(
+        elements=elements,
+        order=order,
+        variant=variant,
+        num_workers=num_workers,
+        batch_size=batch_size,
+        stepping=stepping,
+    ) as scenario:
+        start = time.perf_counter()
+        scenario.solver.run(t_end=1e9, max_steps=steps)
+        elapsed = time.perf_counter() - start
+        states = np.array(scenario.solver.states)
+        waits = [
+            sum(rec.worker_wait.values())
+            for rec in scenario.solver.step_records
+        ]
+    return states, elapsed / steps, float(np.mean(waits))
 
 
 def relative_diff(a: np.ndarray, b: np.ndarray) -> float:
@@ -112,6 +142,32 @@ def scaling_report(order=ORDER, elements=ELEMENTS, variant=VARIANT,
     return rows
 
 
+def stepping_report(order=ORDER, elements=ELEMENTS, variant=VARIANT,
+                    batch_size=BATCH, workers=WORKERS, steps=STEPS):
+    """Barrier vs. async at one worker count: wait seconds per step.
+
+    Both protocols run the identical problem through ``solver.run()``
+    (so async speculation engages); each row reports the mean per-step
+    sum of ``StepRecord.worker_wait`` -- the synchronization cost the
+    async protocol exists to shrink (see ``docs/stepping.md``).
+    """
+    serial, _ = _run(order, elements, variant, None, batch_size, steps)
+    rows = []
+    for stepping in ("barrier", "async"):
+        states, sec, wait = _run_with_wait(
+            order, elements, variant, workers, batch_size, steps, stepping
+        )
+        rows.append(
+            {
+                "stepping": stepping,
+                "sec_per_step": sec,
+                "wait_per_step": wait,
+                "rel_diff": relative_diff(states, serial),
+            }
+        )
+    return rows
+
+
 def main(argv=None):
     import argparse
 
@@ -157,6 +213,32 @@ def main(argv=None):
     if cores < 4:
         print(f"\n(speedup gate skipped: {cores} core(s) < 4 -- process "
               f"parallelism cannot beat serial here)")
+
+    workers = min(max_workers, 4) if max_workers > 1 else 2
+    print(f"\nstep protocol comparison ({workers} workers):")
+    header = f"{'stepping':>10}{'s/step':>10}{'wait/step':>11}{'rel diff':>11}"
+    print(header)
+    print("-" * len(header))
+    srows = stepping_report(order=order, batch_size=batch,
+                            workers=workers, steps=steps)
+    for row in srows:
+        print(f"{row['stepping']:>10}{row['sec_per_step']:10.3f}"
+              f"{row['wait_per_step']:11.4f}{row['rel_diff']:11.1e}")
+        if row["rel_diff"] > 1e-12:
+            raise SystemExit(
+                f"{row['stepping']} stepping diverged from serial: "
+                f"rel diff = {row['rel_diff']:.3e}"
+            )
+    barrier_wait = srows[0]["wait_per_step"]
+    async_wait = srows[1]["wait_per_step"]
+    if cores >= 4 and async_wait >= barrier_wait:
+        raise SystemExit(
+            f"acceptance: async wait/step {async_wait:.4f}s did not beat "
+            f"barrier {barrier_wait:.4f}s on {cores} cores"
+        )
+    if cores < 4:
+        print(f"(wait gate skipped: {cores} core(s) < 4 -- barrier waits "
+              f"are not contended here)")
     return 0
 
 

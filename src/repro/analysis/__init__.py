@@ -12,8 +12,10 @@ exercise, sharing one rule/finding framework
   (rules ``KA001-KA006``);
 * :mod:`repro.analysis.race_prover` -- proves per-phase write
   disjointness of :class:`~repro.parallel.sharding.ShardPlan` access
-  sets and reports the redundant cross-shard Riemann set as telemetry
-  (rules ``RP001-RP004``);
+  sets, certifies the async stepping mode's dependency graph and
+  mailbox layout against an independent ground truth, and reports the
+  redundant cross-shard Riemann set as telemetry (rules
+  ``RP001-RP006``);
 * :mod:`repro.analysis.hotpath` -- lints ``src/repro`` for per-step
   allocations, unjustified broad excepts and mutable defaults (rules
   ``HP001-HP003``).
@@ -48,6 +50,8 @@ from repro.analysis.kernel_audit import (
 from repro.analysis.race_prover import (
     PhaseAccess,
     RaceReport,
+    async_phase_accesses,
+    prove_async_schedule,
     prove_shard_plan,
     shard_plan_accesses,
 )
@@ -67,6 +71,8 @@ __all__ = [
     "default_kernel_corpus",
     "prove_shard_plan",
     "shard_plan_accesses",
+    "prove_async_schedule",
+    "async_phase_accesses",
     "PhaseAccess",
     "RaceReport",
     "lint_source",
@@ -143,7 +149,15 @@ def run_analysis(
             label = f"shard_plan:{shape}/w{plan.num_shards}"
             report = prove_shard_plan(plan, location=label)
             findings.extend(report.findings)
-            race_telemetry.append({"plan": label, **report.telemetry})
+            # also certify the async schedule the pool would run on
+            # this plan (dependency graph + mailbox layout, RP005/6)
+            areport = prove_async_schedule(
+                plan, location=f"async_schedule:{shape}/w{plan.num_shards}"
+            )
+            findings.extend(areport.findings)
+            race_telemetry.append(
+                {"plan": label, **report.telemetry, "async": areport.telemetry}
+            )
         telemetry["races"] = race_telemetry
     if "hotpaths" in analyzers:
         lint_findings = lint_tree(root)

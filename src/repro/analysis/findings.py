@@ -56,6 +56,8 @@ RULES = {
     "RP002": "a worker reads an array another worker writes in the same phase",
     "RP003": "phase write-set does not cover every element exactly once",
     "RP004": "halo read of a face trace no predict phase published",
+    "RP005": "async schedule misses a halo dependency edge",
+    "RP006": "mailbox slot assignment inconsistent with the cut faces",
     "HP001": "allocation inside a step-loop (hot-path) function",
     "HP002": "bare or over-broad except without a justifying pragma",
     "HP003": "mutable default argument",

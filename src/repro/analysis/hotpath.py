@@ -44,6 +44,9 @@ HOT_PATTERNS = (
     "_ShardWorker.predict",
     "_ShardWorker.correct",
     "_ShardWorker._correct_sweep",
+    "_ShardWorker.riemann_phase",
+    "_ShardWorker.finish_phase",
+    "_ShardWorker._apply_corrector",
     "corrector_all",
     "corrector_update",
     "rusanov_flux",

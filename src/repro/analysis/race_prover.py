@@ -34,8 +34,21 @@ Checks:
 
 The prover also reports the **redundant cross-shard Riemann set** --
 the faces both adjacent shards solve from identical shared inputs --
-as telemetry for the ROADMAP's barrier-free stepping work, where those
+as telemetry for the barrier-free stepping mode, where those
 recomputations become exchanged face traces.
+
+For that mode (``stepping="async"``, ``docs/stepping.md``) the module
+additionally proves the *schedule* safe (rules ``RP005-RP006``): the
+:class:`~repro.parallel.stepping.ShardDependencyGraph` the pool
+dispatches from is checked against an independently recomputed ground
+truth -- every owner-adjacent shard pair must be a dependency edge
+(``RP005``: a missing edge lets a riemann phase read an unpublished
+neighbor trace), and the mailbox layout must assign exactly one slot
+per cut face with the correct exporter/importer (``RP006``: a wrong
+slot means a flux lands in, or is read from, the wrong place).
+:func:`async_phase_accesses` exposes the async three-phase access
+model (predict / riemann / finish, mailbox included) in the same
+:class:`PhaseAccess` form the barrier model uses.
 """
 
 from __future__ import annotations
@@ -46,7 +59,14 @@ import numpy as np
 
 from repro.analysis.findings import ERROR, Finding
 
-__all__ = ["PhaseAccess", "RaceReport", "shard_plan_accesses", "prove_shard_plan"]
+__all__ = [
+    "PhaseAccess",
+    "RaceReport",
+    "shard_plan_accesses",
+    "prove_shard_plan",
+    "async_phase_accesses",
+    "prove_async_schedule",
+]
 
 
 @dataclass(frozen=True)
@@ -261,5 +281,189 @@ def prove_shard_plan(plan, location: str = "shard_plan") -> RaceReport:
         "redundant_riemann_faces": redundant,
         "redundant_riemann_solves": redundant,
         "phases_proven_disjoint": proven,
+    }
+    return report
+
+
+# ---------------------------------------------------------------------------
+# async (barrier-free) schedule proving -- RP005 / RP006
+# ---------------------------------------------------------------------------
+
+
+def async_phase_accesses(plan, graph) -> list[PhaseAccess]:
+    """The three-phase access model of the async stepping mode.
+
+    Mirrors the worker's ``predict -> riemann -> finish`` split
+    (:mod:`repro.parallel.worker`): riemann reads the own+halo ``qface``
+    traces and writes this shard's exported mailbox slots; finish reads
+    the imported slots and writes the owned ``states_out`` elements.
+    Mailbox slot ids play the role of element ids in the ``mailbox``
+    array.  Per-slot write disjointness holds by construction (each
+    slot has exactly one exporter), so the interesting proof is
+    :func:`prove_async_schedule`'s graph-vs-ground-truth check.
+    """
+    accesses: list[PhaseAccess] = []
+    empty = np.empty(0, dtype=np.int64)
+    slots = np.arange(graph.n_slots, dtype=np.int64)
+    for w, shard in enumerate(plan.shards):
+        own = np.unique(np.asarray(shard, dtype=np.int64))
+        halo = _halo_elements(plan.grid, own)
+        own_and_halo = np.union1d(own, halo)
+        accesses.append(PhaseAccess("predict", w, "states_in", own, empty))
+        accesses.append(PhaseAccess("predict", w, "qface", empty, own))
+        accesses.append(
+            PhaseAccess("riemann", w, "states_in", own_and_halo, empty)
+        )
+        accesses.append(PhaseAccess("riemann", w, "qface", own_and_halo, empty))
+        accesses.append(
+            PhaseAccess("riemann", w, "mailbox", empty, slots[graph.exporter == w])
+        )
+        accesses.append(
+            PhaseAccess("finish", w, "mailbox", slots[graph.importer == w], empty)
+        )
+        accesses.append(PhaseAccess("finish", w, "states_out", empty, own))
+    return accesses
+
+
+def prove_async_schedule(
+    plan, graph=None, location: str = "async_schedule"
+) -> RaceReport:
+    """Prove (or refute) an async dependency graph against ``plan``.
+
+    The ground truth is recomputed here independently of
+    :func:`~repro.parallel.stepping.build_dependency_graph`: the owner
+    map comes from ``plan.shards`` directly and the cut faces from a
+    fresh :func:`~repro.engine.facesweep.direction_faces` enumeration.
+    ``graph`` defaults to the graph the pool itself would build, so
+    calling with one argument certifies the production schedule.
+
+    * ``RP005`` -- a shard pair sharing a cut face is missing from
+      ``neighbors`` (the riemann dispatch would not wait for that
+      neighbor's predict), or the flux importer is missing its
+      exporter in ``providers`` (the finish dispatch would not wait
+      for the flux to be published).
+    * ``RP006`` -- mailbox layout inconsistency: a cut face without a
+      slot, a slot on a non-cut face, a wrong exporter/importer, or a
+      slot assigned to several faces.
+    """
+    from repro.engine.facesweep import direction_faces
+
+    if graph is None:
+        from repro.parallel.stepping import build_dependency_graph
+
+        graph = build_dependency_graph(plan)
+    report = RaceReport(plan=plan)
+
+    def flag(rule: str, message: str, context: str, hint: str) -> None:
+        report.findings.append(
+            Finding(rule, ERROR, location, 0, message, context, hint)
+        )
+
+    grid = plan.grid
+    owner = np.full(grid.n_elements, -1, dtype=np.int64)
+    for w, shard in enumerate(plan.shards):
+        owner[np.asarray(shard, dtype=np.int64).ravel()] = w
+
+    n_slots = graph.n_slots
+    used = np.zeros(max(1, n_slots), dtype=np.int64)
+    cut_faces = 0
+    missing_edges: set[tuple[int, int]] = set()
+    missing_providers: set[tuple[int, int]] = set()
+    slotless: list[tuple[int, int]] = []
+    wrong_ends: list[int] = []
+    stray: list[tuple[int, int]] = []
+    for d in range(3):
+        df = direction_faces(grid, d)
+        both = np.nonzero((df.left >= 0) & (df.right >= 0))[0]
+        for row in both:
+            left, right = int(df.left[row]), int(df.right[row])
+            src, dst = int(owner[left]), int(owner[right])
+            slot = int(graph.slot_of[d, left])
+            if src < 0 or dst < 0 or src == dst:
+                if slot >= 0:
+                    stray.append((d, left))
+                continue
+            cut_faces += 1
+            if dst not in graph.neighbors[src] or src not in graph.neighbors[dst]:
+                missing_edges.add((min(src, dst), max(src, dst)))
+            if src not in graph.providers[dst]:
+                missing_providers.add((src, dst))
+            if slot < 0 or slot >= n_slots:
+                slotless.append((d, left))
+            else:
+                used[slot] += 1
+                if (
+                    int(graph.exporter[slot]) != src
+                    or int(graph.importer[slot]) != dst
+                ):
+                    wrong_ends.append(slot)
+
+    if missing_edges:
+        pairs = sorted(missing_edges)
+        flag(
+            "RP005",
+            f"{len(pairs)} owner-adjacent shard pair(s) missing from the "
+            f"dependency graph: {pairs[:8]}",
+            "neighbors",
+            "a riemann phase would read a neighbor trace whose predict "
+            "the scheduler never waited for",
+        )
+    if missing_providers:
+        pairs = sorted(missing_providers)
+        flag(
+            "RP005",
+            f"{len(pairs)} flux provider edge(s) missing: "
+            f"{pairs[:8]} (exporter, importer)",
+            "providers",
+            "a finish phase would import a mailbox flux before its "
+            "exporter published it",
+        )
+    if slotless:
+        flag(
+            "RP006",
+            f"{len(slotless)} cut face(s) have no mailbox slot: "
+            f"{slotless[:8]} (direction, left element)",
+            "slot_of",
+            "the importer would keep a stale flux for these faces",
+        )
+    if stray:
+        flag(
+            "RP006",
+            f"{len(stray)} mailbox slot(s) assigned to non-cut faces: "
+            f"{stray[:8]} (direction, left element)",
+            "slot_of",
+            "only faces crossing a shard boundary are exchanged",
+        )
+    if wrong_ends:
+        flag(
+            "RP006",
+            f"{len(wrong_ends)} slot(s) with wrong exporter/importer: "
+            f"{sorted(set(wrong_ends))[:8]}",
+            "exporter/importer",
+            "the slot's exporter must own the face's left element and "
+            "the importer its right element",
+        )
+    duplicates = np.nonzero(used > 1)[0]
+    if duplicates.size:
+        flag(
+            "RP006",
+            f"{duplicates.size} mailbox slot(s) shared by several faces: "
+            f"{_sample(duplicates)}",
+            "slot_of",
+            "two faces writing one slot lose one flux",
+        )
+    if n_slots != cut_faces:
+        flag(
+            "RP006",
+            f"mailbox has {n_slots} slot(s) but the plan has "
+            f"{cut_faces} cut face(s)",
+            "slot_of",
+            "slots and cut faces must correspond one-to-one",
+        )
+
+    report.telemetry = {
+        **graph.stats(),
+        "cut_faces": int(cut_faces),
+        "schedule_proven": report.ok,
     }
     return report

@@ -27,6 +27,15 @@ each face is enumerated and solved exactly once.  Shard subsets keep
 cross-shard faces in the plane (solved redundantly on both owning
 shards from identical shared inputs), preserving the parallel solver's
 bitwise-identical-to-serial guarantee.
+
+Under the async stepping mode a sweep instead *exchanges* cross-shard
+fluxes: constructed with a :class:`~repro.parallel.stepping.
+FaceExchangeSpec`, the face planes are reordered so the rows this
+shard must solve form a contiguous prefix, the Riemann call runs on
+that prefix only, and the cut-face fluxes travel through a shared
+mailbox array (:meth:`FaceSweep.export_fluxes` on the canonical owner,
+:meth:`FaceSweep.import_fluxes` on the neighbor) instead of being
+re-solved redundantly.  See ``docs/stepping.md``.
 """
 
 from __future__ import annotations
@@ -138,6 +147,74 @@ def direction_faces(
     )
 
 
+def _reorder_faces(df: DirectionFaces, perm: np.ndarray) -> DirectionFaces:
+    """Permute the rows of a face plane (``perm[new_row] = old_row``).
+
+    Every row-valued index array (``lo_face`` / ``hi_face`` and the
+    interior/ghost row lists) is remapped through the inverse
+    permutation so the reordered plane is self-consistent.
+    """
+    inverse = np.empty_like(perm)
+    inverse[perm] = np.arange(perm.size, dtype=np.int64)
+
+    def remap_rows(rows: np.ndarray) -> np.ndarray:
+        return np.sort(inverse[rows])
+
+    lo_face = df.lo_face.copy()
+    mask = lo_face >= 0
+    lo_face[mask] = inverse[lo_face[mask]]
+    hi_face = df.hi_face.copy()
+    mask = hi_face >= 0
+    hi_face[mask] = inverse[hi_face[mask]]
+    return DirectionFaces(
+        d=df.d,
+        left=df.left[perm],
+        right=df.right[perm],
+        lo_face=lo_face,
+        hi_face=hi_face,
+        interior_left=remap_rows(df.interior_left),
+        interior_right=remap_rows(df.interior_right),
+        ghost_left=remap_rows(df.ghost_left),
+        ghost_right=remap_rows(df.ghost_right),
+    )
+
+
+def _partition_for_exchange(df: DirectionFaces, exchange):
+    """Split one face plane into solve-prefix and import-suffix rows.
+
+    A row is *imported* when its face is cut (both sides real, owners
+    differ) and the canonical owner -- the shard of the left element --
+    is not this shard; every other row (own faces, exported cut faces,
+    ghost faces) is solved locally.  Returns the reordered plane plus
+    the exchange index arrays::
+
+        (faces, n_solve, export_rows, export_slots, import_slots)
+
+    where ``export_rows`` are new-order row ids inside the solve
+    prefix, and ``import_slots[i]`` is the mailbox slot feeding solve
+    row ``n_solve + i``.
+    """
+    owner, shard, slot_of = exchange.owner, exchange.shard, exchange.slot_of
+    n_faces = df.n_faces
+    cut = np.zeros(n_faces, dtype=bool)
+    both = np.nonzero((df.left >= 0) & (df.right >= 0))[0]
+    cut[both] = owner[df.left[both]] != owner[df.right[both]]
+    imported = np.zeros(n_faces, dtype=bool)
+    imported[both] = cut[both] & (owner[df.left[both]] != shard)
+    exported_old = np.nonzero(cut & ~imported)[0]
+    perm = np.concatenate(
+        [np.nonzero(~imported)[0], np.nonzero(imported)[0]]
+    ).astype(np.int64)
+    n_solve = int((~imported).sum())
+    inverse = np.empty_like(perm)
+    inverse[perm] = np.arange(perm.size, dtype=np.int64)
+    export_rows = np.sort(inverse[exported_old])
+    reordered = _reorder_faces(df, perm)
+    export_slots = slot_of[df.d, reordered.left[export_rows]]
+    import_slots = slot_of[df.d, reordered.left[n_solve:]]
+    return reordered, n_solve, export_rows, export_slots, import_slots
+
+
 class FaceSweep:
     """Vectorized Riemann phase over packed per-direction face planes.
 
@@ -155,6 +232,13 @@ class FaceSweep:
     executor:
         Optional :class:`~repro.codegen.executor.Executor` running the
         per-direction Riemann calls (default: the NumPy executor).
+    exchange:
+        Optional :class:`~repro.parallel.stepping.FaceExchangeSpec`.
+        When given, cut faces whose canonical owner is another shard
+        are not solved here: the planes are reordered so locally
+        solved rows form a contiguous prefix, and the missing fluxes
+        arrive through :meth:`import_fluxes` from the shared mailbox
+        (the async stepping mode's trace exchange).
     """
 
     def __init__(
@@ -166,6 +250,7 @@ class FaceSweep:
         boundary: str = "absorbing",
         elements=None,
         executor=None,
+        exchange=None,
     ):
         self.grid = grid
         self.pde = pde
@@ -180,6 +265,24 @@ class FaceSweep:
         self.executor = executor
         self.faces = tuple(direction_faces(grid, d, elements) for d in range(3))
         n, m = order, pde.nquantities
+        self.exchange = exchange
+        self._n_solve = None
+        if exchange is not None:
+            faces, self._n_solve = [], []
+            self._export_rows, self._export_slots = [], []
+            self._import_slots = []
+            self._flux_buf = []
+            for df in self.faces:
+                df, n_solve, rows, slots, imports = _partition_for_exchange(
+                    df, exchange
+                )
+                faces.append(df)
+                self._n_solve.append(n_solve)
+                self._export_rows.append(rows)
+                self._export_slots.append(slots)
+                self._import_slots.append(imports)
+                self._flux_buf.append(np.zeros((df.n_faces, n, n, m)))
+            self.faces = tuple(faces)
         self._q_left = [np.zeros((df.n_faces, n, n, m)) for df in self.faces]
         self._q_right = [np.zeros((df.n_faces, n, n, m)) for df in self.faces]
         #: per-direction ``(n_faces, N, N, m)`` numerical fluxes of the
@@ -257,9 +360,48 @@ class FaceSweep:
                 q_left[df.ghost_left] = ghost_state(
                     boundary, pde, q_right[df.ghost_left], d, 0
                 )
-            self.fluxes[d] = self.executor.riemann_sweep(
-                pde, self.riemann_name, q_left, q_right, pl, pr, d
-            )
+            if self._n_solve is None:
+                self.fluxes[d] = self.executor.riemann_sweep(
+                    pde, self.riemann_name, q_left, q_right, pl, pr, d
+                )
+            else:
+                # exchange mode: solve only the local prefix; the
+                # import suffix is filled from the mailbox later
+                k = self._n_solve[d]
+                flux = self._flux_buf[d]
+                flux[:k] = self.executor.riemann_sweep(
+                    pde, self.riemann_name,
+                    q_left[:k], q_right[:k], pl[:k], pr[:k], d,
+                )
+                self.fluxes[d] = flux
+
+    def export_fluxes(self, mailbox: np.ndarray) -> None:
+        """Publish this shard's cut-face fluxes into the shared mailbox.
+
+        Writes exactly the slots whose canonical owner this shard is
+        (single writer per slot); requires construction with an
+        ``exchange`` spec.
+        """
+        if self._n_solve is None:
+            raise RuntimeError("FaceSweep was built without an exchange spec")
+        for d in range(3):
+            rows = self._export_rows[d]
+            if rows.size:
+                mailbox[self._export_slots[d]] = self.fluxes[d][rows]
+
+    def import_fluxes(self, mailbox: np.ndarray) -> None:
+        """Fill the import suffix of every plane from the mailbox.
+
+        Reads the slots exported by neighboring shards; after this the
+        planes are complete and :meth:`gather_fstar` works exactly as
+        in the redundant-solve mode.
+        """
+        if self._n_solve is None:
+            raise RuntimeError("FaceSweep was built without an exchange spec")
+        for d in range(3):
+            k = self._n_solve[d]
+            if self._import_slots[d].size:
+                self.fluxes[d][k:] = mailbox[self._import_slots[d]]
 
     def gather_fstar(self, elements: np.ndarray, out: np.ndarray) -> None:
         """Scatter the swept fluxes back to per-element face order.

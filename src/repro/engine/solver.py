@@ -79,6 +79,15 @@ class ADERDGSolver:
         and finishes the run -- including the interrupted step -- on
         the in-process path.  Both recovery modes produce states
         bitwise identical to an undisturbed run.
+    stepping:
+        Parallel step protocol (``num_workers > 1``; see
+        ``docs/stepping.md``): ``"barrier"`` (default) runs the
+        two-barrier protocol, bitwise identical to serial;
+        ``"async"`` runs the barrier-free neighbor-dependency protocol
+        with mailbox flux exchange and, inside :meth:`run`, pipelines
+        the next step's predictor behind the current corrector.
+        Requires ``face_sweep=True`` and is incompatible with
+        ``on_worker_failure="respawn"``.
     face_sweep:
         Run the Riemann + corrector phases as vectorized sweeps over
         packed face planes and element blocks
@@ -114,6 +123,7 @@ class ADERDGSolver:
         face_sweep: bool = True,
         on_worker_failure: str = "raise",
         backend="auto",
+        stepping: str = "barrier",
     ):
         self.grid = grid
         self.pde = pde
@@ -164,6 +174,28 @@ class ADERDGSolver:
                 f"'serial'), got {on_worker_failure!r}"
             )
         self.on_worker_failure = on_worker_failure
+        if stepping not in ("barrier", "async"):
+            raise ValueError(
+                f"stepping must be one of ('barrier', 'async'), "
+                f"got {stepping!r}"
+            )
+        if stepping == "async":
+            if not face_sweep:
+                raise ValueError(
+                    "stepping='async' requires face_sweep=True (the mailbox "
+                    "flux exchange is built on the packed face planes)"
+                )
+            if on_worker_failure == "respawn":
+                raise ValueError(
+                    "stepping='async' is incompatible with "
+                    "on_worker_failure='respawn'; use 'raise' or 'serial' "
+                    "(see docs/stepping.md)"
+                )
+        self.stepping = stepping
+        self._dependency_graph = None
+        #: optional ``(dt_next, sources_next)`` speculation forwarded to
+        #: the async pool; set by :meth:`run`, consumed by :meth:`step`
+        self._next_hint = None
         self._pool = None
         self._shared = None
         self._shard_plan = None
@@ -188,13 +220,21 @@ class ADERDGSolver:
             from repro.parallel.shm import SharedArrayBundle
 
             field = (grid.n_elements, n, n, n, m)
-            self._shared = SharedArrayBundle.create(
-                {
-                    "states0": field,
-                    "states1": field,
-                    "qface": (grid.n_elements, 3, 2, n, n, m),
-                }
-            )
+            shapes = {
+                "states0": field,
+                "states1": field,
+                "qface": (grid.n_elements, 3, 2, n, n, m),
+            }
+            if stepping == "async":
+                from repro.parallel.stepping import build_dependency_graph
+
+                # built eagerly: the mailbox segment must exist before
+                # any worker process maps the bundle
+                self._dependency_graph = build_dependency_graph(self.shard_plan)
+                shapes["mailbox"] = (
+                    max(1, self._dependency_graph.n_slots), n, n, m
+                )
+            self._shared = SharedArrayBundle.create(shapes)
             self._buffers = (self._shared["states0"], self._shared["states1"])
             self._cur = 0
             self.states = self._buffers[0]
@@ -302,6 +342,16 @@ class ADERDGSolver:
             )
         return self._shard_plan
 
+    @property
+    def dependency_graph(self):
+        """The async-stepping dependency graph (``None`` unless async).
+
+        Built eagerly in the constructor for ``stepping="async"``
+        (the mailbox shared segment is sized from it); always ``None``
+        for serial and barrier-mode solvers.
+        """
+        return self._dependency_graph
+
     def _resolve_riemann_name(self) -> str:
         """Registry name of the *current* ``self.riemann`` function.
 
@@ -358,30 +408,36 @@ class ADERDGSolver:
                 face_sweep=self.face_sweep,
                 on_worker_failure=self.on_worker_failure,
                 backend=self._worker_backend(),
+                stepping=self.stepping,
+                graph=self._dependency_graph,
             )
         return self._pool
 
-    def _source_payload(self) -> dict:
-        """Per-element point-source data for this step's start time.
+    def _source_payload(self, t: float | None = None) -> dict:
+        """Per-element point-source data for a step starting at ``t``.
 
         Mirrors :meth:`_element_source` exactly: *every* source
         registered in an element contributes one ``(projection,
         amplitude, derivatives)`` triple (the worker sums co-located
         triples just like the serial path); derivatives are evaluated
-        at the current ``t``.
+        at ``t`` (default: the current time -- the pipelined async
+        hint evaluates them at the *next* step's start time).
         """
+        t = self.t if t is None else t
         payload: dict[int, list[tuple]] = {}
         for element, projection, amplitude, source in self.sources:
-            derivs = source.wavelet.derivatives(self.t, self.spec.order)
+            derivs = source.wavelet.derivatives(t, self.spec.order)
             payload.setdefault(element, []).append(
                 (projection, amplitude, derivs)
             )
         return payload
 
-    def _step_parallel(self, dt: float) -> float:
+    def _step_parallel(self, dt: float, next_hint=None) -> float:
         """One predictor/corrector step through the worker pool."""
         pool = self._ensure_pool()
-        self.last_step_timings = pool.step(self._cur, dt, self._source_payload())
+        self.last_step_timings = pool.step(
+            self._cur, dt, self._source_payload(), next_hint=next_hint
+        )
         self._cur = 1 - self._cur
         self.states = self._buffers[self._cur]
         return dt
@@ -449,8 +505,9 @@ class ADERDGSolver:
             from repro.parallel.pool import WorkerCrashError
 
             mode = "parallel"
+            next_hint, self._next_hint = self._next_hint, None
             try:
-                self._step_parallel(dt)
+                self._step_parallel(dt, next_hint)
             except WorkerCrashError as crash:
                 if self.on_worker_failure != "serial":
                     raise
@@ -476,6 +533,9 @@ class ADERDGSolver:
             phase_walls=self._phase_walls(),
             worker_busy=self._worker_busy(),
             backend=self.backend,
+            stepping=self.stepping if mode == "parallel" else "serial",
+            worker_wait=self._worker_wait(),
+            worker_publish=self._worker_publish(),
         )
         record.compile_s = record.phase_walls.get("compile", 0.0)
         events = None
@@ -508,6 +568,20 @@ class ADERDGSolver:
         if timings is None or isinstance(timings, dict):
             return {}
         return timings.busy()
+
+    def _worker_wait(self) -> dict:
+        """Per-worker synchronization-wait seconds ({} when serial)."""
+        timings = self.last_step_timings
+        if timings is None or isinstance(timings, dict) or not timings.wait:
+            return {}
+        return dict(timings.wait)
+
+    def _worker_publish(self) -> dict:
+        """Per-worker mailbox-publish seconds ({} unless async)."""
+        timings = self.last_step_timings
+        if timings is None or isinstance(timings, dict) or not timings.publish:
+            return {}
+        return dict(timings.publish)
 
     def _ensure_sweep(self) -> FaceSweep:
         """Build the face-sweep engine and its buffers on first use."""
@@ -680,10 +754,41 @@ class ADERDGSolver:
         }
 
     def run(self, t_end: float, max_steps: int = 100000) -> None:
-        """Advance until ``t_end`` (last step clipped to land exactly)."""
+        """Advance until ``t_end`` (last step clipped to land exactly).
+
+        Under ``stepping="async"`` each step also forwards a
+        speculation hint -- the next step's ``(dt, sources)``,
+        recomputed here exactly as the next loop iteration will --
+        so the pool pipelines step ``k+1``'s predictor behind step
+        ``k``'s corrector (:meth:`_pipeline_hint`).
+        """
         while self.t < t_end - 1e-14 and self.step_count < max_steps:
             dt = min(self.stable_dt(), t_end - self.t)
+            self._next_hint = self._pipeline_hint(dt, t_end, max_steps)
             self.step(dt)
+        self._next_hint = None
+
+    def _pipeline_hint(self, dt: float, t_end: float, max_steps: int):
+        """The next step's ``(dt, sources)`` -- or ``None`` if unsafe.
+
+        Only produced when the prediction is *exact*: async parallel
+        mode, a static wave speed (so ``stable_dt`` is a cached
+        constant and the next dt is bitwise reproducible), and a next
+        step that actually happens.  The pool discards a hint whose
+        arguments end up differing, so a ``None`` here costs only the
+        lost overlap, never correctness.
+        """
+        if (
+            self.num_workers <= 1
+            or self.stepping != "async"
+            or not getattr(self.pde, "wave_speed_is_static", False)
+        ):
+            return None
+        t_next = self.t + dt
+        if self.step_count + 1 >= max_steps or t_next >= t_end - 1e-14:
+            return None
+        dt_next = min(self.stable_dt(), t_end - t_next)
+        return (dt_next, self._source_payload(t_next))
 
     # -- diagnostics ---------------------------------------------------------------
 

@@ -10,8 +10,12 @@ in a persistent worker process, with all field data in shared memory
 * :mod:`repro.parallel.shm` -- shared-memory numpy arrays,
 * :mod:`repro.parallel.worker` -- the per-shard predictor/corrector
   worker,
-* :mod:`repro.parallel.pool` -- the persistent process pool, its
-  two-phase step barrier, and the crash watchdog / recovery policies,
+* :mod:`repro.parallel.stepping` -- the static dependency graph and
+  mailbox layout of the barrier-free ``stepping="async"`` protocol
+  (see ``docs/stepping.md``),
+* :mod:`repro.parallel.pool` -- the persistent process pool, its two
+  step protocols (global barriers vs. neighbor dependencies), and the
+  crash watchdog / recovery policies,
 * :mod:`repro.parallel.telemetry` -- structured per-step records
   (phase walls, busy times, retry/respawn counters) and their
   ``steps.jsonl`` export.
@@ -29,6 +33,11 @@ from repro.parallel.pool import (
 )
 from repro.parallel.sharding import ShardPlan, make_shard_plan
 from repro.parallel.shm import SharedArrayBundle, SharedArraySpec
+from repro.parallel.stepping import (
+    FaceExchangeSpec,
+    ShardDependencyGraph,
+    build_dependency_graph,
+)
 from repro.parallel.telemetry import StepRecord, write_jsonl
 
 __all__ = [
@@ -37,6 +46,9 @@ __all__ = [
     "SharedArrayBundle",
     "SharedArraySpec",
     "ShardWorkerPool",
+    "ShardDependencyGraph",
+    "FaceExchangeSpec",
+    "build_dependency_graph",
     "StepTimings",
     "StepRecord",
     "WorkerCrashError",

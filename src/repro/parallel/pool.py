@@ -7,10 +7,28 @@ like the per-process caches of the serial path.  Field data lives in
 :class:`~repro.parallel.shm.SharedArrayBundle` segments; per step the
 pool only exchanges command tuples.
 
-A step is two globally-barriered phases (predict, then correct); the
-barrier is what makes every neighbor's face trace visible before any
-Riemann solve reads it.  The pool also collects per-worker phase
-timings, which the harness turns into the load-balance report.
+Two step protocols share the pool (``docs/stepping.md``):
+
+* ``stepping="barrier"`` (default) -- two globally-barriered phases
+  (predict, then correct); the barrier is what makes every neighbor's
+  face trace visible before any Riemann solve reads it.  Cross-shard
+  faces are solved redundantly on both sides, and the result is
+  bitwise identical to the serial path.
+* ``stepping="async"`` -- no global barriers.  A static
+  :class:`~repro.parallel.stepping.ShardDependencyGraph` tells each
+  shard which neighbors must have published before it may advance;
+  the correct phase splits into *riemann* (sweep + export cut-face
+  fluxes into a shared mailbox) and *finish* (import + corrector), so
+  cut faces are solved once and exchanged instead of recomputed.
+  When the caller supplies a ``next_hint``, step ``k+1``'s predictor
+  is pipelined behind step ``k``: a shard starts predicting the next
+  step as soon as its own finish and its neighbors' riemann phases
+  are done, while slower shards are still correcting.
+
+The pool also collects per-worker phase timings -- including the
+per-shard *wait* (idle seconds attributable to synchronization) and
+mailbox *publish* seconds -- which the harness turns into the
+load-balance report.
 
 Failure semantics (see ``docs/parallel.md``): the barrier polls worker
 liveness instead of blocking on the reply queue, so a crashed or
@@ -54,6 +72,30 @@ __all__ = [
 
 #: valid ``on_worker_failure`` policies
 FAILURE_POLICIES = ("raise", "respawn", "serial")
+
+#: valid ``stepping`` protocols
+STEPPING_MODES = ("barrier", "async")
+
+
+def _payload_equal(a: dict, b: dict) -> bool:
+    """Whether two per-shard source payload lists are element-wise equal.
+
+    Used to validate a speculative predict: the arrays are bitwise
+    compared because the pipelined predictor is only kept when it ran
+    with exactly the inputs the real step now requests.
+    """
+    if a.keys() != b.keys():
+        return False
+    for element, parts_a in a.items():
+        parts_b = b[element]
+        if len(parts_a) != len(parts_b):
+            return False
+        for part_a, part_b in zip(parts_a, parts_b):
+            if len(part_a) != len(part_b) or not all(
+                np.array_equal(x, y) for x, y in zip(part_a, part_b)
+            ):
+                return False
+    return True
 
 
 def default_start_method() -> str:
@@ -104,9 +146,14 @@ class StepTimings:
     """Per-worker phase timings of one parallel step.
 
     ``riemann`` / ``corrector`` split the correct phase per worker when
-    the face-sweep path ran (``None`` on the legacy loop).  All
-    aggregates degrade gracefully on empty timing dicts (a step that
-    never completed) instead of raising.
+    the face-sweep path ran (``None`` on the legacy loop).  ``wait``
+    holds the scheduler-observed per-worker synchronization idle
+    seconds (barrier mode: time between a worker's phase reply and the
+    barrier release; async mode: time between a worker's reply and its
+    next command) and ``publish`` the async mailbox export seconds --
+    both ``None`` when not measured.  All aggregates degrade
+    gracefully on empty timing dicts (a step that never completed)
+    instead of raising.
     """
 
     def __init__(
@@ -115,11 +162,19 @@ class StepTimings:
         correct: dict[int, float],
         riemann: dict[int, float] | None = None,
         corrector: dict[int, float] | None = None,
+        wait: dict[int, float] | None = None,
+        publish: dict[int, float] | None = None,
     ):
         self.predict = predict
         self.correct = correct
         self.riemann = riemann
         self.corrector = corrector
+        self.wait = wait
+        self.publish = publish
+
+    def total_wait(self) -> float:
+        """Summed per-worker synchronization wait seconds (0.0 unknown)."""
+        return float(sum(self.wait.values())) if self.wait else 0.0
 
     @property
     def wall_predict(self) -> float:
@@ -171,6 +226,18 @@ class ShardWorkerPool:
     Parameters (beyond the kernel configuration forwarded to
     :class:`~repro.parallel.worker.WorkerConfig`):
 
+    ``stepping``
+        ``"barrier"`` (default) runs the two-barrier protocol with
+        redundant cross-shard Riemann solves, bitwise identical to
+        serial; ``"async"`` runs the barrier-free neighbor-dependency
+        protocol with mailbox flux exchange (requires
+        ``face_sweep=True``; incompatible with
+        ``on_worker_failure="respawn"`` -- the speculative pipeline
+        has no phase-replay point).  See ``docs/stepping.md``.
+    ``graph``
+        Optional precomputed :class:`~repro.parallel.stepping.
+        ShardDependencyGraph` for async mode (derived from ``plan``
+        when omitted).
     ``on_worker_failure``
         ``"raise"`` (default) propagates a :class:`WorkerCrashError`;
         ``"respawn"`` restarts dead workers (retry budget
@@ -205,12 +272,37 @@ class ShardWorkerPool:
         max_respawns: int = 3,
         respawn_backoff: float = 0.25,
         poll_interval: float = 0.05,
+        stepping: str = "barrier",
+        graph=None,
     ):
         if on_worker_failure not in FAILURE_POLICIES:
             raise ValueError(
                 f"on_worker_failure must be one of {FAILURE_POLICIES}, "
                 f"got {on_worker_failure!r}"
             )
+        if stepping not in STEPPING_MODES:
+            raise ValueError(
+                f"stepping must be one of {STEPPING_MODES}, got {stepping!r}"
+            )
+        if stepping == "async":
+            if not face_sweep:
+                raise ValueError(
+                    "stepping='async' requires face_sweep=True: the mailbox "
+                    "flux exchange is built on the packed face planes"
+                )
+            if on_worker_failure == "respawn":
+                raise ValueError(
+                    "stepping='async' is incompatible with "
+                    "on_worker_failure='respawn': the barrier-free schedule "
+                    "has no phase boundary to replay from -- use 'raise' or "
+                    "'serial' (see docs/stepping.md)"
+                )
+            if graph is None:
+                from repro.parallel.stepping import build_dependency_graph
+
+                graph = build_dependency_graph(plan)
+        self.stepping = stepping
+        self.graph = graph
         self.plan = plan
         self.shared = shared
         self.on_worker_failure = on_worker_failure
@@ -225,6 +317,23 @@ class ShardWorkerPool:
         self._configs: list[WorkerConfig] = []
         self._last_heartbeat: dict[int, float] = {}
         self._total_respawns = 0
+        #: in-flight speculative predict of the pipelined async mode
+        self._speculation: dict | None = None
+        # per-shard dependency sets of the async scheduler: riemann(w)
+        # needs the predicts of w and its halo neighbors; finish(w)
+        # needs w's own riemann plus its flux providers'; a speculative
+        # next-step predict needs w's finish plus every neighbor's
+        # riemann (they read the qface rows the predict overwrites)
+        if stepping == "async":
+            self._dep_riemann = [
+                set(graph.neighbors[w]) | {w} for w in range(plan.num_shards)
+            ]
+            self._dep_finish = [
+                set(graph.providers[w]) for w in range(plan.num_shards)
+            ]
+            self._dep_speculate = [
+                set(graph.neighbors[w]) for w in range(plan.num_shards)
+            ]
         #: failure/telemetry counters of the most recent :meth:`step`
         self.last_step_events: dict = self._fresh_events()
         handles = shared.handles()
@@ -244,6 +353,9 @@ class ShardWorkerPool:
                 handles=handles,
                 face_sweep=face_sweep,
                 backend=backend,
+                stepping=stepping,
+                owner=None if graph is None else plan.owner,
+                slot_of=None if graph is None else graph.slot_of,
             )
             self._configs.append(config)
             cmd_queue = self._context.Queue()
@@ -283,8 +395,10 @@ class ShardWorkerPool:
 
     # -- stepping ---------------------------------------------------------
 
-    def step(self, buf: int, dt: float, sources: dict) -> StepTimings:
-        """Advance all shards one step: predict barrier, correct barrier.
+    def step(
+        self, buf: int, dt: float, sources: dict, next_hint=None
+    ) -> StepTimings:
+        """Advance all shards one step under the configured protocol.
 
         Parameters
         ----------
@@ -297,6 +411,36 @@ class ShardWorkerPool:
             ``element id -> [(projection, amplitude, derivatives), ...]``
             payload of the active point sources (already evaluated at
             the step's start time).
+        next_hint:
+            Async mode only: an optional ``(dt_next, sources_next)``
+            prediction of the *next* step's arguments.  When given,
+            workers start the next step's predictor speculatively as
+            soon as their dependencies allow; the following
+            :meth:`step` call keeps the speculation if its arguments
+            match bitwise and transparently re-predicts otherwise.
+            Callers must not mutate the shared state buffers while a
+            hint is outstanding (the solver only hints inside
+            :meth:`~repro.engine.solver.ADERDGSolver.run`).
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        if self.stepping == "async":
+            return self._step_async(buf, dt, sources, next_hint)
+        return self._step_barrier(buf, dt, sources)
+
+    def _shard_sources(self, sources: dict) -> list:
+        """Per-worker slice of the point-source payload dict."""
+        return [
+            {
+                int(e): sources[int(e)]
+                for e in self.plan.shards[worker_id]
+                if int(e) in sources
+            }
+            for worker_id in range(self.num_workers)
+        ]
+
+    def _step_barrier(self, buf: int, dt: float, sources: dict) -> StepTimings:
+        """The two-barrier protocol: predict barrier, correct barrier.
 
         Under ``on_worker_failure="respawn"`` a worker that dies during
         either phase is restarted from its config and the phase is
@@ -307,19 +451,10 @@ class ShardWorkerPool:
         correct phase replays its predict first to rebuild the
         process-local volume contributions.
         """
-        if self._closed:
-            raise RuntimeError("pool is closed")
         events = self._fresh_events()
         self.last_step_events = events
         all_workers = set(range(self.num_workers))
-        shard_sources = [
-            {
-                int(e): sources[int(e)]
-                for e in self.plan.shards[worker_id]
-                if int(e) in sources
-            }
-            for worker_id in range(self.num_workers)
-        ]
+        shard_sources = self._shard_sources(sources)
 
         def send_predict(workers):
             for worker_id in sorted(workers):
@@ -334,17 +469,22 @@ class ShardWorkerPool:
         predict: dict[int, float] = {}
         correct: dict[int, float] = {}
         details: dict[int, object] = {}
+        wait = {worker_id: 0.0 for worker_id in all_workers}
 
         # phase 1: predict barrier (with crash recovery)
         pending = set(all_workers)
+        arrivals: dict[int, float] = {}
         send_predict(pending)
         while pending:
             try:
-                self._collect("predict", pending, predict, {})
+                self._collect("predict", pending, predict, {}, arrivals)
             except WorkerCrashError as crash:
                 respawned = self._handle_crash(crash, events)
                 send_predict(respawned)
                 pending |= respawned
+        release = time.monotonic()
+        for worker_id, arrived in arrivals.items():
+            wait[worker_id] += release - arrived
 
         # phase 2: correct barrier; a respawned worker replays predict
         # first (its process-local predictor outputs died with it)
@@ -352,6 +492,7 @@ class ShardWorkerPool:
         need_predict: set[int] = set()
         need_correct: set[int] = set()
         workers: set[int] = set()
+        arrivals = {}
         send_correct(pending)
         while pending or need_predict or need_correct:
             try:
@@ -365,7 +506,7 @@ class ShardWorkerPool:
                     self._collect("predict", set(workers), predict, {})
                     need_correct |= workers
                     continue
-                self._collect("correct", pending, correct, details)
+                self._collect("correct", pending, correct, details, arrivals)
             except WorkerCrashError as crash:
                 respawned = self._handle_crash(crash, events)
                 if crash.phase == "predict":
@@ -373,6 +514,9 @@ class ShardWorkerPool:
                     # predict before the crash was raised
                     need_correct |= workers - respawned
                 need_predict |= respawned
+        release = time.monotonic()
+        for worker_id, arrived in arrivals.items():
+            wait[worker_id] += release - arrived
 
         if details and all(isinstance(d, dict) for d in details.values()):
             return StepTimings(
@@ -380,8 +524,233 @@ class ShardWorkerPool:
                 correct,
                 riemann={w: d["riemann"] for w, d in details.items()},
                 corrector={w: d["correct"] for w, d in details.items()},
+                wait=wait,
             )
-        return StepTimings(predict, correct)
+        return StepTimings(predict, correct, wait=wait)
+
+    def _step_async(
+        self, buf: int, dt: float, sources: dict, next_hint=None
+    ) -> StepTimings:
+        """The barrier-free protocol: dependency-scheduled phases.
+
+        Per shard the phases are ``predict -> riemann -> finish``; each
+        is dispatched the moment its dependency set (derived from the
+        :class:`~repro.parallel.stepping.ShardDependencyGraph`) is
+        satisfied, so a slow shard only stalls its halo neighborhood
+        instead of the whole pool.  With ``next_hint`` the next step's
+        predict is dispatched speculatively behind a shard's finish
+        (see :meth:`step`); a speculation left over from the previous
+        call is kept when its arguments match bitwise and otherwise
+        drained and transparently re-predicted (safe: a predict only
+        rewrites ``qface`` rows that this step's riemann phases then
+        re-read).
+        """
+        events = self._fresh_events()
+        self.last_step_events = events
+        num = self.num_workers
+        all_workers = set(range(num))
+        shard_sources = self._shard_sources(sources)
+
+        predict_t: dict[int, float] = {}
+        riemann_t: dict[int, float] = {}
+        finish_t: dict[int, float] = {}
+        correct: dict[int, float] = {}
+        publish: dict[int, float] = {}
+        wait = {w: 0.0 for w in all_workers}
+        started = time.monotonic()
+        last_reply = {w: started for w in all_workers}
+
+        predict_done: set[int] = set()
+        riemann_done: set[int] = set()
+        finish_done: set[int] = set()
+        riemann_sent: set[int] = set()
+        finish_sent: set[int] = set()
+        speculated: set[int] = set()
+
+        # reconcile a speculative predict from the previous step
+        spec = self._speculation
+        self._speculation = None
+        hit = (
+            spec is not None
+            and spec["buf"] == buf
+            and spec["dt"] == dt
+            and _payload_equal(spec["sources"], sources)
+        )
+        if hit:
+            events["speculation"] = "hit"
+            pending_predict = set(spec["pending"])
+        else:
+            if spec is not None:
+                events["speculation"] = "miss"
+                self._collect("predict", set(spec["pending"]), {}, {})
+            for w in sorted(all_workers):
+                self._cmd_queues[w].put(("predict", buf, dt, shard_sources[w]))
+            pending_predict = set(all_workers)
+
+        hint_dt = hint_sources = None
+        if next_hint is not None:
+            hint_dt, hint_payload = next_hint
+            hint_sources = self._shard_sources(hint_payload)
+
+        def dispatch() -> None:
+            for w in sorted(all_workers - riemann_sent):
+                if self._dep_riemann[w] <= predict_done:
+                    self._note_wait(w, wait, last_reply)
+                    self._cmd_queues[w].put(("riemann", buf))
+                    riemann_sent.add(w)
+            for w in sorted(all_workers - finish_sent):
+                if w in riemann_done and self._dep_finish[w] <= riemann_done:
+                    self._note_wait(w, wait, last_reply)
+                    self._cmd_queues[w].put(("finish", buf))
+                    finish_sent.add(w)
+            if hint_sources is None:
+                return
+            for w in sorted(all_workers - speculated):
+                # the speculative predict overwrites qface[own_w], so
+                # every neighbor's riemann must have consumed it first
+                if w in finish_done and self._dep_speculate[w] <= riemann_done:
+                    self._note_wait(w, wait, last_reply)
+                    self._cmd_queues[w].put(
+                        ("predict", 1 - buf, hint_dt, hint_sources[w])
+                    )
+                    speculated.add(w)
+
+        def awaited() -> dict[int, str]:
+            waiting = {w: "predict" for w in pending_predict}
+            waiting.update({w: "riemann" for w in riemann_sent - riemann_done})
+            waiting.update({w: "finish" for w in finish_sent - finish_done})
+            return waiting
+
+        try:
+            while len(finish_done) < num or pending_predict:
+                dispatch()
+                w, phase, secs, detail = self._collect_one(awaited())
+                last_reply[w] = time.monotonic()
+                if phase == "predict":
+                    pending_predict.discard(w)
+                    predict_done.add(w)
+                    predict_t[w] = secs
+                elif phase == "riemann":
+                    riemann_done.add(w)
+                    correct[w] = secs
+                    riemann_t[w] = secs
+                    if isinstance(detail, dict):
+                        riemann_t[w] = detail["riemann"]
+                        publish[w] = detail["publish"]
+                else:
+                    finish_done.add(w)
+                    correct[w] = correct.get(w, 0.0) + secs
+                    finish_t[w] = secs
+                    if isinstance(detail, dict):
+                        finish_t[w] = detail["correct"]
+            # all dependencies are satisfied now: dispatch whatever
+            # speculative predicts the loop had not released yet
+            dispatch()
+        except WorkerCrashError as crash:
+            events["crashes"].extend(crash.crashes)
+            raise
+
+        if hint_sources is not None:
+            self._speculation = {
+                "buf": 1 - buf,
+                "dt": hint_dt,
+                "sources": hint_payload,
+                "pending": set(speculated),
+            }
+        return StepTimings(
+            predict_t,
+            correct,
+            riemann=riemann_t or None,
+            corrector=finish_t or None,
+            wait=wait,
+            publish=publish,
+        )
+
+    @staticmethod
+    def _note_wait(worker_id: int, wait: dict, last_reply: dict) -> None:
+        """Accrue a worker's scheduler-observed idle gap before a dispatch."""
+        now = time.monotonic()
+        wait[worker_id] += now - last_reply[worker_id]
+        last_reply[worker_id] = now
+
+    def _collect_one(self, awaited: dict):
+        """Wait for one phase reply from any awaited worker (async mode).
+
+        ``awaited`` maps worker id -> the phase it owes a reply for;
+        returns ``(worker_id, phase, seconds, detail)``.  Crash and
+        hang detection mirror :meth:`_collect`, but recovery is the
+        caller's business: async mode never respawns, so any death or
+        protocol violation raises immediately.
+        """
+        deadline = time.monotonic() + self._timeout
+        while True:
+            reply = None
+            for worker_id in sorted(awaited):
+                try:
+                    reply = self._out_queues[worker_id].get_nowait()
+                    break
+                except queue_module.Empty:
+                    continue
+            if reply is None:
+                crashes = [
+                    {
+                        "worker_id": worker_id,
+                        "shard": self._shard_range(worker_id),
+                        "phase": awaited[worker_id],
+                        "exitcode": self._processes[worker_id].exitcode,
+                    }
+                    for worker_id in sorted(awaited)
+                    if not self._processes[worker_id].is_alive()
+                ]
+                if crashes:
+                    raise WorkerCrashError(self._crash_summary(crashes), crashes)
+                if time.monotonic() > deadline:
+                    ages = {
+                        worker: time.monotonic() - seen
+                        for worker, seen in self._last_heartbeat.items()
+                        if worker in awaited
+                    }
+                    raise RuntimeError(
+                        f"workers {sorted(awaited)} sent no reply within "
+                        f"{self._timeout:.0f}s (awaiting {awaited}; seconds "
+                        f"since last heartbeat: {ages})"
+                    )
+                time.sleep(self._poll)
+                continue
+            kind, worker_id, info, *rest = reply
+            self._note_queue_depth()
+            if kind == "heartbeat":
+                self._last_heartbeat[worker_id] = time.monotonic()
+                continue
+            if kind == "error":
+                raise RuntimeError(
+                    f"worker {worker_id} failed during "
+                    f"{awaited.get(worker_id)}:\n{info}"
+                )
+            if kind != "done" or info != awaited.get(worker_id):
+                raise RuntimeError(
+                    f"worker {worker_id}: expected {awaited.get(worker_id)!r} "
+                    f"reply, got ({kind!r}, {info!r})"
+                )
+            return (
+                worker_id,
+                info,
+                rest[0] if rest else 0.0,
+                rest[1] if len(rest) > 1 else None,
+            )
+
+    def flush_speculation(self) -> None:
+        """Retire an in-flight speculative predict (await its replies).
+
+        Called before anything that invalidates the speculated inputs
+        -- cache invalidation after a state rewrite, mainly.  The stale
+        prediction is simply discarded: the next :meth:`step` call
+        re-predicts from the live state.
+        """
+        spec = self._speculation
+        self._speculation = None
+        if spec is not None:
+            self._collect("predict", set(spec["pending"]), {}, {})
 
     def invalidate_caches(self) -> None:
         """Tell every worker to drop its static-parameter caches.
@@ -392,6 +761,7 @@ class ShardWorkerPool:
         """
         if self._closed:
             raise RuntimeError("pool is closed")
+        self.flush_speculation()
         for queue in self._cmd_queues:
             queue.put(("invalidate",))
         self._collect("invalidate", set(range(self.num_workers)), {}, {})
@@ -404,6 +774,7 @@ class ShardWorkerPool:
         pending: set[int],
         timings: dict[int, float],
         details: dict[int, object],
+        arrivals: dict[int, float] | None = None,
     ) -> None:
         """Barrier: wait for every pending worker's phase reply.
 
@@ -420,6 +791,9 @@ class ShardWorkerPool:
         so one bad message cannot poison the next barrier.  ``pending``
         is mutated in place (workers are removed as they reply or die);
         ``timings`` and ``details`` accumulate the per-worker results.
+        When an ``arrivals`` dict is supplied, each accepted reply also
+        records its arrival wall-clock (``time.monotonic()``) so the
+        caller can charge barrier-wait time per worker.
         """
         expected_kind = {"ready": "ready", "stop": "stopped"}.get(phase, "done")
         crashes: list[dict] = []
@@ -488,6 +862,8 @@ class ShardWorkerPool:
                 continue
             timings[worker_id] = rest[0] if rest else 0.0
             details[worker_id] = rest[1] if len(rest) > 1 else None
+            if arrivals is not None:
+                arrivals[worker_id] = time.monotonic()
             pending.discard(worker_id)
         if crashes:
             summary = self._crash_summary(crashes)

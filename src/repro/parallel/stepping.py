@@ -1,0 +1,187 @@
+"""Static dependency graph of the barrier-free (``stepping="async"``) mode.
+
+The barrier pool synchronizes *globally* twice per step; the async pool
+replaces both barriers with the per-shard dependencies this module
+derives once at start-up (see ``docs/stepping.md``).  The derivation
+uses exactly the connectivity the workers execute with
+(:func:`~repro.engine.facesweep.direction_faces`), which is also what
+the race prover's halo model is built from -- so the schedule the pool
+runs is the schedule :func:`~repro.analysis.race_prover.
+prove_async_schedule` proves race-free.
+
+Two artifacts come out of one pass over the grid's interior faces:
+
+* the **neighbor sets** -- shard ``w`` depends on shard ``v`` iff some
+  face has one side owned by each (the face-plane halo relation, which
+  is symmetric);
+* the **mailbox layout** -- every *cut* face (its two elements owned by
+  different shards) gets one slot in a small shared flux array.  The
+  face's canonical owner (the shard owning its *left*, low-coordinate
+  element -- the same convention :func:`direction_faces` keys interior
+  faces by) Riemann-solves it once and exports the flux; the other
+  shard imports the flux instead of redundantly re-solving.
+
+``slot_of`` is indexed ``(direction, left element)`` because that pair
+identifies an interior face uniquely; ``-1`` marks faces that are not
+cut.  Slot ids are assigned in deterministic ``(direction, element)``
+enumeration order, so every process derives the identical layout from
+the same :class:`~repro.parallel.sharding.ShardPlan`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.facesweep import direction_faces
+
+__all__ = [
+    "FaceExchangeSpec",
+    "ShardDependencyGraph",
+    "build_dependency_graph",
+]
+
+
+@dataclass(frozen=True)
+class FaceExchangeSpec:
+    """One shard's view of the mailbox flux exchange.
+
+    Handed to :class:`~repro.engine.facesweep.FaceSweep` so it can
+    partition its face planes into *solve* rows (this shard is the
+    canonical owner, or the face is not cut) and *import* rows (the
+    neighbor solves and exports; this shard reads the mailbox slot).
+
+    Attributes
+    ----------
+    shard:
+        The shard id this spec belongs to.
+    owner:
+        ``(n_elements,)`` element id -> owning shard map.
+    slot_of:
+        ``(3, n_elements)`` map ``(direction, left element)`` ->
+        mailbox slot (``-1`` for faces that do not cross shards).
+    """
+
+    shard: int
+    owner: np.ndarray
+    slot_of: np.ndarray
+
+
+@dataclass(frozen=True)
+class ShardDependencyGraph:
+    """Neighbor dependencies and mailbox layout of one shard plan.
+
+    Built once per plan by :func:`build_dependency_graph`; the async
+    pool schedules phases from the per-shard sets, the workers carve
+    their face-plane exchange out of ``slot_of``, and the race prover
+    re-derives all of it independently to certify the schedule.
+
+    Attributes
+    ----------
+    num_shards:
+        Worker count of the underlying plan.
+    neighbors:
+        Per shard, the frozenset of shards sharing at least one face
+        with it (symmetric: ``v in neighbors[w]`` iff ``w in
+        neighbors[v]``).
+    providers:
+        Per shard ``w``, the shards whose exported mailbox fluxes ``w``
+        imports (the cut faces whose canonical/left owner is the other
+        shard).  Always a subset of ``neighbors[w]``.
+    consumers:
+        Per shard ``w``, the shards importing fluxes ``w`` exports (the
+        transpose of ``providers``).
+    slot_of:
+        ``(3, n_elements)`` map ``(direction, left element)`` ->
+        mailbox slot id, ``-1`` where the face is not cut.
+    exporter:
+        ``(n_slots,)`` shard that solves and publishes each slot.
+    importer:
+        ``(n_slots,)`` shard that imports each slot.
+    """
+
+    num_shards: int
+    neighbors: tuple
+    providers: tuple
+    consumers: tuple
+    slot_of: np.ndarray
+    exporter: np.ndarray
+    importer: np.ndarray
+
+    @property
+    def n_slots(self) -> int:
+        """Number of mailbox slots (= cut faces of the plan)."""
+        return int(self.exporter.shape[0])
+
+    def edges(self) -> list:
+        """Sorted unique ``(v, w)`` neighbor pairs with ``v < w``."""
+        pairs = {
+            (min(w, v), max(w, v))
+            for w, nbrs in enumerate(self.neighbors)
+            for v in nbrs
+        }
+        return sorted(pairs)
+
+    def exchange_spec(self, shard: int, owner: np.ndarray) -> FaceExchangeSpec:
+        """The :class:`FaceExchangeSpec` of one shard."""
+        return FaceExchangeSpec(
+            shard=int(shard),
+            owner=np.asarray(owner, dtype=np.int64),
+            slot_of=self.slot_of,
+        )
+
+    def stats(self) -> dict:
+        """Telemetry summary: slots, edges and the maximum degree."""
+        degrees = [len(nbrs) for nbrs in self.neighbors] or [0]
+        return {
+            "num_shards": self.num_shards,
+            "exchanged_faces": self.n_slots,
+            "edges": len(self.edges()),
+            "max_degree": max(degrees),
+        }
+
+
+def build_dependency_graph(plan) -> ShardDependencyGraph:
+    """Derive the async-stepping dependency graph of ``plan``.
+
+    One pass over the grid's interior faces (per direction, via the
+    same :func:`~repro.engine.facesweep.direction_faces` connectivity
+    the workers sweep with): every face whose two elements have
+    different owners becomes a mailbox slot exported by the owner of
+    its left element, and contributes one symmetric neighbor edge.
+    ``n_slots`` therefore equals ``plan.cut_faces()`` for well-formed
+    plans -- exactly the faces the barrier pool solves redundantly.
+    """
+    grid = plan.grid
+    owner = np.asarray(plan.owner, dtype=np.int64)
+    num_shards = plan.num_shards
+    slot_of = np.full((3, grid.n_elements), -1, dtype=np.int64)
+    exporter: list[int] = []
+    importer: list[int] = []
+    neighbors = [set() for _ in range(num_shards)]
+    providers = [set() for _ in range(num_shards)]
+    consumers = [set() for _ in range(num_shards)]
+    for d in range(3):
+        df = direction_faces(grid, d)
+        both = np.nonzero((df.left >= 0) & (df.right >= 0))[0]
+        lefts, rights = df.left[both], df.right[both]
+        cut = owner[lefts] != owner[rights]
+        for left, right in zip(lefts[cut], rights[cut]):
+            src, dst = int(owner[left]), int(owner[right])
+            slot_of[d, left] = len(exporter)
+            exporter.append(src)
+            importer.append(dst)
+            neighbors[src].add(dst)
+            neighbors[dst].add(src)
+            providers[dst].add(src)
+            consumers[src].add(dst)
+    return ShardDependencyGraph(
+        num_shards=num_shards,
+        neighbors=tuple(frozenset(s) for s in neighbors),
+        providers=tuple(frozenset(s) for s in providers),
+        consumers=tuple(frozenset(s) for s in consumers),
+        slot_of=slot_of,
+        exporter=np.asarray(exporter, dtype=np.int64),
+        importer=np.asarray(importer, dtype=np.int64),
+    )

@@ -51,6 +51,15 @@ class StepRecord:
     queue_depth:
         Largest reply-queue backlog observed while collecting the
         step's barriers (0 when serial or unsupported by the OS).
+    stepping:
+        Step protocol that ran: ``"serial"`` for in-process steps,
+        else the pool's mode (``"barrier"`` or ``"async"``).
+    worker_wait:
+        Per-worker synchronization-idle seconds (barrier mode: reply
+        arrival to barrier release; async mode: reply to next command
+        dispatch).  Empty when serial.
+    worker_publish:
+        Per-worker mailbox flux-export seconds (async mode only).
     backend:
         Executor that ran the step's kernels (``"numpy"`` or
         ``"numba"``; a compiled backend that fell back reports the
@@ -73,6 +82,9 @@ class StepRecord:
     queue_depth: int = 0
     backend: str = "numpy"
     compile_s: float = 0.0
+    stepping: str = "serial"
+    worker_wait: dict = field(default_factory=dict)
+    worker_publish: dict = field(default_factory=dict)
 
     def imbalance(self) -> float:
         """max/mean of the per-worker busy seconds (1.0 = balanced)."""
@@ -83,12 +95,19 @@ class StepRecord:
         return max(busy) / mean if mean > 0.0 else 1.0
 
     def to_dict(self) -> dict:
-        """JSON-ready plain dict (worker ids become string keys)."""
+        """JSON-ready plain dict (worker ids become string keys).
+
+        Adds the derived ``imbalance`` ratio and ``wait_total`` (summed
+        ``worker_wait`` seconds -- the number the barrier-vs-async
+        comparison in ``docs/stepping.md`` reads off ``steps.jsonl``).
+        """
         data = asdict(self)
-        data["worker_busy"] = {
-            str(worker): seconds for worker, seconds in self.worker_busy.items()
-        }
+        for key in ("worker_busy", "worker_wait", "worker_publish"):
+            data[key] = {
+                str(worker): seconds for worker, seconds in data[key].items()
+            }
         data["imbalance"] = self.imbalance()
+        data["wait_total"] = float(sum(self.worker_wait.values()))
         return data
 
 

@@ -80,6 +80,14 @@ class WorkerConfig:
     #: own executor (executors hold process-local compiled state and
     #: never travel through the config pickle)
     backend: str = "numpy"
+    #: step protocol: ``"barrier"`` (two global barriers, redundant
+    #: cross-shard Riemann solves) or ``"async"`` (neighbor-dependency
+    #: scheduling with mailbox flux exchange; see ``docs/stepping.md``)
+    stepping: str = "barrier"
+    #: ``(n_elements,)`` element -> shard owner map (async mode only)
+    owner: np.ndarray | None = None
+    #: ``(3, n_elements)`` cut-face -> mailbox slot map (async mode only)
+    slot_of: np.ndarray | None = None
 
 
 class _ShardWorker:
@@ -126,10 +134,24 @@ class _ShardWorker:
         self._vavg = None
         #: element id -> time-integrated source of the current step
         self._savg: dict[int, np.ndarray] = {}
+        self.mailbox = None
         if config.face_sweep:
             n, m = config.order, config.pde.nquantities
-            # the shard's face planes include cross-shard faces, solved
-            # redundantly from the shared traces (see module docstring)
+            exchange = None
+            if config.stepping == "async":
+                from repro.parallel.stepping import FaceExchangeSpec
+
+                # async mode: cut faces are solved once by their
+                # canonical owner and exchanged through the mailbox
+                exchange = FaceExchangeSpec(
+                    shard=config.worker_id,
+                    owner=np.asarray(config.owner, dtype=np.int64),
+                    slot_of=np.asarray(config.slot_of, dtype=np.int64),
+                )
+                self.mailbox = self.bundle["mailbox"]
+            # the shard's face planes include cross-shard faces; in
+            # barrier mode they are solved redundantly from the shared
+            # traces (see module docstring)
             self.sweep = FaceSweep(
                 config.grid,
                 config.pde,
@@ -138,6 +160,7 @@ class _ShardWorker:
                 boundary=config.boundary,
                 elements=self.elements,
                 executor=self.executor,
+                exchange=exchange,
             )
             self._vavg = np.zeros((self.elements.size, n, n, n, m))
             self._arena = (
@@ -254,11 +277,48 @@ class _ShardWorker:
 
     def _correct_sweep(self, buf: int) -> dict:
         """Face-sweep Riemann + block corrector over the shard."""
+        t0 = time.perf_counter()
+        self.sweep.sweep(self.states[buf], self.qface)
+        t1 = time.perf_counter()
+        self._apply_corrector(buf)
+        t2 = time.perf_counter()
+        return {"riemann": t1 - t0, "correct": t2 - t1}
+
+    # -- async phases ------------------------------------------------------
+
+    def riemann_phase(self, buf: int) -> dict:
+        """Async mode: sweep the local face planes, publish cut fluxes.
+
+        Runs once every halo neighbor's predict has landed (the pool's
+        dependency scheduler guarantees it); solves only the faces this
+        shard canonically owns and exports the cut-face fluxes into the
+        shared mailbox for the importing neighbors.
+        """
+        t0 = time.perf_counter()
+        self.sweep.sweep(self.states[buf], self.qface)
+        t1 = time.perf_counter()
+        self.sweep.export_fluxes(self.mailbox)
+        t2 = time.perf_counter()
+        return {"riemann": t1 - t0, "publish": t2 - t1}
+
+    def finish_phase(self, buf: int) -> dict:
+        """Async mode: import neighbor fluxes, apply the corrector.
+
+        Runs once every provider shard's riemann phase has published;
+        completes the face planes from the mailbox and writes the
+        corrected states of exactly this shard's elements.
+        """
+        t0 = time.perf_counter()
+        self.sweep.import_fluxes(self.mailbox)
+        t1 = time.perf_counter()
+        self._apply_corrector(buf)
+        t2 = time.perf_counter()
+        return {"import": t1 - t0, "correct": t2 - t1}
+
+    def _apply_corrector(self, buf: int) -> None:
+        """Block corrector over the shard (planes must be complete)."""
         states_in = self.states[buf]
         states_out = self.states[1 - buf]
-        t0 = time.perf_counter()
-        self.sweep.sweep(states_in, self.qface)
-        t1 = time.perf_counter()
         n, m = self.config.order, self.pde.nquantities
         block = self.config.batch_size or self.elements.size
         fstar = self._arena.get("fstar_block", (block, 3, 2, n, n, m))
@@ -287,8 +347,6 @@ class _ShardWorker:
                 arena=self._arena,
             )
             states_out[chunk] = qnew[:b]
-        t2 = time.perf_counter()
-        return {"riemann": t1 - t0, "correct": t2 - t1}
 
     def invalidate(self) -> None:
         """Drop cached material parameters (new initial condition)."""
@@ -327,7 +385,8 @@ def worker_main(config: WorkerConfig, cmd_queue, out_queue) -> None:
     Protocol (all small, picklable tuples):
 
     * in:  ``("predict", buf, dt, sources)`` / ``("correct", buf)`` /
-      ``("invalidate",)`` / ``("stop",)``
+      ``("riemann", buf)`` / ``("finish", buf)`` (the async split of
+      the correct phase) / ``("invalidate",)`` / ``("stop",)``
     * out: ``("ready", worker_id, "ready", 0.0)`` once after start-up,
       ``("done", worker_id, phase, seconds, detail)`` per served
       command, ``("stopped", worker_id, "stop", 0.0)`` as the clean
@@ -364,6 +423,12 @@ def worker_main(config: WorkerConfig, cmd_queue, out_queue) -> None:
                 elif kind == "correct":
                     _, buf = message
                     detail = worker.correct(buf)
+                elif kind == "riemann":
+                    _, buf = message
+                    detail = worker.riemann_phase(buf)
+                elif kind == "finish":
+                    _, buf = message
+                    detail = worker.finish_phase(buf)
                 elif kind == "invalidate":
                     worker.invalidate()
                 else:

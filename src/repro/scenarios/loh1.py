@@ -70,6 +70,9 @@ class LOH1Scenario:
         Kernel executor backend forwarded to the solver
         (``"auto"`` / ``"numpy"`` / ``"numba"``; see
         ``docs/backends.md``).
+    stepping:
+        Parallel step protocol forwarded to the solver
+        (``"barrier"`` / ``"async"``; see ``docs/stepping.md``).
     """
 
     def __init__(
@@ -86,6 +89,7 @@ class LOH1Scenario:
         num_workers: int | None = None,
         face_sweep: bool = True,
         backend: str = "auto",
+        stepping: str = "barrier",
     ):
         self.pde = CurvilinearElasticPDE()
         self.domain_km = domain_km
@@ -112,6 +116,7 @@ class LOH1Scenario:
             num_workers=num_workers,
             face_sweep=face_sweep,
             backend=backend,
+            stepping=stepping,
         )
         self.solver.set_initial_condition(self._initial_condition)
         surface_z = domain_km

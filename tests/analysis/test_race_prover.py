@@ -120,3 +120,110 @@ def test_report_ok_matches_absence_of_errors(workers):
     plan = make_shard_plan(grid333(), workers)
     report = prove_shard_plan(plan)
     assert report.ok == (not report.findings)
+
+
+# ---------------------------------------------------------------------------
+# async schedule certification (RP005/RP006)
+# ---------------------------------------------------------------------------
+
+
+def test_default_async_schedules_proven():
+    from repro.analysis import prove_async_schedule
+
+    for plan in default_shard_plans():
+        report = prove_async_schedule(plan)
+        assert report.ok, [f.message for f in report.findings]
+        tele = report.telemetry
+        assert tele["schedule_proven"]
+        # the exchange replaces exactly the redundant cut-face solves
+        assert tele["exchanged_faces"] == tele["cut_faces"] == plan.cut_faces()
+
+
+def test_missing_neighbor_edge_refuted_as_rp005():
+    import dataclasses
+
+    from repro.analysis import prove_async_schedule
+    from repro.parallel import build_dependency_graph
+
+    plan = make_shard_plan(grid333(), 3)
+    graph = build_dependency_graph(plan)
+    # deliberately broken schedule: shard 0 never waits on anybody
+    broken = dataclasses.replace(
+        graph,
+        neighbors=(frozenset(),) + graph.neighbors[1:],
+    )
+    report = prove_async_schedule(plan, broken, "tampered")
+    assert not report.ok
+    findings = [f for f in report.findings if f.rule == "RP005"]
+    assert findings and findings[0].location == "tampered"
+    assert not report.telemetry["schedule_proven"]
+
+
+def test_missing_provider_edge_refuted_as_rp005():
+    import dataclasses
+
+    from repro.analysis import prove_async_schedule
+    from repro.parallel import build_dependency_graph
+
+    plan = make_shard_plan(grid333(), 2)
+    graph = build_dependency_graph(plan)
+    # neighbors intact, but the finish phase would not wait for fluxes
+    broken = dataclasses.replace(
+        graph, providers=tuple(frozenset() for _ in graph.providers)
+    )
+    report = prove_async_schedule(plan, broken)
+    contexts = {f.context for f in report.findings if f.rule == "RP005"}
+    assert contexts == {"providers"}
+
+
+def test_swapped_mailbox_ends_refuted_as_rp006():
+    import dataclasses
+
+    from repro.analysis import prove_async_schedule
+    from repro.parallel import build_dependency_graph
+
+    plan = make_shard_plan(grid333(), 2)
+    graph = build_dependency_graph(plan)
+    broken = dataclasses.replace(
+        graph, exporter=graph.importer, importer=graph.exporter
+    )
+    report = prove_async_schedule(plan, broken)
+    assert {f.rule for f in report.findings} == {"RP006"}
+    assert any("exporter" in f.context for f in report.findings)
+
+
+def test_slotless_and_duplicate_slots_refuted_as_rp006():
+    import dataclasses
+
+    from repro.analysis import prove_async_schedule
+    from repro.parallel import build_dependency_graph
+
+    plan = make_shard_plan(grid333(), 2)
+    graph = build_dependency_graph(plan)
+    slot_of = graph.slot_of.copy()
+    cut = np.argwhere(slot_of >= 0)
+    (d0, e0), (d1, e1), (d2, e2) = cut[0], cut[1], cut[2]
+    slot_of[d2, e2] = slot_of[d0, e0]  # two faces share one slot ...
+    slot_of[d1, e1] = -1  # ... and a cut face lost its slot
+    broken = dataclasses.replace(graph, slot_of=slot_of)
+    report = prove_async_schedule(plan, broken)
+    messages = " ".join(f.message for f in report.findings)
+    assert {f.rule for f in report.findings} == {"RP006"}
+    assert "no mailbox slot" in messages
+    assert "shared by several faces" in messages
+
+
+def test_async_access_model_shape():
+    from repro.analysis import async_phase_accesses
+    from repro.parallel import build_dependency_graph
+
+    plan = make_shard_plan(grid333(), 2)
+    graph = build_dependency_graph(plan)
+    accesses = async_phase_accesses(plan, graph)
+    phases = {a.phase for a in accesses}
+    assert phases == {"predict", "riemann", "finish"}
+    # every mailbox slot is written by exactly one riemann phase
+    writes = np.concatenate(
+        [a.writes for a in accesses if a.phase == "riemann" and a.array == "mailbox"]
+    )
+    assert np.array_equal(np.sort(writes), np.arange(graph.n_slots))

@@ -1,0 +1,145 @@
+"""Barrier-free (``stepping="async"``) conformance and protocol tests.
+
+The acceptance bound for async stepping is 1e-12 relative against the
+serial solver (docs/stepping.md works through why the exchange is
+bitwise in practice); these tests also pin the speculation lifecycle,
+the telemetry fields and the constructor policy checks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine.solver import ADERDGSolver
+from repro.mesh.grid import UniformGrid
+from repro.pde import AcousticPDE
+from repro.scenarios import LOH1Scenario, gaussian_pulse_setup
+
+STEPS = 3
+
+
+def relative_diff(a: np.ndarray, b: np.ndarray) -> float:
+    return float(np.abs(a - b).max() / max(np.abs(b).max(), 1e-300))
+
+
+@pytest.fixture(scope="module")
+def serial_pulse():
+    solver = gaussian_pulse_setup(elements=3, order=3)
+    for _ in range(STEPS):
+        solver.step()
+    return solver
+
+
+@pytest.mark.parametrize("num_workers", [2, 3])
+def test_async_matches_serial_on_periodic_acoustic(serial_pulse, num_workers):
+    with gaussian_pulse_setup(
+        elements=3, order=3, num_workers=num_workers, stepping="async"
+    ) as par:
+        for _ in range(STEPS):
+            par.step()
+        assert par.t == serial_pulse.t
+        assert relative_diff(par.states, serial_pulse.states) < 1e-12
+
+
+def test_async_run_pipelines_and_matches_serial(serial_pulse):
+    """run() supplies next-step hints; speculation must hit, not perturb."""
+    with gaussian_pulse_setup(
+        elements=3, order=3, num_workers=2, batch_size=5, stepping="async"
+    ) as par:
+        par.run(t_end=serial_pulse.t + 1e-14, max_steps=STEPS)
+        assert par.step_count == STEPS
+        assert relative_diff(par.states, serial_pulse.states) < 1e-12
+        # every step after the first reconciled a speculative predict
+        assert par._pool.last_step_events.get("speculation") == "hit"
+
+
+def test_async_loh1_with_source_and_receivers():
+    serial = LOH1Scenario(elements=3, order=3)
+    serial.run(t_end=0.04)
+    with LOH1Scenario(
+        elements=3, order=3, num_workers=2, batch_size=4, stepping="async"
+    ) as par:
+        par.run(t_end=0.04)
+        assert par.solver.step_count == serial.solver.step_count
+        assert relative_diff(par.solver.states, serial.solver.states) < 1e-12
+
+
+def test_speculation_miss_is_transparent(serial_pulse):
+    """A wrong hint must be drained and re-predicted without a trace."""
+    with gaussian_pulse_setup(
+        elements=3, order=3, num_workers=2, stepping="async"
+    ) as par:
+        dt = par.stable_dt()
+        # hint with a deliberately wrong dt: the speculation that runs
+        # after this step can never match the next step's real inputs
+        par._step_parallel(dt, next_hint=(dt * 0.5, par._source_payload()))
+        par.t += dt
+        par.step_count += 1
+        par.step()
+        assert par._pool.last_step_events.get("speculation") == "miss"
+        par.step()
+        assert par.step_count == STEPS
+        assert relative_diff(par.states, serial_pulse.states) < 1e-12
+
+
+def test_step_record_carries_wait_and_publish():
+    with gaussian_pulse_setup(
+        elements=3, order=3, num_workers=2, stepping="async"
+    ) as par:
+        par.run(t_end=1.0, max_steps=2)
+        rec = par.step_records[-1]
+        assert rec.stepping == "async"
+        assert set(rec.worker_wait) == {0, 1}
+        assert set(rec.worker_publish) == {0, 1}
+        assert all(v >= 0.0 for v in rec.worker_wait.values())
+        row = rec.to_dict()
+        assert row["stepping"] == "async"
+        assert row["wait_total"] == pytest.approx(sum(rec.worker_wait.values()))
+        assert set(row["worker_publish"]) == {"0", "1"}
+
+
+def test_barrier_records_wait_but_not_publish():
+    with gaussian_pulse_setup(elements=3, order=3, num_workers=2) as par:
+        par.step()
+        rec = par.step_records[-1]
+        assert rec.stepping == "barrier"
+        assert set(rec.worker_wait) == {0, 1}
+        assert rec.worker_publish == {}
+
+
+def test_serial_records_say_serial():
+    solver = gaussian_pulse_setup(elements=3, order=3)
+    solver.step()
+    rec = solver.step_records[-1]
+    assert rec.stepping == "serial"
+    assert rec.worker_wait == {}
+
+
+def _solver(**kwargs):
+    return ADERDGSolver(
+        UniformGrid((3, 3, 3)), AcousticPDE(), order=3, **kwargs
+    )
+
+
+def test_unknown_stepping_rejected():
+    with pytest.raises(ValueError, match="stepping"):
+        _solver(stepping="bogus")
+
+
+def test_async_requires_face_sweep():
+    with pytest.raises(ValueError, match="face_sweep"):
+        _solver(num_workers=2, stepping="async", face_sweep=False)
+
+
+def test_async_rejects_respawn():
+    with pytest.raises(ValueError, match="respawn"):
+        _solver(num_workers=2, stepping="async", on_worker_failure="respawn")
+
+
+def test_dependency_graph_exposed():
+    with gaussian_pulse_setup(
+        elements=3, order=3, num_workers=2, stepping="async"
+    ) as par:
+        graph = par.dependency_graph
+        assert graph is not None
+        assert graph.num_shards == 2
+        assert graph.n_slots == par.shard_plan.cut_faces()

@@ -1,0 +1,156 @@
+"""The async dependency graph and the mailbox flux exchange.
+
+Process-free tests: the graph builder is checked against shard plans
+with known halo structure, and the face-sweep exchange (solve the
+prefix, export/import via the mailbox) is pinned bitwise-equal to the
+redundant-solve sweep it replaces.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine.facesweep import FaceSweep, direction_faces
+from repro.mesh.grid import UniformGrid
+from repro.parallel import build_dependency_graph, make_shard_plan
+from repro.pde import AcousticPDE
+
+
+def grid333():
+    return UniformGrid((3, 3, 3), extent=(3.0, 3.0, 3.0))
+
+
+# ---------------------------------------------------------------------------
+# graph builder
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("workers", [2, 3, 4, 8])
+def test_graph_matches_plan_invariants(workers):
+    plan = make_shard_plan(grid333(), workers)
+    graph = build_dependency_graph(plan)
+    assert graph.num_shards == plan.num_shards
+    # one mailbox slot per partition-cut face, each used exactly once
+    assert graph.n_slots == plan.cut_faces()
+    slots = graph.slot_of[graph.slot_of >= 0]
+    assert sorted(slots.tolist()) == list(range(graph.n_slots))
+    # neighbor relation is symmetric and irreflexive
+    for w, nbrs in enumerate(graph.neighbors):
+        assert w not in nbrs
+        for v in nbrs:
+            assert w in graph.neighbors[v]
+    # providers/consumers are transposes of each other, inside neighbors
+    for w in range(plan.num_shards):
+        assert graph.providers[w] <= graph.neighbors[w]
+        for v in graph.providers[w]:
+            assert w in graph.consumers[v]
+
+
+def test_graph_slots_follow_canonical_owner():
+    plan = make_shard_plan(grid333(), 3)
+    graph = build_dependency_graph(plan)
+    owner = plan.owner
+    seen = 0
+    for d in range(3):
+        df = direction_faces(plan.grid, d)
+        both = np.nonzero((df.left >= 0) & (df.right >= 0))[0]
+        for row in both:
+            left, right = int(df.left[row]), int(df.right[row])
+            slot = int(graph.slot_of[d, left])
+            if owner[left] == owner[right]:
+                assert slot == -1
+                continue
+            seen += 1
+            # exporter = owner of the left (canonical) element
+            assert int(graph.exporter[slot]) == owner[left]
+            assert int(graph.importer[slot]) == owner[right]
+    assert seen == graph.n_slots
+
+
+def test_single_shard_has_no_dependencies():
+    plan = make_shard_plan(grid333(), 1)
+    graph = build_dependency_graph(plan)
+    assert graph.n_slots == 0
+    assert graph.edges() == []
+    assert graph.neighbors == (frozenset(),)
+    assert graph.stats()["exchanged_faces"] == 0
+
+
+def test_two_element_periodic_line_is_fully_cut():
+    """Known halo structure: 2 elements, 2 shards, periodic x."""
+    grid = UniformGrid((2, 1, 1), extent=(2.0, 1.0, 1.0))
+    plan = make_shard_plan(grid, 2)
+    graph = build_dependency_graph(plan)
+    # both x-faces sit between the two shards; y/z wrap self-to-self
+    assert graph.n_slots == 2
+    assert graph.neighbors == (frozenset({1}), frozenset({0}))
+    assert graph.providers == (frozenset({1}), frozenset({0}))
+    assert graph.edges() == [(0, 1)]
+    # one face exported by each side
+    assert sorted(graph.exporter.tolist()) == [0, 1]
+    assert [graph.importer[s] for s in (0, 1)] == [
+        1 - graph.exporter[0], 1 - graph.exporter[1]
+    ]
+
+
+def test_exchange_spec_carries_shared_layout():
+    plan = make_shard_plan(grid333(), 2)
+    graph = build_dependency_graph(plan)
+    spec = graph.exchange_spec(1, plan.owner)
+    assert spec.shard == 1
+    assert spec.slot_of is graph.slot_of
+    np.testing.assert_array_equal(spec.owner, plan.owner)
+
+
+# ---------------------------------------------------------------------------
+# face-sweep exchange: one solve + mailbox == redundant solve, bitwise
+# ---------------------------------------------------------------------------
+
+
+def _random_inputs(grid, pde, order, seed=7):
+    rng = np.random.default_rng(seed)
+    E, m = grid.n_elements, pde.nquantities
+    n = order
+    states = rng.normal(size=(E, n, n, n, m))
+    states[..., pde.nvar:] = 1.0 + rng.random((E, n, n, n, pde.nparam))
+    qface = rng.normal(size=(E, 3, 2, n, n, m))
+    return states, qface
+
+
+@pytest.mark.parametrize("workers", [2, 3])
+def test_exchanged_fluxes_match_redundant_sweep(workers):
+    grid, pde, order = grid333(), AcousticPDE(), 3
+    plan = make_shard_plan(grid, workers)
+    graph = build_dependency_graph(plan)
+    states, qface = _random_inputs(grid, pde, order)
+    mailbox = np.zeros((max(1, graph.n_slots), order, order, pde.nquantities))
+
+    sweeps = []
+    for w, shard in enumerate(plan.shards):
+        sweep = FaceSweep(
+            grid, pde, order, elements=shard,
+            exchange=graph.exchange_spec(w, plan.owner),
+        )
+        sweep.sweep(states, qface)
+        sweep.export_fluxes(mailbox)
+        sweeps.append(sweep)
+
+    for w, shard in enumerate(plan.shards):
+        sweeps[w].import_fluxes(mailbox)
+        reference = FaceSweep(grid, pde, order, elements=shard)
+        reference.sweep(states, qface)
+        n, m = order, pde.nquantities
+        got = np.empty((len(shard), 3, 2, n, n, m))
+        want = np.empty_like(got)
+        sweeps[w].gather_fstar(np.asarray(shard), got)
+        reference.gather_fstar(np.asarray(shard), want)
+        np.testing.assert_array_equal(got, want)
+
+
+def test_export_import_require_exchange_spec():
+    grid, pde = grid333(), AcousticPDE()
+    sweep = FaceSweep(grid, pde, 3)
+    mailbox = np.zeros((1, 3, 3, pde.nquantities))
+    with pytest.raises(RuntimeError, match="exchange"):
+        sweep.export_fluxes(mailbox)
+    with pytest.raises(RuntimeError, match="exchange"):
+        sweep.import_fluxes(mailbox)

@@ -1,0 +1,101 @@
+"""The docs consistency gate: clean on the real tree, loud on seeded rot."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent.parent
+sys.path.insert(0, str(ROOT / "tools"))
+
+import check_docs  # noqa: E402
+
+
+def seed_tree(tmp_path: Path, markdown: str, scripts: dict | None = None) -> Path:
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "docs" / "guide.md").write_text(markdown)
+    for rel, source in (scripts or {}).items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    return tmp_path
+
+
+def test_real_repo_docs_are_clean(capsys):
+    assert check_docs.main(["--check", "--root", str(ROOT)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_dead_relative_link_fails_the_gate(tmp_path, capsys):
+    root = seed_tree(tmp_path, "see [the spec](missing.md) for details\n")
+    assert check_docs.main(["--check", "--root", str(root)]) == 1
+    err = capsys.readouterr().err
+    assert "dead link" in err and "missing.md" in err
+
+
+def test_dead_link_fails_from_the_command_line(tmp_path):
+    """The exact invocation CI runs must exit non-zero on a seeded link."""
+    root = seed_tree(tmp_path, "[gone](nowhere.md)\n")
+    result = subprocess.run(
+        [sys.executable, str(ROOT / "tools" / "check_docs.py"),
+         "--check", "--root", str(root)],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 1
+    assert "dead link" in result.stderr
+
+
+def test_valid_relative_and_external_links_pass(tmp_path):
+    (tmp_path / "other.md").touch()
+    root = seed_tree(
+        tmp_path,
+        "[sibling](../other.md) [root](other.md) "
+        "[web](https://example.com/x) [anchor](https://e.com/a#b)\n",
+    )
+    assert check_docs.main(["--check", "--root", str(root)]) == 0
+
+
+def test_stale_repro_reference_is_flagged(tmp_path, capsys):
+    root = seed_tree(
+        tmp_path,
+        "use `repro.parallel.build_dependency_graph` "
+        "but never `repro.parallel.does_not_exist`\n",
+    )
+    assert check_docs.main(["--check", "--root", str(root)]) == 1
+    err = capsys.readouterr().err
+    assert "repro.parallel.does_not_exist" in err
+    assert "build_dependency_graph" not in err
+
+
+def test_stale_cli_flag_is_flagged(tmp_path, capsys):
+    script = (
+        "import argparse\n"
+        "p = argparse.ArgumentParser()\n"
+        "p.add_argument('--quick', action='store_true')\n"
+    )
+    root = seed_tree(
+        tmp_path,
+        "run `python tools/bench.py --quick` or "
+        "`python tools/bench.py --warp-speed`\n",
+        scripts={"tools/bench.py": script},
+    )
+    assert check_docs.main(["--check", "--root", str(root)]) == 1
+    err = capsys.readouterr().err
+    assert "--warp-speed" in err and "--quick" not in err
+
+
+def test_missing_script_reference_is_flagged(tmp_path, capsys):
+    root = seed_tree(tmp_path, "run `python tools/vanished.py --x`\n")
+    assert check_docs.main(["--check", "--root", str(root)]) == 1
+    assert "missing script" in capsys.readouterr().err
+
+
+def test_flags_of_unparseable_script_are_skipped(tmp_path):
+    root = seed_tree(
+        tmp_path,
+        "run `python tools/broken.py --whatever`\n",
+        scripts={"tools/broken.py": "def oops(:\n"},
+    )
+    assert check_docs.main(["--check", "--root", str(root)]) == 0

@@ -1,0 +1,222 @@
+"""Documentation consistency gate over ``docs/*.md`` and ``README.md``.
+
+Docs drift silently: files move, APIs get renamed, CLI flags change.
+This checker makes three classes of drift a CI failure:
+
+* **dead relative links** -- every ``[text](path)`` markdown link whose
+  target is not ``http(s)``/``mailto`` must resolve to a file, relative
+  to the linking document (or, leniently, to the repo root);
+* **stale API references** -- every dotted ``repro.*`` name mentioned
+  anywhere (prose or code block) must import: the longest importable
+  module prefix is imported and the remaining parts resolved with
+  ``getattr``;
+* **stale CLI flags** -- on lines invoking one of the repo's own
+  entry points (``python -m repro.harness``, ``python -m
+  repro.analysis``, ``python tools/X.py``, ``python benchmarks/X.py``,
+  ``python examples/X.py``), every ``--flag`` token must be an
+  ``add_argument`` option of that script (collected statically from
+  its AST, so nothing is executed).
+
+Usage::
+
+    PYTHONPATH=src python tools/check_docs.py            # report
+    PYTHONPATH=src python tools/check_docs.py --check    # CI gate
+
+Both forms exit non-zero when any finding is produced; ``--check``
+exists for symmetry with the other ``tools/`` gates.  ``--root``
+points the scan at another tree (used by the self-tests).
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import importlib
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[([^\]]*)\]\(([^)#\s]+)(#[^)]*)?\)")
+DOTTED_RE = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z0-9_]*)+")
+FLAG_RE = re.compile(r"(?<![\w-])--[a-z][a-z0-9-]*")
+
+#: command prefix -> script path (relative to the repo root) whose
+#: argparse options legitimize the flags on that line
+COMMAND_SCRIPTS = (
+    ("python -m repro.harness", "src/repro/harness/cli.py"),
+    ("python -m repro.analysis", "src/repro/analysis/__main__.py"),
+)
+#: directories whose scripts may be invoked as ``python <dir>/X.py``
+SCRIPT_DIRS = ("tools", "benchmarks", "examples")
+
+
+def doc_files(root: Path) -> list[Path]:
+    """The markdown files under the gate: ``docs/*.md`` + ``README.md``."""
+    files = sorted((root / "docs").glob("*.md")) if (root / "docs").is_dir() else []
+    readme = root / "README.md"
+    if readme.exists():
+        files.append(readme)
+    return files
+
+
+def check_links(path: Path, text: str, root: Path) -> list[str]:
+    """Dead-relative-link findings of one document."""
+    findings = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in LINK_RE.finditer(line):
+            target = match.group(2)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            candidates = (path.parent / target, root / target)
+            if not any(c.exists() for c in candidates):
+                findings.append(
+                    f"{path.relative_to(root)}:{lineno}: dead link "
+                    f"({target!r} does not exist)"
+                )
+    return findings
+
+
+def _resolves(dotted: str) -> bool:
+    """Whether a dotted ``repro.*`` name imports (module and/or attrs)."""
+    parts = dotted.split(".")
+    for cut in range(len(parts), 0, -1):
+        module_name = ".".join(parts[:cut])
+        try:
+            obj = importlib.import_module(module_name)
+        except ImportError:
+            continue
+        try:
+            for attr in parts[cut:]:
+                obj = getattr(obj, attr)
+        except AttributeError:
+            return False
+        return True
+    return False
+
+
+def check_references(path: Path, text: str, root: Path) -> list[str]:
+    """Stale ``repro.*`` dotted-reference findings of one document."""
+    findings = []
+    seen: set[str] = set()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in DOTTED_RE.finditer(line):
+            dotted = match.group(0)
+            if dotted in seen:
+                continue
+            seen.add(dotted)
+            if not _resolves(dotted):
+                findings.append(
+                    f"{path.relative_to(root)}:{lineno}: stale reference "
+                    f"({dotted} does not resolve)"
+                )
+    return findings
+
+
+def script_flags(script: Path) -> set[str] | None:
+    """``--flag`` option strings a script declares, from its AST.
+
+    Collects every string constant starting with ``--`` passed to a
+    call whose attribute name is ``add_argument``; returns ``None``
+    when the script cannot be read/parsed (the caller then skips flag
+    validation rather than guessing).
+    """
+    try:
+        tree = ast.parse(script.read_text())
+    except (OSError, SyntaxError):
+        return None
+    flags: set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "add_argument"):
+            continue
+        for arg in node.args:
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                if arg.value.startswith("--"):
+                    flags.add(arg.value)
+    return flags
+
+
+def _line_script(line: str, root: Path) -> tuple[str, Path] | None:
+    """The (command, script path) an invocation line refers to, if any."""
+    for command, rel in COMMAND_SCRIPTS:
+        if command in line:
+            return command, root / rel
+    match = re.search(
+        rf"python ({'|'.join(SCRIPT_DIRS)})/([A-Za-z0-9_]+\.py)", line
+    )
+    if match:
+        return match.group(0), root / match.group(1) / match.group(2)
+    return None
+
+
+def check_cli_flags(path: Path, text: str, root: Path) -> list[str]:
+    """Stale-CLI-flag findings of one document."""
+    findings = []
+    cache: dict[Path, set[str] | None] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        ref = _line_script(line, root)
+        if ref is None:
+            continue
+        command, script = ref
+        if script not in cache:
+            cache[script] = script_flags(script) if script.exists() else None
+        known = cache[script]
+        if not script.exists():
+            findings.append(
+                f"{path.relative_to(root)}:{lineno}: command references "
+                f"missing script ({script.relative_to(root)})"
+            )
+            continue
+        if known is None:
+            continue
+        tail = line.split(command, 1)[1]
+        for flag in FLAG_RE.findall(tail):
+            if flag not in known:
+                findings.append(
+                    f"{path.relative_to(root)}:{lineno}: unknown flag "
+                    f"{flag} for `{command}`"
+                )
+    return findings
+
+
+def check_docs(root: Path) -> list[str]:
+    """All findings over the documentation tree rooted at ``root``."""
+    findings: list[str] = []
+    for path in doc_files(root):
+        text = path.read_text()
+        findings.extend(check_links(path, text, root))
+        findings.extend(check_references(path, text, root))
+        findings.extend(check_cli_flags(path, text, root))
+    return findings
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check", action="store_true",
+                        help="CI-gate mode (same checks; kept for symmetry)")
+    parser.add_argument("--root", default=None,
+                        help="repo root to scan (default: this file's parent)")
+    args = parser.parse_args(argv)
+
+    root = Path(args.root).resolve() if args.root else \
+        Path(__file__).resolve().parent.parent
+    src = root / "src"
+    if src.is_dir() and str(src) not in sys.path:
+        sys.path.insert(0, str(src))
+
+    findings = check_docs(root)
+    for finding in findings:
+        print(finding, file=sys.stderr)
+    files = len(doc_files(root))
+    if findings:
+        print(f"check_docs: {len(findings)} finding(s) in {files} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"check_docs: {files} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -45,11 +45,14 @@ PUBLIC_API = [
     ("repro.parallel", "ShardWorkerPool"),
     ("repro.parallel", "WorkerCrashError"),
     ("repro.parallel", "StepRecord"),
+    ("repro.parallel", "build_dependency_graph"),
+    ("repro.parallel", "ShardDependencyGraph"),
     ("repro.analysis", "Finding"),
     ("repro.analysis", "run_analysis"),
     ("repro.analysis", "audit_kernel_source"),
     ("repro.analysis", "audit_generated_kernels"),
     ("repro.analysis", "prove_shard_plan"),
+    ("repro.analysis", "prove_async_schedule"),
     ("repro.analysis", "RaceReport"),
     ("repro.analysis", "lint_tree"),
 ]
