@@ -137,10 +137,16 @@ def test_backend_stp_wallclock(benchmark, backend):
 def main(argv=None):
     import argparse
 
+    try:
+        from benchmarks.reporting import add_json_arg, maybe_write_json
+    except ImportError:  # direct `python benchmarks/bench_backend.py` run
+        from reporting import add_json_arg, maybe_write_json
+
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
                         help="smaller sweep (CI smoke): lower order, no gate")
     parser.add_argument("--order", type=int, default=None)
+    add_json_arg(parser)
     args = parser.parse_args(argv)
 
     order = args.order or (4 if args.quick else ORDER)
@@ -175,6 +181,10 @@ def main(argv=None):
                 f"compiled/{row['variant']} diverged from the NumPy "
                 f"executor: max|diff| = {row['max_diff']:.3e}"
             )
+
+    maybe_write_json("backend", rows, args.json,
+                     extra={"backend": compiled_backend(),
+                            "quick": args.quick})
 
     if not numba_available():
         print("\nspeedup gate skipped: numba not installed "

@@ -1,0 +1,212 @@
+"""Wall-clock comparison: fused whole-step vs three-phase compiled path.
+
+The fused pipeline (see ``docs/backends.md``) chains predict, Riemann
+and correct per element block inside one compiled program and keeps the
+solver state resident in a padded block stack across steps, so the
+per-step ``pack_block``/``unpack_block`` round-trips and the
+``qface``/``fstar``/``vavg`` NumPy surfacing of the three-phase path
+disappear.  This benchmark measures that win on the paper's m = 21
+curvilinear elastic workload (LOH1, order 6, 6^3 grid) and verifies
+
+* the fused and phase-wise states agree to round-off, and
+* the steady-state fused path performs **zero** per-step pack/unpack
+  (``ExecutorStats``: only the one-time ingest/egress remain).
+
+Run styles:
+
+* ``PYTHONPATH=src python benchmarks/bench_fused_step.py [--quick]``
+  -- speedup report.  With Numba installed the full run *gates*: the
+  fused order-6 step must beat the three-phase compiled path by
+  >= 1.5x.  Without Numba the generated kernels run as plain Python,
+  the numerics and pack/unpack checks still run, the gate is skipped.
+* ``PYTHONPATH=src python -m pytest benchmarks/bench_fused_step.py``
+  -- pytest-benchmark timings of both execution modes.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.codegen.executor import numba_available
+
+ORDER = 6
+ELEMENTS = 6  # per dimension: the acceptance grid is 6^3
+STEPS = 3
+
+
+def compiled_backend() -> str:
+    """The compiled backend to measure: jitted if possible, else plain."""
+    return "numba" if numba_available() else "generated"
+
+
+def _solver(order, elements, fuse, backend=None):
+    from repro.scenarios import LOH1Scenario
+
+    scenario = LOH1Scenario(
+        elements=elements, order=order, batch_size=8,
+        backend=backend or compiled_backend(), fuse=fuse,
+    )
+    return scenario.solver
+
+
+def _step_seconds(solver, dt, steps):
+    """Best per-step wall of ``steps`` post-warm-up steps."""
+    best = float("inf")
+    for _ in range(steps):
+        t0 = time.perf_counter()
+        solver.step(dt)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def speedup_report(order=ORDER, elements=ELEMENTS, steps=STEPS):
+    """Time whole steps fused vs phase-wise; verify states agree.
+
+    Returns one row per execution mode plus derived ``speedup`` on the
+    fused row (fused over phase-wise on the same backend).
+    """
+    backend = compiled_backend()
+    rows = []
+    states = {}
+    for fuse in (False, True):
+        solver = _solver(order, elements, fuse)
+        with solver:
+            dt = 0.5 * solver.stable_dt()
+            solver.step(dt)  # warm-up: compiles + binds parameters
+            compile_s = solver.step_records[-1].compile_s
+            sec_per_step = _step_seconds(solver, dt, steps)
+            record = solver.step_records[-1]
+            stats = solver.executor.stats
+            states[fuse] = solver.states.copy()
+            rows.append(
+                {
+                    "mode": "fused" if fuse else "phase",
+                    "backend": backend,
+                    "variant": solver.variant,
+                    "order": order,
+                    "grid": f"{elements}^3",
+                    "sec_per_step": sec_per_step,
+                    "compile_s": compile_s,
+                    "fused_steps": stats.fused_steps,
+                    "phase_steps": stats.phase_steps,
+                    "steady_pack_calls": record.pack_calls,
+                    "steady_unpack_calls": record.unpack_calls,
+                    "pack_bytes_avoided": stats.pack_bytes_avoided,
+                    "phase_walls": dict(record.phase_walls),
+                    "fallbacks": dict(stats.fallbacks),
+                }
+            )
+    scale = float(np.max(np.abs(states[False]))) or 1.0
+    max_diff = float(np.max(np.abs(states[True] - states[False])))
+    rows[1]["speedup"] = rows[0]["sec_per_step"] / rows[1]["sec_per_step"]
+    rows[1]["max_diff"] = max_diff
+    rows[1]["rel_diff"] = max_diff / scale
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("fuse", [False, True], ids=["phase", "fused"])
+def test_fused_step_wallclock(benchmark, fuse):
+    order = 3  # keep the pytest leg quick; the CLI gates at order 6
+    solver = _solver(order, 2, fuse)
+    with solver:
+        dt = 0.5 * solver.stable_dt()
+        solver.step(dt)  # warm/compile outside timing
+        benchmark(solver.step, dt)
+        if fuse:
+            assert solver.executor.stats.fused_steps > 0
+
+
+# ---------------------------------------------------------------------------
+# CLI report + acceptance gate
+# ---------------------------------------------------------------------------
+
+
+def main(argv=None):
+    import argparse
+
+    try:
+        from benchmarks.reporting import add_json_arg, maybe_write_json
+    except ImportError:  # direct `python benchmarks/bench_fused_step.py` run
+        from reporting import add_json_arg, maybe_write_json
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller sweep (CI smoke): lower order, no gate")
+    parser.add_argument("--order", type=int, default=None)
+    add_json_arg(parser)
+    args = parser.parse_args(argv)
+
+    order = args.order or (3 if args.quick else ORDER)
+    elements = 2 if args.quick else ELEMENTS
+    steps = 1 if args.quick else STEPS
+    rows = speedup_report(order=order, elements=elements, steps=steps)
+
+    numba_note = (
+        "available" if numba_available()
+        else "NOT installed; generated kernels run as plain Python"
+    )
+    print(f"compiled backend: {compiled_backend()} (numba {numba_note})")
+    header = (f"{'mode':<7}{'order':>6}{'grid':>6}{'s/step':>10}"
+              f"{'compile s':>11}{'pack/step':>11}{'speedup':>9}"
+              f"{'max|diff|':>11}")
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        packs = row["steady_pack_calls"] + row["steady_unpack_calls"]
+        speed = row.get("speedup")
+        diff = row.get("max_diff")
+        speed_col = f"{speed:9.2f}" if speed is not None else f"{'':>9}"
+        diff_col = f"{diff:11.1e}" if diff is not None else f"{'':>11}"
+        print(f"{row['mode']:<7}{row['order']:>6}{row['grid']:>6}"
+              f"{row['sec_per_step']:10.3f}{row['compile_s']:11.2f}"
+              f"{packs:>11}{speed_col}{diff_col}")
+
+    fused = rows[1]
+    if fused["fallbacks"]:
+        raise SystemExit(f"fused path fell back: {fused['fallbacks']}")
+    if fused["fused_steps"] == 0:
+        raise SystemExit("fused mode never dispatched the fused program")
+    if fused["rel_diff"] > 1e-10:
+        raise SystemExit(
+            "fused step diverged from the phase-wise compiled path: "
+            f"rel|diff| = {fused['rel_diff']:.3e}"
+        )
+    if fused["steady_pack_calls"] or fused["steady_unpack_calls"]:
+        raise SystemExit(
+            "steady-state fused step still packs/unpacks: "
+            f"{fused['steady_pack_calls']} pack / "
+            f"{fused['steady_unpack_calls']} unpack calls in one step"
+        )
+    print("steady-state fused step: 0 pack / 0 unpack calls "
+          f"({fused['pack_bytes_avoided']} bytes avoided so far)")
+
+    maybe_write_json("fused_step", rows, args.json,
+                     extra={"backend": compiled_backend(),
+                            "quick": args.quick})
+
+    if not numba_available():
+        print("\nspeedup gate skipped: numba not installed "
+              "(plain-Python execution of generated kernels)")
+        return 0
+    if args.quick:
+        print("\nspeedup gate skipped: --quick")
+        return 0
+    if fused["speedup"] < 1.5:
+        raise SystemExit(
+            f"acceptance: fused step at order {order} only reached "
+            f"{fused['speedup']:.2f}x over the three-phase compiled "
+            f"path (need >= 1.5x)"
+        )
+    print(f"\nacceptance: fused >= 1.5x over phase-wise at order {order} "
+          f"(measured {fused['speedup']:.2f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,98 @@
+"""Shared machine-readable benchmark reporting (``--json``).
+
+Every benchmark CLI that opts in gains a ``--json [PATH]`` flag and
+writes one ``BENCH_<name>.json`` document next to the repo root (or at
+the explicit PATH), so the performance trajectory across PRs can be
+diffed by tooling instead of scraped from stdout tables.
+
+The document layout is deliberately uniform::
+
+    {
+      "benchmark": "fused_step",          # reporter name
+      "unix_time": 1754650000.0,          # when the run finished
+      "environment": {"python": "...", "numba": false, "backend": "..."},
+      "rows": [ {...}, {...} ]            # the CLI's own table rows
+    }
+
+``rows`` carries whatever the benchmark's report function produced
+(variant, order, grid, per-phase seconds, speedups, ...) -- the
+reporter adds provenance, never reshapes the data.
+
+Usage from a benchmark ``main()``::
+
+    parser = argparse.ArgumentParser(...)
+    add_json_arg(parser)
+    args = parser.parse_args(argv)
+    ...
+    maybe_write_json("backend", rows, args.json,
+                     extra={"backend": backend})
+"""
+
+import json
+import platform
+import time
+from pathlib import Path
+
+__all__ = ["add_json_arg", "bench_json_path", "maybe_write_json"]
+
+
+def add_json_arg(parser) -> None:
+    """Register the shared ``--json [PATH]`` option on an argparser.
+
+    Without a value the report lands at the default
+    :func:`bench_json_path`; with a value it lands at that path.
+    ``args.json`` is ``None`` when the flag was not given.
+    """
+    parser.add_argument(
+        "--json",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="PATH",
+        help=(
+            "also write the rows as BENCH_<name>.json "
+            "(optionally at PATH) for cross-PR trajectory tracking"
+        ),
+    )
+
+
+def bench_json_path(name: str) -> Path:
+    """Default output path of reporter ``name``: ``BENCH_<name>.json``.
+
+    Resolved against the repository root when this file lives in a
+    checkout (``benchmarks/`` has a sibling ``src/``), else the current
+    directory -- so CI and local runs drop the file in the same place.
+    """
+    root = Path(__file__).resolve().parent.parent
+    base = root if (root / "src").is_dir() else Path.cwd()
+    return base / f"BENCH_{name}.json"
+
+
+def maybe_write_json(name: str, rows, json_arg, extra: dict | None = None):
+    """Write ``BENCH_<name>.json`` if the ``--json`` flag was given.
+
+    ``json_arg`` is the parsed ``args.json`` value (``None`` = flag
+    absent, ``""`` = default path, anything else = explicit path).
+    ``extra`` merges into the ``environment`` block.  Returns the
+    written :class:`~pathlib.Path`, or ``None`` when skipped.
+    """
+    if json_arg is None:
+        return None
+    from repro.codegen.executor import numba_available
+
+    path = Path(json_arg) if json_arg else bench_json_path(name)
+    environment = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "numba": numba_available(),
+    }
+    environment.update(extra or {})
+    document = {
+        "benchmark": name,
+        "unix_time": time.time(),
+        "environment": environment,
+        "rows": list(rows),
+    }
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"json report: {path}")
+    return path

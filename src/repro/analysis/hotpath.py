@@ -1,4 +1,4 @@
-"""Hot-path allocation & hygiene lint over ``src/repro`` (``HP001-HP003``).
+"""Hot-path allocation & hygiene lint over ``src/repro`` (``HP001-HP004``).
 
 The paper's footprint argument (Sec. IV) is that the solver's steady
 state should run out of *preallocated* buffers -- the scratch arena,
@@ -18,6 +18,13 @@ rule:
   anywhere in the tree without a ``# pragma: allow(HP002): reason``
   justification.
 * ``HP003`` -- a mutable default argument.
+* ``HP004`` -- a ``pack_block``/``unpack_block`` call inside a
+  step-loop function outside the layout-owned ingest/egress points
+  (:data:`PACK_OWNERS`: the :class:`~repro.core.layouts.
+  ResidentBlockState` sync/peek methods).  The resident stack exists so
+  per-step layout traffic happens only on ingest and egress; a pack
+  call creeping back into a step loop silently reintroduces the
+  twice-per-block-per-step round-trip the fused path removed.
 
 Accepted residue lives in the checked-in baseline
 (``tools/analysis_baseline.json``) so the gate only fails on *new*
@@ -32,7 +39,10 @@ from pathlib import Path
 
 from repro.analysis.findings import ERROR, Finding, filter_pragmas
 
-__all__ = ["HOT_PATTERNS", "COLD_EXCEPTIONS", "lint_source", "lint_tree"]
+__all__ = [
+    "HOT_PATTERNS", "COLD_EXCEPTIONS", "PACK_OWNERS",
+    "lint_source", "lint_tree",
+]
 
 #: qualname patterns of step-loop (per-step) functions; allocations
 #: inside any match are HP001 findings
@@ -47,6 +57,14 @@ HOT_PATTERNS = (
     "_ShardWorker.riemann_phase",
     "_ShardWorker.finish_phase",
     "_ShardWorker._apply_corrector",
+    "_ShardWorker._fused_stage",
+    "FusedPipeline.run",
+    "FusedPipeline._args",
+    "FusedPipeline._dir_args",
+    "FusedPipeline._publish_fluxes",
+    "ResidentBlockState.sync_resident",
+    "ResidentBlockState.sync_canonical",
+    "ResidentBlockState.peek_element",
     "corrector_all",
     "corrector_update",
     "rusanov_flux",
@@ -63,6 +81,17 @@ COLD_EXCEPTIONS = (
     "FaceSweep.__init__",
     "FaceSweep.bind_parameters",
     "FaceSweep.invalidate_parameters",
+)
+
+#: the only qualnames that may call ``pack_block``/``unpack_block`` on
+#: a per-step basis: the resident stack's dirty-tracked ingest/egress
+#: (rule HP004); everything else must go through them
+PACK_OWNERS = (
+    "ResidentBlockState.sync_resident",
+    "ResidentBlockState.sync_canonical",
+    "ResidentBlockState.peek_element",
+    "TensorLayout.pack_block",
+    "TensorLayout.unpack_block",
 )
 
 #: numpy constructors (and the ``.copy`` method) that allocate
@@ -162,6 +191,20 @@ class _LintVisitor(ast.NodeVisitor):
                 f"allocation `{name}` in step-loop function "
                 f"{self._qualname()}",
                 "hoist into the scratch arena or a preallocated buffer",
+            )
+        if (
+            name in ("pack_block", "unpack_block")
+            and _is_hot(self._qualname())
+            and self._qualname() not in PACK_OWNERS
+        ):
+            self._flag(
+                "HP004",
+                node,
+                f"layout `{name}` in step-loop function "
+                f"{self._qualname()}, outside the resident stack's "
+                "ingest/egress",
+                "route per-step layout traffic through "
+                "ResidentBlockState.sync_*/peek_element",
             )
         self.generic_visit(node)
 

@@ -1,4 +1,4 @@
-"""Static auditor of the lowered kernel sources (rules ``KA001-KA006``).
+"""Static auditor of the lowered kernel sources (rules ``KA001-KA007``).
 
 :mod:`repro.codegen.lowering` emits executable Python whose whole value
 is what it *doesn't* do: no allocation inside loop nests, no dynamic
@@ -31,7 +31,13 @@ the ground truth for the header:
 * ``KA006`` -- a call outside the per-function whitelist (helpers call
   nothing, STP entry points call only helpers/flux/contract, the
   direction-``d`` Riemann kernel calls only ``flux_d{d}`` and
-  ``wave_speed``).
+  ``wave_speed``; the face-exchange kernels are leaves, the fused-step
+  drivers compose exactly their declared sub-phases);
+* ``KA007`` -- fused-module header drift: a ``fused=step`` module must
+  carry ``# fused phase gemm schedule`` / ``# fused phase temp
+  footprint`` lines identical to the constituent phase plan's schedule
+  and footprint (the fused program must not silently change the
+  blocking the phase plans were audited against).
 """
 
 from __future__ import annotations
@@ -59,7 +65,9 @@ _ALLOCATORS = {
 _ATTR_WHITELIST = {"reshape", "shape", "sqrt"}
 
 #: names usable in loop bounds besides int constants and ``x.shape[k]``
-_BOUND_NAMES = {"N", "M", "NVAR", "b", "o", "nderiv"}
+#: (``bsz``/``nel``/``k1`` are the fused families' block size, element
+#: count and Riemann solve-prefix length -- runtime-constant arguments)
+_BOUND_NAMES = {"N", "M", "NVAR", "b", "o", "nderiv", "bsz", "nel", "k1"}
 
 #: builtins / free view methods any generated function may call
 #: (``.reshape`` is allocation-free on contiguous inputs; the attribute
@@ -70,6 +78,10 @@ _COMMON_CALLS = {"range", "abs", "max", "min", "reshape"}
 _HDR_VARIANT = re.compile(r"^# lowered from plan: variant=(\S+)$")
 _HDR_GEMM = re.compile(r"^# gemm schedule: (.+)$")
 _HDR_TEMP = re.compile(r"^# temp footprint: (\d+) bytes$")
+#: the three extra header lines of a ``fused=step`` module (rule KA007)
+_HDR_FUSED_PHASES = re.compile(r"^# fused phases: (.+)$")
+_HDR_FUSED_GEMM = re.compile(r"^# fused phase gemm schedule: (.+)$")
+_HDR_FUSED_TEMP = re.compile(r"^# fused phase temp footprint: (\d+) bytes$")
 _DOCSTRING = re.compile(
     r"family=(\w+), pde=(\w+), N=(\d+), M=(\d+)"
 )
@@ -91,6 +103,25 @@ def _call_whitelists(family: str) -> dict[str, set[str]]:
     for d in range(3):
         table[f"riemann_rusanov_d{d}"] = {f"flux_d{d}", "wave_speed"}
     table["corrector_apply"] = set()
+    # face-exchange family: packing/scatter kernels are leaves; the
+    # per-direction driver composes gather -> ghost fill -> material
+    # embed -> pointwise Riemann
+    for name in ("face_gather", "face_ghost", "face_embed",
+                 "face_project", "mailbox_export", "mailbox_import"):
+        table[name] = set()
+    for d in range(3):
+        table[f"riemann_dir_d{d}"] = {
+            "face_gather", "face_ghost", "face_embed",
+            f"riemann_rusanov_d{d}",
+        }
+    # fused-step family: each driver calls exactly its sub-phases
+    riemann_dirs = {f"riemann_dir_d{d}" for d in range(3)}
+    table["fused_predict"] = {
+        "_copy", "_fill", f"stp_{family}", "face_project",
+    }
+    table["fused_correct"] = {"_copy", "corrector_apply"} | flux
+    table["fused_step"] = {"fused_predict", "fused_correct"} | riemann_dirs
+    table["fused_riemann_export"] = {"mailbox_export"} | riemann_dirs
     return table
 
 
@@ -132,16 +163,21 @@ def _parse_header(source: str) -> dict:
             ("variant", _HDR_VARIANT),
             ("gemms", _HDR_GEMM),
             ("temp_bytes", _HDR_TEMP),
+            ("fused_phases", _HDR_FUSED_PHASES),
+            ("fused_gemms", _HDR_FUSED_GEMM),
+            ("fused_temp_bytes", _HDR_FUSED_TEMP),
         ):
             match = rx.match(line)
             if match:
                 info[key] = match.group(1)
-    match = _DOCSTRING.search(source.splitlines()[0])
+    first = source.splitlines()[0]
+    match = _DOCSTRING.search(first)
     if match:
         info["family"] = match.group(1)
         info["pde"] = match.group(2)
         info["doc_n"] = int(match.group(3))
         info["doc_m"] = int(match.group(4))
+    info["fused"] = ", fused=step" in first
     return info
 
 
@@ -345,6 +381,8 @@ def _audit_header(
                 f"module N={constants['N']} != plan order {plan.spec.order}",
                 "the lowered loop bounds must match the recorded spec",
             )
+    if info["fused"]:
+        findings.extend(_audit_fused_header(info, location, plan))
     if pde is not None:
         token = pde_token(pde)
         if info["pde"] != token[0]:
@@ -358,6 +396,65 @@ def _audit_header(
                 f"disagree with PDE sizes m={pde.nquantities}, "
                 f"nvar={token[1]}",
                 "the source must be generated from the same PDE",
+            )
+    return findings
+
+
+def _audit_fused_header(info: dict, location: str, plan=None) -> list[Finding]:
+    """KA007: a fused module must restate its phase plans' contract.
+
+    The fused program chains the same predict/riemann/correct loops the
+    phase modules run, so its header must carry the *identical* gemm
+    schedule and temp footprint -- fusing may remove NumPy surfacing,
+    never silently change the audited blocking.
+    """
+    findings: list[Finding] = []
+
+    def flag(message: str, hint: str) -> None:
+        findings.append(
+            Finding("KA007", ERROR, location, 1, message, "header", hint)
+        )
+
+    phases = info.get("fused_phases")
+    if phases != "predict+riemann+correct":
+        flag(
+            f"fused module declares phases {phases!r}, expected "
+            "'predict+riemann+correct'",
+            "regenerate via lower_plan(..., fused=True)",
+        )
+    for key, phase_key, label in (
+        ("fused_gemms", "gemms", "gemm schedule"),
+        ("fused_temp_bytes", "temp_bytes", "temp footprint"),
+    ):
+        if info.get(key) is None:
+            flag(
+                f"fused module header lacks the fused phase {label} line",
+                "regenerate via lower_plan(..., fused=True)",
+            )
+        elif info.get(key) != info.get(phase_key):
+            flag(
+                f"fused phase {label} {info.get(key)!r} != phase header "
+                f"{label} {info.get(phase_key)!r}",
+                "the fused program must embed the exact phase contract",
+            )
+    if plan is not None and info.get("fused_gemms") is not None:
+        gemms = ", ".join(
+            f"{mm}x{nn}x{kk}x{batch}"
+            for mm, nn, kk, batch in plan.gemm_shapes()
+        ) or "none"
+        if info["fused_gemms"] != gemms:
+            flag(
+                f"fused phase gemm schedule {info['fused_gemms']!r} != plan "
+                f"schedule {gemms!r}",
+                "re-lower the plan; the fused header is part of the contract",
+            )
+        if info.get("fused_temp_bytes") is None or int(
+            info["fused_temp_bytes"]
+        ) != plan.temp_footprint_bytes:
+            flag(
+                f"fused phase temp footprint {info.get('fused_temp_bytes')!r}"
+                f" != plan footprint {plan.temp_footprint_bytes}",
+                "re-lower the plan; the fused header is part of the contract",
             )
     return findings
 
@@ -385,13 +482,17 @@ def audit_kernel_source(
     return filter_pragmas(findings, source.splitlines())
 
 
-def default_kernel_corpus(orders=(2, 3)) -> list[tuple[str, object, object]]:
-    """The ``(location, plan, pde)`` corpus the repo-wide audit lowers.
+def default_kernel_corpus(
+    orders=(2, 3),
+) -> list[tuple[str, object, object, bool]]:
+    """The ``(location, plan, pde, fused)`` corpus the repo-wide audit lowers.
 
     One representative variant per loop family (``splitck`` and
     ``generic``/spacetime) crossed with every PDE the lowering supports,
     at small orders -- identical source structure to the production
-    orders, a fraction of the generation cost.
+    orders, a fraction of the generation cost.  Each combination
+    appears twice: the phase module and its fused superset (the
+    face-exchange and fused-step families ride only in the latter).
     """
     from repro.codegen.generator import KernelGenerator
     from repro.core.spec import KernelSpec
@@ -412,8 +513,11 @@ def default_kernel_corpus(orders=(2, 3)) -> list[tuple[str, object, object]]:
             spec = KernelSpec(order=order, nvar=pde.nvar, nparam=pde.nparam)
             gen = KernelGenerator(spec, pde)
             for variant in ("splitck", "generic"):
-                location = f"kernel:{variant}/{pde.name}/N{order}"
-                corpus.append((location, gen.plan(variant), pde))
+                plan = gen.plan(variant)
+                for fused in (False, True):
+                    suffix = "/fused" if fused else ""
+                    location = f"kernel:{variant}/{pde.name}/N{order}{suffix}"
+                    corpus.append((location, plan, pde, fused))
     return corpus
 
 
@@ -428,8 +532,8 @@ def audit_generated_kernels(orders=(2, 3)) -> list[Finding]:
     from repro.codegen.lowering import lower_plan
 
     findings: list[Finding] = []
-    for location, plan, pde in default_kernel_corpus(orders):
-        source = lower_plan(plan, pde)
+    for location, plan, pde, fused in default_kernel_corpus(orders):
+        source = lower_plan(plan, pde, fused=fused)
         findings.extend(
             audit_kernel_source(source, location, plan=plan, pde=pde)
         )

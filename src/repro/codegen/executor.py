@@ -72,6 +72,19 @@ class ExecutorStats:
     compile_s: dict[str, float] = field(default_factory=dict)
     execute_s: dict[str, float] = field(default_factory=dict)
     fallbacks: dict[str, str] = field(default_factory=dict)
+    #: steps dispatched through the fused whole-step program
+    fused_steps: int = 0
+    #: steps dispatched through the three-phase (per-kernel) path
+    phase_steps: int = 0
+    #: layout pack/unpack calls actually executed (ingest/egress only
+    #: on the resident path; twice per block per step without it)
+    pack_calls: int = 0
+    unpack_calls: int = 0
+    pack_bytes: int = 0
+    unpack_bytes: int = 0
+    #: bytes of pack/unpack traffic the resident state skipped because
+    #: the block stack stayed valid across steps
+    pack_bytes_avoided: int = 0
 
     def add_compile(self, phase: str, seconds: float) -> None:
         """Accumulate compile seconds against ``phase``."""
@@ -84,6 +97,32 @@ class ExecutorStats:
     def note_fallback(self, context: str, reason: str) -> None:
         """Record (once) that ``context`` fell back to NumPy."""
         self.fallbacks.setdefault(context, reason)
+
+    def note_fused_step(self) -> None:
+        """Count one step dispatched through the fused program."""
+        self.fused_steps += 1
+
+    def note_phase_step(self) -> None:
+        """Count one step dispatched through the three-phase path."""
+        self.phase_steps += 1
+
+    def note_resident_traffic(self, state) -> None:
+        """Fold a :class:`~repro.core.layouts.ResidentBlockState`'s
+        pack/unpack counters into these stats.
+
+        Counters are *snapshots* of the state's lifetime totals (the
+        call is idempotent, safe once per step).  ``pack_bytes_avoided``
+        is the steady-state traffic the resident stack made unnecessary
+        (two full-state copies per fused step, minus the ingest/egress
+        copies that actually ran).
+        """
+        self.pack_calls = state.pack_calls
+        self.unpack_calls = state.unpack_calls
+        self.pack_bytes = state.pack_bytes
+        self.unpack_bytes = state.unpack_bytes
+        avoided = (self.fused_steps * state.step_traffic_bytes()
+                   - state.pack_bytes - state.unpack_bytes)
+        self.pack_bytes_avoided = max(0, avoided)
 
     @property
     def total_compile_s(self) -> float:
@@ -169,6 +208,21 @@ class Executor:
         )
         self.stats.add_execute("correct", time.perf_counter() - started)
         return result
+
+    # -- fused whole-step entry point ------------------------------------
+
+    def step_block(self, pipeline, stage: str = "step", **kwargs):
+        """Run one fused-pipeline stage entirely inside compiled code.
+
+        ``pipeline`` is a :class:`~repro.codegen.fusedstep.FusedPipeline`
+        bound to this executor; ``stage`` selects which slice of the
+        step to run (``"step"`` for predict+riemann+correct, or the
+        async worker stages ``"riemann_export"`` / ``"finish"``).
+        Returns ``None`` when this backend has no fused program for the
+        pipeline's plan -- callers must then fall back to the
+        three-phase path.  The base (NumPy) executor never fuses.
+        """
+        return None
 
     # -- introspection ---------------------------------------------------
 

@@ -1,0 +1,378 @@
+"""Fused whole-step execution: one compiled program per solver step.
+
+The three-phase compiled backend (:mod:`repro.codegen.compiled`) still
+surfaces every intermediate tensor to NumPy between phases: the
+predictor's ``qface`` traces, the packed face planes, the swept fluxes
+and the ``gather_fstar`` scatter all round-trip through Python once per
+step.  This module holds the Python-side driver of the *fused-step*
+loop families (:func:`repro.codegen.lowering.fused_arg_names`): a
+:class:`FusedPipeline` binds every index array, scratch tensor and
+static operator a generated ``fused_step`` / ``fused_riemann_export``
+kernel needs, so a whole predict -> Riemann -> correct step runs inside
+compiled code and only the state stack crosses the boundary.
+
+The pipeline is *stage-addressable* to serve every stepping mode:
+
+``"step"``
+    The whole fused step in one kernel call (serial resident path).
+``"predict"``
+    The fused predictor alone (parallel barrier mode runs a global
+    barrier between trace publication and the Riemann phase).
+``"riemann_correct"``
+    Per-direction Riemann stages plus the fused corrector (barrier
+    mode's second phase).
+``"riemann_export"``
+    Async mode: solve owned faces and publish cut-face fluxes into the
+    shared mailbox from inside the compiled program.
+``"finish"``
+    Async mode: import neighbor fluxes into the plane suffixes and run
+    the fused corrector.
+
+Index arrays come straight from the bound
+:class:`~repro.engine.facesweep.FaceSweep` (including the async
+exchange partitions), so fused and phase-wise execution agree on face
+enumeration by construction; argument tuples are assembled from
+:func:`~repro.codegen.lowering.fused_arg_names`, so the Python call
+sites cannot drift from the generated signatures.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.codegen.lowering import (
+    fused_arg_names,
+    reflect_column,
+    variant_family,
+)
+
+__all__ = ["FusedPipeline"]
+
+#: placeholder arrays passed for parameter-free PDEs (the generated
+#: parameter loops are empty: ``range(NVAR, M)`` with ``NVAR == M``)
+_DUMMY_P4 = np.zeros((1, 1, 1, 1))
+_DUMMY_P6 = np.zeros((1, 1, 1, 1, 1, 1))
+#: placeholder source block when no element carries a source (the
+#: kernels never read it: every ``src_of`` entry is ``-1``)
+_DUMMY_SRC = np.zeros((1, 1, 1, 1, 1, 1))
+
+
+class FusedPipeline:
+    """Persistent bindings of the fused-step kernels for one solver slice.
+
+    Parameters
+    ----------
+    executor:
+        The owning :class:`~repro.codegen.compiled.CompiledExecutor`
+        (used only for its scratch conventions; calls go through the
+        executor handed to :meth:`run`).
+    sweep:
+        The bound :class:`~repro.engine.facesweep.FaceSweep` -- its
+        per-direction connectivity, exchange partitions and static
+        face-parameter cache are the single source of face truth.
+    variant, spec, pde:
+        Kernel variant, :class:`~repro.core.spec.KernelSpec` and PDE
+        system, exactly as on the solver.
+    h, boundary:
+        Element size and boundary-condition name.
+    elements:
+        ``(nel,)`` traversal-ordered global element ids of this slice
+        (the whole grid serially, one shard per worker).
+    qface:
+        The global ``(E, 3, 2, N, N, m)`` trace array (shared memory in
+        parallel mode) the fused predictor writes and the Riemann
+        stages read.
+    block_size:
+        Element block width ``bsz`` of the fused loops.
+    n_elements:
+        Global element count (sizes the element-indexed maps).
+    mailbox:
+        Shared ``(slots, N, N, m)`` flux mailbox (async workers only).
+    """
+
+    def __init__(self, *, executor, sweep, variant, spec, pde, h,
+                 boundary, elements, qface, block_size, n_elements,
+                 mailbox=None):
+        self.executor = executor
+        self.sweep = sweep
+        self.variant = variant
+        self.family = variant_family(variant)
+        self.spec = spec
+        self.pde = pde
+        self.h = float(h)
+        self.boundary = boundary
+        self.solver_name = sweep.riemann_name
+        n, m = spec.order, pde.nquantities
+        self.n, self.m = n, m
+        self.elements = np.ascontiguousarray(elements, dtype=np.int64)
+        self.nel = int(self.elements.size)
+        self.bsz = int(block_size)
+        self.n_elements = int(n_elements)
+        self.qface = qface
+        self.mailbox = mailbox
+        bsz = self.bsz
+        #: position-indexed volume average / source term of the last
+        #: fused predict (row ``t`` belongs to ``elements[t]``)
+        self.vavg = np.zeros((self.nel, n, n, n, m))
+        self.sterm = np.zeros((self.nel, n, n, n, m))
+        # -- static operator bindings ----------------------------------
+        from repro.core.variants.batched import operator_set
+
+        oset = operator_set(variant, spec, pde)
+        ops = oset.ops
+        self._binding = binding = {
+            "qface": qface,
+            "elements": self.elements,
+            "nel": self.nel,
+            "bsz": bsz,
+            "coef": np.empty(n),
+            "nderiv": np.ascontiguousarray(oset.scaled(self.h)[0]),
+            "fvl": np.ascontiguousarray(ops.face_left),
+            "fvr": np.ascontiguousarray(ops.face_right),
+            "vavg": self.vavg,
+            "sterm": self.sterm,
+            "lift_l": np.ascontiguousarray(ops.lifting_left()),
+            "lift_r": np.ascontiguousarray(ops.lifting_right()),
+            "inv_h": 1.0 / self.h,
+            "dt": 0.0,
+            "src": _DUMMY_SRC,
+            "src_of": np.full(self.n_elements, -1, dtype=np.int64),
+        }
+        # -- predictor block scratch -----------------------------------
+        binding["qblk"] = np.zeros((bsz, n, n, n, m))
+        binding["srcblk"] = np.zeros((bsz, n, n, n, n, m))
+        binding["smask"] = np.zeros(bsz, dtype=np.bool_)
+        binding["flx"] = np.zeros((bsz, n, n, n, m))
+        binding["qavg"] = np.zeros((bsz, n, n, n, m))
+        binding["savg"] = np.zeros((bsz, n, n, n, m))
+        for d in range(3):
+            binding[f"favg{d}"] = np.zeros((bsz, n, n, n, m))
+        if self.family == "splitck":
+            binding["stp_a"] = np.zeros((bsz, n, n, n, m))
+            binding["stp_b"] = np.zeros((bsz, n, n, n, m))
+        else:  # spacetime: the full space-time polynomial + derivatives
+            binding["stp_a"] = np.zeros((n + 1, bsz, n, n, n, m))
+            binding["stp_b"] = np.zeros((n, 3, bsz, n, n, n, m))
+        # -- per-direction face bindings -------------------------------
+        kmax = 1
+        for d, df in enumerate(sweep.faces):
+            nf = df.n_faces
+            kmax = max(kmax, nf * n * n)
+            binding[f"left{d}"] = df.left
+            binding[f"right{d}"] = df.right
+            binding[f"il{d}"] = df.interior_left
+            binding[f"ir{d}"] = df.interior_right
+            binding[f"gl{d}"] = df.ghost_left
+            binding[f"gr{d}"] = df.ghost_right
+            binding[f"refl{d}"] = reflect_column(pde, boundary, d)
+            binding[f"lo{d}"] = df.lo_face
+            binding[f"hi{d}"] = df.hi_face
+            binding[f"ql{d}"] = np.zeros((nf, n, n, m))
+            binding[f"qr{d}"] = np.zeros((nf, n, n, m))
+            if sweep.exchange is not None:
+                binding[f"nsolve{d}"] = int(sweep._n_solve[d])
+                binding[f"flux{d}"] = sweep._flux_buf[d]
+                binding[f"exr{d}"] = sweep._export_rows[d]
+                binding[f"exs{d}"] = sweep._export_slots[d]
+            else:
+                binding[f"nsolve{d}"] = nf
+                binding[f"flux{d}"] = np.zeros((nf, n, n, m))
+        for name in ("eml", "emr", "fl", "fr"):
+            binding[name] = np.zeros((kmax, m))
+        binding["sl"] = np.zeros(kmax)
+        binding["sr"] = np.zeros(kmax)
+        binding["mailbox"] = mailbox
+        # -- corrector block scratch -----------------------------------
+        binding["eblk"] = np.zeros(bsz, dtype=np.int64)
+        binding["vblk"] = np.zeros((bsz, n, n, n, m))
+        binding["sblk"] = np.zeros((bsz, n, n, n, m))
+        binding["oblk"] = np.zeros((bsz, n, n, n, m))
+        binding["fstar"] = np.zeros((bsz, 3, 2, n, n, m))
+        binding["jumps"] = np.zeros((bsz, 3, 2, n, n, m))
+        binding["emb"] = np.zeros((bsz * n * n, m))
+        binding["fbuf"] = np.zeros((bsz * n * n, m))
+        # face parameters bind lazily from the sweep's static cache
+        binding["pl0"] = binding["pr0"] = _DUMMY_P4
+        binding["pl1"] = binding["pr1"] = _DUMMY_P4
+        binding["pl2"] = binding["pr2"] = _DUMMY_P4
+        binding["efp"] = _DUMMY_P6
+        self._params_bound_id = None
+        #: ``(key-tuple, rows)`` cache of the dense source table
+        self._source_keys: tuple | None = None
+
+    # -- lazy per-run bindings ---------------------------------------------
+
+    def _ensure_params(self, states) -> None:
+        """Bind the sweep's static face parameters (once per binding).
+
+        Re-gathers after :meth:`~repro.engine.facesweep.FaceSweep.
+        invalidate_parameters` -- the cached array identity tells us
+        when the sweep rebound.
+        """
+        sweep = self.sweep
+        if sweep._face_params is None:
+            sweep.bind_parameters(np.asarray(states))
+        current = id(sweep._face_params)
+        if current == self._params_bound_id:
+            return
+        self._params_bound_id = current
+        binding = self._binding
+        for d, (pl, pr) in enumerate(sweep._face_params):
+            binding[f"pl{d}"] = _DUMMY_P4 if pl is None else pl
+            binding[f"pr{d}"] = _DUMMY_P4 if pr is None else pr
+        efp = sweep.element_face_params
+        binding["efp"] = _DUMMY_P6 if efp is None else efp
+
+    def set_sources(self, source_map: dict) -> None:
+        """Refresh the dense source table from ``{element: ElementSource}``.
+
+        The element set is static across a run (registered point
+        sources never move), so ``src_of`` rebuilds only when the key
+        set changes; the per-order term blocks are re-evaluated every
+        step (wavelet derivatives depend on the step's start time).
+        ``None`` values zero their row (a source whose combined terms
+        vanish contributes exactly nothing).
+        """
+        keys = tuple(sorted(int(e) for e in source_map))
+        binding = self._binding
+        n, m = self.n, self.m
+        if keys != self._source_keys:
+            self._source_keys = keys
+            src_of = np.full(self.n_elements, -1, dtype=np.int64)
+            for row, e in enumerate(keys):
+                src_of[e] = row
+            binding["src_of"] = src_of
+            binding["src"] = (
+                np.zeros((len(keys), n, n, n, n, m)) if keys else _DUMMY_SRC
+            )
+        src = binding["src"]
+        for row, e in enumerate(keys):
+            source = source_map[e]
+            if source is None:
+                src[row] = 0.0
+                continue
+            for o in range(n):
+                src[row, o] = source.term(o)
+
+    # -- execution ---------------------------------------------------------
+
+    def _args(self, names, overrides) -> list:
+        """Argument tuple of one generated kernel, by signature name.
+
+        Raises ``KeyError`` on an unbound name -- a silent ``None``
+        would surface as an opaque ``TypeError`` deep inside the
+        generated module.
+        """
+        binding = self._binding
+        return [
+            overrides[name] if name in overrides else binding[name]
+            for name in names
+        ]
+
+    def _dir_args(self, d: int) -> list:
+        """Arguments of the standalone ``riemann_dir_d{d}`` kernel."""
+        binding = self._binding
+        values = {
+            "qface": binding["qface"],
+            "left": binding[f"left{d}"], "right": binding[f"right{d}"],
+            "il": binding[f"il{d}"], "ir": binding[f"ir{d}"],
+            "gl": binding[f"gl{d}"], "gr": binding[f"gr{d}"],
+            "refl": binding[f"refl{d}"], "k1": binding[f"nsolve{d}"],
+            "ql": binding[f"ql{d}"], "qr": binding[f"qr{d}"],
+            "pl": binding[f"pl{d}"], "pr": binding[f"pr{d}"],
+            "eml": binding["eml"], "emr": binding["emr"],
+            "fl": binding["fl"], "fr": binding["fr"],
+            "sl": binding["sl"], "sr": binding["sr"],
+            "flux": binding[f"flux{d}"],
+        }
+        return [values[name] for name in fused_arg_names("riemann_dir")]
+
+    def _publish_fluxes(self) -> None:
+        """Register the pipeline's flux planes on the sweep.
+
+        Keeps :meth:`~repro.engine.facesweep.FaceSweep.gather_fstar`
+        (and any diagnostic reading ``sweep.fluxes``) consistent with
+        whichever path -- fused or phase-wise -- ran last.
+        """
+        for d in range(3):
+            self.sweep.fluxes[d] = self._binding[f"flux{d}"]
+
+    def run(self, executor, program, stage: str, *, q=None, qidx=None,
+            qin=None, qout=None, qidx_in=None, qidx_out=None,
+            dt=None, sources=None, states=None):
+        """Execute one fused stage; returns its sub-phase seconds dict.
+
+        ``q``/``qidx`` bind the state stack and its row map for the
+        predict-carrying stages (``qidx[t]`` is the row of traversal
+        position ``t``: ``arange`` on the resident stack, the element
+        ids on a canonical array).  ``qin``/``qout`` (with their row
+        maps) bind the corrector's input and output for the split
+        stages; ``states`` feeds the lazy parameter gather.  Kernel
+        invocations go through ``executor._call`` so first-call JIT
+        time lands in compile attribution like every other kernel.
+        """
+        binding = self._binding
+        if stage in ("step", "riemann_correct", "riemann_export"):
+            self._ensure_params(states if states is not None else q)
+        if dt is not None:
+            from repro.core.variants.base import taylor_coefficients
+
+            binding["dt"] = float(dt)
+            binding["coef"][:] = taylor_coefficients(self.n, float(dt))
+        if sources is not None:
+            self.set_sources(sources)
+        t0 = time.perf_counter()
+        if stage == "step":
+            over = {"q": q, "qidx": qidx}
+            executor._call(
+                program, "fused_step", "fused",
+                *self._args(fused_arg_names("fused_step"), over),
+            )
+            self._publish_fluxes()
+            return {"fused": time.perf_counter() - t0}
+        if stage == "predict":
+            over = {"q": q, "qidx": qidx}
+            executor._call(
+                program, "fused_predict", "fused",
+                *self._args(fused_arg_names("fused_predict"), over),
+            )
+            return {"predict": time.perf_counter() - t0}
+        if stage == "riemann_correct":
+            for d in range(3):
+                executor._call(
+                    program, f"riemann_dir_d{d}", "fused", *self._dir_args(d)
+                )
+            self._publish_fluxes()
+            t1 = time.perf_counter()
+            over = {"qin": qin, "qout": qout,
+                    "qidx_in": qidx_in, "qidx_out": qidx_out}
+            executor._call(
+                program, "fused_correct", "fused",
+                *self._args(fused_arg_names("fused_correct"), over),
+            )
+            return {"riemann": t1 - t0, "correct": time.perf_counter() - t1}
+        if stage == "riemann_export":
+            executor._call(
+                program, "fused_riemann_export", "fused",
+                *self._args(fused_arg_names("fused_riemann_export"), {}),
+            )
+            self._publish_fluxes()
+            return {"riemann": time.perf_counter() - t0, "publish": 0.0}
+        if stage == "finish":
+            for d in range(3):
+                executor._call(
+                    program, "mailbox_import", "fused",
+                    binding[f"flux{d}"], self.sweep._import_slots[d],
+                    binding["mailbox"], binding[f"nsolve{d}"],
+                )
+            t1 = time.perf_counter()
+            over = {"qin": qin, "qout": qout,
+                    "qidx_in": qidx_in, "qidx_out": qidx_out}
+            executor._call(
+                program, "fused_correct", "fused",
+                *self._args(fused_arg_names("fused_correct"), over),
+            )
+            return {"import": t1 - t0, "correct": time.perf_counter() - t1}
+        raise ValueError(f"unknown fused stage {stage!r}")

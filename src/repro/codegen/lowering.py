@@ -38,6 +38,8 @@ __all__ = [
     "supports_pde",
     "unsupported_reason",
     "pde_token",
+    "reflect_column",
+    "fused_arg_names",
     "generate_module_source",
     "compile_module",
     "lower_plan",
@@ -214,6 +216,25 @@ def pde_token(pde: LinearPDE) -> tuple:
     if pde.name == "advection":
         extra = tuple(float(v) for v in pde.velocity)
     return (pde.name, pde.nvar, pde.nparam, extra)
+
+
+#: first sign-flipped quantity column of each PDE's ``reflect()``; PDEs
+#: whose reflection is a plain copy (advection) have no entry
+_REFLECT_BASE = {"acoustic": 1, "elastic": 0, "curvilinear_elastic": 0}
+
+
+def reflect_column(pde: LinearPDE, boundary: str, d: int) -> int:
+    """Quantity column a reflective wall flips in direction ``d``.
+
+    The generated ``face_ghost`` kernel copies the interior trace and
+    then negates exactly one column; ``-1`` is its plain-copy sentinel,
+    returned for absorbing boundaries and for PDEs whose
+    :meth:`~repro.pde.base.LinearPDE.reflect` is a copy.
+    """
+    if boundary != "reflective":
+        return -1
+    base = _REFLECT_BASE.get(pde.name)
+    return -1 if base is None else base + d
 
 
 # ---------------------------------------------------------------------------
@@ -492,8 +513,430 @@ def corrector_apply(q, vavg, sterm, jumps, lift_l, lift_r, inv_h, out):
 """
 
 
+# ---------------------------------------------------------------------------
+# fused face-exchange and fused-step families
+# ---------------------------------------------------------------------------
+
+_FACE_EXCHANGE = """\
+def face_gather(qface, left, right, il, ir, dd, ql, qr):
+    \"\"\"Gather interior face traces of direction ``dd`` into the planes.
+
+    Mirrors ``FaceSweep.sweep``'s interior gather: a face row's left
+    plane is its left element's high trace, its right plane the right
+    element's low trace (``il``/``ir`` list the rows with a real
+    element on that side).
+    \"\"\"
+    for i in range(il.shape[0]):
+        r = il[i]
+        e = left[r]
+        for a in range(N):
+            for c in range(N):
+                for s in range(M):
+                    ql[r, a, c, s] = qface[e, dd, 1, a, c, s]
+    for i in range(ir.shape[0]):
+        r = ir[i]
+        e = right[r]
+        for a in range(N):
+            for c in range(N):
+                for s in range(M):
+                    qr[r, a, c, s] = qface[e, dd, 0, a, c, s]
+
+
+def face_ghost(qsrc, qdst, rows, refl):
+    \"\"\"Fill boundary ghost rows of ``qdst`` from the interior ``qsrc``.
+
+    ``refl`` is the quantity column a reflective wall sign-flips, or
+    ``-1`` for a plain copy (absorbing outflow / copy reflections);
+    mirrors :func:`repro.engine.boundary.ghost_state`.
+    \"\"\"
+    for i in range(rows.shape[0]):
+        r = rows[i]
+        for a in range(N):
+            for c in range(N):
+                for s in range(M):
+                    qdst[r, a, c, s] = qsrc[r, a, c, s]
+    if refl >= 0:
+        for i in range(rows.shape[0]):
+            r = rows[i]
+            for a in range(N):
+                for c in range(N):
+                    qdst[r, a, c, refl] = -qdst[r, a, c, refl]
+
+
+def face_embed(qs, ps, k1, emb):
+    \"\"\"Embed traces + static parameters into (K, M) rows of ``emb``.
+
+    Covers the solve prefix ``[0, k1)`` of a face plane; the parameter
+    loop is empty for parameter-free systems (``ps`` is never read).
+    \"\"\"
+    for r in range(k1):
+        for a in range(N):
+            for c in range(N):
+                k = (r * N + a) * N + c
+                for s in range(NVAR):
+                    emb[k, s] = qs[r, a, c, s]
+                for s in range(NVAR, M):
+                    emb[k, s] = ps[r, a, c, s - NVAR]
+
+
+def face_project(qavg, fvl, fvr, elements, e0, b, qface):
+    \"\"\"Project a block's time-averages onto its six faces (``qface``).
+
+    The loop-nest twin of ``BatchedSTP._project_faces_block``'s
+    tensordots: block row ``i`` maps to element ``elements[e0 + i]``;
+    ``fvl``/``fvr`` are the 1-D left/right face evaluation vectors.
+    \"\"\"
+    for i in range(b):
+        e = elements[e0 + i]
+        for a in range(N):
+            for c in range(N):
+                for s in range(M):
+                    accl = 0.0
+                    accr = 0.0
+                    for j in range(N):
+                        accl += fvl[j] * qavg[i, a, c, j, s]
+                        accr += fvr[j] * qavg[i, a, c, j, s]
+                    qface[e, 0, 0, a, c, s] = accl
+                    qface[e, 0, 1, a, c, s] = accr
+        for a in range(N):
+            for c in range(N):
+                for s in range(M):
+                    accl = 0.0
+                    accr = 0.0
+                    for j in range(N):
+                        accl += fvl[j] * qavg[i, a, j, c, s]
+                        accr += fvr[j] * qavg[i, a, j, c, s]
+                    qface[e, 1, 0, a, c, s] = accl
+                    qface[e, 1, 1, a, c, s] = accr
+        for a in range(N):
+            for c in range(N):
+                for s in range(M):
+                    accl = 0.0
+                    accr = 0.0
+                    for j in range(N):
+                        accl += fvl[j] * qavg[i, j, a, c, s]
+                        accr += fvr[j] * qavg[i, j, a, c, s]
+                    qface[e, 2, 0, a, c, s] = accl
+                    qface[e, 2, 1, a, c, s] = accr
+
+
+def mailbox_export(flux, rows, slots, mailbox):
+    \"\"\"Publish owned cut-face fluxes into their shared mailbox slots.
+
+    Mirrors ``FaceSweep.export_fluxes`` for one direction's plane.
+    \"\"\"
+    for i in range(rows.shape[0]):
+        r = rows[i]
+        t = slots[i]
+        for a in range(N):
+            for c in range(N):
+                for s in range(M):
+                    mailbox[t, a, c, s] = flux[r, a, c, s]
+
+
+def mailbox_import(flux, slots, mailbox, k1):
+    \"\"\"Fill a flux plane's import suffix ``[k1, ...)`` from the mailbox.
+
+    Mirrors ``FaceSweep.import_fluxes`` for one direction's plane.
+    \"\"\"
+    for i in range(slots.shape[0]):
+        t = slots[i]
+        for a in range(N):
+            for c in range(N):
+                for s in range(M):
+                    flux[k1 + i, a, c, s] = mailbox[t, a, c, s]
+"""
+
+
+def _riemann_dir_fn(d: int) -> list[str]:
+    return [
+        f'"""Fused direction-{d} face stage: gather, ghosts, embed, solve.',
+        "",
+        "Chains the face-exchange primitives with the Rusanov kernel on",
+        "one direction's packed plane; only the solve prefix ``[0, k1)``",
+        "is computed (the suffix belongs to a neighbor shard's mailbox",
+        'export in async mode, and is empty in serial mode)."""',
+        f"face_gather(qface, left, right, il, ir, {d}, ql, qr)",
+        "face_ghost(ql, qr, gr, refl)",
+        "face_ghost(qr, ql, gl, refl)",
+        "face_embed(ql, pl, k1, eml)",
+        "face_embed(qr, pr, k1, emr)",
+        "kk = k1 * N * N",
+        f"riemann_rusanov_d{d}(eml[:kk], emr[:kk], fl[:kk], fr[:kk], "
+        "sl[:kk], sr[:kk], flux[:k1].reshape(kk, M))",
+    ]
+
+
+def _fused_predict_fn(family: str) -> list[str]:
+    body = [
+        '"""Fused predictor over all element blocks (qface/vavg/sterm out).',
+        "",
+        "Runs the family STP per ``bsz`` block of the traversal order",
+        "``elements`` (tail blocks are padded by repeating the last",
+        "element; padded rows are computed and discarded), then projects",
+        "the six face traces and accumulates the volume average and the",
+        "dense position-indexed source term -- the fused twin of",
+        '``BatchedSTP.predictor_sweep``."""',
+        "for e0 in range(0, nel, bsz):",
+        "    b = min(bsz, nel - e0)",
+        "    for i in range(bsz):",
+        "        t = e0 + i",
+        "        real = t < nel",
+        "        if t >= nel:",
+        "            t = nel - 1",
+        "        e = elements[t]",
+        "        _copy(qblk[i].reshape(-1), q[qidx[t]].reshape(-1))",
+        "        r = src_of[e]",
+        "        if real and r >= 0:",
+        "            smask[i] = True",
+        "            _copy(srcblk[i].reshape(-1), src[r].reshape(-1))",
+        "        else:",
+        "            smask[i] = False",
+        f"    stp_{family}(qblk, dt, coef, nderiv, srcblk, smask, "
+        "stp_a, stp_b, flx, qavg, favg0, favg1, favg2, savg)",
+        "    for i in range(b):",
+        "        t = e0 + i",
+        "        vf = vavg[t].reshape(-1)",
+        "        f0 = favg0[i].reshape(-1)",
+        "        f1 = favg1[i].reshape(-1)",
+        "        f2 = favg2[i].reshape(-1)",
+        "        for j in range(vf.shape[0]):",
+        "            vf[j] = f0[j] + f1[j] + f2[j]",
+        "        if smask[i]:",
+        "            _copy(sterm[t].reshape(-1), savg[i].reshape(-1))",
+        "        else:",
+        "            _fill(sterm[t].reshape(-1), 0.0)",
+        "    face_project(qavg, fvl, fvr, elements, e0, b, qface)",
+    ]
+    return body
+
+
+def _fused_correct_fn() -> list[str]:
+    body = [
+        '"""Fused corrector: F* gather, face jumps, volume + lifting.',
+        "",
+        "Per block: gather states/volume terms and the six ``F*`` face",
+        "planes, rebuild the element-side face fluxes, form the jumps",
+        "and apply the corrector -- the fused twin of",
+        "``CompiledExecutor.corrector_block`` plus the solver's",
+        "``gather_fstar`` scatter.  ``qin``/``qout`` may alias (serial",
+        'resident stepping) or be the two shm buffers (workers)."""',
+        "for e0 in range(0, nel, bsz):",
+        "    b = min(bsz, nel - e0)",
+        "    for i in range(bsz):",
+        "        t = e0 + i",
+        "        if t >= nel:",
+        "            t = nel - 1",
+        "        e = elements[t]",
+        "        eblk[i] = e",
+        "        _copy(qblk[i].reshape(-1), qin[qidx_in[t]].reshape(-1))",
+        "        _copy(vblk[i].reshape(-1), vavg[t].reshape(-1))",
+        "        _copy(sblk[i].reshape(-1), sterm[t].reshape(-1))",
+    ]
+    for d in range(3):
+        for side, face in ((0, f"lo{d}"), (1, f"hi{d}")):
+            body += [
+                f"        r = {face}[e]",
+                "        for a in range(N):",
+                "            for c in range(N):",
+                "                for s in range(M):",
+                f"                    fstar[i, {d}, {side}, a, c, s] = "
+                f"flux{d}[r, a, c, s]",
+            ]
+    for d in range(3):
+        for side in (0, 1):
+            body += [
+                "    for i in range(bsz):",
+                "        e = eblk[i]",
+                "        for a in range(N):",
+                "            for c in range(N):",
+                "                k = (i * N + a) * N + c",
+                "                for s in range(NVAR):",
+                f"                    emb[k, s] = qface[e, {d}, {side}, a, c, s]",
+                "                for s in range(NVAR, M):",
+                f"                    emb[k, s] = "
+                f"efp[e, {d}, {side}, a, c, s - NVAR]",
+                f"    flux_d{d}(emb, fbuf)",
+                "    for i in range(bsz):",
+                "        for a in range(N):",
+                "            for c in range(N):",
+                "                k = (i * N + a) * N + c",
+                "                for s in range(M):",
+                f"                    jumps[i, {d}, {side}, a, c, s] = "
+                f"fstar[i, {d}, {side}, a, c, s] - fbuf[k, s]",
+            ]
+    body += [
+        "    corrector_apply(qblk, vblk, sblk, jumps, lift_l, lift_r, "
+        "inv_h, oblk)",
+        "    for i in range(b):",
+        "        _copy(qout[qidx_out[e0 + i]].reshape(-1), "
+        "oblk[i].reshape(-1))",
+    ]
+    return body
+
+
+def _riemann_dir_args(d: int) -> list[str]:
+    """Per-direction argument group of the fused Riemann drivers."""
+    return [
+        f"left{d}", f"right{d}", f"il{d}", f"ir{d}", f"gl{d}", f"gr{d}",
+        f"refl{d}", f"nsolve{d}", f"ql{d}", f"qr{d}", f"pl{d}", f"pr{d}",
+        f"flux{d}",
+    ]
+
+
+#: canonical parameter list of ``riemann_dir_d{d}`` (shared scratch last)
+_RIEMANN_DIR_PARAMS = (
+    "qface", "left", "right", "il", "ir", "gl", "gr", "refl", "k1",
+    "ql", "qr", "pl", "pr", "eml", "emr", "fl", "fr", "sl", "sr", "flux",
+)
+
+#: shared (K, M) embed/flux/wave scratch of the fused Riemann stages
+_RIEMANN_SCRATCH = ["eml", "emr", "fl", "fr", "sl", "sr"]
+
+#: predictor argument group of the fused drivers (``stp_a``/``stp_b``
+#: are the family's two big scratch tensors: p/pnext or pst/dfst)
+_FUSED_PREDICT_ARGS = [
+    "q", "qidx", "elements", "nel", "bsz", "dt", "coef", "nderiv",
+    "src", "src_of", "fvl", "fvr", "qface", "vavg", "sterm",
+    "qblk", "srcblk", "smask", "stp_a", "stp_b", "flx", "qavg",
+    "favg0", "favg1", "favg2", "savg",
+]
+
+#: corrector argument group of the fused drivers
+_FUSED_CORRECT_ARGS = [
+    "qin", "qout", "qidx_in", "qidx_out", "elements", "nel", "bsz",
+    "vavg", "sterm", "qface", "efp", "flux0", "flux1", "flux2",
+    "lo0", "hi0", "lo1", "hi1", "lo2", "hi2",
+    "lift_l", "lift_r", "inv_h",
+    "eblk", "qblk", "vblk", "sblk", "fstar", "emb", "fbuf", "jumps",
+    "oblk",
+]
+
+
+def fused_arg_names(name: str) -> list[str]:
+    """Ordered argument names of one generated fused driver.
+
+    The Python callers (:mod:`repro.codegen.fusedstep`) assemble their
+    argument tuples from these exact lists, so signature and call site
+    cannot drift apart.
+    """
+    if name == "fused_predict":
+        return list(_FUSED_PREDICT_ARGS)
+    if name == "fused_correct":
+        return list(_FUSED_CORRECT_ARGS)
+    if name == "riemann_dir":
+        return list(_RIEMANN_DIR_PARAMS)
+    if name == "fused_step":
+        args = list(_FUSED_PREDICT_ARGS)
+        for d in range(3):
+            args += _riemann_dir_args(d)
+        args += _RIEMANN_SCRATCH
+        args += [
+            a for a in _FUSED_CORRECT_ARGS
+            if a not in args
+            and a not in ("qin", "qout", "qidx_in", "qidx_out",
+                          "flux0", "flux1", "flux2")
+        ]
+        return args
+    if name == "fused_riemann_export":
+        args = ["qface"]
+        for d in range(3):
+            args += _riemann_dir_args(d)
+        args += _RIEMANN_SCRATCH
+        for d in range(3):
+            args += [f"exr{d}", f"exs{d}"]
+        args.append("mailbox")
+        return args
+    raise ValueError(f"unknown fused driver {name!r}")
+
+
+def _riemann_dir_call(d: int) -> str:
+    # canonical order: qface, per-dir indexes/planes, shared scratch, flux
+    args = (
+        ["qface"]
+        + _riemann_dir_args(d)[:12]
+        + _RIEMANN_SCRATCH
+        + [f"flux{d}"]
+    )
+    return f"riemann_dir_d{d}(" + ", ".join(args) + ")"
+
+
+def _fused_step_fn() -> list[str]:
+    body = [
+        '"""One whole fused step: predict -> Riemann x3 -> correct.',
+        "",
+        "Chains the fused phase drivers inside one compiled program so",
+        "``qface``/``flux``/``vavg`` never surface to NumPy between",
+        "phases; the state stack ``q`` is updated in place (the",
+        'corrector reads only its own element rows)."""',
+        "fused_predict(" + ", ".join(_FUSED_PREDICT_ARGS) + ")",
+        _riemann_dir_call(0),
+        _riemann_dir_call(1),
+        _riemann_dir_call(2),
+    ]
+    correct_args = [
+        {"qin": "q", "qout": "q", "qidx_in": "qidx", "qidx_out": "qidx"}
+        .get(a, a)
+        for a in _FUSED_CORRECT_ARGS
+    ]
+    body.append("fused_correct(" + ", ".join(correct_args) + ")")
+    return body
+
+
+def _fused_riemann_export_fn() -> list[str]:
+    body = [
+        '"""Async Riemann phase: solve owned faces, export cut fluxes.',
+        "",
+        "Runs all three fused direction stages and publishes the owned",
+        "cut-face fluxes into the shared mailbox from inside the same",
+        'compiled program (barrier-free stepping, docs/stepping.md)."""',
+        _riemann_dir_call(0),
+        "mailbox_export(flux0, exr0, exs0, mailbox)",
+        _riemann_dir_call(1),
+        "mailbox_export(flux1, exr1, exs1, mailbox)",
+        _riemann_dir_call(2),
+        "mailbox_export(flux2, exr2, exs2, mailbox)",
+    ]
+    return body
+
+
+def _fused_section(family: str) -> list[str]:
+    """Source lines of the face-exchange + fused-step kernel families."""
+    out: list[str] = []
+    out.extend(_FACE_EXCHANGE.splitlines())
+    out += ["", ""]
+    for d in range(3):
+        _emit_def(
+            out,
+            f"riemann_dir_d{d}(" + ", ".join(_RIEMANN_DIR_PARAMS) + ")",
+            _riemann_dir_fn(d),
+        )
+    _emit_def(
+        out,
+        "fused_predict(" + ", ".join(_FUSED_PREDICT_ARGS) + ")",
+        _fused_predict_fn(family),
+    )
+    _emit_def(
+        out,
+        "fused_correct(" + ", ".join(_FUSED_CORRECT_ARGS) + ")",
+        _fused_correct_fn(),
+    )
+    _emit_def(
+        out,
+        "fused_step(" + ", ".join(fused_arg_names("fused_step")) + ")",
+        _fused_step_fn(),
+    )
+    _emit_def(
+        out,
+        "fused_riemann_export("
+        + ", ".join(fused_arg_names("fused_riemann_export")) + ")",
+        _fused_riemann_export_fn(),
+    )
+    return out
+
+
 def generate_module_source(
-    family: str, n: int, pde: LinearPDE, header: str = ""
+    family: str, n: int, pde: LinearPDE, header: str = "", fused: bool = False
 ) -> str:
     """Emit the kernel-module source of one ``(family, order, PDE)`` triple.
 
@@ -501,7 +944,14 @@ def generate_module_source(
     flux sweeps, the wave-speed sweep, the per-direction Rusanov face
     kernels and the block corrector -- everything a whole solver step
     needs.  ``header`` is an optional comment block (the plan summary
-    :func:`lower_plan` prepends).
+    :func:`lower_plan` prepends).  With ``fused=True`` the module is a
+    superset: it additionally carries the face-exchange family
+    (``face_gather``/``face_ghost``/``face_embed``/``face_project``/
+    ``mailbox_export``/``mailbox_import``, chained per direction by
+    ``riemann_dir_d{d}``) and the fused-step family
+    (``fused_predict``/``fused_correct``/``fused_step``/
+    ``fused_riemann_export``) that runs whole steps without
+    materializing ``qface``/``fstar``/``vavg`` in NumPy.
     """
     if family not in ("splitck", "spacetime"):
         raise ValueError(f"unknown kernel family {family!r}")
@@ -512,7 +962,7 @@ def generate_module_source(
     out: list[str] = []
     out.append(
         f'"""Generated kernels: family={family}, pde={pde.name}, '
-        f'N={n}, M={m}."""'
+        f'N={n}, M={m}' + (', fused=step."""' if fused else '."""')
     )
     if header:
         out.extend(header.rstrip().splitlines())
@@ -544,6 +994,9 @@ def generate_module_source(
             _riemann_fn(d),
         )
     out.extend(_CORRECTOR.splitlines())
+    if fused:
+        out += ["", ""]
+        out.extend(_fused_section(family))
     return "\n".join(out).rstrip() + "\n"
 
 
@@ -568,6 +1021,21 @@ KERNEL_NAMES = (
     "riemann_rusanov_d1",
     "riemann_rusanov_d2",
     "corrector_apply",
+    # face-exchange family (present in fused modules only)
+    "face_gather",
+    "face_ghost",
+    "face_embed",
+    "face_project",
+    "mailbox_export",
+    "mailbox_import",
+    "riemann_dir_d0",
+    "riemann_dir_d1",
+    "riemann_dir_d2",
+    # fused-step family (present in fused modules only)
+    "fused_predict",
+    "fused_correct",
+    "fused_step",
+    "fused_riemann_export",
 )
 
 
@@ -591,14 +1059,17 @@ def compile_module(source: str, jit=None, tag: str = "generated") -> tuple[dict,
     return namespace, time.perf_counter() - started
 
 
-def lower_plan(plan, pde: LinearPDE) -> str:
+def lower_plan(plan, pde: LinearPDE, fused: bool = False) -> str:
     """Lower a recorded :class:`~repro.codegen.plan.KernelPlan` to source.
 
     The plan contributes the variant (hence loop family) and a summary
     header -- its GEMM schedule and temporary footprint -- embedded as
     comments, so the generated module documents the operation stream it
     replaces.  The plan's op kinds are validated: a plan containing an
-    unknown operation type cannot be lowered.
+    unknown operation type cannot be lowered.  With ``fused=True`` the
+    emitted module carries the fused-step family and its header repeats
+    the constituent phase plan's GEMM schedule and footprint (checked
+    against the plan by the kernel auditor's ``KA007`` rule).
     """
     from repro.codegen.plan import GemmOp, PointwiseOp, TransposeOp
 
@@ -609,12 +1080,17 @@ def lower_plan(plan, pde: LinearPDE) -> str:
     gemms = ", ".join(
         f"{mm}x{nn}x{kk}x{batch}" for mm, nn, kk, batch in plan.gemm_shapes()
     )
-    header = "\n".join(
-        [
-            f"# lowered from plan: variant={plan.variant}",
-            f"# gemm schedule: {gemms or 'none'}",
-            f"# temp footprint: {plan.temp_footprint_bytes} bytes",
+    lines = [
+        f"# lowered from plan: variant={plan.variant}",
+        f"# gemm schedule: {gemms or 'none'}",
+        f"# temp footprint: {plan.temp_footprint_bytes} bytes",
+    ]
+    if fused:
+        lines += [
+            "# fused phases: predict+riemann+correct",
+            f"# fused phase gemm schedule: {gemms or 'none'}",
+            f"# fused phase temp footprint: {plan.temp_footprint_bytes} bytes",
         ]
-    )
+    header = "\n".join(lines)
     n = plan.spec.order
-    return generate_module_source(family, n, pde, header=header)
+    return generate_module_source(family, n, pde, header=header, fused=fused)

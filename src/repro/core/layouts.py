@@ -25,7 +25,7 @@ from enum import Enum
 
 import numpy as np
 
-__all__ = ["Layout", "TensorLayout"]
+__all__ = ["Layout", "TensorLayout", "ResidentBlockState"]
 
 
 class Layout(str, Enum):
@@ -193,8 +193,15 @@ class TensorLayout:
             out[..., self.space_shape[-1] :] = 0.0
         return out
 
-    def unpack_block(self, padded: np.ndarray) -> np.ndarray:
-        """Extract the canonical ``(B, *space, m)`` block from this layout."""
+    def unpack_block(
+        self, padded: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Extract the canonical ``(B, *space, m)`` block from this layout.
+
+        ``out`` may be a preallocated ``(B, *space, m)`` destination
+        (the resident-state egress path writes straight into the
+        canonical state array instead of allocating).
+        """
         padded = np.asarray(padded)
         if padded.ndim != len(self.padded_shape) + 1 or padded.shape[1:] != self.padded_shape:
             raise ValueError(
@@ -202,12 +209,17 @@ class TensorLayout:
                 f"got {padded.shape}"
             )
         if self.kind is Layout.AOS:
-            return padded[..., : self.nquantities].copy()
-        if self.kind is Layout.SOA:
+            canonical = padded[..., : self.nquantities]
+        elif self.kind is Layout.SOA:
             trimmed = padded[..., : self.space_shape[-1]]
-            return np.moveaxis(trimmed, 1, -1).copy()
-        trimmed = padded[..., : self.space_shape[-1]]
-        return np.swapaxes(trimmed, -1, -2).copy()
+            canonical = np.moveaxis(trimmed, 1, -1)
+        else:
+            trimmed = padded[..., : self.space_shape[-1]]
+            canonical = np.swapaxes(trimmed, -1, -2)
+        if out is None:
+            return canonical.copy()
+        out[...] = canonical
+        return out
 
     # -- SoA line extraction (the AoSoA selling point, Sec. V-C) ----------
 
@@ -238,3 +250,138 @@ class TensorLayout:
             nquantities=spec.nquantities,
             vector_doubles=spec.architecture.vector_doubles,
         )
+
+
+class ResidentBlockState:
+    """A persistent, traversal-ordered padded state stack (paper Sec. IV).
+
+    The fused compiled step keeps the element states *block-resident*
+    for the whole run: one padded stack whose row ``t`` holds the state
+    of element ``order[t]`` in the configured :class:`TensorLayout`.
+    ``pack_block``/``unpack_block`` then run only on **ingest** (a new
+    initial condition, an external state rewrite) and **egress** (a
+    receiver read, output, cache invalidation) instead of twice per
+    block per step -- the dirty-tracking below decides which side holds
+    the truth.
+
+    Two validity flags express the lifecycle:
+
+    * ``resident_valid`` -- the stack reflects the latest step.
+    * ``canonical_valid`` -- the element-indexed canonical array does.
+
+    After a fused step only the stack is valid; after an ingest only the
+    canonical array is; ``sync_*`` re-establishes the other side on
+    demand and counts the traffic (``pack_calls``/``pack_bytes`` and
+    the ``unpack_*`` twins) so :class:`~repro.codegen.executor.
+    ExecutorStats` can report zero per-step traffic on the steady path.
+    """
+
+    def __init__(self, layout: TensorLayout, order: np.ndarray,
+                 block_size: int):
+        if block_size < 1:
+            raise ValueError("block_size must be positive")
+        self.layout = layout
+        self.order = np.asarray(order, dtype=np.int64).copy()
+        self.block_size = int(block_size)
+        nel = self.order.size
+        self.n_blocks = (nel + self.block_size - 1) // self.block_size
+        #: padded stack rows (incl. zero tail rows of the last block)
+        self.n_rows = self.n_blocks * self.block_size
+        self.stack = np.zeros((self.n_rows,) + layout.padded_shape)
+        self.resident_valid = False
+        self.canonical_valid = True
+        self.pack_calls = 0
+        self.unpack_calls = 0
+        self.pack_bytes = 0
+        self.unpack_bytes = 0
+        self.peek_rows = 0
+        self.peek_bytes = 0
+        #: lazily built element id -> stack row (traversal position)
+        self._row_of: dict[int, int] | None = None
+
+    # -- traffic accounting -----------------------------------------------
+
+    @property
+    def row_nbytes(self) -> int:
+        """Padded bytes of one element row."""
+        return self.layout.nbytes
+
+    def step_traffic_bytes(self) -> int:
+        """Bytes one pack + one unpack of the whole stack would move.
+
+        The per-step traffic the resident stack *avoids* relative to the
+        phase-wise path (which packs and unpacks every block each step).
+        """
+        return 2 * self.order.size * self.row_nbytes
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def mark_stepped(self) -> None:
+        """A fused step updated the stack: canonical is now stale."""
+        self.resident_valid = True
+        self.canonical_valid = False
+
+    def invalidate_resident(self) -> None:
+        """The canonical array was rewritten externally: stack is stale."""
+        self.resident_valid = False
+        self.canonical_valid = True
+
+    def sync_resident(self, canonical: np.ndarray) -> bool:
+        """Ingest: pack ``canonical[order]`` into the stack if stale.
+
+        Returns whether a pack actually ran (``False`` on the steady
+        path, where the stack already holds the truth).
+        """
+        if self.resident_valid:
+            return False
+        nel = self.order.size
+        self.layout.pack_block(canonical[self.order],
+                               out=self.stack[:nel])
+        if self.n_rows > nel:
+            self.stack[nel:] = 0.0
+        self.resident_valid = True
+        self.pack_calls += 1
+        self.pack_bytes += nel * self.row_nbytes
+        return True
+
+    def sync_canonical(self, canonical: np.ndarray) -> bool:
+        """Egress: unpack the stack back into ``canonical`` if stale.
+
+        Returns whether an unpack actually ran.
+        """
+        if self.canonical_valid:
+            return False
+        nel = self.order.size
+        canonical[self.order] = self.layout.unpack_block(self.stack[:nel])
+        self.canonical_valid = True
+        self.unpack_calls += 1
+        self.unpack_bytes += nel * self.row_nbytes
+        return True
+
+    def peek_element(self, element: int) -> np.ndarray:
+        """Row-level egress: the current state of one element.
+
+        Unpacks a *single* stack row (a receiver sample, a probe)
+        instead of syncing the whole canonical array, so per-step
+        observers do not re-introduce the full pack/unpack round-trip
+        the resident stack exists to avoid.  Counted separately
+        (``peek_rows``/``peek_bytes``); the full-stack
+        ``pack_calls``/``unpack_calls`` stay zero on the steady path.
+
+        Only meaningful while ``resident_valid`` -- callers should read
+        the canonical array directly when it holds the truth.
+        """
+        if not self.resident_valid:
+            raise ValueError(
+                "peek_element on a stale stack: the canonical array "
+                "holds the truth -- read it directly"
+            )
+        if self._row_of is None:
+            self._row_of = {
+                int(e): row for row, e in enumerate(self.order)
+            }
+        row = self._row_of[int(element)]
+        out = self.layout.unpack_block(self.stack[row:row + 1])[0]
+        self.peek_rows += 1
+        self.peek_bytes += self.row_nbytes
+        return out

@@ -104,6 +104,19 @@ class ADERDGSolver:
         ``batch_size`` is ``None`` the predictor runs batched with a
         default block of 8 (the legacy per-element loop has no compiled
         form).  Parallel workers resolve their own backend per process.
+    fuse:
+        Fused whole-step execution (see ``docs/backends.md``):
+        ``"auto"`` (default) runs predict -> Riemann -> correct inside
+        one compiled program whenever the backend is compiled and
+        ``face_sweep`` is on; ``True`` forces the attempt (still
+        degrading per-step to the three-phase path when the PDE cannot
+        be lowered); ``False`` always runs phase-wise.  Serially the
+        fused path keeps the states in a persistent
+        :class:`~repro.core.layouts.ResidentBlockState` -- reading
+        :attr:`states` transparently unpacks it, and in-place writers
+        must call :meth:`invalidate_state_caches` exactly as before.
+        Parallel workers fuse their own shards when their per-process
+        backend is compiled.
     """
 
     def __init__(
@@ -124,6 +137,7 @@ class ADERDGSolver:
         on_worker_failure: str = "raise",
         backend="auto",
         stepping: str = "barrier",
+        fuse="auto",
     ):
         self.grid = grid
         self.pde = pde
@@ -192,6 +206,22 @@ class ADERDGSolver:
                     "(see docs/stepping.md)"
                 )
         self.stepping = stepping
+        if fuse not in ("auto", True, False):
+            raise ValueError(
+                f"fuse must be one of ('auto', True, False), got {fuse!r}"
+            )
+        if fuse is True and not face_sweep:
+            raise ValueError(
+                "fuse=True requires face_sweep=True (the fused step is "
+                "built on the packed face planes)"
+            )
+        self.fuse = fuse
+        #: serial fused-step machinery (built lazily on first fused step)
+        self._resident = None
+        self._fused = None
+        self._qidx = None
+        self._fuse_failed = False
+        self._pack_seen = (0, 0)
         self._dependency_graph = None
         #: optional ``(dt_next, sources_next)`` speculation forwarded to
         #: the async pool; set by :meth:`run`, consumed by :meth:`step`
@@ -237,15 +267,40 @@ class ADERDGSolver:
             self._shared = SharedArrayBundle.create(shapes)
             self._buffers = (self._shared["states0"], self._shared["states1"])
             self._cur = 0
-            self.states = self._buffers[0]
+            self._states = self._buffers[0]
         else:
             self._buffers = None
             self._cur = 0
-            self.states = np.zeros((grid.n_elements, n, n, n, m))
+            self._states = np.zeros((grid.n_elements, n, n, n, m))
         self.t = 0.0
         self.step_count = 0
         self.sources: list[tuple[int, np.ndarray, np.ndarray, PointSource]] = []
         self.receivers = []
+
+    # -- state access ---------------------------------------------------------
+
+    @property
+    def states(self) -> np.ndarray:
+        """The canonical ``(E, N, N, N, m)`` state array.
+
+        Under fused serial stepping the truth lives in the persistent
+        resident stack between steps; reading this property egresses it
+        back into the canonical array first (a no-op on the phase-wise
+        and parallel paths, and whenever nothing stepped since the last
+        read).  In-place writers must call
+        :meth:`invalidate_state_caches` afterwards, exactly as before.
+        """
+        if self._resident is not None:
+            self._resident.sync_canonical(self._states)
+            self.executor.stats.note_resident_traffic(self._resident)
+        return self._states
+
+    @states.setter
+    def states(self, value: np.ndarray) -> None:
+        """Rebind the canonical array (the new array is the truth)."""
+        self._states = value
+        if self._resident is not None:
+            self._resident.invalidate_resident()
 
     # -- setup ----------------------------------------------------------------
 
@@ -268,7 +323,14 @@ class ADERDGSolver:
         writes ``solver.states`` *in place* (restarts, perturbation
         studies, checkpoint loads) must call this afterwards or keep
         stepping against stale material data (see ``docs/parallel.md``).
+        Under fused stepping this is also the resident-stack
+        invalidation point: the canonical array is egressed first (so
+        the caller's in-place edit composed with the stepped state, not
+        a stale snapshot) and the stack re-ingests on the next step.
         """
+        if self._resident is not None:
+            self._resident.sync_canonical(self._states)
+            self._resident.invalidate_resident()
         self._wave_speed = None
         if self._sweep is not None:
             self._sweep.invalidate_parameters()
@@ -410,6 +472,7 @@ class ADERDGSolver:
                 backend=self._worker_backend(),
                 stepping=self.stepping,
                 graph=self._dependency_graph,
+                fuse=self.fuse,
             )
         return self._pool
 
@@ -517,6 +580,8 @@ class ADERDGSolver:
                     self._step_serial_sweep(dt)
                 else:
                     self._step_serial_legacy(dt)
+        elif self.face_sweep and self._fuse_enabled():
+            self._step_serial_fused(dt)
         elif self.face_sweep:
             self._step_serial_sweep(dt)
         else:
@@ -538,6 +603,13 @@ class ADERDGSolver:
             worker_publish=self._worker_publish(),
         )
         record.compile_s = record.phase_walls.get("compile", 0.0)
+        record.fused = "fused" in record.phase_walls
+        stats = self.executor.stats
+        packs = (stats.pack_calls, stats.unpack_calls)
+        record.pack_calls = packs[0] - self._pack_seen[0]
+        record.unpack_calls = packs[1] - self._pack_seen[1]
+        self._pack_seen = packs
+        record.pack_bytes_avoided = stats.pack_bytes_avoided
         events = None
         if mode == "parallel" and self._pool is not None:
             events = self._pool.last_step_events
@@ -550,8 +622,20 @@ class ADERDGSolver:
             record.queue_depth = events.get("queue_depth", 0)
         self.step_records.append(record)
         for receiver in self.receivers:
-            receiver.record(self.t, self.states[receiver.element])
+            receiver.record(self.t, self._receiver_state(receiver.element))
         return dt
+
+    def _receiver_state(self, element: int) -> np.ndarray:
+        """Post-step state of one element for receiver sampling.
+
+        With a resident stack this is row-level egress
+        (:meth:`~repro.core.layouts.ResidentBlockState.peek_element`):
+        one row unpacks instead of the whole stack, so receivers do not
+        re-introduce per-step full pack/unpack traffic.
+        """
+        if self._resident is not None and not self._resident.canonical_valid:
+            return self._resident.peek_element(element)
+        return self._states[element]
 
     def _phase_walls(self) -> dict:
         """Per-phase seconds of the last step as a plain dict."""
@@ -606,6 +690,88 @@ class ADERDGSolver:
                 self.batched.arena if self.batched is not None else ScratchArena()
             )
         return self._sweep
+
+    def _fuse_enabled(self) -> bool:
+        """Whether serial steps should try the fused whole-step path."""
+        if self.fuse is False or self._fuse_failed or not self.face_sweep:
+            return False
+        if self.fuse == "auto":
+            return self.executor.is_compiled
+        return True
+
+    def _ensure_fused(self):
+        """Build the fused pipeline + resident state on first use.
+
+        The resident stack uses the canonical-blocked AoS layout
+        (``vector_doubles=1``): the generated kernels index canonical
+        ``(N, N, N, m)`` rows directly, so with zero lane padding the
+        stack row *is* the kernel input and ingest is a single ordered
+        copy (see :class:`~repro.core.layouts.ResidentBlockState`).
+        """
+        if self._fused is None:
+            from repro.codegen.fusedstep import FusedPipeline
+            from repro.core.layouts import Layout, ResidentBlockState, TensorLayout
+
+            sweep = self._ensure_sweep()
+            n, m = self.spec.order, self.pde.nquantities
+            bsz = self.batch_size or 8
+            elements = np.ascontiguousarray(self.traversal, dtype=np.int64)
+            layout = TensorLayout(Layout.AOS, (n, n, n), m, vector_doubles=1)
+            self._resident = ResidentBlockState(layout, elements, bsz)
+            self._qidx = np.arange(elements.size, dtype=np.int64)
+            self._fused = FusedPipeline(
+                executor=self.executor,
+                sweep=sweep,
+                variant=self.variant,
+                spec=self.spec,
+                pde=self.pde,
+                h=self.grid.h,
+                boundary=self.boundary,
+                elements=elements,
+                qface=self._qface_all,
+                block_size=bsz,
+                n_elements=self.grid.n_elements,
+            )
+        return self._fused
+
+    def _step_serial_fused(self, dt: float) -> None:
+        """One whole step inside the fused compiled program.
+
+        Ingests the canonical states into the resident stack (a no-op
+        on the steady path), runs the generated ``fused_step`` kernel
+        and leaves the result block-resident -- ``qface``, the face
+        planes, the fluxes and ``vavg`` never surface to NumPy.  When
+        the backend has no fused program for this PDE the step degrades
+        to the three-phase sweep path once and stays there.
+        """
+        pipeline = self._ensure_fused()
+        sources = {
+            int(element): self._element_source(int(element), dt)
+            for element, _, _, _ in self.sources
+        }
+        self._resident.sync_resident(self._states)
+        detail = self.executor.step_block(
+            pipeline, "step",
+            q=self._resident.stack, qidx=self._qidx,
+            dt=dt, sources=sources, states=self._states,
+        )
+        if detail is None:
+            # no fused program (unsupported PDE / compile failure):
+            # the canonical array is still the truth -- drop the
+            # speculative ingest and run phase-wise from now on
+            self._fuse_failed = True
+            self.executor.stats.note_phase_step()
+            self._resident.invalidate_resident()
+            self._step_serial_sweep(dt)
+            return
+        self._resident.mark_stepped()
+        stats = self.executor.stats
+        stats.note_fused_step()
+        stats.note_resident_traffic(self._resident)
+        self.last_step_timings = dict(detail)
+        compile_s = stats.drain_compile_s()
+        if compile_s > 0.0:
+            self.last_step_timings["compile"] = compile_s
 
     def _step_serial_sweep(self, dt: float) -> None:
         """One step through the vectorized face-sweep engine."""

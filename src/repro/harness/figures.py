@@ -297,6 +297,10 @@ def backend_table(
     ``solver.last_step_timings`` plus the one-time compile seconds of
     the warm-up step -- the live twin of
     ``benchmarks/bench_backend.py`` (see ``docs/backends.md``).
+
+    Fusion is pinned off: this table *is* the three-phase breakdown,
+    and a fused step has no per-phase split to report
+    (``benchmarks/bench_fused_step.py`` measures fused vs phase-wise).
     """
     from repro.codegen.executor import numba_available
     from repro.scenarios import gaussian_pulse_setup
@@ -306,7 +310,7 @@ def backend_table(
     for backend in backends:
         solver = gaussian_pulse_setup(
             elements=elements, order=order,
-            batch_size=batch_size, backend=backend,
+            batch_size=batch_size, backend=backend, fuse=False,
         )
         dt = solver.stable_dt()
         solver.step(dt)  # warm-up: compiles + binds parameters

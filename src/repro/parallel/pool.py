@@ -244,6 +244,11 @@ class ShardWorkerPool:
         ``max_respawns``, exponential backoff ``respawn_backoff``) and
         replays the interrupted phase; ``"serial"`` raises like
         ``"raise"`` and signals the solver to degrade in-process.
+    ``fuse``
+        Forwarded to :class:`~repro.parallel.worker.WorkerConfig`:
+        ``False`` (default) steps phase-wise, ``True``/``"auto"`` lets
+        workers run the fused whole-step compiled program when their
+        backend provides it (see ``docs/backends.md``).
     ``poll_interval``
         Seconds between liveness checks while waiting at a barrier.
     ``start_timeout``
@@ -274,6 +279,7 @@ class ShardWorkerPool:
         poll_interval: float = 0.05,
         stepping: str = "barrier",
         graph=None,
+        fuse=False,
     ):
         if on_worker_failure not in FAILURE_POLICIES:
             raise ValueError(
@@ -356,6 +362,7 @@ class ShardWorkerPool:
                 stepping=stepping,
                 owner=None if graph is None else plan.owner,
                 slot_of=None if graph is None else graph.slot_of,
+                fuse=fuse,
             )
             self._configs.append(config)
             cmd_queue = self._context.Queue()

@@ -67,6 +67,16 @@ class StepRecord:
     compile_s:
         Seconds of kernel compilation attributed to this step (0.0
         after warm-up and always 0.0 on the NumPy backend).
+    fused:
+        Whether the step ran through the fused whole-step compiled
+        program instead of the three-phase path.
+    pack_calls / unpack_calls:
+        Resident-state layout pack/unpack operations this step actually
+        executed (ingest/egress only; 0 on the steady fused path and on
+        solvers without a resident state).
+    pack_bytes_avoided:
+        Cumulative bytes of per-step pack/unpack traffic the resident
+        stack has skipped so far (snapshot of the executor's counter).
     """
 
     step: int
@@ -85,6 +95,10 @@ class StepRecord:
     stepping: str = "serial"
     worker_wait: dict = field(default_factory=dict)
     worker_publish: dict = field(default_factory=dict)
+    fused: bool = False
+    pack_calls: int = 0
+    unpack_calls: int = 0
+    pack_bytes_avoided: int = 0
 
     def imbalance(self) -> float:
         """max/mean of the per-worker busy seconds (1.0 = balanced)."""

@@ -88,6 +88,10 @@ class WorkerConfig:
     owner: np.ndarray | None = None
     #: ``(3, n_elements)`` cut-face -> mailbox slot map (async mode only)
     slot_of: np.ndarray | None = None
+    #: fused whole-step request (``"auto"`` / ``True`` / ``False``);
+    #: each worker fuses only when its own resolved executor is
+    #: compiled (``"auto"``) or unconditionally tries (``True``)
+    fuse: object = False
 
 
 class _ShardWorker:
@@ -166,6 +170,31 @@ class _ShardWorker:
             self._arena = (
                 self.driver.arena if self.driver is not None else ScratchArena()
             )
+        #: fused whole-step pipeline (None = phase-wise execution);
+        #: stage dispatch is decided once per step in predict() so a
+        #: step never mixes fused and phase-wise sub-phases
+        self._pipeline = None
+        self._step_fused = False
+        fuse = config.fuse
+        if fuse == "auto":
+            fuse = self.executor.is_compiled
+        if fuse and self.sweep is not None:
+            from repro.codegen.fusedstep import FusedPipeline
+
+            self._pipeline = FusedPipeline(
+                executor=self.executor,
+                sweep=self.sweep,
+                variant=config.variant,
+                spec=self.spec,
+                pde=config.pde,
+                h=self.h,
+                boundary=config.boundary,
+                elements=self.elements,
+                qface=self.qface,
+                block_size=config.batch_size or 8,
+                n_elements=config.grid.n_elements,
+                mailbox=self.mailbox,
+            )
 
     # -- phase 1 ----------------------------------------------------------
 
@@ -182,6 +211,23 @@ class _ShardWorker:
             # like the serial path's _element_source
             return combine_sources([ElementSource(*part) for part in payload])
 
+        if self._pipeline is not None:
+            # fused predict: gather, STP, face projection and the
+            # volume-average accumulation all inside the compiled
+            # program; sub-phase buffers stay pipeline-resident
+            source_map = {int(e): source_of(int(e)) for e in sources}
+            detail = self.executor.step_block(
+                self._pipeline, "predict",
+                q=states_in, qidx=self.elements,
+                dt=dt, sources=source_map, states=states_in,
+            )
+            self._step_fused = detail is not None
+            if self._step_fused:
+                self.executor.stats.note_fused_step()
+                return
+            # no fused program for this PDE: stay phase-wise for good
+            self._pipeline = None
+            self.executor.stats.note_phase_step()
         if self.sweep is not None:
             if self.driver is not None:
                 self._savg = self.driver.predictor_sweep(
@@ -277,12 +323,36 @@ class _ShardWorker:
 
     def _correct_sweep(self, buf: int) -> dict:
         """Face-sweep Riemann + block corrector over the shard."""
+        if self._step_fused:
+            return self._fused_stage(
+                "riemann_correct",
+                qin=self.states[buf], qout=self.states[1 - buf],
+                qidx_in=self.elements, qidx_out=self.elements,
+                states=self.states[buf],
+            )
         t0 = time.perf_counter()
         self.sweep.sweep(self.states[buf], self.qface)
         t1 = time.perf_counter()
         self._apply_corrector(buf)
         t2 = time.perf_counter()
         return {"riemann": t1 - t0, "correct": t2 - t1}
+
+    def _fused_stage(self, stage: str, **kwargs) -> dict:
+        """Run one fused stage of a step whose predict already fused.
+
+        The predict phase decided this step's dispatch; a later stage
+        cannot fall back mid-step (the phase-wise path would read
+        sub-phase buffers the fused predict never filled), so a missing
+        program here is a hard protocol error rather than a silent
+        wrong answer.
+        """
+        detail = self.executor.step_block(self._pipeline, stage, **kwargs)
+        if detail is None:  # pragma: no cover - predict proved the program
+            raise RuntimeError(
+                f"fused stage {stage!r} lost the compiled program that "
+                "served this step's predict phase"
+            )
+        return detail
 
     # -- async phases ------------------------------------------------------
 
@@ -294,6 +364,10 @@ class _ShardWorker:
         shard canonically owns and exports the cut-face fluxes into the
         shared mailbox for the importing neighbors.
         """
+        if self._step_fused:
+            # the mailbox export happens inside the same compiled
+            # program as the Riemann solves (docs/stepping.md)
+            return self._fused_stage("riemann_export", states=self.states[buf])
         t0 = time.perf_counter()
         self.sweep.sweep(self.states[buf], self.qface)
         t1 = time.perf_counter()
@@ -308,6 +382,12 @@ class _ShardWorker:
         completes the face planes from the mailbox and writes the
         corrected states of exactly this shard's elements.
         """
+        if self._step_fused:
+            return self._fused_stage(
+                "finish",
+                qin=self.states[buf], qout=self.states[1 - buf],
+                qidx_in=self.elements, qidx_out=self.elements,
+            )
         t0 = time.perf_counter()
         self.sweep.import_fluxes(self.mailbox)
         t1 = time.perf_counter()

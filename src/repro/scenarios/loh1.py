@@ -73,6 +73,9 @@ class LOH1Scenario:
     stepping:
         Parallel step protocol forwarded to the solver
         (``"barrier"`` / ``"async"``; see ``docs/stepping.md``).
+    fuse:
+        Fused whole-step execution mode forwarded to the solver
+        (``"auto"`` / ``True`` / ``False``; see ``docs/backends.md``).
     """
 
     def __init__(
@@ -90,6 +93,7 @@ class LOH1Scenario:
         face_sweep: bool = True,
         backend: str = "auto",
         stepping: str = "barrier",
+        fuse="auto",
     ):
         self.pde = CurvilinearElasticPDE()
         self.domain_km = domain_km
@@ -117,6 +121,7 @@ class LOH1Scenario:
             face_sweep=face_sweep,
             backend=backend,
             stepping=stepping,
+            fuse=fuse,
         )
         self.solver.set_initial_condition(self._initial_condition)
         surface_z = domain_km

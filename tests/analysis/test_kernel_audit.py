@@ -19,17 +19,30 @@ def corpus():
 @pytest.fixture(scope="module")
 def acoustic_unit(corpus):
     """(source, plan, pde) of the splitck/acoustic/N2 corpus entry."""
-    for location, plan, pde in corpus:
+    for location, plan, pde, fused in corpus:
         if location == "kernel:splitck/acoustic/N2":
             return lower_plan(plan, pde), plan, pde
     raise AssertionError("acoustic corpus entry missing")
 
 
+@pytest.fixture(scope="module")
+def fused_unit(corpus):
+    """(source, plan, pde) of the fused splitck/acoustic/N2 entry."""
+    for location, plan, pde, fused in corpus:
+        if location == "kernel:splitck/acoustic/N2/fused":
+            assert fused
+            return lower_plan(plan, pde, fused=True), plan, pde
+    raise AssertionError("fused acoustic corpus entry missing")
+
+
 def test_default_corpus_shape(corpus):
-    locations = [loc for loc, _, _ in corpus]
-    assert len(corpus) == 8  # 4 PDEs x 1 order x 2 variants
+    locations = [loc for loc, _, _, _ in corpus]
+    assert len(corpus) == 16  # 4 PDEs x 1 order x 2 variants x {phase, fused}
     assert "kernel:generic/curvilinear_elastic/N2" in locations
+    assert "kernel:generic/curvilinear_elastic/N2/fused" in locations
     assert all(loc.startswith("kernel:") for loc in locations)
+    fused_flags = [fused for _, _, _, fused in corpus]
+    assert fused_flags.count(True) == fused_flags.count(False)
 
 
 def test_generated_corpus_audits_clean():
@@ -123,3 +136,80 @@ def test_extra_stp_entry_point_flagged(acoustic_unit):
     findings = audit_kernel_source(mutated, "unit")
     assert any(f.rule == "KA005" and "entry points" in f.message
                for f in findings)
+
+
+# ---------------------------------------------------------------------------
+# fused modules (face-exchange + fused-step families, rule KA007)
+# ---------------------------------------------------------------------------
+
+
+def test_fused_module_audits_clean(fused_unit):
+    source, plan, pde = fused_unit
+    assert "def fused_step(" in source
+    assert "def riemann_dir_d0(" in source
+    assert audit_kernel_source(source, "unit", plan=plan, pde=pde) == []
+
+
+def test_fused_gemm_schedule_drift_flagged(fused_unit):
+    source, plan, pde = fused_unit
+    assert "# fused phase gemm schedule:" in source
+    mutated = "\n".join(
+        "# fused phase gemm schedule: 9x9x9x9"
+        if line.startswith("# fused phase gemm schedule:")
+        else line
+        for line in source.splitlines()
+    )
+    findings = audit_kernel_source(mutated, "unit", plan=plan, pde=pde)
+    assert any(f.rule == "KA007" and "gemm" in f.message for f in findings)
+
+
+def test_fused_temp_footprint_drift_flagged(fused_unit):
+    source, plan, pde = fused_unit
+    mutated = "\n".join(
+        "# fused phase temp footprint: 1 bytes"
+        if line.startswith("# fused phase temp footprint:")
+        else line
+        for line in source.splitlines()
+    )
+    findings = audit_kernel_source(mutated, "unit", plan=plan, pde=pde)
+    assert any(
+        f.rule == "KA007" and "footprint" in f.message for f in findings
+    )
+
+
+def test_fused_header_line_missing_flagged(fused_unit):
+    source, _, _ = fused_unit
+    mutated = "\n".join(
+        line for line in source.splitlines()
+        if not line.startswith("# fused phase temp footprint:")
+    )
+    findings = audit_kernel_source(mutated, "unit")
+    assert any(
+        f.rule == "KA007" and "lacks" in f.message for f in findings
+    )
+
+
+def test_fused_phase_list_drift_flagged(fused_unit):
+    source, _, _ = fused_unit
+    mutated = source.replace(
+        "# fused phases: predict+riemann+correct",
+        "# fused phases: predict+correct", 1,
+    )
+    findings = audit_kernel_source(mutated, "unit")
+    assert any(
+        f.rule == "KA007" and "phases" in f.message for f in findings
+    )
+
+
+def test_fused_kernel_call_outside_whitelist_flagged(fused_unit):
+    source, plan, pde = fused_unit
+    # fused_step may only compose its declared sub-phases
+    needle = "    fused_predict("
+    assert needle in source
+    mutated = source.replace(
+        needle, "    wave_speed(qblk[0], 0)\n" + needle, 1
+    )
+    findings = audit_kernel_source(mutated, "unit", plan=plan, pde=pde)
+    assert any(
+        f.rule == "KA006" and f.context == "fused_step" for f in findings
+    )

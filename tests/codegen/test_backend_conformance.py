@@ -194,3 +194,110 @@ def test_executor_instance_as_backend():
     with solver:
         assert solver.executor is executor
         solver.step(1e-3)
+
+
+# ---------------------------------------------------------------------------
+# fused whole-step execution: fuse x {serial, barrier, async} x scenarios
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", ["generated", "numba"])
+@pytest.mark.parametrize("variant", ["splitck", "generic"])
+def test_gaussian_fused_serial(backend, variant):
+    """The fused serial step matches NumPy; fuse=False matches too."""
+    backend = _backend_or_skip(backend)
+    reference = _run_gaussian("numpy", 3, variant)
+    fused = _run_gaussian(backend, 3, variant, fuse=True)
+    phase = _run_gaussian(backend, 3, variant, fuse=False)
+    _assert_agrees(fused, reference, backend)
+    _assert_agrees(phase, reference, backend)
+
+
+@pytest.mark.parametrize("backend", ["generated", "numba"])
+@pytest.mark.parametrize("stepping", ["barrier", "async"])
+def test_gaussian_fused_parallel(backend, stepping):
+    backend = _backend_or_skip(backend)
+    reference = _run_gaussian("numpy", 3, "splitck")
+    result = _run_gaussian(
+        backend, 3, "splitck", num_workers=2, batch_size=4,
+        stepping=stepping, fuse=True,
+    )
+    _assert_agrees(result, reference, backend)
+
+
+@pytest.mark.parametrize("backend", ["generated", "numba"])
+def test_loh1_fused_serial(backend):
+    backend = _backend_or_skip(backend)
+    reference = _run_loh1("numpy", 3)
+    result = _run_loh1(backend, 3, fuse=True)
+    _assert_agrees(result, reference, backend)
+
+
+@pytest.mark.parametrize("backend", ["generated", "numba"])
+@pytest.mark.parametrize("stepping", ["barrier", "async"])
+def test_loh1_fused_parallel(backend, stepping):
+    backend = _backend_or_skip(backend)
+    reference = _run_loh1("numpy", 3)
+    result = _run_loh1(
+        backend, 3, num_workers=2, stepping=stepping, fuse=True
+    )
+    _assert_agrees(result, reference, backend)
+
+
+def test_fused_step_telemetry():
+    """A fused step stamps the fused flag and zero steady pack/unpack."""
+    solver = gaussian_pulse_setup(elements=2, order=3, backend="generated",
+                                  fuse=True)
+    with solver:
+        solver.step(1e-3)
+        first = solver.step_records[-1]
+        assert first.fused
+        assert first.phase_walls.get("fused", 0.0) > 0.0
+        assert solver.executor.stats.fused_steps == 1
+        solver.step(1e-3)
+        steady = solver.step_records[-1]
+        # steady state: the resident stack carries the step, no layout
+        # round-trips
+        assert steady.pack_calls == 0
+        assert steady.unpack_calls == 0
+        assert solver.executor.stats.pack_bytes_avoided > 0
+
+
+def test_numpy_backend_never_fuses():
+    """fuse='auto' on the NumPy executor stays phase-wise."""
+    solver = gaussian_pulse_setup(elements=2, order=3, backend="numpy")
+    with solver:
+        solver.step(1e-3)
+        assert not solver.step_records[-1].fused
+        assert solver.executor.stats.fused_steps == 0
+
+
+def test_fuse_requires_face_sweep():
+    with pytest.raises(ValueError, match="face_sweep"):
+        gaussian_pulse_setup(
+            elements=2, order=3, backend="generated",
+            fuse=True, face_sweep=False,
+        )
+
+
+def test_fused_fallback_on_unlowerable_solver():
+    """A Riemann solver the lowering lacks degrades to phase-wise."""
+    solver = gaussian_pulse_setup(
+        elements=2, order=3, backend="generated", riemann="upwind",
+        fuse=True,
+    )
+    reference = gaussian_pulse_setup(
+        elements=2, order=3, backend="numpy", riemann="upwind"
+    )
+    with solver, reference:
+        dt = 1e-3
+        for target in (solver, reference):
+            for _ in range(2):
+                target.step(dt)
+        assert solver.executor.stats.fused_steps == 0
+        assert solver.executor.stats.phase_steps > 0
+        assert not solver.step_records[-1].fused
+        scale = float(np.max(np.abs(reference.states))) or 1.0
+        np.testing.assert_allclose(
+            solver.states, reference.states, rtol=RTOL, atol=ATOL * scale
+        )
