@@ -1,0 +1,188 @@
+"""Service-level plan-cache benchmark: N identical jobs compile once.
+
+The service promotes the per-process plan registry to an explicitly
+shared cache (:class:`repro.service.plancache.SharedPlanCache`), so a
+fleet of identical jobs pays kernel compilation exactly once: the
+first job's telemetry carries the real ``compile_s``, every later job
+reports (near-)zero and goes straight to stepping.  This benchmark
+submits ``N`` identical compiled-backend jobs through
+:class:`~repro.service.SolverService` and **gates** on that contract:
+
+* every later job's ``compile_s`` must be <= 5% of the first job's,
+* all jobs must finish bitwise identical (same ``state_sha256``),
+* the shared cache must report exactly one module build.
+
+Run styles:
+
+* ``PYTHONPATH=src python benchmarks/bench_service.py [--quick] [--json]``
+  -- per-job table + cache counters, gated; ``--json`` writes
+  ``BENCH_service.json`` through the shared reporting layer.
+* ``PYTHONPATH=src python -m pytest benchmarks/bench_service.py``
+  -- pytest-benchmark timing of a warm-cache service job.
+"""
+
+import time
+
+from repro.codegen.compiled import clear_plan_registry
+from repro.codegen.executor import numba_available
+
+JOBS = 6
+ORDER = 4
+ELEMENTS = 3
+STEPS = 3
+
+
+def compiled_backend() -> str:
+    """The compiled backend to measure: jitted if possible, else plain."""
+    return "numba" if numba_available() else "generated"
+
+
+def _spec(order, elements, steps):
+    return {
+        "scenario": "gaussian",
+        "elements": elements,
+        "order": order,
+        "steps": steps,
+        "backend": compiled_backend(),
+    }
+
+
+def fleet_report(jobs=JOBS, order=ORDER, elements=ELEMENTS, steps=STEPS,
+                 slots=2):
+    """Run ``jobs`` identical jobs through one service; (rows, cache).
+
+    The first submission is awaited before the rest go in, so the
+    compile cost lands deterministically on job 0 -- the remaining
+    jobs then run concurrently over ``slots`` slots against the warm
+    cache.  Returns one row per job (submission order) plus the shared
+    plan cache's counter snapshot.
+    """
+    from repro.service import SolverService
+
+    clear_plan_registry()
+    spec = _spec(order, elements, steps)
+    rows = []
+    with SolverService(slots=slots, max_pending=jobs) as svc:
+        wall0 = time.perf_counter()
+        first = svc.submit(spec).result(timeout=600)
+        first_wall = time.perf_counter() - wall0
+        handles = [svc.submit(spec) for _ in range(jobs - 1)]
+        results = [first] + [h.result(timeout=600) for h in handles]
+        cache = svc.stats()["plan_cache"]
+    for i, result in enumerate(results):
+        rows.append(
+            {
+                "job": i,
+                "backend": result["backend"],
+                "order": order,
+                "grid": f"{elements}^3",
+                "steps": result["steps"],
+                "compile_s": result["compile_s"],
+                "wall_s": result["wall_s"] if i else first_wall,
+                "compile_frac_of_first": (
+                    result["compile_s"] / results[0]["compile_s"]
+                    if results[0]["compile_s"] > 0 else 0.0
+                ),
+                "state_sha256": result["state_sha256"],
+            }
+        )
+    return rows, cache
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry point
+# ---------------------------------------------------------------------------
+
+
+def test_warm_cache_service_job(benchmark):
+    """Time one service job end-to-end against a pre-warmed plan cache."""
+    from repro.service import SolverService
+
+    spec = _spec(order=3, elements=2, steps=2)
+    with SolverService(slots=1) as svc:
+        svc.warm(spec)
+
+        def run():
+            return svc.submit(spec).result(timeout=600)
+
+        result = benchmark(run)
+        assert result["state"] == "done"
+        assert result["compile_s"] == 0.0
+
+
+# ---------------------------------------------------------------------------
+# CLI report + acceptance gate
+# ---------------------------------------------------------------------------
+
+
+def main(argv=None):
+    import argparse
+
+    try:
+        from benchmarks.reporting import add_json_arg, maybe_write_json
+    except ImportError:  # direct `python benchmarks/bench_service.py` run
+        from reporting import add_json_arg, maybe_write_json
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller fleet (CI smoke): 4 jobs, lower order")
+    parser.add_argument("--jobs", type=int, default=None)
+    add_json_arg(parser)
+    args = parser.parse_args(argv)
+
+    jobs = args.jobs or (4 if args.quick else JOBS)
+    order = 3 if args.quick else ORDER
+    elements = 2 if args.quick else ELEMENTS
+    steps = 2 if args.quick else STEPS
+    rows, cache = fleet_report(
+        jobs=jobs, order=order, elements=elements, steps=steps
+    )
+
+    numba_note = (
+        "available" if numba_available()
+        else "NOT installed; generated kernels run as plain Python"
+    )
+    print(f"service fleet: {jobs} identical jobs, backend "
+          f"{compiled_backend()} (numba {numba_note})")
+    header = (f"{'job':<5}{'order':>6}{'grid':>6}{'compile s':>11}"
+              f"{'of first':>10}{'wall s':>9}  digest")
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(f"{row['job']:<5}{row['order']:>6}{row['grid']:>6}"
+              f"{row['compile_s']:11.4f}{row['compile_frac_of_first']:10.2%}"
+              f"{row['wall_s']:9.3f}  {row['state_sha256'][:12]}")
+    print(f"plan cache: {cache['module_builds']} build(s), "
+          f"{cache['hits']} hits / {cache['misses']} misses, "
+          f"{cache['compile_seconds_total']:.4f}s total compile")
+
+    digests = {row["state_sha256"] for row in rows}
+    if len(digests) != 1:
+        raise SystemExit(f"jobs diverged: {len(digests)} distinct digests")
+    if rows[0]["compile_s"] <= 0.0:
+        raise SystemExit("first job reported no compile time; cache was warm")
+    laggards = [
+        row["job"] for row in rows[1:]
+        if row["compile_s"] > 0.05 * rows[0]["compile_s"]
+    ]
+    if laggards:
+        raise SystemExit(
+            f"cache-hit jobs {laggards} exceeded 5% of the first job's "
+            f"compile_s -- the shared plan cache is not being shared"
+        )
+    if cache["module_builds"] != 1:
+        raise SystemExit(
+            f"expected exactly 1 module build, got {cache['module_builds']}"
+        )
+    print(f"GATE OK: jobs 1..{jobs - 1} all <= 5% of job 0's compile_s, "
+          "bitwise identical results")
+
+    maybe_write_json(
+        "service", rows, args.json,
+        extra={"backend": compiled_backend(), "jobs": jobs,
+               "plan_cache": cache},
+    )
+
+
+if __name__ == "__main__":
+    main()

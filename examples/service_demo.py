@@ -1,0 +1,128 @@
+"""Solver-as-a-service: submit jobs, stream telemetry, share the cache.
+
+Spins up a :class:`repro.service.SolverService` with a bounded pool of
+solver slots and walks through the whole client surface:
+
+* submit scenario specs as plain dicts and stream each job's per-step
+  :class:`~repro.parallel.telemetry.StepRecord` telemetry and receiver
+  samples *while it runs*,
+* watch a fleet of identical compiled-backend jobs pay kernel
+  compilation exactly once (the shared plan cache),
+* drive the queue into saturation and read the reasoned
+  :class:`~repro.service.AdmissionError` admission control hands back,
+* cancel a pending job before it ever takes a slot.
+
+    python examples/service_demo.py [--slots 2] [--jobs 4] [--order 3]
+
+Set ``REPRO_QUICK=1`` for a seconds-long smoke run (CI uses this).
+"""
+
+import argparse
+import os
+
+from repro.codegen.executor import numba_available
+from repro.service import AdmissionError, SolverService
+
+QUICK = os.environ.get("REPRO_QUICK") == "1"
+
+
+def compiled_backend() -> str:
+    """Jitted backend if numba is installed, else plain generated code."""
+    return "numba" if numba_available() else "generated"
+
+
+def stream_one_job(svc, spec) -> None:
+    """Submit a job and print its event stream as it arrives."""
+    handle = svc.submit(spec)
+    print(f"\n[{handle.job_id}] submitted "
+          f"({spec['scenario']}, order {spec['order']}, {spec['steps']} steps)")
+    for event in handle.events(timeout=600):
+        if event["kind"] == "state":
+            print(f"[{handle.job_id}] state -> {event['state']}")
+        elif event["kind"] == "step":
+            record = event["record"]
+            print(f"[{handle.job_id}] step {record['step']}: "
+                  f"dt={record['dt']:.4f} wall={record['wall']:.3f}s "
+                  f"backend={record['backend']} "
+                  f"compile_s={record['compile_s']:.4f}")
+        elif event["kind"] == "receiver":
+            peak = max(abs(v) for v in event["values"]) if event["values"] else 0.0
+            print(f"[{handle.job_id}] receiver {event['label']}: "
+                  f"t={event['t']:.4f} peak|q|={peak:.3e}")
+        elif event["kind"] == "result":
+            result = event["result"]
+            print(f"[{handle.job_id}] result: {result['state']} after "
+                  f"{result['steps']} steps, compile_s={result['compile_s']:.4f}, "
+                  f"digest {result['state_sha256'][:12]}")
+
+
+def fleet(svc, spec, jobs) -> None:
+    """N identical jobs: compilation is paid once, shared by the rest."""
+    print(f"\n--- fleet: {jobs} identical jobs on backend {spec['backend']} ---")
+    handles = [svc.submit(spec) for _ in range(jobs)]
+    results = [h.result(timeout=600) for h in handles]
+    for handle, result in zip(handles, results):
+        print(f"[{handle.job_id}] compile_s={result['compile_s']:.4f} "
+              f"digest {result['state_sha256'][:12]}")
+    digests = {r["state_sha256"] for r in results}
+    payers = sum(1 for r in results if r["compile_s"] > 0)
+    print(f"distinct digests: {len(digests)} (bitwise identical fleet), "
+          f"jobs that paid compilation: {payers}")
+    cache = svc.stats()["plan_cache"]
+    print(f"shared plan cache: {cache['module_builds']} build(s), "
+          f"{cache['hits']} hits, {cache['compile_seconds_total']:.4f}s compiled")
+
+
+def saturate(spec) -> None:
+    """A tiny service driven past capacity: admission rejects, reasoned."""
+    print("\n--- admission control: slots=1, max_pending=1 ---")
+    with SolverService(slots=1, max_pending=1) as svc:
+        admitted = []
+        rejected = None
+        for i in range(4):
+            try:
+                admitted.append(svc.submit(dict(spec, label=f"burst-{i}")))
+            except AdmissionError as exc:
+                rejected = exc
+                print(f"burst-{i}: REJECTED -- {exc.reason}")
+                break
+        cancelled = sum(1 for h in admitted if h.cancel())
+        print(f"admitted {len(admitted)} job(s); cancelled {cancelled} "
+              f"(running jobs stop at the next step boundary)")
+        for handle in admitted:
+            result = handle.result(timeout=600)
+            print(f"[{handle.job_id}] -> {result['state']} "
+                  f"after {result.get('steps', 0)} step(s)")
+        assert rejected is not None or len(admitted) == 4
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--slots", type=int, default=2)
+    parser.add_argument("--jobs", type=int, default=3 if QUICK else 4)
+    parser.add_argument("--order", type=int, default=2 if QUICK else 3)
+    parser.add_argument("--elements", type=int, default=2)
+    parser.add_argument("--steps", type=int, default=2 if QUICK else 4)
+    args = parser.parse_args()
+
+    spec = {
+        "scenario": "gaussian",
+        "elements": args.elements,
+        "order": args.order,
+        "steps": args.steps,
+        "backend": compiled_backend(),
+    }
+    print(f"solver service: {args.slots} slots; compiled backend "
+          f"{spec['backend']} (numba "
+          f"{'available' if numba_available() else 'not installed'})")
+
+    with SolverService(slots=args.slots, max_pending=2 * args.jobs) as svc:
+        stream_one_job(svc, spec)
+        fleet(svc, spec, args.jobs)
+
+    saturate(dict(spec, steps=max(args.steps, 3)))
+    print("\ndone.")
+
+
+if __name__ == "__main__":
+    main()

@@ -36,12 +36,14 @@ from repro.codegen.executor import (
     NumpyExecutor,
     available_backends,
     numba_available,
+    resolve_backend_name,
     resolve_executor,
 )
 from repro.codegen.compiled import (
     CompiledExecutor,
     NumbaExecutor,
     PlanRegistry,
+    RegistryStats,
     clear_plan_registry,
     plan_registry,
 )
@@ -65,9 +67,11 @@ __all__ = [
     "CompiledExecutor",
     "NumbaExecutor",
     "PlanRegistry",
+    "RegistryStats",
     "plan_registry",
     "clear_plan_registry",
     "available_backends",
     "numba_available",
+    "resolve_backend_name",
     "resolve_executor",
 ]

@@ -46,6 +46,7 @@ __all__ = [
     "BACKEND_NAMES",
     "numba_available",
     "available_backends",
+    "resolve_backend_name",
     "resolve_executor",
 ]
 
@@ -261,6 +262,60 @@ def available_backends() -> dict[str, bool]:
     return {"numpy": True, "numba": numba_available()}
 
 
+def _apply_env_override(backend: str) -> str:
+    """Resolve an ``"auto"`` request against the ``REPRO_BACKEND`` env var.
+
+    This is the **only** place the environment is consulted, and every
+    caller goes through :func:`resolve_backend_name` /
+    :func:`resolve_executor` exactly once per solver (or per service
+    job spec) -- a mid-process env change therefore never silently
+    flips the backend of work that was already admitted.
+    """
+    if backend != "auto":
+        return backend
+    # environment override: pin the default backend fleet-wide
+    # (the test-suite sets REPRO_BACKEND=numpy so bitwise-identity
+    # tests stay deterministic on machines with Numba installed)
+    env = os.environ.get("REPRO_BACKEND", "auto") or "auto"
+    if env != "generated" and env not in BACKEND_NAMES:
+        # reject typos up front with the source named: a bad env
+        # value silently resolving to some default would make every
+        # conformance run lie about what it measured
+        raise ValueError(
+            f"unknown backend {env!r} set via the REPRO_BACKEND "
+            "environment variable; available: "
+            f"{sorted(BACKEND_NAMES + ('generated',))}"
+        )
+    return env
+
+
+def resolve_backend_name(backend="auto") -> str:
+    """Resolve a backend request to a **concrete** backend name.
+
+    Reads the ``REPRO_BACKEND`` environment override (and Numba
+    availability) exactly once, returning ``"numpy"``, ``"numba"`` or
+    ``"generated"`` -- never ``"auto"``.  Callers that must pin a
+    job's backend at admission time (:class:`repro.service.JobSpec`)
+    resolve through this function and pass the concrete name on, so a
+    later env change cannot silently override an already-validated
+    job.  Accepts an :class:`Executor` instance (its name) and raises
+    ``ValueError`` on unknown names, exactly like
+    :func:`resolve_executor`.
+    """
+    if isinstance(backend, Executor):
+        return backend.name
+    backend = _apply_env_override(backend)
+    if backend == "generated":
+        return "generated"
+    if backend not in BACKEND_NAMES:
+        raise ValueError(
+            f"unknown backend {backend!r}; available: {sorted(BACKEND_NAMES)}"
+        )
+    if backend == "auto":
+        return "numba" if numba_available() else "numpy"
+    return backend
+
+
 def resolve_executor(backend="auto") -> Executor:
     """Resolve a backend request into an :class:`Executor` instance.
 
@@ -274,21 +329,7 @@ def resolve_executor(backend="auto") -> Executor:
     """
     if isinstance(backend, Executor):
         return backend
-    if backend == "auto":
-        # environment override: pin the default backend fleet-wide
-        # (the test-suite sets REPRO_BACKEND=numpy so bitwise-identity
-        # tests stay deterministic on machines with Numba installed)
-        env = os.environ.get("REPRO_BACKEND", "auto") or "auto"
-        if env != "generated" and env not in BACKEND_NAMES:
-            # reject typos up front with the source named: a bad env
-            # value silently resolving to some default would make every
-            # conformance run lie about what it measured
-            raise ValueError(
-                f"unknown backend {env!r} set via the REPRO_BACKEND "
-                "environment variable; available: "
-                f"{sorted(BACKEND_NAMES + ('generated',))}"
-            )
-        backend = env
+    backend = _apply_env_override(backend)
     if backend == "generated":
         # undocumented testing backend: the generated kernels executed
         # as plain Python (no JIT), used by the conformance suite to

@@ -232,6 +232,9 @@ class ADERDGSolver:
         self._closed = False
         #: one :class:`~repro.parallel.telemetry.StepRecord` per step
         self.step_records = []
+        #: callables invoked with each fresh ``StepRecord``
+        #: (:meth:`add_step_listener`)
+        self._step_listeners = []
         #: the :class:`~repro.parallel.pool.WorkerCrashError` that
         #: triggered the serial degradation (``None`` while healthy)
         self.last_failure = None
@@ -350,6 +353,19 @@ class ADERDGSolver:
         receiver.bind(self.grid, self.ops)
         self.receivers.append(receiver)
 
+    def add_step_listener(self, listener) -> None:
+        """Stream telemetry: call ``listener(record)`` after every step.
+
+        Listeners fire synchronously at the end of :meth:`step` with
+        the step's fresh :class:`~repro.parallel.telemetry.StepRecord`
+        (the same object appended to :attr:`step_records`), *before*
+        receivers sample -- the service layer plugs an
+        :class:`~repro.parallel.telemetry.EventStream` in here to
+        stream per-step telemetry to subscribers while a job runs.
+        Listener exceptions propagate to the :meth:`step` caller.
+        """
+        self._step_listeners.append(listener)
+
     # -- stepping ---------------------------------------------------------------
 
     def stable_dt(self) -> float:
@@ -442,12 +458,21 @@ class ADERDGSolver:
         scratch arenas) and cannot be shipped across processes, so
         workers re-resolve the backend by name; a custom executor whose
         name is not a registered backend degrades to ``"numpy"``.
+
+        Always a **concrete** name (never ``"auto"``): the solver
+        resolved its own backend -- including the ``REPRO_BACKEND``
+        environment override -- exactly once at construction, and the
+        workers inherit that decision.  Shipping the raw request
+        instead would make each worker re-read the environment at
+        spawn time, silently overriding the solver's recorded
+        :attr:`backend` when the env changed mid-process (e.g. between
+        service jobs).
         """
+        resolvable = BACKEND_NAMES + ("generated",)
         request = self.backend_requested
         if isinstance(request, Executor):
-            resolvable = BACKEND_NAMES + ("generated",)
             return request.name if request.name in resolvable else "numpy"
-        return request
+        return self.backend if self.backend in resolvable else "numpy"
 
     def _ensure_pool(self):
         """Spawn the persistent worker pool on first use."""
@@ -621,6 +646,8 @@ class ADERDGSolver:
             record.crashes = list(events.get("crashes", []))
             record.queue_depth = events.get("queue_depth", 0)
         self.step_records.append(record)
+        for listener in self._step_listeners:
+            listener(record)
         for receiver in self.receivers:
             receiver.record(self.t, self._receiver_state(receiver.element))
         return dt

@@ -19,6 +19,7 @@ EXPERIMENTS = {
     "headlines": report.render_headlines,
     "parallel": report.render_parallel,
     "roofline": report.render_roofline,
+    "service": report.render_service,
     "steps": report.render_steps,
 }
 

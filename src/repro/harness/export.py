@@ -17,6 +17,7 @@ from repro.harness.figures import (
     parallel_scaling_table,
     phase_breakdown_table,
     roofline_table,
+    service_table,
     step_records_table,
 )
 from repro.parallel.telemetry import write_jsonl
@@ -54,6 +55,7 @@ def export_all(directory: str | Path) -> list[Path]:
         write_rows(directory / "parallel.csv", parallel_scaling_table()),
         write_rows(directory / "facesweep.csv", phase_breakdown_table()),
         write_rows(directory / "backend.csv", backend_table()),
+        write_rows(directory / "service.csv", service_table()),
     ]
     headline_rows = [
         {

@@ -334,6 +334,59 @@ def backend_table(
     return rows
 
 
+def service_table(
+    jobs: int = 4,
+    elements: int = 2,
+    order: int = 3,
+    steps: int = 2,
+    slots: int = 2,
+) -> list[dict]:
+    """Compile-once amortization through the solver service (measured).
+
+    Submits ``jobs`` identical compiled-backend jobs to a
+    :class:`~repro.service.SolverService` (the first awaited so the
+    compile cost lands on job 0 deterministically, the rest run
+    concurrently over ``slots`` slots) and reports each job's
+    ``compile_s`` next to the shared plan cache's counters -- the live
+    twin of ``benchmarks/bench_service.py`` (see ``docs/service.md``).
+    """
+    from repro.codegen.compiled import clear_plan_registry
+    from repro.codegen.executor import numba_available
+    from repro.service import SolverService
+
+    clear_plan_registry()
+    spec = {
+        "scenario": "gaussian",
+        "elements": elements,
+        "order": order,
+        "steps": steps,
+        "backend": "numba" if numba_available() else "generated",
+    }
+    rows = []
+    with SolverService(slots=slots, max_pending=jobs) as svc:
+        results = [svc.submit(spec).result(timeout=600)]
+        handles = [svc.submit(spec) for _ in range(jobs - 1)]
+        results += [handle.result(timeout=600) for handle in handles]
+        cache = svc.stats()["plan_cache"]
+    first_compile = results[0]["compile_s"] or 1.0
+    for i, result in enumerate(results):
+        rows.append(
+            {
+                "job": i,
+                "backend": result["backend"],
+                "order": order,
+                "steps": result["steps"],
+                "compile_s": result["compile_s"],
+                "compile_frac_of_first": result["compile_s"] / first_compile,
+                "wall_s": result["wall_s"],
+                "digest": result["state_sha256"][:12],
+                "cache_builds": cache["module_builds"],
+                "cache_hits": cache["hits"],
+            }
+        )
+    return rows
+
+
 def roofline_table(orders=(4, 6, 8, 11)) -> list[dict]:
     """Roofline placement of each STP variant (extension, not a paper figure).
 

@@ -14,12 +14,14 @@ from repro.harness.figures import (
     parallel_scaling_table,
     phase_breakdown_table,
     roofline_table,
+    service_table,
     step_records_table,
 )
 
 __all__ = [
     "render_two_panel",
     "render_backend",
+    "render_service",
     "render_fig4",
     "render_fig6",
     "render_fig9",
@@ -210,6 +212,31 @@ def render_backend() -> str:
             f"{row['riemann']:11.4f}{row['correct']:11.4f}"
             f"{row['total']:10.4f}{row['compile_s']:11.4f}"
         )
+    return "\n".join(lines)
+
+
+def render_service() -> str:
+    """Render the service fleet's compile-once amortization table."""
+    rows = service_table()
+    title = "Solver service: compile-once across identical jobs (see docs/service.md)"
+    lines = [title, "=" * len(title), ""]
+    lines.append(
+        f"{'job':<5}{'backend':<12}{'order':>6}{'compile s':>11}"
+        f"{'of first':>10}{'wall s':>9}  digest"
+    )
+    for row in rows:
+        lines.append(
+            f"{row['job']:<5}{row['backend']:<12}{row['order']:>6}"
+            f"{row['compile_s']:11.4f}{row['compile_frac_of_first']:10.2%}"
+            f"{row['wall_s']:9.3f}  {row['digest']}"
+        )
+    cache = rows[0]
+    lines.append("")
+    lines.append(
+        f"shared plan cache: {cache['cache_builds']} build(s), "
+        f"{cache['cache_hits']} hit(s) -- every job after the first "
+        "starts from the warm cache"
+    )
     return "\n".join(lines)
 
 

@@ -38,7 +38,7 @@ from repro.parallel.stepping import (
     ShardDependencyGraph,
     build_dependency_graph,
 )
-from repro.parallel.telemetry import StepRecord, write_jsonl
+from repro.parallel.telemetry import EventStream, StepRecord, write_jsonl
 
 __all__ = [
     "ShardPlan",
@@ -51,6 +51,7 @@ __all__ = [
     "build_dependency_graph",
     "StepTimings",
     "StepRecord",
+    "EventStream",
     "WorkerCrashError",
     "write_jsonl",
     "default_start_method",

@@ -55,7 +55,9 @@ import atexit
 import itertools
 import multiprocessing as mp
 import queue as queue_module
+import threading
 import time
+import weakref
 
 import numpy as np
 
@@ -102,6 +104,40 @@ def default_start_method() -> str:
     """``fork`` where the platform offers it (fast start), else ``spawn``."""
     methods = mp.get_all_start_methods()
     return "fork" if "fork" in methods else "spawn"
+
+
+#: pools still open, reaped by the single interpreter-exit handler.
+#: A ``WeakSet`` so an abandoned (garbage-collected) pool never pins
+#: itself alive through the shutdown path.
+_LIVE_POOLS: "weakref.WeakSet" = weakref.WeakSet()
+_ATEXIT_LOCK = threading.Lock()
+_ATEXIT_REGISTERED = False
+
+
+def _close_live_pools() -> None:
+    """Interpreter-exit sweep: close every pool still open.
+
+    Registered with :mod:`atexit` **once per process**, however many
+    pools the process creates -- a service spawning thousands of pools
+    must not accumulate one stale handler per instance (each walked at
+    shutdown, joining long-dead processes).  ``close()`` is idempotent,
+    so pools the caller already closed cost nothing here.
+    """
+    for pool in list(_LIVE_POOLS):
+        try:
+            pool.close()
+        except Exception:  # pragma: allow(HP002): interpreter teardown must not raise
+            pass
+
+
+def _track_pool(pool: "ShardWorkerPool") -> None:
+    """Register a live pool with the (lazily installed) exit handler."""
+    global _ATEXIT_REGISTERED
+    with _ATEXIT_LOCK:
+        if not _ATEXIT_REGISTERED:
+            atexit.register(_close_live_pools)
+            _ATEXIT_REGISTERED = True
+        _LIVE_POOLS.add(pool)
 
 
 class WorkerCrashError(RuntimeError):
@@ -374,7 +410,8 @@ class ShardWorkerPool:
         for process in self._processes:
             process.start()
         self._closed = False
-        self._atexit = atexit.register(self.close)
+        self._close_lock = threading.Lock()
+        _track_pool(self)
         self._collect("ready", set(range(self.num_workers)), {}, {})
 
     def _spawn_process(self, config: WorkerConfig, cmd_queue, out_queue):
@@ -976,12 +1013,18 @@ class ShardWorkerPool:
         Sends ``("stop",)`` to every worker and waits (briefly, best
         effort) for the clean ``stopped`` acknowledgements before
         joining, so an orderly shutdown is distinguishable from a
-        worker that had to be terminated.
+        worker that had to be terminated.  Idempotent **under
+        concurrent callers**: exactly one caller performs the
+        shutdown; every other call -- a second thread, the solver's
+        ``__exit__``, the interpreter-exit sweep -- returns
+        immediately instead of double-joining dead processes or
+        closing already-closed queues.
         """
-        if self._closed:
-            return
-        self._closed = True
-        atexit.unregister(self.close)
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        _LIVE_POOLS.discard(self)
         for queue in self._cmd_queues:
             try:
                 queue.put(("stop",))

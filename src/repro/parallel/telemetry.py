@@ -7,15 +7,26 @@ the strong-scaling table and the failure counters of the fault-tolerant
 pool all read from one data path.  :func:`write_jsonl` serializes a
 record list as ``steps.jsonl`` (one JSON object per line), the format
 ``repro.harness --csv`` exports next to the CSV tables.
+
+Records can also be **streamed while a run is in flight**:
+:class:`EventStream` is a small thread-safe fan-out (publish /
+subscribe with bounded replay) that
+:meth:`~repro.engine.solver.ADERDGSolver.add_step_listener` feeds --
+the solver-as-a-service layer (:mod:`repro.service`) uses it to
+deliver per-step telemetry and receiver samples to clients
+incrementally instead of only at job completion.
 """
 
 from __future__ import annotations
 
 import json
+import queue as queue_module
+import threading
+from collections import deque
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
-__all__ = ["StepRecord", "write_jsonl"]
+__all__ = ["StepRecord", "EventStream", "write_jsonl"]
 
 
 @dataclass
@@ -123,6 +134,87 @@ class StepRecord:
         data["imbalance"] = self.imbalance()
         data["wait_total"] = float(sum(self.worker_wait.values()))
         return data
+
+
+#: end-of-stream marker delivered to every subscriber queue on close
+_SENTINEL = None
+
+
+class EventStream:
+    """Thread-safe publish/subscribe fan-out with bounded replay.
+
+    One producer (a running job's session thread) publishes items; any
+    number of consumers subscribe -- each gets its own queue, primed
+    with a replay of the last ``replay`` published items, so a client
+    that subscribes mid-run still sees recent history before the live
+    tail.  :meth:`close` terminates every subscriber's iteration (a
+    ``None`` sentinel); publishing after close is a silent no-op so a
+    late-racing producer cannot crash a finished job.
+
+    Items are whatever the producer publishes -- the service layer
+    streams plain-dict job events; nothing here inspects them.
+    """
+
+    def __init__(self, replay: int = 1024):
+        self._history: deque = deque(maxlen=int(replay))
+        self._subscribers: list[queue_module.SimpleQueue] = []
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def publish(self, item) -> None:
+        """Deliver ``item`` to every subscriber (and the replay buffer)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._history.append(item)
+            for sub in self._subscribers:
+                sub.put(item)
+
+    def close(self) -> None:
+        """End the stream: every subscriber's iteration terminates."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for sub in self._subscribers:
+                sub.put(_SENTINEL)
+
+    @property
+    def closed(self) -> bool:
+        """Whether the stream has been closed."""
+        with self._lock:
+            return self._closed
+
+    def subscribe(self) -> queue_module.SimpleQueue:
+        """A fresh queue primed with the replay history (+ live tail).
+
+        On a closed stream the queue holds the replayed history
+        followed by the end sentinel -- late subscribers drain what
+        happened and stop, they never block forever.
+        """
+        sub: queue_module.SimpleQueue = queue_module.SimpleQueue()
+        with self._lock:
+            for item in self._history:
+                sub.put(item)
+            if self._closed:
+                sub.put(_SENTINEL)
+            else:
+                self._subscribers.append(sub)
+        return sub
+
+    def events(self, timeout: float | None = None):
+        """Iterate the stream: replay, then live items, until closed.
+
+        ``timeout`` bounds the wait for *each* item; expiry raises
+        ``queue.Empty`` (a stalled producer is a caller-visible
+        condition, not silent truncation).
+        """
+        sub = self.subscribe()
+        while True:
+            item = sub.get(timeout=timeout)
+            if item is _SENTINEL:
+                return
+            yield item
 
 
 def write_jsonl(records, path) -> Path:

@@ -76,6 +76,10 @@ class LOH1Scenario:
     fuse:
         Fused whole-step execution mode forwarded to the solver
         (``"auto"`` / ``True`` / ``False``; see ``docs/backends.md``).
+    on_worker_failure:
+        Crash-recovery policy forwarded to the solver
+        (``"raise"`` / ``"respawn"`` / ``"serial"``; see
+        ``docs/parallel.md``).
     """
 
     def __init__(
@@ -94,6 +98,7 @@ class LOH1Scenario:
         backend: str = "auto",
         stepping: str = "barrier",
         fuse="auto",
+        on_worker_failure: str = "raise",
     ):
         self.pde = CurvilinearElasticPDE()
         self.domain_km = domain_km
@@ -122,6 +127,7 @@ class LOH1Scenario:
             backend=backend,
             stepping=stepping,
             fuse=fuse,
+            on_worker_failure=on_worker_failure,
         )
         self.solver.set_initial_condition(self._initial_condition)
         surface_z = domain_km

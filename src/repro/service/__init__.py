@@ -1,0 +1,62 @@
+"""Solver-as-a-service: a concurrent job runtime over the DG engine.
+
+The engine's solve path is a library call: build an
+:class:`~repro.engine.solver.ADERDGSolver`, step it, read the arrays.
+This package wraps that path in a **long-lived service**
+(:class:`SolverService`): clients submit scenario specs as plain
+dicts, many simulations multiplex over a bounded pool of solver slots,
+and each job streams its per-step telemetry and receiver traces to
+subscribers while it runs.  The pieces (see ``docs/service.md``):
+
+* :mod:`repro.service.protocol` -- :class:`JobSpec` validation, the
+  job lifecycle states and the streamed event dicts,
+* :mod:`repro.service.queue` -- the bounded priority queue and its
+  reject-with-reason admission control (:class:`AdmissionError`),
+* :mod:`repro.service.plancache` -- :class:`SharedPlanCache`, the
+  service-wide compiled-plan cache all jobs share (identical jobs pay
+  kernel compilation once per process),
+* :mod:`repro.service.session` -- one job's solver lifecycle: build,
+  step, stream, degrade gracefully, summarize,
+* :mod:`repro.service.service` -- :class:`SolverService` and the
+  client-facing :class:`JobHandle`.
+
+Quickstart::
+
+    from repro.service import SolverService
+
+    with SolverService(slots=2) as svc:
+        job = svc.submit({"scenario": "gaussian", "order": 3, "steps": 4})
+        for event in job.events(timeout=60):
+            ...            # "state" / "step" / "receiver" / "result" dicts
+        print(job.result()["state_sha256"])
+"""
+
+from repro.service.plancache import SharedPlanCache
+from repro.service.protocol import (
+    SCENARIOS,
+    TERMINAL_STATES,
+    JobSpec,
+    JobState,
+    SpecError,
+    job_event,
+)
+from repro.service.queue import AdmissionError, JobQueue
+from repro.service.service import JobHandle, SolverService
+from repro.service.session import build_solver, run_job, scenario_pde
+
+__all__ = [
+    "SolverService",
+    "JobHandle",
+    "JobSpec",
+    "JobState",
+    "JobQueue",
+    "SpecError",
+    "AdmissionError",
+    "SharedPlanCache",
+    "TERMINAL_STATES",
+    "SCENARIOS",
+    "job_event",
+    "build_solver",
+    "run_job",
+    "scenario_pde",
+]

@@ -1,0 +1,82 @@
+"""The service-wide compiled-plan cache (shared across concurrent jobs).
+
+The per-process :class:`~repro.codegen.compiled.PlanRegistry` already
+caches compiled programs keyed ``(jit, variant, spec, pde_token,
+fused)``; this module *promotes* it to an explicitly shared,
+service-level layer: one :class:`SharedPlanCache` per
+:class:`~repro.service.service.SolverService`, wrapping the (now
+thread-safe, single-flighted) registry with service-facing
+observability and warm-up.
+
+The sharing contract (see ``docs/service.md``):
+
+* two jobs whose specs resolve to the same registry key pay kernel
+  compilation **once per process** -- whichever job triggers the build
+  reports the compile seconds in its telemetry, every other job
+  reports ~zero ``compile_s`` (the registry's claim-once attribution);
+* a job that crashes or degrades never poisons the cache: programs are
+  immutable after construction and the registry never stores partial
+  builds (a failed build leaves no entry behind);
+* ``numpy`` jobs bypass the cache entirely (nothing to compile).
+"""
+
+from __future__ import annotations
+
+from repro.codegen.compiled import plan_registry
+from repro.codegen.executor import resolve_executor
+
+__all__ = ["SharedPlanCache"]
+
+
+class SharedPlanCache:
+    """Service façade over the shared compiled-plan registry.
+
+    Exposes the registry's traffic counters
+    (hits/misses/builds/single-flight waits) as a JSON-ready snapshot
+    for the service's stats endpoint, and :meth:`warm` to pre-compile
+    a job spec's kernels before the job holds a solver slot.
+    """
+
+    def __init__(self, registry=None):
+        self._registry = registry if registry is not None else plan_registry()
+
+    @property
+    def registry(self):
+        """The underlying :class:`~repro.codegen.compiled.PlanRegistry`."""
+        return self._registry
+
+    def snapshot(self) -> dict:
+        """Traffic counters + cache size, JSON-ready.
+
+        ``programs`` is the number of cached program wrappers; the
+        remaining keys mirror
+        :meth:`~repro.codegen.compiled.RegistryStats.snapshot`.
+        """
+        data = self._registry.stats.snapshot()
+        data["programs"] = len(self._registry)
+        return data
+
+    def warm(self, spec) -> bool:
+        """Pre-compile the kernels a :class:`~repro.service.protocol.
+        JobSpec` will request; ``True`` when a compiled program is now
+        cached.
+
+        Builds a throwaway executor for the spec's (pre-resolved)
+        backend and asks it to fetch/build the phase program -- the
+        expensive module exec + JIT lands in the shared registry, so
+        the job itself (and every identical one) starts warm.  Returns
+        ``False`` for non-compiled backends and for PDEs the lowering
+        cannot handle; never raises on lowering limitations.
+        """
+        from repro.core.spec import KernelSpec
+        from repro.service.session import scenario_pde
+
+        executor = resolve_executor(spec.backend)
+        if not executor.is_compiled:
+            return False
+        pde = scenario_pde(spec.scenario)
+        kernel_spec = KernelSpec(
+            order=spec.order, nvar=pde.nvar, nparam=pde.nparam
+        )
+        fused = spec.fuse is not False and spec.face_sweep
+        return executor.warm(spec.variant, kernel_spec, pde, fused=fused)

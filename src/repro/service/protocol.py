@@ -1,0 +1,247 @@
+"""Job specs, lifecycle states and streamed events of the solver service.
+
+A client talks to :class:`~repro.service.service.SolverService` in
+plain data: a **scenario spec dict** goes in, validated here into an
+immutable :class:`JobSpec`; **event dicts** (built by
+:func:`job_event`) come back out on the job's stream.  Nothing in this
+module imports the engine -- validation is pure bookkeeping, so
+rejecting garbage is cheap and never touches a solver slot.
+
+Lifecycle (see ``docs/service.md`` for the full state machine)::
+
+    submit() --admission--> PENDING --slot--> RUNNING --+--> DONE
+        |                      |                        +--> FAILED
+        +--> AdmissionError    +--> CANCELLED <---------+
+
+A saturated queue rejects at ``submit()`` with a reasoned
+:class:`~repro.service.queue.AdmissionError` -- a rejected job never
+becomes a tracked state.  A worker-process crash inside a RUNNING job
+does *not* fail it: the solver degrades to the in-process path
+(``on_worker_failure="serial"``) and the job finishes with
+``degraded=True`` in its result summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codegen.executor import resolve_backend_name
+
+__all__ = [
+    "JobSpec",
+    "SpecError",
+    "JobState",
+    "TERMINAL_STATES",
+    "job_event",
+]
+
+
+class SpecError(ValueError):
+    """A scenario spec dict failed validation (reason in the message)."""
+
+
+class JobState:
+    """String constants of the job lifecycle states."""
+
+    #: admitted, waiting for a solver slot
+    PENDING = "pending"
+    #: executing on a solver slot
+    RUNNING = "running"
+    #: finished successfully (result available)
+    DONE = "done"
+    #: raised during execution (error recorded on the handle)
+    FAILED = "failed"
+    #: cancelled while pending or between steps while running
+    CANCELLED = "cancelled"
+
+
+#: states a job never leaves once reached
+TERMINAL_STATES = (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+
+#: scenario names :func:`repro.service.session.build_solver` understands
+SCENARIOS = ("gaussian", "loh1")
+
+#: spec keys accepted by :meth:`JobSpec.from_dict`, with defaults
+_SPEC_DEFAULTS = {
+    "scenario": "gaussian",
+    "elements": 2,
+    "order": 3,
+    "variant": "splitck",
+    "steps": 2,
+    "dt": None,
+    "batch_size": None,
+    "num_workers": None,
+    "face_sweep": True,
+    "stepping": "barrier",
+    "fuse": "auto",
+    "backend": "auto",
+    "on_worker_failure": "serial",
+    "priority": 0,
+    "label": "",
+}
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One validated simulation job (immutable, hashable).
+
+    Built from a plain dict via :meth:`from_dict`; every field is
+    checked there so scheduler and session code never re-validate.
+    ``backend`` is always a **concrete** name -- the ``"auto"`` request
+    and the ``REPRO_BACKEND`` environment override are resolved once at
+    validation time (:func:`~repro.codegen.executor.
+    resolve_backend_name`), so an env change after admission cannot
+    silently flip the backend a job runs (and reports in its
+    ``StepRecord.backend`` telemetry).
+
+    Attributes
+    ----------
+    scenario:
+        ``"gaussian"`` (acoustic pulse, periodic box) or ``"loh1"``
+        (layered elastic benchmark with source + surface receivers).
+    elements, order, variant:
+        Grid edge length (elements per dimension), scheme order and
+        STP kernel variant.
+    steps, dt:
+        Number of time steps to run; ``dt=None`` uses the CFL-stable
+        step each step.
+    batch_size, num_workers, face_sweep, stepping, fuse, backend:
+        Execution knobs forwarded to
+        :class:`~repro.engine.solver.ADERDGSolver` unchanged (see its
+        docstring); ``backend`` is pre-resolved as described above.
+    on_worker_failure:
+        Degradation policy of parallel jobs; the service default is
+        ``"serial"`` so a worker crash downgrades the job in place
+        instead of failing it (``"respawn"`` and ``"raise"`` are
+        accepted for callers that want those semantics).
+    priority:
+        Scheduling priority (higher runs first among pending jobs).
+    label:
+        Free-form client tag echoed in events and results.
+    """
+
+    scenario: str = "gaussian"
+    elements: int = 2
+    order: int = 3
+    variant: str = "splitck"
+    steps: int = 2
+    dt: float | None = None
+    batch_size: int | None = None
+    num_workers: int | None = None
+    face_sweep: bool = True
+    stepping: str = "barrier"
+    fuse: object = "auto"
+    backend: str = "numpy"
+    on_worker_failure: str = "serial"
+    priority: int = 0
+    label: str = ""
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "JobSpec":
+        """Validate a plain spec dict into a :class:`JobSpec`.
+
+        Raises :class:`SpecError` naming the offending key for unknown
+        keys, wrong types and out-of-range values -- the admission
+        path turns these into client-visible rejections without ever
+        touching a solver slot.
+        """
+        if isinstance(raw, JobSpec):
+            return raw
+        if not isinstance(raw, dict):
+            raise SpecError(
+                f"scenario spec must be a dict or JobSpec, got {type(raw).__name__}"
+            )
+        unknown = sorted(set(raw) - set(_SPEC_DEFAULTS))
+        if unknown:
+            raise SpecError(
+                f"unknown spec key(s) {unknown}; accepted: "
+                f"{sorted(_SPEC_DEFAULTS)}"
+            )
+        merged = dict(_SPEC_DEFAULTS, **raw)
+        scenario = merged["scenario"]
+        if scenario not in SCENARIOS:
+            raise SpecError(
+                f"unknown scenario {scenario!r}; available: {list(SCENARIOS)}"
+            )
+        for key in ("elements", "order", "steps"):
+            value = merged[key]
+            if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+                raise SpecError(f"{key} must be a positive int, got {value!r}")
+        if merged["order"] > 9:
+            raise SpecError(f"order must be <= 9, got {merged['order']}")
+        dt = merged["dt"]
+        if dt is not None:
+            dt = float(dt)
+            if not dt > 0.0:
+                raise SpecError(f"dt must be positive, got {dt}")
+            merged["dt"] = dt
+        for key in ("batch_size", "num_workers"):
+            value = merged[key]
+            if value is not None and (
+                not isinstance(value, int) or isinstance(value, bool) or value < 1
+            ):
+                raise SpecError(f"{key} must be None or a positive int, got {value!r}")
+        if merged["stepping"] not in ("barrier", "async"):
+            raise SpecError(
+                f"stepping must be 'barrier' or 'async', got {merged['stepping']!r}"
+            )
+        if merged["fuse"] not in ("auto", True, False):
+            raise SpecError(
+                f"fuse must be 'auto', True or False, got {merged['fuse']!r}"
+            )
+        if merged["on_worker_failure"] not in ("raise", "respawn", "serial"):
+            raise SpecError(
+                "on_worker_failure must be 'raise', 'respawn' or 'serial', "
+                f"got {merged['on_worker_failure']!r}"
+            )
+        if not isinstance(merged["face_sweep"], bool):
+            raise SpecError(
+                f"face_sweep must be a bool, got {merged['face_sweep']!r}"
+            )
+        if not isinstance(merged["priority"], int) or isinstance(
+            merged["priority"], bool
+        ):
+            raise SpecError(f"priority must be an int, got {merged['priority']!r}")
+        merged["label"] = str(merged["label"])
+        try:
+            # pin the backend NOW: one env read per admitted job
+            merged["backend"] = resolve_backend_name(merged["backend"])
+        except ValueError as exc:
+            raise SpecError(str(exc)) from exc
+        return cls(**merged)
+
+    def solver_kwargs(self) -> dict:
+        """Execution knobs forwarded to the scenario's solver constructor."""
+        return {
+            "batch_size": self.batch_size,
+            "num_workers": self.num_workers,
+            "face_sweep": self.face_sweep,
+            "stepping": self.stepping,
+            "fuse": self.fuse,
+            "backend": self.backend,
+            "on_worker_failure": self.on_worker_failure,
+        }
+
+    def identity(self) -> tuple:
+        """The plan-cache identity of this job's compiled kernels.
+
+        Jobs sharing this tuple request the same compiled programs
+        from the shared :class:`~repro.codegen.compiled.PlanRegistry`
+        (the registry key additionally carries the exact
+        ``KernelSpec`` and ``pde_token``, both functions of these
+        fields) -- identical jobs pay compilation once per process.
+        """
+        return (self.backend, self.variant, self.order, self.scenario, self.fuse)
+
+
+def job_event(kind: str, job_id: str, seq: int, **data) -> dict:
+    """Build one streamed job event (a JSON-ready plain dict).
+
+    Kinds: ``"state"`` (lifecycle transition), ``"step"`` (one
+    :class:`~repro.parallel.telemetry.StepRecord` as a dict),
+    ``"receiver"`` (one receiver sample) and ``"result"`` (the final
+    summary).  ``seq`` orders events within one job's stream.
+    """
+    event = {"kind": kind, "job_id": job_id, "seq": seq}
+    event.update(data)
+    return event

@@ -1,0 +1,122 @@
+"""Priority job queue with admission control for the solver service.
+
+A bounded, thread-safe priority queue: higher-priority jobs pop first,
+equal priorities pop in submission order (FIFO).  Admission control is
+*reject, not block*: a submit against a full queue raises
+:class:`AdmissionError` carrying a machine-readable ``reason`` -- the
+"millions of users" posture is to shed load at the front door with an
+explanation, never to let a backlog grow without bound or to stall the
+submitting client.
+
+Cancellation of *pending* jobs happens here (the entry is marked and
+skipped at pop time); cancelling a *running* job is the session's
+business -- it checks the job's cancel event between steps.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+
+__all__ = ["AdmissionError", "JobQueue"]
+
+
+class AdmissionError(RuntimeError):
+    """A job was rejected at submission; ``reason`` says why.
+
+    Raised synchronously by :meth:`JobQueue.submit` (and therefore by
+    :meth:`~repro.service.service.SolverService.submit`): the job was
+    never admitted, holds no slot and produces no events.
+    """
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        #: short machine-readable rejection reason
+        self.reason = reason
+
+
+class JobQueue:
+    """Bounded thread-safe priority queue of admitted jobs.
+
+    ``max_pending`` bounds the *waiting* backlog (jobs already handed
+    to a solver slot no longer count).  Items are arbitrary objects
+    with a ``priority`` attribute; ties pop FIFO via a monotonic
+    sequence number.
+    """
+
+    def __init__(self, max_pending: int = 8):
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self.max_pending = max_pending
+        self._heap: list[tuple] = []
+        self._dropped: set[int] = set()
+        self._cond = threading.Condition()
+        self._seq = itertools.count()
+        self._closed = False
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._heap) - len(self._dropped)
+
+    def submit(self, job) -> None:
+        """Admit ``job`` or raise :class:`AdmissionError` with the reason.
+
+        Rejection reasons: ``queue saturated`` (the pending backlog is
+        at ``max_pending``) and ``service closed`` (shutdown began).
+        """
+        with self._cond:
+            if self._closed:
+                raise AdmissionError("service closed: no longer accepting jobs")
+            pending = len(self._heap) - len(self._dropped)
+            if pending >= self.max_pending:
+                raise AdmissionError(
+                    f"queue saturated: {pending} job(s) pending >= "
+                    f"max_pending={self.max_pending}; retry later or raise "
+                    "the service's max_pending"
+                )
+            seq = next(self._seq)
+            heapq.heappush(self._heap, (-int(job.priority), seq, job))
+            self._cond.notify()
+
+    def pop(self, timeout: float | None = None):
+        """The next job (highest priority, then FIFO), or ``None``.
+
+        Blocks up to ``timeout`` seconds (forever when ``None``) for a
+        job to arrive; returns ``None`` on timeout or once the queue is
+        closed *and* drained.  Entries cancelled while pending are
+        skipped silently.
+        """
+        with self._cond:
+            while True:
+                while self._heap:
+                    _, seq, job = self._heap[0]
+                    if seq in self._dropped:
+                        heapq.heappop(self._heap)
+                        self._dropped.discard(seq)
+                        continue
+                    heapq.heappop(self._heap)
+                    return job
+                if self._closed:
+                    return None
+                if not self._cond.wait(timeout=timeout):
+                    return None
+
+    def drop(self, job) -> bool:
+        """Remove a still-pending ``job``; ``True`` if it was found.
+
+        Used by cancellation: a pending entry is lazily dropped (the
+        heap is not rebuilt; the entry is skipped at pop time).
+        """
+        with self._cond:
+            for entry in self._heap:
+                if entry[2] is job and entry[1] not in self._dropped:
+                    self._dropped.add(entry[1])
+                    return True
+            return False
+
+    def close(self) -> None:
+        """Refuse new submissions; wake blocked poppers to drain + exit."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()

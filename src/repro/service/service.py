@@ -1,0 +1,324 @@
+"""The solver service: many concurrent simulations, bounded solver slots.
+
+:class:`SolverService` is the long-lived front door of the engine: a
+client hands :meth:`~SolverService.submit` a plain scenario spec dict
+and gets a :class:`JobHandle` back immediately -- the job runs on one
+of a bounded pool of **solver slots** (worker threads, each driving a
+full :class:`~repro.engine.solver.ADERDGSolver` via
+:func:`~repro.service.session.run_job`) while the client streams the
+job's per-step telemetry and receiver samples off the handle, or just
+blocks on :meth:`~JobHandle.result`.
+
+Load shedding happens at the front door: when every slot is busy and
+the pending queue is full, :meth:`~SolverService.submit` raises a
+reasoned :class:`~repro.service.queue.AdmissionError` instead of
+queueing without bound.  All jobs in one process share one compiled
+plan cache (:class:`~repro.service.plancache.SharedPlanCache`): N
+identical jobs pay kernel compilation once.
+
+>>> from repro.service import SolverService
+>>> with SolverService(slots=2) as svc:
+...     handle = svc.submit({"scenario": "gaussian", "steps": 2})
+...     result = handle.result(timeout=60)
+>>> result["state"]
+'done'
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+from repro.parallel.telemetry import EventStream
+from repro.service.plancache import SharedPlanCache
+from repro.service.protocol import (
+    TERMINAL_STATES,
+    JobSpec,
+    JobState,
+    job_event,
+)
+from repro.service.queue import JobQueue
+from repro.service.session import run_job
+
+__all__ = ["JobHandle", "SolverService"]
+
+
+class JobHandle:
+    """A client's view of one submitted job (thread-safe).
+
+    Returned by :meth:`SolverService.submit`; never constructed by
+    clients.  Exposes the job's lifecycle :attr:`state`, its streamed
+    :meth:`events`, blocking :meth:`result` retrieval and
+    :meth:`cancel`.
+    """
+
+    def __init__(self, job_id: str, spec: JobSpec):
+        #: service-assigned identifier (echoed in every event)
+        self.job_id = job_id
+        #: the validated, immutable job spec
+        self.spec = spec
+        #: the job's event stream (``state``/``step``/``receiver``/``result``)
+        self.stream = EventStream()
+        self._lock = threading.Lock()
+        self._state = JobState.PENDING
+        self._result: dict | None = None
+        self._error: BaseException | None = None
+        self._cancel = threading.Event()
+        self._done = threading.Event()
+        self._seq = itertools.count()
+        self._on_cancel = None  # set by the service: drop-if-pending hook
+
+    # -- client API -------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Current lifecycle state (a :class:`~repro.service.protocol.
+        JobState` constant)."""
+        with self._lock:
+            return self._state
+
+    @property
+    def priority(self) -> int:
+        """Scheduling priority (read by the service's job queue)."""
+        return self.spec.priority
+
+    def events(self, timeout: float | None = None):
+        """Iterate the job's event dicts live, until the job ends.
+
+        Replays recent history for late subscribers; ``timeout``
+        bounds the wait per event (see
+        :meth:`~repro.parallel.telemetry.EventStream.events`).
+        """
+        return self.stream.events(timeout=timeout)
+
+    def result(self, timeout: float | None = None) -> dict:
+        """Block for the job's result summary dict.
+
+        Raises the job's error for FAILED jobs, ``TimeoutError`` if the
+        job is still running after ``timeout`` seconds.  Cancelled jobs
+        return their partial summary (pending-cancelled jobs a minimal
+        one).
+        """
+        if not self._done.wait(timeout=timeout):
+            raise TimeoutError(
+                f"job {self.job_id} not finished within {timeout}s "
+                f"(state={self.state})"
+            )
+        with self._lock:
+            if self._error is not None:
+                raise self._error
+            return self._result
+
+    def cancel(self) -> bool:
+        """Request cancellation; ``True`` unless already terminal.
+
+        A pending job is dropped before it ever takes a slot; a running
+        job stops at its next step boundary (its partial results
+        stand).
+        """
+        with self._lock:
+            if self._state in TERMINAL_STATES:
+                return False
+        self._cancel.set()
+        if self._on_cancel is not None:
+            self._on_cancel(self)
+        return True
+
+    def done(self) -> bool:
+        """Whether the job reached a terminal state."""
+        return self._done.is_set()
+
+    # -- service-side hooks -----------------------------------------------------
+
+    def _next_seq(self) -> int:
+        return next(self._seq)
+
+    def _set_state(self, state: str) -> None:
+        with self._lock:
+            self._state = state
+        self.stream.publish(
+            job_event("state", self.job_id, self._next_seq(), state=state)
+        )
+
+    def _finish(self, state: str, result, error=None) -> None:
+        with self._lock:
+            self._state = state
+            self._result = result
+            self._error = error
+        self.stream.publish(
+            job_event("state", self.job_id, self._next_seq(), state=state)
+        )
+        self.stream.close()
+        self._done.set()
+
+
+class SolverService:
+    """Concurrent job runtime over a bounded pool of solver slots.
+
+    Parameters
+    ----------
+    slots:
+        Number of solver slots == jobs simulating concurrently (each
+        slot thread drives one full solver; a job may additionally use
+        worker *processes* via its spec's ``num_workers``).
+    max_pending:
+        Bound on the admitted-but-waiting backlog; submissions beyond
+        it are rejected with
+        :class:`~repro.service.queue.AdmissionError`.
+    plan_cache:
+        The shared compiled-plan cache; defaults to a
+        :class:`~repro.service.plancache.SharedPlanCache` over the
+        process-wide registry.
+
+    Use as a context manager (or call :meth:`close`): shutdown refuses
+    new work, lets running jobs finish and joins the slot threads.
+    """
+
+    def __init__(
+        self,
+        slots: int = 2,
+        max_pending: int = 8,
+        plan_cache: SharedPlanCache | None = None,
+    ):
+        if slots < 1:
+            raise ValueError(f"slots must be >= 1, got {slots}")
+        self.slots = slots
+        #: the shared compiled-plan cache (see ``docs/service.md``)
+        self.plan_cache = plan_cache if plan_cache is not None else SharedPlanCache()
+        self._queue = JobQueue(max_pending=max_pending)
+        self._jobs: list[JobHandle] = []
+        self._jobs_lock = threading.Lock()
+        self._ids = itertools.count()
+        self._closed = False
+        self._threads = [
+            threading.Thread(
+                target=self._slot_loop, name=f"repro-slot-{i}", daemon=True
+            )
+            for i in range(slots)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- client API -------------------------------------------------------------
+
+    def submit(self, spec) -> JobHandle:
+        """Validate + admit a scenario spec; the job's :class:`JobHandle`.
+
+        ``spec`` is a plain dict (or a pre-built
+        :class:`~repro.service.protocol.JobSpec`).  Raises
+        :class:`~repro.service.protocol.SpecError` on invalid specs and
+        :class:`~repro.service.queue.AdmissionError` (with a
+        machine-readable ``reason``) when the service is saturated or
+        closed -- a rejected job holds no slot and emits no events.
+        """
+        job_spec = JobSpec.from_dict(spec)
+        handle = JobHandle(f"job-{next(self._ids):04d}", job_spec)
+        handle._on_cancel = self._cancel_pending
+        self._queue.submit(handle)  # may raise AdmissionError
+        with self._jobs_lock:
+            self._jobs.append(handle)
+        handle.stream.publish(
+            job_event(
+                "state",
+                handle.job_id,
+                handle._next_seq(),
+                state=JobState.PENDING,
+            )
+        )
+        return handle
+
+    def warm(self, spec) -> bool:
+        """Pre-compile a spec's kernels into the shared plan cache.
+
+        ``True`` when a compiled program is now cached (always
+        ``False`` for non-compiled backends); see
+        :meth:`~repro.service.plancache.SharedPlanCache.warm`.
+        """
+        return self.plan_cache.warm(JobSpec.from_dict(spec))
+
+    def stats(self) -> dict:
+        """Service observability snapshot (JSON-ready).
+
+        Slot count, pending backlog, per-state job counts and the
+        shared plan cache's hit/miss/build counters.
+        """
+        with self._jobs_lock:
+            states = [job.state for job in self._jobs]
+        return {
+            "slots": self.slots,
+            "pending": len(self._queue),
+            "jobs": {
+                state: states.count(state)
+                for state in sorted(set(states))
+            },
+            "plan_cache": self.plan_cache.snapshot(),
+        }
+
+    def close(self, timeout: float | None = None) -> None:
+        """Graceful shutdown: refuse new jobs, drain, join slot threads.
+
+        Already-admitted jobs (pending and running) complete normally;
+        ``timeout`` bounds the join on *each* slot thread.  Idempotent.
+        """
+        self._closed = True
+        self._queue.close()
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+
+    def __enter__(self) -> "SolverService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- slot loop --------------------------------------------------------------
+
+    def _cancel_pending(self, handle: JobHandle) -> None:
+        """Drop a still-pending cancelled job so it never takes a slot.
+
+        Holding the queue's lock makes this race-free against the slot
+        loop: either the drop wins (the entry is skipped at pop time
+        and finished here) or a slot already popped the job (the slot's
+        own cancel check finishes it between steps).
+        """
+        if self._queue.drop(handle):
+            handle._finish(
+                JobState.CANCELLED,
+                {
+                    "job_id": handle.job_id,
+                    "label": handle.spec.label,
+                    "state": JobState.CANCELLED,
+                    "steps": 0,
+                },
+            )
+
+    def _slot_loop(self) -> None:
+        while True:
+            handle = self._queue.pop()
+            if handle is None:
+                return  # service closed and queue drained
+            if handle._cancel.is_set():
+                # cancelled while pending: never takes the slot
+                handle._finish(
+                    JobState.CANCELLED,
+                    {
+                        "job_id": handle.job_id,
+                        "label": handle.spec.label,
+                        "state": JobState.CANCELLED,
+                        "steps": 0,
+                    },
+                )
+                continue
+            handle._set_state(JobState.RUNNING)
+            try:
+                summary = run_job(
+                    handle.spec,
+                    handle.job_id,
+                    handle.stream,
+                    handle._cancel,
+                    handle._next_seq,
+                )
+            except BaseException as exc:  # pragma: allow(HP002): job isolation -- one job's failure must not take down the slot thread
+                handle._finish(JobState.FAILED, None, error=exc)
+            else:
+                handle._finish(summary["state"], summary)

@@ -1,0 +1,171 @@
+"""One job's execution session: build a solver, step, stream, summarize.
+
+The session owns the whole solver lifecycle of a single admitted job
+on a service slot.  It builds the scenario's
+:class:`~repro.engine.solver.ADERDGSolver`, hooks the job's
+:class:`~repro.parallel.telemetry.EventStream` into the solver's step
+listener (per-step :class:`~repro.parallel.telemetry.StepRecord`
+telemetry streams out *while* the job runs), publishes the fresh
+receiver samples after every step, honours cancellation between steps,
+and always closes the solver -- a crashed or cancelled job never leaks
+a worker pool.
+
+Degradation is observed here, not handled here: the solver's own
+``on_worker_failure`` policy decides what a worker crash means, the
+session just reports ``degraded=True`` in the result summary when the
+job finished on the fallback path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+
+from repro.service.protocol import JobSpec, JobState, job_event
+
+__all__ = ["scenario_pde", "build_solver", "run_job"]
+
+
+def scenario_pde(scenario: str):
+    """The PDE instance a scenario's solver will be built on.
+
+    Used by :meth:`~repro.service.plancache.SharedPlanCache.warm` to
+    derive the plan-cache key (``pde_token``, quantity counts) without
+    building a full solver.
+    """
+    if scenario == "gaussian":
+        from repro.pde import AcousticPDE
+
+        return AcousticPDE()
+    if scenario == "loh1":
+        from repro.pde import CurvilinearElasticPDE
+
+        return CurvilinearElasticPDE()
+    raise ValueError(f"unknown scenario {scenario!r}")
+
+
+def build_solver(spec: JobSpec):
+    """A ready-to-step solver for ``spec`` (initial condition set).
+
+    ``"gaussian"`` builds the acoustic pulse box with one receiver at
+    the pulse center (so every scenario streams a receiver trace);
+    ``"loh1"`` builds the layered elastic benchmark with its three
+    surface receivers.  Tests monkeypatch this hook to inject faults
+    (e.g. killing a worker mid-job) without touching the service.
+    """
+    if spec.scenario == "gaussian":
+        import numpy as np
+
+        from repro.engine.receivers import Receiver
+        from repro.scenarios.gaussian import gaussian_pulse_setup
+
+        solver = gaussian_pulse_setup(
+            elements=spec.elements,
+            order=spec.order,
+            variant=spec.variant,
+            **spec.solver_kwargs(),
+        )
+        solver.add_receiver(
+            Receiver(position=np.array([0.5, 0.5, 0.5]), label="center")
+        )
+        return solver
+    if spec.scenario == "loh1":
+        from repro.scenarios.loh1 import LOH1Scenario
+
+        scenario = LOH1Scenario(
+            elements=spec.elements,
+            order=spec.order,
+            variant=spec.variant,
+            **spec.solver_kwargs(),
+        )
+        return scenario.solver
+    raise ValueError(f"unknown scenario {spec.scenario!r}")
+
+
+def state_digest(solver) -> str:
+    """SHA-256 over the solver's canonical state bytes.
+
+    Fused solvers egress their block-resident stack first
+    (:attr:`~repro.engine.solver.ADERDGSolver.states` is the canonical
+    view), so the digest is comparable across execution modes -- two
+    runs are bitwise identical iff their digests match.
+    """
+    states = solver.states
+    return hashlib.sha256(states.tobytes()).hexdigest()
+
+
+def run_job(spec: JobSpec, job_id: str, stream, cancelled, next_seq) -> dict:
+    """Run one admitted job to completion, streaming events; the summary.
+
+    Parameters
+    ----------
+    spec:
+        The validated :class:`~repro.service.protocol.JobSpec`.
+    job_id:
+        Service-assigned identifier echoed in every event.
+    stream:
+        The job's :class:`~repro.parallel.telemetry.EventStream`;
+        ``"step"``, ``"receiver"`` and ``"result"`` events are
+        published here (lifecycle ``"state"`` events are the
+        service's business).
+    cancelled:
+        ``threading.Event``; checked between steps -- a running job
+        cancels at the next step boundary, partial results stand.
+    next_seq:
+        Callable yielding the job's monotonically increasing event
+        sequence numbers.
+
+    Returns the result summary dict (also published as the ``"result"``
+    event): terminal state, steps run, simulated time, total wall and
+    compile seconds, resolved backend, ``degraded`` flag and the
+    bitwise :func:`state_digest` of the final solution.
+    """
+    wall_start = time.perf_counter()
+    solver = build_solver(spec)
+    try:
+        solver.add_step_listener(
+            lambda record: stream.publish(
+                job_event(
+                    "step", job_id, next_seq(), record=record.to_dict()
+                )
+            )
+        )
+        state = JobState.DONE
+        for _ in range(spec.steps):
+            if cancelled.is_set():
+                state = JobState.CANCELLED
+                break
+            solver.step(spec.dt)
+            for receiver in solver.receivers:
+                if not receiver.times:
+                    continue
+                stream.publish(
+                    job_event(
+                        "receiver",
+                        job_id,
+                        next_seq(),
+                        label=receiver.label,
+                        t=receiver.times[-1],
+                        values=[float(v) for v in receiver.samples[-1]],
+                    )
+                )
+        summary = {
+            "job_id": job_id,
+            "label": spec.label,
+            "scenario": spec.scenario,
+            "state": state,
+            "steps": solver.step_count,
+            "t": solver.t,
+            "backend": solver.backend,
+            "degraded": solver.last_failure is not None,
+            "compile_s": float(
+                sum(r.compile_s for r in solver.step_records)
+            ),
+            "wall_s": time.perf_counter() - wall_start,
+            "state_sha256": state_digest(solver),
+            "receivers": {r.label: len(r.times) for r in solver.receivers},
+        }
+    finally:
+        solver.close()
+    stream.publish(job_event("result", job_id, next_seq(), result=summary))
+    return summary

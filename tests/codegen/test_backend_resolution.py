@@ -1,0 +1,83 @@
+"""Backend resolution: the env override is read once, then pinned.
+
+``REPRO_BACKEND`` re-routes ``backend="auto"`` requests; the hazard is
+*when* it is read.  The contract:
+:func:`~repro.codegen.executor.resolve_backend_name` consults the
+environment exactly once at resolve time and returns a concrete name,
+solvers pin that name at construction (``solver.backend``, reported in
+every ``StepRecord.backend``), worker processes receive the pinned
+name -- an env change mid-process never silently re-routes running
+work, and the service layer pins per *job spec* at validation.
+"""
+
+import pytest
+
+from repro.codegen.executor import (
+    NumpyExecutor,
+    numba_available,
+    resolve_backend_name,
+)
+from repro.scenarios import gaussian_pulse_setup
+
+
+def test_concrete_names_pass_through(monkeypatch):
+    # a concrete request ignores the env override entirely
+    monkeypatch.setenv("REPRO_BACKEND", "generated")
+    assert resolve_backend_name("numpy") == "numpy"
+    assert resolve_backend_name("generated") == "generated"
+
+
+def test_instance_resolves_to_its_name(monkeypatch):
+    monkeypatch.setenv("REPRO_BACKEND", "generated")
+    assert resolve_backend_name(NumpyExecutor()) == "numpy"
+
+
+def test_auto_honors_env_once(monkeypatch):
+    monkeypatch.setenv("REPRO_BACKEND", "generated")
+    assert resolve_backend_name("auto") == "generated"
+    monkeypatch.setenv("REPRO_BACKEND", "numpy")
+    assert resolve_backend_name("auto") == "numpy"
+
+
+def test_auto_without_env_matches_availability(monkeypatch):
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+    expected = "numba" if numba_available() else "numpy"
+    assert resolve_backend_name("auto") == expected
+
+
+def test_unknown_name_raises():
+    with pytest.raises(ValueError, match="unknown backend"):
+        resolve_backend_name("fortran")
+
+
+def test_bad_env_value_names_the_variable(monkeypatch):
+    monkeypatch.setenv("REPRO_BACKEND", "fortran")
+    with pytest.raises(ValueError, match="REPRO_BACKEND"):
+        resolve_backend_name("auto")
+
+
+def test_solver_pins_backend_at_construction(monkeypatch):
+    """An env flip after construction changes nothing the solver reports."""
+    monkeypatch.setenv("REPRO_BACKEND", "generated")
+    solver = gaussian_pulse_setup(elements=2, order=2, backend="auto")
+    assert solver.backend == "generated"
+    monkeypatch.setenv("REPRO_BACKEND", "numpy")
+    solver.step()
+    assert solver.backend == "generated"
+    assert solver.step_records[-1].backend == "generated"
+    assert solver._worker_backend() == "generated"
+
+
+def test_step_record_reports_resolved_backend(monkeypatch):
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+    solver = gaussian_pulse_setup(elements=2, order=2, backend="auto")
+    solver.step()
+    # never the "auto" request -- always the concrete resolved name
+    assert solver.step_records[-1].backend != "auto"
+    assert solver.step_records[-1].backend == solver.backend
+
+
+def test_worker_backend_forwards_custom_executor_by_name(monkeypatch):
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+    solver = gaussian_pulse_setup(elements=2, order=2, backend=NumpyExecutor())
+    assert solver._worker_backend() == "numpy"

@@ -1,0 +1,111 @@
+"""Multiple live solvers in one process must not observe each other.
+
+The service layer multiplexes many solvers over one process, so
+cross-instance isolation is a correctness contract, not a nicety:
+interleaving the steps of two solvers (different orders *and* PDEs)
+must be bitwise identical to running each alone -- serial, parallel
+(barrier pools side by side) and fused (each solver owns its
+ResidentBlockState; invalidating one must not disturb the other).
+"""
+
+import numpy as np
+
+from repro.scenarios import gaussian_pulse_setup
+from repro.scenarios.loh1 import LOH1Scenario
+
+STEPS = 3
+
+
+def _gaussian(**kwargs):
+    return gaussian_pulse_setup(elements=2, order=3, **kwargs)
+
+
+def _loh1(**kwargs):
+    return LOH1Scenario(elements=2, order=2, **kwargs).solver
+
+
+def _solo(build, steps=STEPS):
+    """Reference run: dt sequence + final states of an isolated solver."""
+    solver = build()
+    try:
+        dts = [solver.step() for _ in range(steps)]
+        return dts, np.array(solver.states)
+    finally:
+        solver.close()
+
+
+def test_interleaved_serial_solvers_bitwise_identical():
+    """A (acoustic, order 3) and B (elastic, order 2) step turn by turn."""
+    dts_a, solo_a = _solo(_gaussian)
+    dts_b, solo_b = _solo(_loh1)
+    a, b = _gaussian(), _loh1()
+    try:
+        for step in range(STEPS):
+            assert a.step() == dts_a[step]
+            assert b.step() == dts_b[step]
+        np.testing.assert_array_equal(a.states, solo_a)
+        np.testing.assert_array_equal(b.states, solo_b)
+    finally:
+        a.close()
+        b.close()
+
+
+def test_interleaved_barrier_pools_bitwise_identical():
+    """Two worker pools side by side in one process, interleaved steps."""
+    dts_a, solo_a = _solo(_gaussian)
+    dts_b, solo_b = _solo(_loh1)
+    a = _gaussian(num_workers=2, stepping="barrier")
+    b = _loh1(num_workers=2, stepping="barrier")
+    try:
+        for step in range(STEPS):
+            assert a.step() == dts_a[step]
+            assert b.step() == dts_b[step]
+        np.testing.assert_array_equal(a.states, solo_a)
+        np.testing.assert_array_equal(b.states, solo_b)
+    finally:
+        a.close()
+        b.close()
+
+
+def test_invalidate_state_caches_is_per_instance():
+    """Invalidating solver A's caches must not touch B's resident state."""
+    kwargs = dict(backend="generated", fuse=True)
+    _, solo_b = _solo(lambda: _gaussian(**kwargs))
+    a, b = _gaussian(**kwargs), _gaussian(**kwargs)
+    try:
+        a.step()
+        b.step()
+        # both solvers are resident after a fused step
+        assert a._resident is not None and b._resident is not None
+        assert not a._resident.canonical_valid
+        assert not b._resident.canonical_valid
+        a.invalidate_state_caches()
+        # A egressed + invalidated; B's resident stack is untouched
+        assert a._resident.canonical_valid
+        assert not b._resident.canonical_valid
+        for _ in range(STEPS - 1):
+            a.step()
+            b.step()
+        np.testing.assert_array_equal(b.states, solo_b)
+        np.testing.assert_array_equal(a.states, solo_b)  # same setup: A == B
+    finally:
+        a.close()
+        b.close()
+
+
+def test_invalidate_under_parallel_pools_is_per_instance():
+    """Pool-backed cache invalidation on A leaves B's caches warm."""
+    _, solo_b = _solo(_loh1)
+    a = _gaussian(num_workers=2)
+    b = _loh1(num_workers=2)
+    try:
+        a.step()
+        b.step()
+        a.invalidate_state_caches()
+        for _ in range(STEPS - 1):
+            a.step()
+            b.step()
+        np.testing.assert_array_equal(b.states, solo_b)
+    finally:
+        a.close()
+        b.close()

@@ -28,7 +28,13 @@ def test_export_all(tmp_path):
         "fig4.csv", "fig6.csv", "fig9.csv", "fig10.csv",
         "footprint.csv", "batched.csv", "roofline.csv", "headlines.csv",
         "parallel.csv", "facesweep.csv", "backend.csv", "steps.jsonl",
+        "service.csv",
     }
+    with (tmp_path / "service.csv").open() as fh:
+        service_rows = list(csv.DictReader(fh))
+    assert len(service_rows) >= 2
+    assert float(service_rows[0]["compile_s"]) > 0
+    assert all(r["digest"] == service_rows[0]["digest"] for r in service_rows)
     with (tmp_path / "backend.csv").open() as fh:
         backend_rows = list(csv.DictReader(fh))
     assert backend_rows[0]["backend"] == "numpy"

@@ -1,0 +1,101 @@
+"""Pool lifecycle hygiene: idempotent close, bounded atexit backlog.
+
+The service layer creates and destroys many pool-backed solvers per
+process; the old per-instance ``atexit.register(self.close)`` grew the
+interpreter's exit-handler list without bound and kept dead pools
+reachable until shutdown.  The contract now: one process-wide atexit
+handler, a weak live-pool set that shrinks on close, and a
+:meth:`~repro.parallel.pool.ShardWorkerPool.close` that is idempotent
+under concurrent callers.
+"""
+
+import atexit
+import threading
+
+from repro.parallel import pool as pool_module
+from repro.scenarios import gaussian_pulse_setup
+
+POOLS = 6
+
+
+def _make_solver():
+    solver = gaussian_pulse_setup(elements=2, order=2, num_workers=2)
+    solver._ensure_pool()  # the pool is lazy; tests need it live now
+    return solver
+
+
+def test_many_pools_leave_no_atexit_backlog():
+    """N create/close cycles: live set returns to baseline, handler
+    registered once (the WeakSet can only shrink, never the exit list)."""
+    baseline = len(pool_module._LIVE_POOLS)
+    solvers = [_make_solver() for _ in range(POOLS)]
+    try:
+        assert len(pool_module._LIVE_POOLS) == baseline + POOLS
+        assert pool_module._ATEXIT_REGISTERED is True
+    finally:
+        for solver in solvers:
+            solver.close()
+    assert len(pool_module._LIVE_POOLS) == baseline
+
+
+def test_close_is_idempotent_sequentially():
+    solver = _make_solver()
+    pool = solver._pool
+    solver.close()
+    pool.close()
+    pool.close()  # any number of extra closes is a no-op
+    assert pool._closed is True
+
+
+def test_close_is_idempotent_under_concurrent_callers():
+    """Racing closers: exactly one does the teardown, none raises."""
+    solver = _make_solver()
+    pool = solver._pool
+    barrier = threading.Barrier(4)
+    errors = []
+
+    def closer():
+        barrier.wait()
+        try:
+            pool.close()
+        except BaseException as exc:  # noqa: BLE001 -- surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=closer) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    assert not any(t.is_alive() for t in threads)
+    assert errors == []
+    assert pool._closed is True
+    assert pool not in pool_module._LIVE_POOLS
+    assert all(not p.is_alive() for p in pool._processes)
+    solver.close()  # solver-level close after pool close is also a no-op
+
+
+def test_atexit_handler_closes_leaked_pools():
+    """The process-wide handler sweeps pools nobody closed."""
+    solver = _make_solver()
+    pool = solver._pool
+    assert pool in pool_module._LIVE_POOLS
+    pool_module._close_live_pools()
+    assert pool._closed is True
+    assert len(pool_module._LIVE_POOLS) == 0
+    solver.close()
+
+
+def test_single_process_wide_atexit_registration():
+    """The handler is registered with atexit exactly once, ever."""
+    registered = []
+    original = atexit.register
+    try:
+        atexit.register = lambda fn, *a, **k: (registered.append(fn), fn)[1]
+        solvers = [_make_solver() for _ in range(3)]
+        for solver in solvers:
+            solver.close()
+    finally:
+        atexit.register = original
+    # _ATEXIT_REGISTERED was already True from earlier pools in this
+    # process, so no new registration may have happened at all
+    assert pool_module._close_live_pools not in registered

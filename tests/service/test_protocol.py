@@ -1,0 +1,128 @@
+"""JobSpec validation: every rejection is reasoned, every field pinned.
+
+The admission path's first line of defense is
+:meth:`repro.service.protocol.JobSpec.from_dict`: garbage specs must be
+rejected with a :class:`~repro.service.protocol.SpecError` naming the
+offending key *before* any solver slot is touched, and accepted specs
+must come out fully pinned -- in particular the backend, which is
+resolved from ``"auto"`` + ``REPRO_BACKEND`` exactly once at
+validation time.
+"""
+
+import pytest
+
+from repro.service.protocol import JobSpec, SpecError, job_event
+
+
+def test_defaults_validate():
+    spec = JobSpec.from_dict({})
+    assert spec.scenario == "gaussian"
+    assert spec.steps == 2
+    assert spec.backend == "numpy"  # conftest pins REPRO_BACKEND=numpy
+
+
+def test_jobspec_passthrough():
+    spec = JobSpec.from_dict({"order": 2})
+    assert JobSpec.from_dict(spec) is spec
+
+
+def test_non_dict_rejected():
+    with pytest.raises(SpecError, match="dict or JobSpec"):
+        JobSpec.from_dict(["scenario", "gaussian"])
+
+
+def test_unknown_key_named():
+    with pytest.raises(SpecError, match="ordr"):
+        JobSpec.from_dict({"ordr": 3})
+
+
+def test_unknown_scenario_rejected():
+    with pytest.raises(SpecError, match="unknown scenario"):
+        JobSpec.from_dict({"scenario": "tpv5"})
+
+
+@pytest.mark.parametrize("key", ["elements", "order", "steps"])
+@pytest.mark.parametrize("bad", [0, -1, 1.5, "2", True])
+def test_positive_int_fields(key, bad):
+    with pytest.raises(SpecError, match=key):
+        JobSpec.from_dict({key: bad})
+
+
+def test_order_ceiling():
+    with pytest.raises(SpecError, match="order must be <= 9"):
+        JobSpec.from_dict({"order": 10})
+
+
+@pytest.mark.parametrize("bad", [0.0, -1.0])
+def test_dt_must_be_positive(bad):
+    with pytest.raises(SpecError, match="dt"):
+        JobSpec.from_dict({"dt": bad})
+
+
+def test_dt_coerced_to_float():
+    assert JobSpec.from_dict({"dt": 1}).dt == 1.0
+
+
+@pytest.mark.parametrize("key", ["batch_size", "num_workers"])
+def test_optional_int_fields(key):
+    assert getattr(JobSpec.from_dict({key: None}), key) is None
+    assert getattr(JobSpec.from_dict({key: 2}), key) == 2
+    with pytest.raises(SpecError, match=key):
+        JobSpec.from_dict({key: 0})
+
+
+@pytest.mark.parametrize(
+    "key, bad",
+    [
+        ("stepping", "lockstep"),
+        ("fuse", "yes"),
+        ("on_worker_failure", "retry"),
+        ("face_sweep", 1),
+        ("priority", 1.5),
+    ],
+)
+def test_enum_and_type_fields(key, bad):
+    with pytest.raises(SpecError, match=key):
+        JobSpec.from_dict({key: bad})
+
+
+def test_backend_pinned_at_validation(monkeypatch):
+    """``"auto"`` + env override resolve to a concrete name, once."""
+    monkeypatch.setenv("REPRO_BACKEND", "generated")
+    spec = JobSpec.from_dict({"backend": "auto"})
+    assert spec.backend == "generated"
+    # a later env change cannot re-route the admitted job
+    monkeypatch.setenv("REPRO_BACKEND", "numpy")
+    assert spec.backend == "generated"
+
+
+def test_bad_backend_is_spec_error(monkeypatch):
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+    with pytest.raises(SpecError, match="unknown backend"):
+        JobSpec.from_dict({"backend": "fortran"})
+
+
+def test_identity_groups_cache_sharers():
+    a = JobSpec.from_dict({"backend": "generated", "order": 3})
+    b = JobSpec.from_dict({"backend": "generated", "order": 3, "steps": 9})
+    c = JobSpec.from_dict({"backend": "generated", "order": 4})
+    assert a.identity() == b.identity()
+    assert a.identity() != c.identity()
+
+
+def test_solver_kwargs_round_trip():
+    spec = JobSpec.from_dict({"num_workers": 2, "stepping": "async"})
+    kwargs = spec.solver_kwargs()
+    assert kwargs["num_workers"] == 2
+    assert kwargs["stepping"] == "async"
+    assert set(kwargs) == {
+        "batch_size", "num_workers", "face_sweep", "stepping", "fuse",
+        "backend", "on_worker_failure",
+    }
+
+
+def test_job_event_shape():
+    event = job_event("step", "job-0001", 7, record={"dt": 0.1})
+    assert event == {
+        "kind": "step", "job_id": "job-0001", "seq": 7, "record": {"dt": 0.1},
+    }

@@ -1,0 +1,90 @@
+"""The bounded priority queue: ordering, admission, cancellation, close."""
+
+import threading
+
+import pytest
+
+from repro.service.queue import AdmissionError, JobQueue
+
+
+class FakeJob:
+    def __init__(self, name, priority=0):
+        self.name = name
+        self.priority = priority
+
+    def __repr__(self):
+        return f"FakeJob({self.name})"
+
+
+def test_fifo_within_priority():
+    q = JobQueue(max_pending=8)
+    jobs = [FakeJob(i) for i in range(4)]
+    for job in jobs:
+        q.submit(job)
+    assert [q.pop(timeout=0) for _ in jobs] == jobs
+
+
+def test_higher_priority_pops_first():
+    q = JobQueue(max_pending=8)
+    low = FakeJob("low", priority=0)
+    high = FakeJob("high", priority=5)
+    mid = FakeJob("mid", priority=2)
+    for job in (low, high, mid):
+        q.submit(job)
+    assert [q.pop(timeout=0) for _ in range(3)] == [high, mid, low]
+
+
+def test_saturation_rejects_with_reason():
+    q = JobQueue(max_pending=2)
+    q.submit(FakeJob(0))
+    q.submit(FakeJob(1))
+    with pytest.raises(AdmissionError) as excinfo:
+        q.submit(FakeJob(2))
+    assert "saturated" in excinfo.value.reason
+    assert "max_pending=2" in excinfo.value.reason
+
+
+def test_drop_frees_capacity_and_skips_entry():
+    q = JobQueue(max_pending=2)
+    a, b = FakeJob("a"), FakeJob("b")
+    q.submit(a)
+    q.submit(b)
+    assert q.drop(a) is True
+    assert q.drop(a) is False  # already dropped
+    assert len(q) == 1
+    q.submit(FakeJob("c"))  # capacity freed by the drop
+    assert q.pop(timeout=0) is b
+
+
+def test_pop_timeout_returns_none():
+    q = JobQueue()
+    assert q.pop(timeout=0.01) is None
+
+
+def test_close_rejects_then_drains():
+    q = JobQueue()
+    job = FakeJob("last")
+    q.submit(job)
+    q.close()
+    with pytest.raises(AdmissionError, match="closed"):
+        q.submit(FakeJob("late"))
+    # already-admitted work still drains ...
+    assert q.pop(timeout=0) is job
+    # ... then poppers get the shutdown signal
+    assert q.pop() is None
+
+
+def test_close_wakes_blocked_popper():
+    q = JobQueue()
+    results = []
+    popper = threading.Thread(target=lambda: results.append(q.pop()))
+    popper.start()
+    q.close()
+    popper.join(timeout=5)
+    assert not popper.is_alive()
+    assert results == [None]
+
+
+def test_max_pending_must_be_positive():
+    with pytest.raises(ValueError, match="max_pending"):
+        JobQueue(max_pending=0)

@@ -1,0 +1,350 @@
+"""SolverService end-to-end: slots, streaming, cache sharing, degradation.
+
+The acceptance contract of the service layer (``docs/service.md``):
+
+* admission control rejects with a reason once slots + pending are
+  saturated, while in-flight jobs keep streaming StepRecords;
+* jobs finish bitwise identical to standalone solver runs of the same
+  spec (the service adds orchestration, never numerics);
+* N identical compiled-backend jobs pay kernel compilation once
+  (later jobs report ~zero ``compile_s``);
+* a worker crash degrades one job (``degraded=True``) without
+  poisoning other jobs or the shared plan cache;
+* one job's exception fails that job only -- the slot thread survives.
+"""
+
+import os
+import signal
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.codegen.compiled import clear_plan_registry
+from repro.service import (
+    AdmissionError,
+    JobState,
+    SolverService,
+    SpecError,
+)
+from repro.service import session as session_module
+from repro.service.protocol import JobSpec
+from repro.service.session import build_solver, state_digest
+
+QUICK = {"scenario": "gaussian", "elements": 2, "order": 2, "steps": 2}
+
+
+def _wait_for(predicate, timeout=30.0, message="condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.005)
+    raise AssertionError(f"timed out waiting for {message}")
+
+
+def _solo_digest(spec_dict, steps=None):
+    """State digest of a standalone (service-free) run of the same spec."""
+    spec = JobSpec.from_dict(spec_dict)
+    solver = build_solver(spec)
+    try:
+        for _ in range(steps if steps is not None else spec.steps):
+            solver.step(spec.dt)
+        return state_digest(solver)
+    finally:
+        solver.close()
+
+
+# ---------------------------------------------------------------------------
+# basic lifecycle
+# ---------------------------------------------------------------------------
+
+
+def test_submit_runs_to_done_and_matches_standalone():
+    with SolverService(slots=2) as svc:
+        handle = svc.submit(QUICK)
+        result = handle.result(timeout=120)
+    assert result["state"] == JobState.DONE
+    assert handle.state == JobState.DONE
+    assert result["steps"] == QUICK["steps"]
+    assert result["degraded"] is False
+    # orchestration adds zero numerics: bitwise identical to a solo run
+    assert result["state_sha256"] == _solo_digest(QUICK)
+
+
+def test_event_stream_shape():
+    with SolverService(slots=1) as svc:
+        handle = svc.submit(dict(QUICK, label="streamed"))
+        handle.result(timeout=120)
+        events = list(handle.events(timeout=5))
+    kinds = [e["kind"] for e in events]
+    assert kinds[0] == "state"  # pending
+    assert kinds[-1] == "state"  # terminal
+    assert kinds.count("step") == QUICK["steps"]
+    assert kinds.count("receiver") == QUICK["steps"]  # gaussian: 1 receiver
+    assert kinds.count("result") == 1
+    # per-job seq numbers are strictly increasing
+    seqs = [e["seq"] for e in events]
+    assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+    step_events = [e for e in events if e["kind"] == "step"]
+    assert step_events[0]["record"]["backend"] == "numpy"
+    assert step_events[0]["record"]["dt"] > 0.0
+    assert all(e["job_id"] == handle.job_id for e in events)
+
+
+def test_invalid_spec_rejected_before_admission():
+    with SolverService(slots=1) as svc:
+        with pytest.raises(SpecError, match="unknown scenario"):
+            svc.submit({"scenario": "nope"})
+        assert svc.stats()["jobs"] == {}
+
+
+def test_failed_job_does_not_poison_the_slot(monkeypatch):
+    real_build = session_module.build_solver
+
+    def flaky_build(spec):
+        if spec.label == "boom":
+            raise RuntimeError("injected build failure")
+        return real_build(spec)
+
+    monkeypatch.setattr(session_module, "build_solver", flaky_build)
+    with SolverService(slots=1) as svc:
+        bad = svc.submit(dict(QUICK, label="boom"))
+        good = svc.submit(QUICK)
+        with pytest.raises(RuntimeError, match="injected build failure"):
+            bad.result(timeout=120)
+        assert bad.state == JobState.FAILED
+        # the slot thread survived and ran the next job normally
+        assert good.result(timeout=120)["state"] == JobState.DONE
+
+
+# ---------------------------------------------------------------------------
+# streaming while in flight + saturation
+# ---------------------------------------------------------------------------
+
+
+def test_saturation_rejects_while_inflight_job_streams(monkeypatch):
+    """The headline scenario: full slots + full queue -> reasoned
+    rejection, while the running job streams StepRecords and finishes
+    bitwise identical to a standalone run."""
+    gate = threading.Event()
+    real_build = session_module.build_solver
+
+    def gated_build(spec):
+        solver = real_build(spec)
+        if spec.label == "blocker":
+            solver.add_step_listener(lambda record: gate.wait(timeout=60))
+        return solver
+
+    monkeypatch.setattr(session_module, "build_solver", gated_build)
+    blocker_spec = dict(QUICK, steps=3, label="blocker")
+    with SolverService(slots=1, max_pending=1) as svc:
+        blocker = svc.submit(blocker_spec)
+        sub = blocker.stream.subscribe()
+        _wait_for(
+            lambda: blocker.state == JobState.RUNNING,
+            message="blocker to take the slot",
+        )
+        queued = svc.submit(QUICK)  # fills the pending queue
+        with pytest.raises(AdmissionError) as excinfo:
+            svc.submit(QUICK)
+        assert "saturated" in excinfo.value.reason
+        # telemetry streams while the job is mid-flight (not terminal)
+        _wait_for(
+            lambda: not sub.empty(), message="streamed events from blocker"
+        )
+        assert blocker.state == JobState.RUNNING
+        stats = svc.stats()
+        assert stats["pending"] == 1
+        assert stats["jobs"][JobState.RUNNING] == 1
+        gate.set()
+        assert blocker.result(timeout=120)["state"] == JobState.DONE
+        assert queued.result(timeout=120)["state"] == JobState.DONE
+    assert blocker.result()["state_sha256"] == _solo_digest(blocker_spec)
+
+
+def test_priorities_order_pending_jobs(monkeypatch):
+    gate = threading.Event()
+    real_build = session_module.build_solver
+
+    def gated_build(spec):
+        solver = real_build(spec)
+        if spec.label == "blocker":
+            solver.add_step_listener(lambda record: gate.wait(timeout=60))
+        return solver
+
+    started = []
+    original_gated = gated_build
+
+    def recording_build(spec):
+        started.append(spec.label)
+        return original_gated(spec)
+
+    monkeypatch.setattr(session_module, "build_solver", recording_build)
+    with SolverService(slots=1, max_pending=4) as svc:
+        blocker = svc.submit(dict(QUICK, label="blocker"))
+        _wait_for(lambda: blocker.state == JobState.RUNNING, message="blocker")
+        handles = [
+            svc.submit(dict(QUICK, label=label, priority=priority))
+            for label, priority in [("low", 0), ("urgent", 9), ("mid", 3)]
+        ]
+        gate.set()
+        for handle in handles:
+            assert handle.result(timeout=120)["state"] == JobState.DONE
+        blocker.result(timeout=120)
+    # the single slot drained the backlog highest-priority-first
+    assert started == ["blocker", "urgent", "mid", "low"]
+
+
+def test_cancel_pending_job_never_runs(monkeypatch):
+    gate = threading.Event()
+    real_build = session_module.build_solver
+
+    def gated_build(spec):
+        solver = real_build(spec)
+        if spec.label == "blocker":
+            solver.add_step_listener(lambda record: gate.wait(timeout=60))
+        return solver
+
+    monkeypatch.setattr(session_module, "build_solver", gated_build)
+    with SolverService(slots=1, max_pending=2) as svc:
+        blocker = svc.submit(dict(QUICK, label="blocker"))
+        _wait_for(lambda: blocker.state == JobState.RUNNING, message="blocker")
+        pending = svc.submit(QUICK)
+        assert pending.cancel() is True
+        # cancellation is immediate: no slot needed
+        result = pending.result(timeout=5)
+        assert result["state"] == JobState.CANCELLED
+        assert result["steps"] == 0
+        assert pending.cancel() is False  # already terminal
+        gate.set()
+        blocker.result(timeout=120)
+
+
+def test_cancel_running_job_stops_at_step_boundary(monkeypatch):
+    gate = threading.Event()
+    first_step_done = threading.Event()
+    real_build = session_module.build_solver
+
+    def gated_build(spec):
+        solver = real_build(spec)
+
+        def listener(record):
+            first_step_done.set()
+            gate.wait(timeout=60)
+
+        solver.add_step_listener(listener)
+        return solver
+
+    monkeypatch.setattr(session_module, "build_solver", gated_build)
+    with SolverService(slots=1) as svc:
+        handle = svc.submit(dict(QUICK, steps=50))
+        assert first_step_done.wait(timeout=60)
+        assert handle.cancel() is True
+        gate.set()
+        result = handle.result(timeout=120)
+    assert result["state"] == JobState.CANCELLED
+    # partial results stand: it ran some steps, nowhere near all 50
+    assert 1 <= result["steps"] < 50
+
+
+# ---------------------------------------------------------------------------
+# shared plan cache
+# ---------------------------------------------------------------------------
+
+
+def test_identical_jobs_pay_compilation_once():
+    clear_plan_registry()
+    spec = dict(QUICK, backend="generated")
+    with SolverService(slots=2) as svc:
+        first = svc.submit(spec).result(timeout=120)
+        later = [svc.submit(spec).result(timeout=120) for _ in range(3)]
+        cache = svc.stats()["plan_cache"]
+    assert first["compile_s"] > 0.0
+    for result in later:
+        assert result["compile_s"] <= 0.05 * first["compile_s"]
+    assert cache["module_builds"] == 1
+    assert cache["hits"] > 0
+    # and the compiled path is still bitwise vs itself run standalone
+    assert first["state_sha256"] == _solo_digest(spec)
+    assert later[0]["state_sha256"] == first["state_sha256"]
+
+
+def test_warm_prebuilds_the_cache():
+    clear_plan_registry()
+    spec = dict(QUICK, backend="generated")
+    with SolverService(slots=1) as svc:
+        assert svc.warm(spec) is True
+        assert svc.stats()["plan_cache"]["module_builds"] == 1
+        result = svc.submit(spec).result(timeout=120)
+        assert result["compile_s"] == 0.0  # paid by warm(), not the job
+        assert svc.warm(dict(QUICK, backend="numpy")) is False
+
+
+# ---------------------------------------------------------------------------
+# graceful degradation
+# ---------------------------------------------------------------------------
+
+
+def test_worker_crash_degrades_one_job_only(monkeypatch):
+    """SIGKILL a worker of one parallel job: that job finishes
+    ``degraded=True``; a concurrent serial job and later cache users
+    are untouched."""
+    real_build = session_module.build_solver
+
+    def sabotaged_build(spec):
+        solver = real_build(spec)
+        if spec.label == "victim":
+
+            def kill_once(record, done=[]):
+                if not done:
+                    done.append(True)
+                    os.kill(
+                        solver._pool._processes[0].pid, signal.SIGKILL
+                    )
+
+            solver.add_step_listener(kill_once)
+        return solver
+
+    monkeypatch.setattr(session_module, "build_solver", sabotaged_build)
+    victim_spec = dict(
+        QUICK, elements=3, order=3, steps=3, num_workers=2,
+        on_worker_failure="serial", label="victim",
+    )
+    bystander_spec = dict(QUICK, steps=3)
+    with SolverService(slots=2) as svc:
+        victim = svc.submit(victim_spec)
+        bystander = svc.submit(bystander_spec)
+        victim_result = victim.result(timeout=300)
+        bystander_result = bystander.result(timeout=300)
+    assert victim_result["state"] == JobState.DONE
+    assert victim_result["degraded"] is True
+    assert bystander_result["degraded"] is False
+    # the degraded run still matches the standalone serial answer
+    solo = dict(victim_spec)
+    solo.pop("num_workers")
+    solo["label"] = "solo"
+    assert victim_result["state_sha256"] == _solo_digest(solo)
+    assert bystander_result["state_sha256"] == _solo_digest(bystander_spec)
+    # a crash event made it into the victim's stream
+    records = [
+        e["record"] for e in victim.events(timeout=5) if e["kind"] == "step"
+    ]
+    assert any(r["mode"] == "serial-fallback" for r in records)
+    assert all(r["mode"] == "serial" for r in records[-1:])
+
+
+# ---------------------------------------------------------------------------
+# shutdown
+# ---------------------------------------------------------------------------
+
+
+def test_close_refuses_new_but_drains_admitted():
+    svc = SolverService(slots=1)
+    handle = svc.submit(QUICK)
+    svc.close(timeout=120)
+    with pytest.raises(AdmissionError, match="closed"):
+        svc.submit(QUICK)
+    assert handle.result(timeout=5)["state"] == JobState.DONE
+    svc.close()  # idempotent

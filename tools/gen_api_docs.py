@@ -32,6 +32,7 @@ PUBLIC_API = [
     ("repro.engine.solver", "ADERDGSolver"),
     ("repro.codegen", "KernelGenerator"),
     ("repro.codegen", "resolve_executor"),
+    ("repro.codegen", "resolve_backend_name"),
     ("repro.codegen", "available_backends"),
     ("repro.codegen", "Executor"),
     ("repro.codegen", "NumpyExecutor"),
@@ -45,8 +46,14 @@ PUBLIC_API = [
     ("repro.parallel", "ShardWorkerPool"),
     ("repro.parallel", "WorkerCrashError"),
     ("repro.parallel", "StepRecord"),
+    ("repro.parallel", "EventStream"),
     ("repro.parallel", "build_dependency_graph"),
     ("repro.parallel", "ShardDependencyGraph"),
+    ("repro.service", "SolverService"),
+    ("repro.service", "JobHandle"),
+    ("repro.service", "JobSpec"),
+    ("repro.service", "AdmissionError"),
+    ("repro.service", "SharedPlanCache"),
     ("repro.analysis", "Finding"),
     ("repro.analysis", "run_analysis"),
     ("repro.analysis", "audit_kernel_source"),
